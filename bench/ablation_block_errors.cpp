@@ -1,0 +1,68 @@
+// Ablation (the paper's declared future work): effect of RLC block errors
+// and ARQ retransmissions on the GPRS performance measures.
+//
+// Section 3 of the paper assumes the FEC of CS-2 recovers (almost) all
+// losses and explicitly defers retransmission modeling. Here the same cell
+// is evaluated across block error rates, with the Markov model's
+// effective-service-rate abstraction cross-checked against the simulator's
+// block-level ARQ at one operating point.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/model.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/threegpp.hpp"
+
+int main() {
+    using namespace gprsim;
+    bench::print_header(
+        "Ablation -- RLC block errors / ARQ retransmissions "
+        "(traffic model 3, 0.5 calls/s, 1 PDCH, 5% GPRS)");
+
+    core::Parameters base = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+    base.call_arrival_rate = 0.5;
+    base.reserved_pdch = 1;
+
+    std::printf("%8s %12s %12s %12s %12s\n", "BLER", "CDT [PDCH]", "PLP", "QD [s]",
+                "ATU [kbit/s]");
+    for (double bler : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        core::Parameters p = base;
+        p.block_error_rate = bler;
+        core::GprsModel model(p);
+        ctmc::SolveOptions options;
+        options.tolerance = 1e-9;
+        model.solve(options);
+        const core::Measures m = model.measures();
+        std::printf("%8.2f %12.4f %12.4e %12.4f %12.4f\n", bler, m.carried_data_traffic,
+                    m.packet_loss_probability, m.queueing_delay,
+                    m.throughput_per_user_kbps);
+    }
+
+    // Cross-check the abstraction against block-level ARQ in the simulator.
+    std::printf("\nModel vs simulator at BLER = 0.2 (open loop):\n");
+    core::Parameters p = base;
+    p.block_error_rate = 0.2;
+    p.flow_control_threshold = 1.0;
+    core::GprsModel model(p);
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-9;
+    model.solve(options);
+    const core::Measures analytic = model.measures();
+
+    sim::SimulationConfig config;
+    config.cell = p;
+    config.tcp_enabled = false;
+    config.seed = 31;
+    config.warmup_time = 1000.0;
+    config.batch_count = 10;
+    config.batch_duration = 1000.0;
+    const sim::SimulationResults simulated = sim::NetworkSimulator(config).run();
+    std::printf("  CDT: model %.3f, sim %.3f +- %.3f\n", analytic.carried_data_traffic,
+                simulated.carried_data_traffic.mean,
+                simulated.carried_data_traffic.half_width);
+    std::printf("  ATU: model %.3f, sim %.3f +- %.3f kbit/s\n",
+                analytic.throughput_per_user_kbps,
+                simulated.throughput_per_user_kbps.mean,
+                simulated.throughput_per_user_kbps.half_width);
+    return 0;
+}

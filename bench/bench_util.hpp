@@ -1,0 +1,52 @@
+// Shared helpers for the reproduction benches: consistent table printing and
+// a tiny command-line convention (--full for paper-resolution sweeps,
+// --points=N to override the arrival-rate grid size).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gprsim::bench {
+
+struct BenchArgs {
+    bool full = false;  ///< paper-resolution grids (slower)
+    int points = 0;     ///< 0 = per-bench default
+
+    static BenchArgs parse(int argc, char** argv) {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0) {
+                args.full = true;
+            } else if (std::strncmp(argv[i], "--points=", 9) == 0) {
+                args.points = std::atoi(argv[i] + 9);
+            }
+        }
+        return args;
+    }
+
+    int grid(int quick_default, int full_default) const {
+        if (points > 0) {
+            return points;
+        }
+        return full ? full_default : quick_default;
+    }
+};
+
+inline void print_header(const std::string& title) {
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void print_row_rule(int columns, int width = 12) {
+    for (int c = 0; c < columns; ++c) {
+        for (int i = 0; i < width + 2; ++i) {
+            std::putchar('-');
+        }
+    }
+    std::putchar('\n');
+}
+
+}  // namespace gprsim::bench

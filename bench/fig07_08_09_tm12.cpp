@@ -1,0 +1,105 @@
+// Reproduces paper Figs. 7, 8 and 9 from a single sweep set:
+//   Fig. 7: carried data traffic (CDT),
+//   Fig. 8: packet loss probability (PLP),
+//   Fig. 9: queueing delay (QD),
+// each versus the GSM/GPRS call arrival rate for traffic models 1 and 2 and
+// 1/2/4 reserved PDCHs (M = 50, 5% GPRS users).
+//
+// The three figures use the same six Markov-chain sweeps (~2.7 million
+// states per solve), so one binary regenerates all of them; rerunning the
+// sweep three times would triple a substantial runtime for identical data.
+//
+// Paper findings: CDT is nearly independent of the reservation and stays
+// around 0.6 PDCHs at 1 call/s (one PDCH suffices); more reserved PDCHs
+// reduce PLP and QD; the burstier model 2 has higher PLP and longer delays.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/sweep.hpp"
+#include "traffic/threegpp.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gprsim;
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    const std::vector<double> rates =
+        core::arrival_rate_grid(0.25, 1.0, args.grid(3, 9));
+    const int pdch_options[] = {1, 2, 4};
+    const traffic::TrafficModelPreset models[] = {traffic::traffic_model_1(),
+                                                  traffic::traffic_model_2()};
+
+    // results[model][pdch][rate]
+    std::vector<std::vector<std::vector<core::Measures>>> results(
+        2, std::vector<std::vector<core::Measures>>(3));
+
+    for (std::size_t t = 0; t < 2; ++t) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            core::Parameters p = core::Parameters::with_traffic_model(models[t]);
+            p.reserved_pdch = pdch_options[c];
+            p.gprs_fraction = 0.05;
+            core::SweepOptions sweep;
+            sweep.solve.tolerance = 1e-10;
+            sweep.progress = [&](std::size_t idx, const core::SweepPoint& point) {
+                std::fprintf(stderr,
+                             "  [%s, %d PDCH] rate %.2f: %lld sweeps, %.1fs\n",
+                             models[t].name.c_str(), pdch_options[c],
+                             point.call_arrival_rate,
+                             static_cast<long long>(point.iterations), point.seconds);
+                (void)idx;
+            };
+            const auto points = core::sweep_call_arrival_rate(p, rates, sweep);
+            for (const auto& point : points) {
+                results[t][c].push_back(point.measures);
+            }
+        }
+    }
+
+    const auto print_figure = [&](const char* title, auto measure, const char* fmt) {
+        bench::print_header(title);
+        for (std::size_t t = 0; t < 2; ++t) {
+            std::printf("\nTraffic model %zu (%s):\n%10s", t + 1,
+                        t == 0 ? "8 kbit/s" : "32 kbit/s", "calls/s");
+            for (int pdch : pdch_options) {
+                std::printf("  %7d PDCH", pdch);
+            }
+            std::printf("\n");
+            for (std::size_t r = 0; r < rates.size(); ++r) {
+                std::printf("%10.3f", rates[r]);
+                for (std::size_t c = 0; c < 3; ++c) {
+                    std::printf(fmt, measure(results[t][c][r]));
+                }
+                std::printf("\n");
+            }
+        }
+    };
+
+    print_figure("Fig. 7 -- Carried data traffic [PDCHs], traffic models 1 and 2",
+                 [](const core::Measures& m) { return m.carried_data_traffic; },
+                 "  %12.4f");
+    print_figure("Fig. 8 -- Packet loss probability, traffic models 1 and 2",
+                 [](const core::Measures& m) { return m.packet_loss_probability; },
+                 "  %12.4e");
+    print_figure("Fig. 9 -- Queueing delay [s], traffic models 1 and 2",
+                 [](const core::Measures& m) { return m.queueing_delay; },
+                 "  %12.4f");
+
+    // Paper checks.
+    std::printf("\nPaper checks:\n");
+    std::printf("  CDT at 1 call/s, TM1, 1 PDCH: %.3f (paper: ~0.6 PDCHs)\n",
+                results[0][0].back().carried_data_traffic);
+    std::printf("  PLP(TM2) >= PLP(TM1) at matching configs: ");
+    bool burstier_worse = true;
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t r = 0; r < rates.size(); ++r) {
+            if (results[1][c][r].packet_loss_probability + 1e-12 <
+                results[0][c][r].packet_loss_probability) {
+                burstier_worse = false;
+            }
+        }
+    }
+    std::printf("%s\n", burstier_worse ? "yes" : "NO (check)");
+    std::printf("  QD falls as PDCHs are reserved (TM2 @ 1 call/s): %.3f / %.3f / %.3f s\n",
+                results[1][0].back().queueing_delay, results[1][1].back().queueing_delay,
+                results[1][2].back().queueing_delay);
+    return 0;
+}

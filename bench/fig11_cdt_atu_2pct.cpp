@@ -1,0 +1,6 @@
+// Reproduces paper Fig. 11: CDT and throughput per user, 2% GPRS users.
+#include "bench/fig_cdt_atu_common.hpp"
+
+int main(int argc, char** argv) {
+    return gprsim::bench::run_cdt_atu_figure("Fig. 11", 0.02, argc, argv);
+}

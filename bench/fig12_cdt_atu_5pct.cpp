@@ -1,0 +1,6 @@
+// Reproduces paper Fig. 12: CDT and throughput per user, 5% GPRS users.
+#include "bench/fig_cdt_atu_common.hpp"
+
+int main(int argc, char** argv) {
+    return gprsim::bench::run_cdt_atu_figure("Fig. 12", 0.05, argc, argv);
+}

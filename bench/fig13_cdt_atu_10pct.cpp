@@ -1,0 +1,6 @@
+// Reproduces paper Fig. 13: CDT and throughput per user, 10% GPRS users.
+#include "bench/fig_cdt_atu_common.hpp"
+
+int main(int argc, char** argv) {
+    return gprsim::bench::run_cdt_atu_figure("Fig. 13", 0.10, argc, argv);
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks for the discrete-event substrate and the network
+// simulator, including the paper's observation that simulation cannot
+// estimate small loss probabilities: the relative CI half-width on PLP is
+// reported as a counter, showing how wide the intervals stay even after
+// millions of events (Section 1: "even with simulation runs in the order of
+// hours proper estimates for such measures cannot be derived").
+#include <benchmark/benchmark.h>
+
+#include "des/random.hpp"
+#include "des/simulation.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/threegpp.hpp"
+
+namespace {
+
+using namespace gprsim;
+
+void BM_EventCalendarThroughput(benchmark::State& state) {
+    // Schedule/execute cost with a calendar holding `range` pending events.
+    const int pending = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        des::Simulation sim;
+        des::RandomStream rng(7);
+        for (int i = 0; i < pending; ++i) {
+            sim.schedule(rng.exponential(1.0), [] {});
+        }
+        state.ResumeTiming();
+        sim.run();
+        benchmark::DoNotOptimize(sim.events_executed());
+    }
+    state.SetItemsProcessed(state.iterations() * pending);
+}
+BENCHMARK(BM_EventCalendarThroughput)->Arg(1000)->Arg(100000);
+
+void BM_RandomStreams(benchmark::State& state) {
+    des::RandomStream rng(11);
+    double acc = 0.0;
+    for (auto _ : state) {
+        acc += rng.exponential(2.0);
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RandomStreams);
+
+void BM_SimulatorSecondsPerSimulatedHour(benchmark::State& state) {
+    // Full 7-cell simulator, traffic model 3, TCP enabled.
+    for (auto _ : state) {
+        sim::SimulationConfig config;
+        config.cell = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+        config.cell.call_arrival_rate = 0.5;
+        config.seed = 3;
+        config.warmup_time = 300.0;
+        config.batch_count = 3;
+        config.batch_duration = 1100.0;  // ~1 simulated hour total
+        const sim::SimulationResults results = sim::NetworkSimulator(config).run();
+        benchmark::DoNotOptimize(results.packets_delivered);
+        state.counters["events"] = static_cast<double>(results.events_executed);
+    }
+}
+BENCHMARK(BM_SimulatorSecondsPerSimulatedHour)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_SimulationCannotResolveSmallPlp(benchmark::State& state) {
+    // The paper's motivating claim: at light load PLP is tiny and the
+    // simulator's relative CI width explodes (or no loss is observed at
+    // all), while the numerical method resolves it exactly.
+    for (auto _ : state) {
+        sim::SimulationConfig config;
+        config.cell = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+        config.cell.call_arrival_rate = 0.2;  // light load: rare losses
+        config.tcp_enabled = false;
+        config.seed = 5;
+        config.warmup_time = 500.0;
+        config.batch_count = 10;
+        config.batch_duration = 1000.0;
+        const sim::SimulationResults results = sim::NetworkSimulator(config).run();
+        const double mean = results.packet_loss_probability.mean;
+        const double half = results.packet_loss_probability.half_width;
+        state.counters["plp_mean"] = mean;
+        state.counters["plp_ci_half"] = half;
+        state.counters["rel_ci"] = mean > 0.0 ? half / mean : -1.0;
+        benchmark::DoNotOptimize(results.packets_dropped);
+    }
+}
+BENCHMARK(BM_SimulationCannotResolveSmallPlp)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces paper Table 2: the base parameter setting of the Markov model,
+// plus the quantities derived from it that every experiment depends on.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/handover.hpp"
+#include "core/parameters.hpp"
+
+int main() {
+    using namespace gprsim;
+    const core::Parameters p = core::Parameters::base();
+
+    bench::print_header("Table 2 -- Base parameter setting of the Markov model of GPRS");
+    std::printf("%-52s %10s\n", "Parameter", "Value");
+    std::printf("%-52s %10d\n", "Number of physical channels, N", p.total_channels);
+    std::printf("%-52s %10d\n", "Number of fixed PDCHs, N_GPRS", p.reserved_pdch);
+    std::printf("%-52s %7d pkt\n", "BSC buffer size, K", p.buffer_capacity);
+    std::printf("%-52s %4.1f Kbit/s\n", "Transfer rate for one PDCH (CS-2)", p.pdch_rate_kbps);
+    std::printf("%-52s %8.0f s\n", "Average GSM voice call duration, 1/mu_GSM",
+                p.mean_gsm_call_duration);
+    std::printf("%-52s %8.0f s\n", "Average GSM voice call dwell time, 1/mu_h,GSM",
+                p.mean_gsm_dwell_time);
+    std::printf("%-52s %8.0f s\n", "Average GPRS session dwell time, 1/mu_h,GPRS",
+                p.mean_gprs_dwell_time);
+    std::printf("%-52s %9.0f%%\n", "Percentage of GSM users", 100.0 * (1.0 - p.gprs_fraction));
+    std::printf("%-52s %9.0f%%\n", "Percentage of GPRS users", 100.0 * p.gprs_fraction);
+
+    std::printf("\nDerived quantities (Section 3/4):\n");
+    std::printf("%-52s %10d\n", "On-demand channels, N_GSM = N - N_GPRS", p.gsm_channels());
+    std::printf("%-52s %6.4f /s\n", "Packet service rate per PDCH, mu_service",
+                p.packet_service_rate());
+    std::printf("%-52s %10d\n", "Flow-control onset, floor(eta K) (eta = 0.7)",
+                p.flow_control_onset());
+
+    core::Parameters loaded = p;
+    loaded.call_arrival_rate = 1.0;
+    const core::BalancedTraffic balanced = core::balance_handover(loaded);
+    std::printf("\nBalanced handover flows at 1 call/s (Eq. 4-5):\n");
+    std::printf("%-52s %6.4f /s\n", "GSM handover arrival rate, lambda_h,GSM",
+                balanced.gsm.handover_arrival_rate);
+    std::printf("%-52s %6.4f /s\n", "GPRS handover arrival rate, lambda_h,GPRS",
+                balanced.gprs.handover_arrival_rate);
+    std::printf("%-52s %8.2f E\n", "GSM offered load, rho_GSM", balanced.gsm.offered_load);
+    std::printf("%-52s %8.2f E\n", "GPRS offered load, rho_GPRS", balanced.gprs.offered_load);
+    std::printf("\nPaper check: GPRS handover rate should be ~0.3 /s at 1 call/s\n");
+    std::printf("(Section 5.3); computed: %.3f /s\n", balanced.gprs.handover_arrival_rate);
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Table 3: the three 3GPP traffic models, with every
+// derived value recomputed from the primitive 3GPP parameters.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "traffic/mmpp.hpp"
+#include "traffic/threegpp.hpp"
+
+int main() {
+    using namespace gprsim;
+    const traffic::TrafficModelPreset presets[] = {
+        traffic::traffic_model_1(), traffic::traffic_model_2(), traffic::traffic_model_3()};
+
+    bench::print_header("Table 3 -- Parameter setting of different traffic models");
+    std::printf("%-46s %10s %10s %10s\n", "Parameter", "Model 1", "Model 2", "Model 3");
+    const auto row = [&](const char* label, auto getter, const char* fmt) {
+        std::printf("%-46s", label);
+        for (const auto& preset : presets) {
+            std::printf(fmt, getter(preset));
+        }
+        std::printf("\n");
+    };
+    row("Maximum number of active GPRS sessions, M",
+        [](const auto& t) { return t.max_gprs_sessions; }, " %10d");
+    row("Average GPRS session duration, 1/mu_GPRS (s)",
+        [](const auto& t) { return t.session.mean_session_duration(); }, " %10.1f");
+    row("Average arrival rate of data packets (Kbit/s)",
+        [](const auto& t) { return t.session.on_rate_kbps(); }, " %10.2f");
+    row("Average duration of a packet call, 1/a (s)",
+        [](const auto& t) { return t.session.mean_packet_call_duration(); }, " %10.1f");
+    row("Average reading time between calls, 1/b (s)",
+        [](const auto& t) { return t.session.mean_reading_time; }, " %10.1f");
+
+    std::printf("\nPaper values: M = 50/50/20; 1/mu = 2122.5/2075.6/312.5 s;\n");
+    std::printf("rate = 8/32/32 Kbit/s (nominal); 1/a = 12.5/3.1/3.1 s; 1/b = 412/412/3.1 s\n");
+
+    std::printf("\nBurstiness of the equivalent IPPs (not in the paper; index of\n");
+    std::printf("dispersion of counts, 1 = Poisson):\n");
+    for (const auto& preset : presets) {
+        const traffic::Mmpp mmpp = traffic::ipp_as_mmpp(preset.session.ipp());
+        std::printf("  %-38s IDC = %8.2f, mean rate = %6.3f pkt/s\n", preset.name.c_str(),
+                    mmpp.index_of_dispersion(), mmpp.mean_arrival_rate());
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+// gprsim command-line front end: analyze, simulate, or dimension a cell
+// without writing C++.
+//
+//   gprsim_cli analyze   [options]   — solve the Markov model, print measures
+//   gprsim_cli simulate  [options]   — run the network simulator (95% CIs)
+//   gprsim_cli dimension [options]   — recommend a PDCH reservation
+//
+// Common options:
+//   --rate=<calls/s>      combined GSM+GPRS arrival rate   (default 0.5)
+//   --gprs=<percent>      share of GPRS users              (default 5)
+//   --pdch=<n>            reserved PDCHs                   (default 1)
+//   --traffic=<1|2|3>     Table 3 traffic model            (default 1)
+//   --channels=<n>        physical channels N              (default 20)
+//   --buffer=<k>          BSC buffer K                     (default 100)
+//   --eta=<0..1>          flow-control threshold           (default 0.7)
+//   --bler=<0..1>         RLC block error rate             (default 0)
+// simulate:
+//   --seed=<n> --batches=<n> --batch-seconds=<s> --no-tcp
+// dimension:
+//   --max-plp=<p> --max-delay=<s> --max-voice-blocking=<p>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/adaptive.hpp"
+#include "core/model.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/threegpp.hpp"
+
+namespace {
+
+using namespace gprsim;
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::atof(argv[i] + prefix.size());
+        }
+    }
+    return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+    const std::string full = std::string("--") + name;
+    for (int i = 2; i < argc; ++i) {
+        if (full == argv[i]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+core::Parameters parameters_from_flags(int argc, char** argv) {
+    const int model_id = static_cast<int>(flag(argc, argv, "traffic", 1));
+    traffic::TrafficModelPreset preset = traffic::traffic_model_1();
+    if (model_id == 2) {
+        preset = traffic::traffic_model_2();
+    } else if (model_id == 3) {
+        preset = traffic::traffic_model_3();
+    }
+    core::Parameters p = core::Parameters::with_traffic_model(preset);
+    p.call_arrival_rate = flag(argc, argv, "rate", 0.5);
+    p.gprs_fraction = flag(argc, argv, "gprs", 5.0) / 100.0;
+    p.reserved_pdch = static_cast<int>(flag(argc, argv, "pdch", 1));
+    p.total_channels = static_cast<int>(flag(argc, argv, "channels", 20));
+    p.buffer_capacity = static_cast<int>(flag(argc, argv, "buffer", 100));
+    p.flow_control_threshold = flag(argc, argv, "eta", 0.7);
+    p.block_error_rate = flag(argc, argv, "bler", 0.0);
+    p.validate();
+    return p;
+}
+
+int cmd_analyze(int argc, char** argv) {
+    core::GprsModel model(parameters_from_flags(argc, argv));
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-9;
+    const auto& solve = model.solve(options);
+    const core::Measures m = model.measures();
+    std::printf("states %lld, %lld sweeps, %.1f s\n",
+                static_cast<long long>(model.space().size()),
+                static_cast<long long>(solve.iterations), solve.seconds);
+    std::printf("CDT %.4f PDCH | PLP %.3e | QD %.3f s | ATU %.3f kbit/s\n",
+                m.carried_data_traffic, m.packet_loss_probability, m.queueing_delay,
+                m.throughput_per_user_kbps);
+    std::printf("CVT %.4f | AGS %.4f | GSM blocking %.3e | GPRS blocking %.3e\n",
+                m.carried_voice_traffic, m.average_gprs_sessions, m.gsm_blocking,
+                m.gprs_blocking);
+    return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+    sim::SimulationConfig config;
+    config.cell = parameters_from_flags(argc, argv);
+    config.seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 1));
+    config.batch_count = static_cast<int>(flag(argc, argv, "batches", 15));
+    config.batch_duration = flag(argc, argv, "batch-seconds", 2000.0);
+    config.warmup_time = config.batch_duration;
+    config.tcp_enabled = !has_flag(argc, argv, "no-tcp");
+    const sim::SimulationResults r = sim::NetworkSimulator(config).run();
+    const auto row = [](const char* name, const sim::MetricEstimate& e) {
+        std::printf("%-28s %10.4f +- %.4f\n", name, e.mean, e.half_width);
+    };
+    row("CDT [PDCH]", r.carried_data_traffic);
+    row("PLP", r.packet_loss_probability);
+    row("QD [s]", r.queueing_delay);
+    row("ATU [kbit/s]", r.throughput_per_user_kbps);
+    row("CVT [TCH]", r.carried_voice_traffic);
+    row("AGS", r.average_gprs_sessions);
+    row("GSM blocking", r.gsm_blocking);
+    row("GPRS blocking", r.gprs_blocking);
+    std::printf("%.2e events in %.1f s wall\n", static_cast<double>(r.events_executed),
+                r.wall_seconds);
+    return 0;
+}
+
+int cmd_dimension(int argc, char** argv) {
+    core::QosTargets targets;
+    targets.max_packet_loss = flag(argc, argv, "max-plp", 1e-2);
+    targets.max_queueing_delay = flag(argc, argv, "max-delay", 2.0);
+    targets.max_gsm_blocking = flag(argc, argv, "max-voice-blocking", 1.0);
+    const core::Parameters p = parameters_from_flags(argc, argv);
+    const int max_pdch = std::min(static_cast<int>(flag(argc, argv, "max-pdch", 8)),
+                                  p.total_channels - 1);
+    const core::AdaptationResult r = core::recommend_reservation(p, targets, max_pdch);
+    std::printf("%s reservation: %d PDCH (PLP %.3e, QD %.3f s, voice blocking %.3e)\n",
+                r.feasible ? "recommended" : "best-effort (targets unreachable)",
+                r.reserved_pdch, r.measures.packet_loss_probability,
+                r.measures.queueing_delay, r.measures.gsm_blocking);
+    return r.feasible ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: gprsim_cli <analyze|simulate|dimension> [options]\n");
+        return 1;
+    }
+    const std::string command = argv[1];
+    try {
+        if (command == "analyze") {
+            return cmd_analyze(argc, argv);
+        }
+        if (command == "simulate") {
+            return cmd_simulate(argc, argv);
+        }
+        if (command == "dimension") {
+            return cmd_dimension(argc, argv);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 1;
+}

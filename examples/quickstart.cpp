@@ -1,0 +1,51 @@
+// Quickstart: analyze one GPRS cell configuration end to end.
+//
+// Builds the paper's base cell (Table 2, traffic model 1), solves the Markov
+// chain, and prints every performance measure of Section 4.2.
+//
+//   $ ./quickstart [call_arrival_rate] [reserved_pdch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gprsim;
+
+    core::Parameters params = core::Parameters::base();
+    params.call_arrival_rate = argc > 1 ? std::atof(argv[1]) : 0.5;
+    params.reserved_pdch = argc > 2 ? std::atoi(argv[2]) : 1;
+    params.validate();
+
+    std::printf("GPRS cell analysis (Lindemann & Thuemmler model)\n");
+    std::printf("  physical channels        : %d (%d reserved as PDCH)\n",
+                params.total_channels, params.reserved_pdch);
+    std::printf("  call arrival rate        : %.3f calls/s (%.0f%% GPRS)\n",
+                params.call_arrival_rate, 100.0 * params.gprs_fraction);
+    std::printf("  traffic model            : %.1f kbit/s WWW source, session %.1f s\n",
+                params.traffic.on_rate_kbps(), params.traffic.mean_session_duration());
+
+    core::GprsModel model(params);
+    std::printf("\nState space: %lld states", static_cast<long long>(model.space().size()));
+    std::printf(" (= 1/2 (M+1)(M+2) x (N_GSM+1) x (K+1))\n");
+
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-10;  // plenty for every printed digit
+    const auto& solve = model.solve(options);
+    std::printf("Steady-state solve: %lld sweeps, residual %.2e, %.2f s\n",
+                static_cast<long long>(solve.iterations), solve.residual, solve.seconds);
+
+    const core::Measures m = model.measures();
+    std::printf("\nPerformance measures (paper Eq. 6-11):\n");
+    std::printf("  carried data traffic  CDT : %8.4f PDCHs\n", m.carried_data_traffic);
+    std::printf("  packet loss prob.     PLP : %8.2e\n", m.packet_loss_probability);
+    std::printf("  queueing delay        QD  : %8.4f s\n", m.queueing_delay);
+    std::printf("  throughput per user   ATU : %8.3f kbit/s\n", m.throughput_per_user_kbps);
+    std::printf("  carried voice traffic CVT : %8.4f channels\n", m.carried_voice_traffic);
+    std::printf("  avg GPRS sessions     AGS : %8.4f\n", m.average_gprs_sessions);
+    std::printf("  GSM call blocking         : %8.2e\n", m.gsm_blocking);
+    std::printf("  GPRS session blocking     : %8.2e\n", m.gprs_blocking);
+    std::printf("  mean queue length     MQL : %8.4f packets\n", m.mean_queue_length);
+    std::printf("  aggregate data throughput : %8.3f kbit/s\n", m.data_throughput_kbps);
+    return 0;
+}

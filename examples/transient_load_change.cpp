@@ -1,0 +1,64 @@
+// Transient analysis (extension; the paper's future-work direction is
+// adaptive PDCH management, which needs exactly this machinery).
+//
+// The cell runs in steady state at a low arrival rate; the load then jumps.
+// Uniformization gives the distribution at selected times after the jump,
+// showing how quickly queueing builds up before reaching the new steady
+// state — the time budget an adaptive controller has to react.
+//
+//   $ ./transient_load_change [rate_before] [rate_after]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ctmc/uniformization.hpp"
+#include "core/model.hpp"
+#include "core/measures.hpp"
+#include "traffic/threegpp.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gprsim;
+    const double rate_before = argc > 1 ? std::atof(argv[1]) : 0.2;
+    const double rate_after = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+    core::Parameters p = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 30;   // smaller buffer keeps the transient solve quick
+    p.max_gprs_sessions = 10;
+
+    // Steady state before the load change.
+    p.call_arrival_rate = rate_before;
+    core::GprsModel before(p);
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-9;
+    before.solve(options);
+    std::printf("Initial steady state at %.2f calls/s: CDT = %.3f PDCH, MQL = %.2f\n",
+                rate_before, before.measures().carried_data_traffic,
+                before.measures().mean_queue_length);
+
+    // Chain under the new load.
+    p.call_arrival_rate = rate_after;
+    core::GprsModel after(p);
+    const core::GprsGenerator& generator = after.generator();
+    const ctmc::QtMatrix qt = generator.to_qt_matrix();
+
+    std::printf("\nLoad jumps to %.2f calls/s at t = 0. Transient response:\n", rate_after);
+    std::printf("%10s  %12s  %12s  %12s\n", "t [s]", "CDT [PDCH]", "MQL [pkt]", "PLP");
+    std::vector<double> pi(before.distribution());
+    double t_prev = 0.0;
+    for (double t : {10.0, 30.0, 60.0, 120.0, 300.0, 600.0}) {
+        pi = ctmc::transient_distribution(qt, pi, t - t_prev);
+        t_prev = t;
+        const core::Measures m =
+            core::compute_measures(p, after.balanced(), after.space(), pi);
+        std::printf("%10.0f  %12.3f  %12.2f  %12.3e\n", t, m.carried_data_traffic,
+                    m.mean_queue_length, m.packet_loss_probability);
+    }
+
+    after.solve(options);
+    const core::Measures steady = after.measures();
+    std::printf("%10s  %12.3f  %12.2f  %12.3e   (new steady state)\n", "inf",
+                steady.carried_data_traffic, steady.mean_queue_length,
+                steady.packet_loss_probability);
+    return 0;
+}

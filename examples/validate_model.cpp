@@ -1,0 +1,72 @@
+// Side-by-side validation run: Markov model vs network-level simulator on
+// one configuration (the paper's Section 5.2 methodology, scriptable).
+//
+//   $ ./validate_model [call_arrival_rate] [tcp:0|1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/threegpp.hpp"
+
+int main(int argc, char** argv) {
+    using namespace gprsim;
+    const double rate = argc > 1 ? std::atof(argv[1]) : 0.4;
+    const bool tcp = argc > 2 ? std::atoi(argv[2]) != 0 : true;
+
+    core::Parameters params = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+    params.call_arrival_rate = rate;
+    params.reserved_pdch = 1;
+    // eta = 0.7 approximates TCP; eta = 1.0 matches the open-loop simulator.
+    params.flow_control_threshold = tcp ? 0.7 : 1.0;
+
+    std::printf("Validation at %.2f calls/s, %s\n", rate,
+                tcp ? "TCP flow control (model: eta = 0.7)"
+                    : "open-loop sources (model: eta = 1.0)");
+
+    core::GprsModel model(params);
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-9;
+    model.solve(options);
+    const core::Measures analytic = model.measures();
+
+    sim::SimulationConfig config;
+    config.cell = params;
+    config.tcp_enabled = tcp;
+    config.seed = 42;
+    config.warmup_time = 2000.0;
+    config.batch_count = 15;
+    config.batch_duration = 2000.0;
+    std::printf("Simulating %.0f s of network time (7 cells)...\n",
+                config.warmup_time + config.batch_count * config.batch_duration);
+    const sim::SimulationResults simulated = sim::NetworkSimulator(config).run();
+
+    const auto row = [](const char* name, double model_value,
+                        const sim::MetricEstimate& est) {
+        std::printf("  %-28s %12.4f   [%9.4f, %9.4f] %s\n", name, model_value, est.lower(),
+                    est.upper(), est.covers(model_value) ? "(model inside CI)" : "");
+    };
+    std::printf("\n%-30s %12s   %-24s\n", "measure", "model", "simulator 95% CI");
+    row("carried data traffic [PDCH]", analytic.carried_data_traffic,
+        simulated.carried_data_traffic);
+    row("throughput per user [kbit/s]", analytic.throughput_per_user_kbps,
+        simulated.throughput_per_user_kbps);
+    row("mean queue length [packets]", analytic.mean_queue_length,
+        simulated.mean_queue_length);
+    row("queueing delay [s]", analytic.queueing_delay, simulated.queueing_delay);
+    row("packet loss probability", analytic.packet_loss_probability,
+        simulated.packet_loss_probability);
+    row("carried voice traffic [TCH]", analytic.carried_voice_traffic,
+        simulated.carried_voice_traffic);
+    row("avg GPRS sessions", analytic.average_gprs_sessions,
+        simulated.average_gprs_sessions);
+    row("GSM blocking", analytic.gsm_blocking, simulated.gsm_blocking);
+    row("GPRS blocking", analytic.gprs_blocking, simulated.gprs_blocking);
+
+    std::printf("\nSimulator: %.2e events, %.1f s wall clock; TCP: %lld timeouts, %lld fast"
+                " retransmits\n",
+                static_cast<double>(simulated.events_executed), simulated.wall_seconds,
+                static_cast<long long>(simulated.tcp_timeouts),
+                static_cast<long long>(simulated.tcp_fast_retransmits));
+    return 0;
+}

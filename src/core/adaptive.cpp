@@ -1,0 +1,50 @@
+#include "core/adaptive.hpp"
+
+#include <stdexcept>
+
+#include "core/model.hpp"
+
+namespace gprsim::core {
+
+AdaptationResult recommend_reservation(Parameters base, const QosTargets& targets,
+                                       int max_reservation, ctmc::SolveOptions solve) {
+    if (max_reservation < 0 || max_reservation >= base.total_channels) {
+        throw std::invalid_argument(
+            "recommend_reservation: max_reservation must leave at least one GSM channel");
+    }
+    if (solve.tolerance == ctmc::SolveOptions{}.tolerance) {
+        solve.tolerance = 1e-9;  // dimensioning accuracy; much faster than default
+    }
+
+    AdaptationResult best;
+    bool have_fallback = false;
+    for (int pdch = 0; pdch <= max_reservation; ++pdch) {
+        base.reserved_pdch = pdch;
+        base.validate();
+        GprsModel model(base);
+        model.solve(solve);
+        const Measures m = model.measures();
+        const bool voice_ok = m.gsm_blocking <= targets.max_gsm_blocking;
+        const bool data_ok = m.packet_loss_probability <= targets.max_packet_loss &&
+                             m.queueing_delay <= targets.max_queueing_delay;
+        if (voice_ok &&
+            (!have_fallback ||
+             m.packet_loss_probability < best.measures.packet_loss_probability)) {
+            best.reserved_pdch = pdch;
+            best.measures = m;
+            best.feasible = false;
+            have_fallback = true;
+        }
+        if (voice_ok && data_ok) {
+            best.reserved_pdch = pdch;
+            best.measures = m;
+            best.feasible = true;
+            best.evaluated = pdch + 1;
+            return best;
+        }
+    }
+    best.evaluated = max_reservation + 1;
+    return best;
+}
+
+}  // namespace gprsim::core

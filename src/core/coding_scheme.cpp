@@ -1,0 +1,40 @@
+#include "core/coding_scheme.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::core {
+
+double coding_scheme_rate_kbps(CodingScheme scheme) {
+    switch (scheme) {
+        case CodingScheme::cs1:
+            return 9.05;
+        case CodingScheme::cs2:
+            return 13.4;
+        case CodingScheme::cs3:
+            return 15.6;
+        case CodingScheme::cs4:
+            return 21.4;
+    }
+    throw std::invalid_argument("coding_scheme_rate_kbps: unknown scheme");
+}
+
+const char* coding_scheme_name(CodingScheme scheme) {
+    switch (scheme) {
+        case CodingScheme::cs1:
+            return "CS-1";
+        case CodingScheme::cs2:
+            return "CS-2";
+        case CodingScheme::cs3:
+            return "CS-3";
+        case CodingScheme::cs4:
+            return "CS-4";
+    }
+    throw std::invalid_argument("coding_scheme_name: unknown scheme");
+}
+
+Parameters with_coding_scheme(Parameters base, CodingScheme scheme) {
+    base.pdch_rate_kbps = coding_scheme_rate_kbps(scheme);
+    return base;
+}
+
+}  // namespace gprsim::core

@@ -1,0 +1,30 @@
+// GPRS channel coding schemes (extension).
+//
+// The paper fixes CS-2 (13.4 kbit/s per PDCH, Section 3) and leaves other
+// schemes to future work. GPRS defines four convolutional coding schemes
+// trading robustness for rate (Cai & Goodman [7]); exposing them lets the
+// model answer "what does a cleaner/noisier channel do to the dimensioning
+// answer" — see bench/ablation_coding_scheme.
+#pragma once
+
+#include "core/parameters.hpp"
+
+namespace gprsim::core {
+
+enum class CodingScheme {
+    cs1,  ///< rate-1/2 coding, most robust:  9.05 kbit/s
+    cs2,  ///< the paper's choice:           13.4  kbit/s
+    cs3,  ///< lighter coding:               15.6  kbit/s
+    cs4,  ///< no coding, clean channel:     21.4  kbit/s
+};
+
+/// Net RLC data rate of one PDCH under the scheme [kbit/s].
+double coding_scheme_rate_kbps(CodingScheme scheme);
+
+/// Human-readable name ("CS-1" ... "CS-4").
+const char* coding_scheme_name(CodingScheme scheme);
+
+/// Returns `base` with the PDCH rate set for the scheme.
+Parameters with_coding_scheme(Parameters base, CodingScheme scheme);
+
+}  // namespace gprsim::core

@@ -1,0 +1,26 @@
+#include "core/handover.hpp"
+
+namespace gprsim::core {
+
+BalancedTraffic balance_handover(const Parameters& p) {
+    p.validate();
+    BalancedTraffic result;
+    result.gsm = queueing::balance_handover_flow(p.gsm_arrival_rate(), p.gsm_completion_rate(),
+                                                 p.gsm_handover_rate(), p.gsm_channels());
+    result.gprs =
+        queueing::balance_handover_flow(p.gprs_arrival_rate(), p.gprs_completion_rate(),
+                                        p.gprs_handover_rate(), p.max_gprs_sessions);
+
+    const traffic::Ipp ipp = p.traffic.ipp();
+    result.rates.gsm_arrival = p.gsm_arrival_rate() + result.gsm.handover_arrival_rate;
+    result.rates.gsm_departure = p.gsm_completion_rate() + p.gsm_handover_rate();
+    result.rates.gprs_arrival = p.gprs_arrival_rate() + result.gprs.handover_arrival_rate;
+    result.rates.gprs_departure = p.gprs_completion_rate() + p.gprs_handover_rate();
+    result.rates.on_to_off = ipp.on_to_off_rate;
+    result.rates.off_to_on = ipp.off_to_on_rate;
+    result.rates.packet_rate = ipp.on_packet_rate;
+    result.rates.service_rate = p.packet_service_rate();
+    return result;
+}
+
+}  // namespace gprsim::core

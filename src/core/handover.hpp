@@ -1,0 +1,24 @@
+// Handover balancing for the GPRS cell model (paper Eq. 4-5).
+//
+// Wraps queueing::balance_handover_flow for both populations (GSM calls on
+// N_GSM servers, GPRS sessions on M servers) and assembles the aggregated
+// ModelRates the Markov chain runs with.
+#pragma once
+
+#include "core/parameters.hpp"
+#include "core/transitions.hpp"
+#include "queueing/handover.hpp"
+
+namespace gprsim::core {
+
+struct BalancedTraffic {
+    queueing::HandoverBalance gsm;   ///< balanced GSM handover flow
+    queueing::HandoverBalance gprs;  ///< balanced GPRS handover flow
+    ModelRates rates;                ///< chain rates incl. handover terms
+};
+
+/// Runs the fixed-point iteration for both populations and derives the
+/// aggregated transition rates. Throws on invalid parameters.
+BalancedTraffic balance_handover(const Parameters& parameters);
+
+}  // namespace gprsim::core

@@ -1,0 +1,59 @@
+#include "core/measures.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/transitions.hpp"
+#include "queueing/erlang.hpp"
+
+namespace gprsim::core {
+
+Measures closed_form_measures(const Parameters& p, const BalancedTraffic& balanced) {
+    Measures m;
+    m.carried_voice_traffic =
+        queueing::mmcc_carried_load(balanced.gsm.offered_load, p.gsm_channels());
+    m.average_gprs_sessions =
+        queueing::mmcc_carried_load(balanced.gprs.offered_load, p.max_gprs_sessions);
+    m.gsm_blocking = queueing::erlang_b(balanced.gsm.offered_load, p.gsm_channels());
+    m.gprs_blocking = queueing::erlang_b(balanced.gprs.offered_load, p.max_gprs_sessions);
+    return m;
+}
+
+Measures compute_measures(const Parameters& p, const BalancedTraffic& balanced,
+                          const StateSpace& space, std::span<const double> pi) {
+    if (static_cast<ctmc::index_type>(pi.size()) != space.size()) {
+        throw std::invalid_argument("compute_measures: distribution size mismatch");
+    }
+    Measures m = closed_form_measures(p, balanced);
+
+    double cdt = 0.0;
+    double mql = 0.0;
+    double offered = 0.0;
+    space.for_each([&](const State& s, ctmc::index_type i) {
+        const double weight = pi[static_cast<std::size_t>(i)];
+        if (weight == 0.0) {
+            return;
+        }
+        cdt += weight * static_cast<double>(pdch_in_use(p, s));
+        mql += weight * static_cast<double>(s.buffer);
+        offered += weight * offered_packet_rate(p, balanced.rates, s);
+    });
+
+    m.carried_data_traffic = cdt;
+    m.mean_queue_length = mql;
+    m.offered_packet_rate = offered;
+
+    const double throughput_packets = cdt * balanced.rates.service_rate;
+    m.data_throughput_kbps = throughput_packets * p.traffic.packet_size_bits / 1000.0;
+    // Eq. 9; clamp tiny negative values caused by the solver's residual.
+    m.packet_loss_probability =
+        offered > 0.0 ? std::clamp(1.0 - throughput_packets / offered, 0.0, 1.0) : 0.0;
+    // Eq. 10 (Little's law on the BSC buffer).
+    m.queueing_delay = throughput_packets > 0.0 ? mql / throughput_packets : 0.0;
+    // Eq. 11.
+    m.throughput_per_user_kbps =
+        m.average_gprs_sessions > 0.0 ? m.data_throughput_kbps / m.average_gprs_sessions : 0.0;
+    return m;
+}
+
+}  // namespace gprsim::core

@@ -1,0 +1,39 @@
+// Performance measures of the GPRS model (paper Section 4.2, Eq. 6-11).
+#pragma once
+
+#include <span>
+
+#include "core/handover.hpp"
+#include "core/parameters.hpp"
+#include "core/state_space.hpp"
+
+namespace gprsim::core {
+
+/// All measures reported in the paper's evaluation.
+struct Measures {
+    // From the full chain's steady-state distribution:
+    double carried_data_traffic = 0.0;      ///< CDT: E[PDCHs in use]    (Eq. 8)
+    double packet_loss_probability = 0.0;   ///< PLP                     (Eq. 9)
+    double queueing_delay = 0.0;            ///< QD [s]                  (Eq. 10)
+    double throughput_per_user_kbps = 0.0;  ///< ATU                     (Eq. 11)
+    double mean_queue_length = 0.0;         ///< MQL [packets]
+    double offered_packet_rate = 0.0;       ///< lambda_avg [packets/s]
+    double data_throughput_kbps = 0.0;      ///< CDT * 13.4 kbit/s
+
+    // Closed-form (Erlang) measures:
+    double carried_voice_traffic = 0.0;     ///< CVT: E[busy TCHs]       (Eq. 6)
+    double average_gprs_sessions = 0.0;     ///< AGS: E[m]               (Eq. 7)
+    double gsm_blocking = 0.0;              ///< p_GSM,N_GSM
+    double gprs_blocking = 0.0;             ///< p_GPRS,M
+};
+
+/// Measures that need only the Erlang populations, not the chain solve
+/// (CVT, AGS, both blocking probabilities). The remaining fields are zero.
+Measures closed_form_measures(const Parameters& parameters, const BalancedTraffic& balanced);
+
+/// Full set of measures from the chain's stationary distribution `pi`
+/// (indexed by `space`). Throws std::invalid_argument on size mismatch.
+Measures compute_measures(const Parameters& parameters, const BalancedTraffic& balanced,
+                          const StateSpace& space, std::span<const double> pi);
+
+}  // namespace gprsim::core

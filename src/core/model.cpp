@@ -1,0 +1,84 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+#include "core/initial_guess.hpp"
+
+namespace gprsim::core {
+
+GprsModel::GprsModel(Parameters parameters)
+    : parameters_(std::move(parameters)),
+      balanced_(balance_handover(parameters_)),
+      generator_(parameters_, balanced_.rates) {}
+
+const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options) {
+    if (solution_) {
+        return *solution_;
+    }
+    ctmc::SolveOptions effective = options;
+    if (effective.initial.empty()) {
+        // Warm-start from the closed-form product approximation; typically
+        // several times fewer sweeps than a uniform start.
+        effective.initial = product_form_initial(parameters_, balanced_, space());
+    }
+    ctmc::SolveResult result;
+    if (estimated_qt_bytes() <= memory_budget_) {
+        const ctmc::QtMatrix qt = generator_.to_qt_matrix();
+        result = ctmc::solve_steady_state(qt, effective);
+        used_matrix_free_ = false;
+    } else {
+        result = ctmc::solve_steady_state(generator_, effective);
+        used_matrix_free_ = true;
+    }
+    if (!result.converged) {
+        throw std::runtime_error(
+            "GprsModel::solve: steady-state iteration did not converge "
+            "(residual " +
+            std::to_string(result.residual) + " after " +
+            std::to_string(result.iterations) + " sweeps)");
+    }
+    solution_ = std::move(result);
+    return *solution_;
+}
+
+const std::vector<double>& GprsModel::distribution() const {
+    if (!solution_) {
+        throw std::logic_error("GprsModel::distribution: call solve() first");
+    }
+    return solution_->distribution;
+}
+
+Measures GprsModel::measures() {
+    solve();
+    return compute_measures(parameters_, balanced_, space(), distribution());
+}
+
+std::vector<double> GprsModel::buffer_distribution() const {
+    const std::vector<double>& pi = distribution();
+    std::vector<double> marginal(static_cast<std::size_t>(parameters_.buffer_capacity) + 1, 0.0);
+    space().for_each([&](const State& s, ctmc::index_type i) {
+        marginal[static_cast<std::size_t>(s.buffer)] += pi[static_cast<std::size_t>(i)];
+    });
+    return marginal;
+}
+
+std::vector<double> GprsModel::gsm_distribution() const {
+    const std::vector<double>& pi = distribution();
+    std::vector<double> marginal(static_cast<std::size_t>(parameters_.gsm_channels()) + 1, 0.0);
+    space().for_each([&](const State& s, ctmc::index_type i) {
+        marginal[static_cast<std::size_t>(s.gsm_calls)] += pi[static_cast<std::size_t>(i)];
+    });
+    return marginal;
+}
+
+std::vector<double> GprsModel::gprs_session_distribution() const {
+    const std::vector<double>& pi = distribution();
+    std::vector<double> marginal(static_cast<std::size_t>(parameters_.max_gprs_sessions) + 1,
+                                 0.0);
+    space().for_each([&](const State& s, ctmc::index_type i) {
+        marginal[static_cast<std::size_t>(s.gprs_sessions)] += pi[static_cast<std::size_t>(i)];
+    });
+    return marginal;
+}
+
+}  // namespace gprsim::core

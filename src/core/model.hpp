@@ -1,0 +1,71 @@
+// Facade tying the GPRS model together: parameters -> handover balance ->
+// generator -> steady-state solve -> measures.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ctmc/solver.hpp"
+#include "core/generator.hpp"
+#include "core/handover.hpp"
+#include "core/measures.hpp"
+#include "core/parameters.hpp"
+
+namespace gprsim::core {
+
+/// One-stop interface for analyzing a cell configuration.
+///
+///   GprsModel model(Parameters::base());
+///   model.solve();
+///   Measures m = model.measures();
+///
+/// The solver path is picked automatically: CSR when the transposed
+/// generator fits the memory budget, matrix-free otherwise.
+class GprsModel {
+public:
+    explicit GprsModel(Parameters parameters);
+
+    const Parameters& parameters() const { return parameters_; }
+    const BalancedTraffic& balanced() const { return balanced_; }
+    const StateSpace& space() const { return generator_.space(); }
+    const GprsGenerator& generator() const { return generator_; }
+
+    /// Size the CSR representation would occupy; compare with memory_budget.
+    std::size_t estimated_qt_bytes() const { return generator_.estimated_qt_bytes(); }
+    /// CSR is used when estimated_qt_bytes() <= memory_budget (default 8 GiB).
+    void set_memory_budget(std::size_t bytes) { memory_budget_ = bytes; }
+
+    /// Solves for the stationary distribution (cached). Returns solver
+    /// statistics; throws std::runtime_error if the solve did not converge.
+    const ctmc::SolveResult& solve(const ctmc::SolveOptions& options = {});
+
+    bool solved() const { return solution_.has_value(); }
+    /// Stationary distribution (requires a prior successful solve()).
+    const std::vector<double>& distribution() const;
+
+    /// Full measures; solves with default options on first use if needed.
+    Measures measures();
+    /// Erlang-only measures (no chain solve).
+    Measures closed_form() const { return closed_form_measures(parameters_, balanced_); }
+
+    /// Marginal distribution of the buffer occupancy k.
+    std::vector<double> buffer_distribution() const;
+    /// Marginal distribution of active GSM calls n. In exact arithmetic this
+    /// equals the Erlang M/M/c/c law — a property the tests rely on.
+    std::vector<double> gsm_distribution() const;
+    /// Marginal distribution of active GPRS sessions m (Erlang over M).
+    std::vector<double> gprs_session_distribution() const;
+    /// Whether the last solve used the matrix-free path.
+    bool used_matrix_free() const { return used_matrix_free_; }
+
+private:
+    Parameters parameters_;
+    BalancedTraffic balanced_;
+    GprsGenerator generator_;
+    std::size_t memory_budget_ = std::size_t{8} * 1024 * 1024 * 1024;
+    std::optional<ctmc::SolveResult> solution_;
+    bool used_matrix_free_ = false;
+};
+
+}  // namespace gprsim::core

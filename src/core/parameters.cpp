@@ -1,0 +1,63 @@
+#include "core/parameters.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::core {
+
+void Parameters::validate() const {
+    if (total_channels < 1) {
+        throw std::invalid_argument("Parameters: need at least one physical channel");
+    }
+    if (reserved_pdch < 0 || reserved_pdch > total_channels) {
+        throw std::invalid_argument("Parameters: reserved PDCHs outside [0, N]");
+    }
+    if (gsm_channels() < 1) {
+        throw std::invalid_argument(
+            "Parameters: at least one channel must remain available to GSM "
+            "(the model's GSM population would be degenerate)");
+    }
+    if (buffer_capacity < 1) {
+        throw std::invalid_argument("Parameters: BSC buffer must hold at least one packet");
+    }
+    if (pdch_rate_kbps <= 0.0) {
+        throw std::invalid_argument("Parameters: PDCH rate must be positive");
+    }
+    if (block_error_rate < 0.0 || block_error_rate >= 1.0) {
+        throw std::invalid_argument("Parameters: block error rate must lie in [0, 1)");
+    }
+    if (call_arrival_rate <= 0.0) {
+        throw std::invalid_argument(
+            "Parameters: call arrival rate must be positive (the chain is "
+            "reducible without arrivals)");
+    }
+    if (gprs_fraction <= 0.0 || gprs_fraction >= 1.0) {
+        throw std::invalid_argument("Parameters: GPRS fraction must lie strictly in (0, 1)");
+    }
+    if (mean_gsm_call_duration <= 0.0 || mean_gsm_dwell_time <= 0.0 ||
+        mean_gprs_dwell_time <= 0.0) {
+        throw std::invalid_argument("Parameters: durations must be positive");
+    }
+    if (max_gprs_sessions < 1) {
+        throw std::invalid_argument("Parameters: M must be at least 1");
+    }
+    if (flow_control_threshold <= 0.0 || flow_control_threshold > 1.0) {
+        throw std::invalid_argument("Parameters: flow-control threshold must be in (0, 1]");
+    }
+    traffic.validate();
+}
+
+Parameters Parameters::base() {
+    Parameters p;
+    p.traffic = traffic::traffic_model_1().session;
+    p.max_gprs_sessions = traffic::traffic_model_1().max_gprs_sessions;
+    return p;
+}
+
+Parameters Parameters::with_traffic_model(const traffic::TrafficModelPreset& preset) {
+    Parameters p = base();
+    p.traffic = preset.session;
+    p.max_gprs_sessions = preset.max_gprs_sessions;
+    return p;
+}
+
+}  // namespace gprsim::core

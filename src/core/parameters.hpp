@@ -1,0 +1,74 @@
+// Model parameters of the GPRS cell (paper Table 2 + traffic model).
+#pragma once
+
+#include "traffic/threegpp.hpp"
+
+namespace gprsim::core {
+
+/// Complete parameterization of the single-cell GSM/GPRS model.
+///
+/// Defaults reproduce the paper's base setting (Table 2) with traffic
+/// model 1 (Table 3). All rates are per second, durations in seconds.
+struct Parameters {
+    // --- radio configuration -------------------------------------------
+    int total_channels = 20;       ///< N: physical channels in the cell
+    int reserved_pdch = 1;         ///< N_GPRS: channels fixed as PDCH
+    int buffer_capacity = 100;     ///< K: BSC FIFO buffer, in packets
+    double pdch_rate_kbps = 13.4;  ///< CS-2 coding scheme rate per PDCH
+    /// RLC block error rate after FEC (extension; paper future work).
+    /// The paper assumes the coding scheme recovers (almost) all losses
+    /// (BLER = 0); a positive rate models ARQ retransmissions that consume
+    /// channel capacity: the effective PDCH rate becomes rate*(1 - BLER).
+    double block_error_rate = 0.0;
+
+    // --- load ------------------------------------------------------------
+    double call_arrival_rate = 0.5;  ///< combined GSM+GPRS arrivals [calls/s]
+    double gprs_fraction = 0.05;     ///< share of arrivals that are GPRS
+
+    // --- user behaviour ----------------------------------------------------
+    double mean_gsm_call_duration = 120.0;  ///< 1/mu_GSM
+    double mean_gsm_dwell_time = 60.0;      ///< 1/mu_h,GSM
+    double mean_gprs_dwell_time = 120.0;    ///< 1/mu_h,GPRS
+    int max_gprs_sessions = 50;             ///< M: admission cap
+
+    // --- TCP flow-control approximation ----------------------------------
+    /// eta: sources are throttled once the buffer holds more than
+    /// floor(eta * K) packets; 1.0 disables flow control. The paper's
+    /// calibration (Fig. 5) selects 0.7.
+    double flow_control_threshold = 0.7;
+
+    // --- per-session traffic (3GPP WWW model) ----------------------------
+    traffic::ThreeGppSessionModel traffic;
+
+    // --- derived quantities ----------------------------------------------
+    /// N_GSM = N - N_GPRS: channels usable by GSM (on-demand pool).
+    int gsm_channels() const { return total_channels - reserved_pdch; }
+    /// mu_service: packet service rate of one PDCH [packets/s];
+    /// 13.4 kbit/s / 3840 bit = 3.4896 for the base setting. A positive
+    /// block error rate shrinks it by the ARQ retransmission overhead.
+    double packet_service_rate() const {
+        return pdch_rate_kbps * 1000.0 * (1.0 - block_error_rate) /
+               traffic.packet_size_bits;
+    }
+    double gsm_arrival_rate() const { return (1.0 - gprs_fraction) * call_arrival_rate; }
+    double gprs_arrival_rate() const { return gprs_fraction * call_arrival_rate; }
+    double gsm_completion_rate() const { return 1.0 / mean_gsm_call_duration; }
+    double gsm_handover_rate() const { return 1.0 / mean_gsm_dwell_time; }
+    double gprs_completion_rate() const { return 1.0 / traffic.mean_session_duration(); }
+    double gprs_handover_rate() const { return 1.0 / mean_gprs_dwell_time; }
+    /// floor(eta * K): highest buffer level with unthrottled arrivals.
+    int flow_control_onset() const {
+        return static_cast<int>(flow_control_threshold * buffer_capacity);
+    }
+
+    /// Throws std::invalid_argument when the configuration is inconsistent
+    /// (no channels, eta outside [0,1], non-positive rates, ...).
+    void validate() const;
+
+    /// Table 2 base setting with traffic model 1.
+    static Parameters base();
+    /// Base setting with session model and M taken from a Table 3 preset.
+    static Parameters with_traffic_model(const traffic::TrafficModelPreset& preset);
+};
+
+}  // namespace gprsim::core

@@ -1,0 +1,55 @@
+#include "core/sweep.hpp"
+
+#include <stdexcept>
+
+#include "core/model.hpp"
+
+namespace gprsim::core {
+
+std::vector<SweepPoint> sweep_call_arrival_rate(const Parameters& base,
+                                                std::span<const double> call_rates,
+                                                const SweepOptions& options) {
+    std::vector<SweepPoint> points;
+    points.reserve(call_rates.size());
+    std::vector<double> previous;
+    for (std::size_t idx = 0; idx < call_rates.size(); ++idx) {
+        Parameters p = base;
+        p.call_arrival_rate = call_rates[idx];
+        GprsModel model(p);
+
+        ctmc::SolveOptions solve = options.solve;
+        if (options.warm_start && !previous.empty()) {
+            solve.initial = previous;
+        }
+        const ctmc::SolveResult& result = model.solve(solve);
+
+        SweepPoint point;
+        point.call_arrival_rate = call_rates[idx];
+        point.measures = model.measures();
+        point.iterations = result.iterations;
+        point.residual = result.residual;
+        point.seconds = result.seconds;
+        if (options.warm_start) {
+            previous = result.distribution;
+        }
+        if (options.progress) {
+            options.progress(idx, point);
+        }
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+std::vector<double> arrival_rate_grid(double first, double last, int count) {
+    if (count < 2 || last < first) {
+        throw std::invalid_argument("arrival_rate_grid: need count >= 2 and last >= first");
+    }
+    std::vector<double> grid(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        grid[static_cast<std::size_t>(i)] =
+            first + (last - first) * static_cast<double>(i) / static_cast<double>(count - 1);
+    }
+    return grid;
+}
+
+}  // namespace gprsim::core

@@ -1,0 +1,43 @@
+// Parameter sweeps over the call arrival rate — the x-axis of every
+// performance figure in the paper — with warm-started solves.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ctmc/solver.hpp"
+#include "core/measures.hpp"
+#include "core/parameters.hpp"
+
+namespace gprsim::core {
+
+struct SweepPoint {
+    double call_arrival_rate = 0.0;
+    Measures measures;
+    ctmc::index_type iterations = 0;
+    double residual = 0.0;
+    double seconds = 0.0;
+};
+
+struct SweepOptions {
+    ctmc::SolveOptions solve;
+    /// Reuse the previous point's distribution as the next initial vector.
+    /// All points share one state space, so this is always well-formed and
+    /// typically cuts iteration counts by 3-10x on smooth sweeps.
+    bool warm_start = true;
+    /// Called after each completed point (index, point).
+    std::function<void(std::size_t, const SweepPoint&)> progress;
+};
+
+/// Solves `base` at each arrival rate in `call_rates` (ascending order is
+/// fastest with warm starts) and returns the measures per point.
+std::vector<SweepPoint> sweep_call_arrival_rate(const Parameters& base,
+                                                std::span<const double> call_rates,
+                                                const SweepOptions& options = {});
+
+/// Evenly spaced arrival-rate grid [first, last] with `count` points —
+/// convenience for the benches (count >= 2).
+std::vector<double> arrival_rate_grid(double first, double last, int count);
+
+}  // namespace gprsim::core

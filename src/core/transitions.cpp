@@ -1,0 +1,3 @@
+// Transition enumeration is header-only (templated emitters); this
+// translation unit anchors the header into the library.
+#include "core/transitions.hpp"

@@ -1,0 +1,49 @@
+#include "ctmc/birth_death.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gprsim::ctmc {
+
+std::vector<double> birth_death_distribution(std::span<const double> birth_rates,
+                                             std::span<const double> death_rates) {
+    if (birth_rates.size() != death_rates.size()) {
+        throw std::invalid_argument("birth_death_distribution: rate vector size mismatch");
+    }
+    const std::size_t n = birth_rates.size();
+
+    // log_w[k] = log of the unnormalized stationary weight of state k.
+    std::vector<double> log_w(n + 1);
+    log_w[0] = 0.0;
+    bool truncated = false;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (death_rates[k] <= 0.0) {
+            throw std::invalid_argument("birth_death_distribution: death rate must be positive");
+        }
+        if (birth_rates[k] < 0.0) {
+            throw std::invalid_argument("birth_death_distribution: negative birth rate");
+        }
+        if (truncated || birth_rates[k] == 0.0) {
+            truncated = true;
+            log_w[k + 1] = -std::numeric_limits<double>::infinity();
+        } else {
+            log_w[k + 1] = log_w[k] + std::log(birth_rates[k]) - std::log(death_rates[k]);
+        }
+    }
+
+    const double log_max = *std::max_element(log_w.begin(), log_w.end());
+    std::vector<double> pi(n + 1);
+    double sum = 0.0;
+    for (std::size_t k = 0; k <= n; ++k) {
+        pi[k] = std::isinf(log_w[k]) ? 0.0 : std::exp(log_w[k] - log_max);
+        sum += pi[k];
+    }
+    for (double& v : pi) {
+        v /= sum;
+    }
+    return pi;
+}
+
+}  // namespace gprsim::ctmc

@@ -1,0 +1,24 @@
+// Closed-form stationary distribution of finite birth-death chains.
+//
+// Birth-death chains cover the M/M/c/c and M/M/1/K building blocks the GPRS
+// paper relies on (Eq. 2-3) and give the test suite an independent oracle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ctmc/types.hpp"
+
+namespace gprsim::ctmc {
+
+/// Stationary distribution of the birth-death chain on states 0..n where
+/// birth_rates[i] is the rate i -> i+1 (size n) and death_rates[i] is the
+/// rate i+1 -> i (size n). All death rates must be positive; a zero birth
+/// rate truncates the reachable chain and leaves zero mass above it.
+///
+/// Products are accumulated in log space so extremely skewed chains (loss
+/// probabilities of 1e-30 and below) remain accurate.
+std::vector<double> birth_death_distribution(std::span<const double> birth_rates,
+                                             std::span<const double> death_rates);
+
+}  // namespace gprsim::ctmc

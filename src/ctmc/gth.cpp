@@ -1,0 +1,86 @@
+#include "ctmc/gth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gprsim::ctmc {
+
+std::vector<double> solve_gth_dense(std::vector<double> rates, index_type n) {
+    if (n <= 0) {
+        throw std::invalid_argument("solve_gth_dense: empty chain");
+    }
+    if (rates.size() != static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
+        throw std::invalid_argument("solve_gth_dense: rate matrix size mismatch");
+    }
+    const auto q = [&](index_type i, index_type j) -> double& {
+        return rates[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                     static_cast<std::size_t>(j)];
+    };
+
+    // Forward elimination: censor states n-1, n-2, ..., 1 out of the chain.
+    for (index_type k = n - 1; k >= 1; --k) {
+        double total = 0.0;
+        for (index_type j = 0; j < k; ++j) {
+            total += q(k, j);
+        }
+        if (total <= 0.0) {
+            throw std::runtime_error(
+                "solve_gth_dense: zero pivot; chain is reducible or has an absorbing state");
+        }
+        for (index_type i = 0; i < k; ++i) {
+            q(i, k) /= total;
+        }
+        for (index_type i = 0; i < k; ++i) {
+            const double factor = q(i, k);
+            if (factor == 0.0) {
+                continue;
+            }
+            for (index_type j = 0; j < k; ++j) {
+                if (j != i) {
+                    q(i, j) += factor * q(k, j);
+                }
+            }
+        }
+    }
+
+    // Back substitution: unnormalized stationary weights.
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    x[0] = 1.0;
+    for (index_type k = 1; k < n; ++k) {
+        double acc = 0.0;
+        for (index_type i = 0; i < k; ++i) {
+            acc += x[static_cast<std::size_t>(i)] * q(i, k);
+        }
+        x[static_cast<std::size_t>(k)] = acc;
+    }
+
+    double sum = 0.0;
+    for (double v : x) {
+        sum += v;
+    }
+    for (double& v : x) {
+        v /= sum;
+    }
+    return x;
+}
+
+std::vector<double> solve_gth(const SparseMatrix& generator) {
+    if (generator.rows() != generator.cols()) {
+        throw std::invalid_argument("solve_gth: generator must be square");
+    }
+    const index_type n = generator.rows();
+    std::vector<double> dense(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+    for (index_type i = 0; i < n; ++i) {
+        const auto cols = generator.row_cols(i);
+        const auto values = generator.row_values(i);
+        for (std::size_t p = 0; p < cols.size(); ++p) {
+            if (cols[p] != i) {
+                dense[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(cols[p])] = values[p];
+            }
+        }
+    }
+    return solve_gth_dense(std::move(dense), n);
+}
+
+}  // namespace gprsim::ctmc

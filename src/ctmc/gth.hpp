@@ -1,0 +1,28 @@
+// Grassmann-Taksar-Heyman (GTH) direct solution of small CTMCs.
+//
+// GTH is a pivoting-free Gaussian elimination on the transition rates that
+// involves no subtractions, making it numerically exact up to rounding even
+// for stiff chains. It is O(n^3) time and O(n^2) memory, so it is intended
+// for chains up to a few thousand states; the test suite uses it as ground
+// truth for the iterative solvers.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/sparse_matrix.hpp"
+#include "ctmc/types.hpp"
+
+namespace gprsim::ctmc {
+
+/// Stationary distribution of the CTMC whose off-diagonal rates are given in
+/// the dense row-major matrix `rates` (rates[i*n+j] = Q_ij for i != j; the
+/// diagonal entries are ignored). The chain must be irreducible.
+///
+/// Throws std::invalid_argument on dimension errors and std::runtime_error
+/// when the chain is visibly reducible (a zero pivot appears).
+std::vector<double> solve_gth_dense(std::vector<double> rates, index_type n);
+
+/// Convenience overload for a sparse generator (diagonal entries ignored).
+std::vector<double> solve_gth(const SparseMatrix& generator);
+
+}  // namespace gprsim::ctmc

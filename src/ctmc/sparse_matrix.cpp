@@ -1,0 +1,180 @@
+#include "ctmc/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gprsim::ctmc {
+
+SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
+                                         std::vector<Triplet> triplets) {
+    if (rows < 0 || cols < 0) {
+        throw std::invalid_argument("SparseMatrix: negative dimensions");
+    }
+    for (const Triplet& t : triplets) {
+        if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+            throw std::out_of_range("SparseMatrix: triplet outside matrix bounds");
+        }
+    }
+
+    SparseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+
+    // Counting pass, then bucket fill, then per-row sort + duplicate merge.
+    for (const Triplet& t : triplets) {
+        ++m.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+    }
+    for (index_type i = 0; i < rows; ++i) {
+        m.row_ptr_[static_cast<std::size_t>(i) + 1] += m.row_ptr_[static_cast<std::size_t>(i)];
+    }
+    m.cols_idx_.resize(triplets.size());
+    m.values_.resize(triplets.size());
+    {
+        std::vector<index_type> next(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
+        for (const Triplet& t : triplets) {
+            const index_type pos = next[static_cast<std::size_t>(t.row)]++;
+            m.cols_idx_[static_cast<std::size_t>(pos)] = t.col;
+            m.values_[static_cast<std::size_t>(pos)] = t.value;
+        }
+    }
+
+    // Sort each row by column and merge duplicates in place.
+    std::vector<index_type> new_row_ptr(m.row_ptr_.size(), 0);
+    index_type write = 0;
+    std::vector<std::pair<index_type, double>> row_buf;
+    for (index_type i = 0; i < rows; ++i) {
+        const index_type begin = m.row_ptr_[static_cast<std::size_t>(i)];
+        const index_type end = m.row_ptr_[static_cast<std::size_t>(i) + 1];
+        row_buf.clear();
+        for (index_type p = begin; p < end; ++p) {
+            row_buf.emplace_back(m.cols_idx_[static_cast<std::size_t>(p)],
+                                 m.values_[static_cast<std::size_t>(p)]);
+        }
+        std::sort(row_buf.begin(), row_buf.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        new_row_ptr[static_cast<std::size_t>(i)] = write;
+        for (std::size_t p = 0; p < row_buf.size();) {
+            const index_type col = row_buf[p].first;
+            double sum = 0.0;
+            while (p < row_buf.size() && row_buf[p].first == col) {
+                sum += row_buf[p].second;
+                ++p;
+            }
+            m.cols_idx_[static_cast<std::size_t>(write)] = col;
+            m.values_[static_cast<std::size_t>(write)] = sum;
+            ++write;
+        }
+    }
+    new_row_ptr[static_cast<std::size_t>(rows)] = write;
+    m.row_ptr_ = std::move(new_row_ptr);
+    m.cols_idx_.resize(static_cast<std::size_t>(write));
+    m.cols_idx_.shrink_to_fit();
+    m.values_.resize(static_cast<std::size_t>(write));
+    m.values_.shrink_to_fit();
+    return m;
+}
+
+SparseMatrix SparseMatrix::from_csr(index_type rows, index_type cols,
+                                    std::vector<index_type> row_ptr,
+                                    std::vector<index_type> cols_idx,
+                                    std::vector<double> values) {
+    if (rows < 0 || cols < 0) {
+        throw std::invalid_argument("SparseMatrix::from_csr: negative dimensions");
+    }
+    if (row_ptr.size() != static_cast<std::size_t>(rows) + 1 || row_ptr.front() != 0 ||
+        row_ptr.back() != static_cast<index_type>(cols_idx.size()) ||
+        cols_idx.size() != values.size()) {
+        throw std::invalid_argument("SparseMatrix::from_csr: inconsistent CSR arrays");
+    }
+    for (index_type i = 0; i < rows; ++i) {
+        const index_type begin = row_ptr[static_cast<std::size_t>(i)];
+        const index_type end = row_ptr[static_cast<std::size_t>(i) + 1];
+        if (begin > end) {
+            throw std::invalid_argument("SparseMatrix::from_csr: row pointers not monotone");
+        }
+        for (index_type p = begin; p < end; ++p) {
+            const index_type c = cols_idx[static_cast<std::size_t>(p)];
+            if (c < 0 || c >= cols) {
+                throw std::invalid_argument("SparseMatrix::from_csr: column out of range");
+            }
+            if (p > begin && cols_idx[static_cast<std::size_t>(p) - 1] >= c) {
+                throw std::invalid_argument(
+                    "SparseMatrix::from_csr: columns must be sorted and unique per row");
+            }
+        }
+    }
+    SparseMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.row_ptr_ = std::move(row_ptr);
+    m.cols_idx_ = std::move(cols_idx);
+    m.values_ = std::move(values);
+    return m;
+}
+
+double SparseMatrix::at(index_type i, index_type j) const {
+    if (i < 0 || i >= rows_ || j < 0 || j >= cols_) {
+        throw std::out_of_range("SparseMatrix::at: index outside matrix");
+    }
+    const auto cols = row_cols(i);
+    const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+    if (it == cols.end() || *it != j) {
+        return 0.0;
+    }
+    return row_values(i)[static_cast<std::size_t>(it - cols.begin())];
+}
+
+void SparseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+    assert(static_cast<index_type>(x.size()) == cols_);
+    assert(static_cast<index_type>(y.size()) == rows_);
+    for (index_type i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        const index_type begin = row_ptr_[static_cast<std::size_t>(i)];
+        const index_type end = row_ptr_[static_cast<std::size_t>(i) + 1];
+        for (index_type p = begin; p < end; ++p) {
+            acc += values_[static_cast<std::size_t>(p)] *
+                   x[static_cast<std::size_t>(cols_idx_[static_cast<std::size_t>(p)])];
+        }
+        y[static_cast<std::size_t>(i)] = acc;
+    }
+}
+
+void SparseMatrix::multiply_transposed(std::span<const double> x, std::span<double> y) const {
+    assert(static_cast<index_type>(x.size()) == rows_);
+    assert(static_cast<index_type>(y.size()) == cols_);
+    std::fill(y.begin(), y.end(), 0.0);
+    for (index_type i = 0; i < rows_; ++i) {
+        const double xi = x[static_cast<std::size_t>(i)];
+        if (xi == 0.0) {
+            continue;
+        }
+        const index_type begin = row_ptr_[static_cast<std::size_t>(i)];
+        const index_type end = row_ptr_[static_cast<std::size_t>(i) + 1];
+        for (index_type p = begin; p < end; ++p) {
+            y[static_cast<std::size_t>(cols_idx_[static_cast<std::size_t>(p)])] +=
+                xi * values_[static_cast<std::size_t>(p)];
+        }
+    }
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(nonzeros()));
+    for (index_type i = 0; i < rows_; ++i) {
+        const auto cols = row_cols(i);
+        const auto values = row_values(i);
+        for (std::size_t p = 0; p < cols.size(); ++p) {
+            triplets.push_back({cols[p], i, values[p]});
+        }
+    }
+    return from_triplets(cols_, rows_, std::move(triplets));
+}
+
+std::size_t SparseMatrix::memory_bytes() const {
+    return row_ptr_.capacity() * sizeof(index_type) +
+           cols_idx_.capacity() * sizeof(index_type) + values_.capacity() * sizeof(double);
+}
+
+}  // namespace gprsim::ctmc

@@ -1,0 +1,78 @@
+// Compressed sparse row (CSR) matrix tailored to CTMC generator matrices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ctmc/types.hpp"
+
+namespace gprsim::ctmc {
+
+/// One (row, col, value) entry used while assembling a sparse matrix.
+struct Triplet {
+    index_type row = 0;
+    index_type col = 0;
+    double value = 0.0;
+};
+
+/// Immutable CSR sparse matrix with double precision values.
+///
+/// Rows are stored contiguously; duplicate (row, col) triplets are summed
+/// during assembly. Column indices within a row are sorted.
+class SparseMatrix {
+public:
+    SparseMatrix() = default;
+
+    /// Assembles a rows x cols matrix from triplets (duplicates are summed,
+    /// explicit zeros are kept so structural patterns stay predictable).
+    static SparseMatrix from_triplets(index_type rows, index_type cols,
+                                      std::vector<Triplet> triplets);
+
+    /// Adopts ready-made CSR arrays. Column indices within each row must be
+    /// sorted and duplicate-free; this is validated. Used by generators that
+    /// can emit rows in order, avoiding the triplet staging buffer (the
+    /// largest GPRS chain has ~240 million nonzeros).
+    static SparseMatrix from_csr(index_type rows, index_type cols,
+                                 std::vector<index_type> row_ptr,
+                                 std::vector<index_type> cols_idx,
+                                 std::vector<double> values);
+
+    index_type rows() const { return rows_; }
+    index_type cols() const { return cols_; }
+    index_type nonzeros() const { return static_cast<index_type>(values_.size()); }
+
+    /// Column indices of row i (sorted ascending).
+    std::span<const index_type> row_cols(index_type i) const {
+        return {cols_idx_.data() + row_ptr_[i],
+                static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+    }
+    /// Values of row i, aligned with row_cols(i).
+    std::span<const double> row_values(index_type i) const {
+        return {values_.data() + row_ptr_[i],
+                static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+    }
+
+    /// Value at (i, j); zero when the entry is not stored.
+    double at(index_type i, index_type j) const;
+
+    /// y = A * x  (x has cols() entries, y has rows() entries).
+    void multiply(std::span<const double> x, std::span<double> y) const;
+
+    /// x^T * A accumulated into y (y must have cols() entries).
+    void multiply_transposed(std::span<const double> x, std::span<double> y) const;
+
+    SparseMatrix transpose() const;
+
+    /// Approximate heap footprint, used to pick CSR vs matrix-free solves.
+    std::size_t memory_bytes() const;
+
+private:
+    index_type rows_ = 0;
+    index_type cols_ = 0;
+    std::vector<index_type> row_ptr_;
+    std::vector<index_type> cols_idx_;
+    std::vector<double> values_;
+};
+
+}  // namespace gprsim::ctmc

@@ -1,0 +1,4 @@
+// Uniformization is header-only (templated over the operator); this
+// translation unit exists so the library has a stable archive member and a
+// place for future non-template helpers.
+#include "ctmc/uniformization.hpp"

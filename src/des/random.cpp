@@ -1,0 +1,71 @@
+#include "des/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gprsim::des {
+
+namespace {
+
+/// SplitMix64 step; used to decorrelate (seed, stream) pairs before seeding
+/// the Mersenne Twister.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RandomStream::RandomStream(std::uint64_t seed, std::uint64_t stream_id) {
+    std::uint64_t state = seed ^ (0xd1342543de82ef95ULL * (stream_id + 1));
+    std::seed_seq seq{splitmix64(state), splitmix64(state), splitmix64(state),
+                      splitmix64(state)};
+    engine_.seed(seq);
+}
+
+double RandomStream::uniform() {
+    // 53-bit mantissa in (0, 1): offset by half an ulp to exclude 0.
+    const std::uint64_t bits = engine_() >> 11;
+    return (static_cast<double>(bits) + 0.5) * 0x1.0p-53;
+}
+
+int RandomStream::uniform_int(int lo, int hi) {
+    if (lo > hi) {
+        throw std::invalid_argument("RandomStream::uniform_int: empty range");
+    }
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double RandomStream::exponential(double mean) {
+    if (mean <= 0.0) {
+        throw std::invalid_argument("RandomStream::exponential: mean must be positive");
+    }
+    return -mean * std::log(uniform());
+}
+
+int RandomStream::geometric_count(double mean) {
+    if (mean < 1.0) {
+        throw std::invalid_argument("RandomStream::geometric_count: mean must be >= 1");
+    }
+    if (mean == 1.0) {
+        return 1;
+    }
+    // P(X = j) = p (1-p)^(j-1), j >= 1, E[X] = 1/p.
+    const double p = 1.0 / mean;
+    const double u = uniform();
+    const int count = 1 + static_cast<int>(std::floor(std::log(u) / std::log1p(-p)));
+    return count < 1 ? 1 : count;
+}
+
+bool RandomStream::bernoulli(double p) {
+    if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument("RandomStream::bernoulli: p outside [0, 1]");
+    }
+    return uniform() < p;
+}
+
+}  // namespace gprsim::des

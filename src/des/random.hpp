@@ -1,0 +1,37 @@
+// Reproducible random-number streams for the simulator.
+//
+// Each model entity (GSM arrivals, GPRS arrivals, per-cell dwell times, ...)
+// draws from its own stream so configuration changes do not shift the random
+// sequences of unrelated entities (common-random-numbers discipline).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace gprsim::des {
+
+class RandomStream {
+public:
+    /// Stream `stream_id` of the experiment seeded by `seed`. Distinct
+    /// (seed, stream_id) pairs give statistically independent sequences.
+    explicit RandomStream(std::uint64_t seed, std::uint64_t stream_id = 0);
+
+    /// Uniform on (0, 1) — never returns exactly 0 or 1.
+    double uniform();
+    /// Uniform integer on [lo, hi] inclusive.
+    int uniform_int(int lo, int hi);
+    /// Exponential with the given mean (> 0).
+    double exponential(double mean);
+    /// Geometric on {1, 2, ...} with the given mean (>= 1): the paper's
+    /// "number of packet calls per session" and "packets per packet call".
+    int geometric_count(double mean);
+    /// Bernoulli with success probability p.
+    bool bernoulli(double p);
+
+    std::uint64_t next_u64() { return engine_(); }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace gprsim::des

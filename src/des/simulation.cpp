@@ -1,0 +1,79 @@
+#include "des/simulation.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace gprsim::des {
+
+EventHandle Simulation::schedule(double delay, EventCallback callback) {
+    if (delay < 0.0) {
+        throw std::invalid_argument("Simulation::schedule: negative delay");
+    }
+    return schedule_at(now_ + delay, std::move(callback));
+}
+
+EventHandle Simulation::schedule_at(double time, EventCallback callback) {
+    if (time < now_) {
+        throw std::invalid_argument("Simulation::schedule_at: time in the past");
+    }
+    if (!callback) {
+        throw std::invalid_argument("Simulation::schedule_at: empty callback");
+    }
+    const std::uint64_t id = next_id_++;
+    heap_.push(Entry{time, next_sequence_++, id, std::move(callback)});
+    return EventHandle(id);
+}
+
+bool Simulation::cancel(EventHandle handle) {
+    if (!handle.valid()) {
+        return false;
+    }
+    // Lazy deletion: remember the id; the entry is dropped when popped.
+    // Ids of already-fired events are never re-inserted, so marking them is
+    // harmless (the set entry is garbage-collected on the next pop attempt
+    // that would have matched — in practice never, so bound the set by
+    // checking against next_id_ when popping).
+    return cancelled_.insert(handle.id_).second;
+}
+
+bool Simulation::dispatch_next(double horizon) {
+    while (!heap_.empty()) {
+        const Entry& top = heap_.top();
+        if (top.time > horizon) {
+            return false;
+        }
+        if (cancelled_.erase(top.id) > 0) {
+            heap_.pop();
+            continue;
+        }
+        Entry entry = std::move(const_cast<Entry&>(top));
+        heap_.pop();
+        now_ = entry.time;
+        ++executed_;
+        entry.callback();
+        return true;
+    }
+    return false;
+}
+
+void Simulation::run() {
+    stopped_ = false;
+    while (!stopped_ && dispatch_next(std::numeric_limits<double>::infinity())) {
+    }
+}
+
+bool Simulation::run_until(double horizon) {
+    if (horizon < now_) {
+        throw std::invalid_argument("Simulation::run_until: horizon in the past");
+    }
+    stopped_ = false;
+    while (!stopped_ && dispatch_next(horizon)) {
+    }
+    if (!stopped_) {
+        now_ = horizon;
+    }
+    return !stopped_;
+}
+
+}  // namespace gprsim::des

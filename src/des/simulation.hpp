@@ -1,0 +1,85 @@
+// Discrete-event simulation engine (replacement for the commercial CSIM
+// library the paper used).
+//
+// A Simulation owns a virtual clock and an event calendar. Callbacks are
+// scheduled at absolute or relative times and executed in time order;
+// simultaneous events fire in scheduling order (stable FIFO tie-break).
+// Handles permit O(1) cancellation (dwell timers, TCP retransmission timers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace gprsim::des {
+
+using EventCallback = std::function<void()>;
+
+/// Token identifying a scheduled event; default-constructed handles are
+/// invalid. Cancelling an already-fired handle is a harmless no-op.
+class EventHandle {
+public:
+    EventHandle() = default;
+    bool valid() const { return id_ != 0; }
+
+private:
+    friend class Simulation;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+class Simulation {
+public:
+    /// Current simulation time in seconds.
+    double now() const { return now_; }
+
+    /// Schedules `callback` to run `delay` seconds from now (delay >= 0).
+    EventHandle schedule(double delay, EventCallback callback);
+    /// Schedules `callback` at absolute time `time` (>= now()).
+    EventHandle schedule_at(double time, EventCallback callback);
+
+    /// Cancels a pending event. Returns true when the event was pending.
+    bool cancel(EventHandle handle);
+
+    /// Runs until the calendar is empty or stop() is called.
+    void run();
+    /// Runs all events with time <= horizon, then advances the clock to
+    /// horizon. Returns false when stopped early via stop().
+    bool run_until(double horizon);
+    /// Stops the run loop after the current callback returns.
+    void stop() { stopped_ = true; }
+
+    std::uint64_t events_executed() const { return executed_; }
+    std::size_t events_pending() const { return heap_.size() - cancelled_.size(); }
+
+private:
+    struct Entry {
+        double time;
+        std::uint64_t sequence;  // FIFO tie-break for equal times
+        std::uint64_t id;
+        EventCallback callback;
+
+        bool operator>(const Entry& other) const {
+            if (time != other.time) {
+                return time > other.time;
+            }
+            return sequence > other.sequence;
+        }
+    };
+
+    /// Pops and runs the next event; assumes the heap is non-empty after
+    /// cancelled entries are skipped. Returns false if nothing runnable.
+    bool dispatch_next(double horizon);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    double now_ = 0.0;
+    std::uint64_t next_sequence_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace gprsim::des

@@ -1,0 +1,105 @@
+#include "des/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gprsim::des {
+
+void Welford::add(double value) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double Welford::variance() const {
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+TimeWeighted::TimeWeighted(double start_time, double initial_value)
+    : window_start_(start_time), last_time_(start_time), value_(initial_value) {}
+
+void TimeWeighted::update(double time, double value) {
+    if (time < last_time_) {
+        throw std::invalid_argument("TimeWeighted::update: time went backwards");
+    }
+    integral_ += value_ * (time - last_time_);
+    last_time_ = time;
+    value_ = value;
+}
+
+double TimeWeighted::mean(double time) const {
+    const double span = time - window_start_;
+    if (span <= 0.0) {
+        return value_;
+    }
+    const double integral = integral_ + value_ * (time - last_time_);
+    return integral / span;
+}
+
+double TimeWeighted::restart(double time) {
+    const double m = mean(time);
+    integral_ = 0.0;
+    window_start_ = time;
+    last_time_ = time;
+    return m;
+}
+
+double student_t_quantile(int dof, double confidence) {
+    if (dof < 1) {
+        throw std::invalid_argument("student_t_quantile: dof must be >= 1");
+    }
+    // Two-sided 95% and 99% tables (plus 90%) for dof 1..30; beyond that the
+    // normal quantile is accurate to three digits.
+    static constexpr double t95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                                     2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                                     2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                                     2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                                     2.045,  2.042};
+    static constexpr double t99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                                     3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                                     2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                                     2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                                     2.756,  2.750};
+    static constexpr double t90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                                     1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                                     1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                                     1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                                     1.699, 1.697};
+    const auto lookup = [&](const double* table, double asymptote) {
+        return dof <= 30 ? table[dof - 1] : asymptote;
+    };
+    if (confidence == 0.95) {
+        return lookup(t95, 1.960);
+    }
+    if (confidence == 0.99) {
+        return lookup(t99, 2.576);
+    }
+    if (confidence == 0.90) {
+        return lookup(t90, 1.645);
+    }
+    throw std::invalid_argument("student_t_quantile: supported confidences are 0.90/0.95/0.99");
+}
+
+void BatchMeans::add_batch(double batch_mean) { stats_.add(batch_mean); }
+
+double BatchMeans::half_width(double confidence) const {
+    const int n = count();
+    if (n < 2) {
+        return 0.0;
+    }
+    const double t = student_t_quantile(n - 1, confidence);
+    return t * stats_.stddev() / std::sqrt(static_cast<double>(n));
+}
+
+bool BatchMeans::covers(double value, double confidence) const {
+    return value >= lower(confidence) && value <= upper(confidence);
+}
+
+}  // namespace gprsim::des

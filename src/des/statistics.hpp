@@ -1,0 +1,70 @@
+// Output analysis: running moments, time-weighted averages, and the
+// batch-means confidence intervals the paper uses (95%, Student-t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gprsim::des {
+
+/// Numerically stable running mean/variance (Welford).
+class Welford {
+public:
+    void add(double value);
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/// Time average of a piecewise-constant signal (queue length, busy PDCHs).
+class TimeWeighted {
+public:
+    explicit TimeWeighted(double start_time = 0.0, double initial_value = 0.0);
+
+    /// Records that the signal takes `value` from time `time` on.
+    void update(double time, double value);
+    /// Time average over [window start, time].
+    double mean(double time) const;
+    /// Closes the current window at `time` and starts a new one (batching).
+    /// Returns the mean of the closed window.
+    double restart(double time);
+    double current_value() const { return value_; }
+
+private:
+    double window_start_;
+    double last_time_;
+    double value_;
+    double integral_ = 0.0;
+};
+
+/// Two-sided Student-t quantile t_{dof, (1+confidence)/2}; confidence in
+/// {0.90, 0.95, 0.99} is tabulated exactly, others interpolated normally.
+double student_t_quantile(int dof, double confidence);
+
+/// Aggregates per-batch means into a point estimate with a confidence
+/// interval — the paper computes its simulator confidence intervals with
+/// exactly this batch-means method.
+class BatchMeans {
+public:
+    void add_batch(double batch_mean);
+    int count() const { return static_cast<int>(stats_.count()); }
+    double mean() const { return stats_.mean(); }
+    /// Half width of the confidence interval; 0 with fewer than 2 batches.
+    double half_width(double confidence = 0.95) const;
+    double lower(double confidence = 0.95) const { return mean() - half_width(confidence); }
+    double upper(double confidence = 0.95) const { return mean() + half_width(confidence); }
+    /// True when a value lies inside the interval (used by validation).
+    bool covers(double value, double confidence = 0.95) const;
+
+private:
+    Welford stats_;
+};
+
+}  // namespace gprsim::des

@@ -1,0 +1,71 @@
+#include "queueing/erlang.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gprsim::queueing {
+
+double erlang_b(double offered_load, int servers) {
+    if (offered_load < 0.0) {
+        throw std::invalid_argument("erlang_b: negative offered load");
+    }
+    if (servers < 0) {
+        throw std::invalid_argument("erlang_b: negative server count");
+    }
+    double b = 1.0;
+    for (int c = 1; c <= servers; ++c) {
+        b = offered_load * b / (static_cast<double>(c) + offered_load * b);
+    }
+    return b;
+}
+
+double erlang_c(double offered_load, int servers) {
+    if (servers <= 0) {
+        return 1.0;
+    }
+    if (offered_load >= static_cast<double>(servers)) {
+        return 1.0;
+    }
+    const double b = erlang_b(offered_load, servers);
+    const double rho = offered_load / static_cast<double>(servers);
+    return b / (1.0 - rho * (1.0 - b));
+}
+
+std::vector<double> mmcc_distribution(double offered_load, int servers) {
+    if (offered_load < 0.0) {
+        throw std::invalid_argument("mmcc_distribution: negative offered load");
+    }
+    if (servers < 0) {
+        throw std::invalid_argument("mmcc_distribution: negative server count");
+    }
+    // Build unnormalized weights relative to the largest term to avoid
+    // overflow of rho^n / n! for large loads.
+    std::vector<double> log_w(static_cast<std::size_t>(servers) + 1);
+    log_w[0] = 0.0;
+    for (int n = 1; n <= servers; ++n) {
+        log_w[static_cast<std::size_t>(n)] =
+            log_w[static_cast<std::size_t>(n) - 1] +
+            (offered_load > 0.0 ? std::log(offered_load) : -INFINITY) -
+            std::log(static_cast<double>(n));
+    }
+    double log_max = log_w[0];
+    for (double v : log_w) {
+        log_max = std::max(log_max, v);
+    }
+    std::vector<double> pi(log_w.size());
+    double sum = 0.0;
+    for (std::size_t n = 0; n < log_w.size(); ++n) {
+        pi[n] = std::exp(log_w[n] - log_max);
+        sum += pi[n];
+    }
+    for (double& v : pi) {
+        v /= sum;
+    }
+    return pi;
+}
+
+double mmcc_carried_load(double offered_load, int servers) {
+    return offered_load * (1.0 - erlang_b(offered_load, servers));
+}
+
+}  // namespace gprsim::queueing

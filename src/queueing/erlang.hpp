@@ -1,0 +1,30 @@
+// Erlang loss/delay formulas and the M/M/c/c state distribution.
+//
+// These closed forms carry the GSM-call and GPRS-session populations of the
+// paper's model (Eq. 1-3) and its blocking/carried-traffic measures
+// (Eq. 6-7 and the blocking probabilities of Section 4.2).
+#pragma once
+
+#include <vector>
+
+namespace gprsim::queueing {
+
+/// Erlang-B blocking probability for `servers` servers offered
+/// `offered_load` Erlangs, via the numerically stable recursion
+/// B(0) = 1, B(c) = rho B(c-1) / (c + rho B(c-1)).
+double erlang_b(double offered_load, int servers);
+
+/// Erlang-C probability of waiting for an M/M/c queue (requires
+/// offered_load < servers for a finite result; returns 1.0 otherwise).
+double erlang_c(double offered_load, int servers);
+
+/// Stationary distribution (pi_0 ... pi_c) of the M/M/c/c loss system with
+/// the given offered load (paper Eq. 2-3). Computed in a normalized way that
+/// stays finite for very large loads.
+std::vector<double> mmcc_distribution(double offered_load, int servers);
+
+/// Mean number of busy servers of M/M/c/c: rho * (1 - ErlangB). This is the
+/// paper's carried voice traffic (Eq. 6) and average GPRS sessions (Eq. 7).
+double mmcc_carried_load(double offered_load, int servers);
+
+}  // namespace gprsim::queueing

@@ -1,0 +1,36 @@
+#include "queueing/handover.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "queueing/erlang.hpp"
+
+namespace gprsim::queueing {
+
+HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int servers,
+                                      double tolerance, int max_iterations) {
+    if (lambda < 0.0 || mu <= 0.0 || mu_h < 0.0 || servers < 1) {
+        throw std::invalid_argument("balance_handover_flow: invalid parameters");
+    }
+    HandoverBalance result;
+    double lambda_h = lambda;  // paper's initialization lambda_h^(0) = lambda
+    const double total_mu = mu + mu_h;
+    for (int i = 1; i <= max_iterations; ++i) {
+        const double rho = (lambda + lambda_h) / total_mu;
+        const double carried = mmcc_carried_load(rho, servers);  // = E[n]
+        const double next = mu_h * carried;
+        result.iterations = i;
+        const double scale = std::max(1.0, std::fabs(lambda_h));
+        if (std::fabs(next - lambda_h) <= tolerance * scale) {
+            lambda_h = next;
+            result.converged = true;
+            break;
+        }
+        lambda_h = next;
+    }
+    result.handover_arrival_rate = lambda_h;
+    result.offered_load = (lambda + lambda_h) / total_mu;
+    return result;
+}
+
+}  // namespace gprsim::queueing

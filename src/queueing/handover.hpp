@@ -1,0 +1,28 @@
+// Handover-flow balancing for single-cell Markov models (paper Eq. 4-5).
+//
+// A cell analyzed in isolation needs the rate of handovers arriving from its
+// (unmodeled) neighbors. Following Marsan et al. [2] the paper assumes that
+// in steady state the incoming handover flow equals the outgoing one and
+// computes it by fixed-point iteration on the M/M/c/c population law:
+//
+//   lambda_h^(i+1) = mu_h * sum_n n * p_n( (lambda + lambda_h^(i)) / (mu + mu_h) )
+//                  = mu_h * rho^(i) * (1 - ErlangB(rho^(i), c)).
+#pragma once
+
+namespace gprsim::queueing {
+
+struct HandoverBalance {
+    double handover_arrival_rate = 0.0;  ///< balanced lambda_h
+    double offered_load = 0.0;           ///< rho = (lambda + lambda_h)/(mu + mu_h)
+    int iterations = 0;
+    bool converged = false;
+};
+
+/// Balances the incoming handover rate for a population limited to `servers`
+/// concurrent users, with fresh-arrival rate lambda, completion rate mu and
+/// out-handover rate mu_h (all per user). Initialization follows the paper:
+/// lambda_h^(0) = lambda.
+HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int servers,
+                                      double tolerance = 1e-13, int max_iterations = 100000);
+
+}  // namespace gprsim::queueing

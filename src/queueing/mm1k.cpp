@@ -1,0 +1,49 @@
+#include "queueing/mm1k.hpp"
+
+#include <stdexcept>
+
+#include "ctmc/birth_death.hpp"
+
+namespace gprsim::queueing {
+
+namespace {
+
+FiniteQueueMetrics from_birth_death(double lambda, const std::vector<double>& birth,
+                                    const std::vector<double>& death) {
+    FiniteQueueMetrics metrics;
+    metrics.distribution = gprsim::ctmc::birth_death_distribution(birth, death);
+    const std::size_t capacity = metrics.distribution.size() - 1;
+    metrics.loss_probability = metrics.distribution[capacity];
+    for (std::size_t k = 0; k <= capacity; ++k) {
+        metrics.mean_queue_length += static_cast<double>(k) * metrics.distribution[k];
+    }
+    metrics.throughput = lambda * (1.0 - metrics.loss_probability);
+    metrics.mean_delay =
+        metrics.throughput > 0.0 ? metrics.mean_queue_length / metrics.throughput : 0.0;
+    return metrics;
+}
+
+}  // namespace
+
+FiniteQueueMetrics mm1k(double lambda, double mu, int capacity) {
+    if (lambda < 0.0 || mu <= 0.0 || capacity < 1) {
+        throw std::invalid_argument("mm1k: invalid parameters");
+    }
+    const std::vector<double> birth(static_cast<std::size_t>(capacity), lambda);
+    const std::vector<double> death(static_cast<std::size_t>(capacity), mu);
+    return from_birth_death(lambda, birth, death);
+}
+
+FiniteQueueMetrics mmck(double lambda, double mu, int servers, int capacity) {
+    if (lambda < 0.0 || mu <= 0.0 || servers < 1 || capacity < servers) {
+        throw std::invalid_argument("mmck: invalid parameters");
+    }
+    std::vector<double> birth(static_cast<std::size_t>(capacity), lambda);
+    std::vector<double> death(static_cast<std::size_t>(capacity));
+    for (int k = 0; k < capacity; ++k) {
+        death[static_cast<std::size_t>(k)] = mu * static_cast<double>(std::min(k + 1, servers));
+    }
+    return from_birth_death(lambda, birth, death);
+}
+
+}  // namespace gprsim::queueing

@@ -1,0 +1,27 @@
+// Closed forms for the M/M/1/K and M/M/c/K queues.
+//
+// Not used by the GPRS model itself; these are independent oracles for the
+// CTMC solvers and the discrete-event engine in the test suite.
+#pragma once
+
+#include <vector>
+
+namespace gprsim::queueing {
+
+/// Performance summary of a finite single-server queue.
+struct FiniteQueueMetrics {
+    std::vector<double> distribution;  ///< pi_0 ... pi_K
+    double loss_probability = 0.0;     ///< P(arrival finds system full)
+    double mean_queue_length = 0.0;    ///< E[number in system]
+    double throughput = 0.0;           ///< accepted arrival rate
+    double mean_delay = 0.0;           ///< E[time in system] (Little)
+};
+
+/// M/M/1/K with arrival rate lambda and service rate mu; K = capacity
+/// including the customer in service.
+FiniteQueueMetrics mm1k(double lambda, double mu, int capacity);
+
+/// M/M/c/K with c servers and total capacity K >= c.
+FiniteQueueMetrics mmck(double lambda, double mu, int servers, int capacity);
+
+}  // namespace gprsim::queueing

@@ -1,0 +1,641 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/simulation.hpp"
+
+namespace gprsim::sim {
+
+void SimulationConfig::validate() const {
+    cell.validate();
+    if (num_cells < 2) {
+        throw std::invalid_argument("SimulationConfig: need at least two cells for handover");
+    }
+    if (warmup_time < 0.0 || batch_count < 2 || batch_duration <= 0.0) {
+        throw std::invalid_argument("SimulationConfig: invalid output-analysis settings");
+    }
+    if (wired_delay < 0.0 || frame_duration <= 0.0) {
+        throw std::invalid_argument("SimulationConfig: invalid path settings");
+    }
+}
+
+namespace {
+
+/// A 480-byte network-layer packet in a BSC buffer.
+struct Packet {
+    std::uint64_t session_id = 0;
+    std::int64_t seq = 0;
+    double bits_remaining = 0.0;
+    double enqueue_time = 0.0;
+};
+
+struct Cell {
+    int gsm_calls = 0;
+    int gprs_sessions = 0;
+    std::deque<Packet> buffer;
+    bool tick_active = false;
+};
+
+struct GsmCall {
+    int cell = 0;
+    des::EventHandle completion;
+    des::EventHandle dwell;
+};
+
+/// A GPRS session: 3GPP source process + TCP connection + mobility state.
+struct Session {
+    std::uint64_t id = 0;
+    int cell = 0;
+    int packet_calls_remaining = 0;
+    int packets_remaining_in_call = 0;
+    bool generation_done = false;
+    std::int64_t packets_generated = 0;
+    des::EventHandle generator_event;
+    des::EventHandle dwell;
+    std::unique_ptr<TcpSender> sender;  // null in open-loop mode
+    TcpReceiver receiver;
+};
+
+}  // namespace
+
+struct NetworkSimulator::Impl {
+    explicit Impl(SimulationConfig cfg)
+        : config(std::move(cfg)),
+          gsm_arrival_rng(config.seed, 1),
+          gprs_arrival_rng(config.seed, 2),
+          duration_rng(config.seed, 3),
+          dwell_rng(config.seed, 4),
+          traffic_rng(config.seed, 5),
+          target_rng(config.seed, 6),
+          radio_rng(config.seed, 7) {
+        config.validate();
+        cells.resize(static_cast<std::size_t>(config.num_cells));
+    }
+
+    // --- configuration and engine ----------------------------------------
+    SimulationConfig config;
+    des::Simulation sim;
+    std::vector<Cell> cells;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions;
+    std::unordered_map<std::uint64_t, GsmCall> gsm_calls;
+    std::uint64_t next_entity_id = 1;
+
+    des::RandomStream gsm_arrival_rng;
+    des::RandomStream gprs_arrival_rng;
+    des::RandomStream duration_rng;
+    des::RandomStream dwell_rng;
+    des::RandomStream traffic_rng;
+    des::RandomStream target_rng;
+    des::RandomStream radio_rng;
+
+    // --- mid-cell (cell 0) measurement ------------------------------------
+    bool measuring = false;
+    des::TimeWeighted tw_pdch;     // channels carrying data this frame
+    des::TimeWeighted tw_queue;    // BSC buffer occupancy
+    des::TimeWeighted tw_voice;    // busy voice channels
+    des::TimeWeighted tw_sessions; // active GPRS sessions
+
+    // Per-batch counters (reset at each batch boundary).
+    std::int64_t batch_offered = 0;
+    std::int64_t batch_dropped = 0;
+    std::int64_t batch_delivered = 0;
+    des::Welford batch_delay;
+    std::int64_t batch_gsm_attempts = 0;
+    std::int64_t batch_gsm_blocked = 0;
+    std::int64_t batch_gprs_attempts = 0;
+    std::int64_t batch_gprs_blocked = 0;
+
+    des::BatchMeans bm_cdt, bm_plp, bm_delay, bm_atu, bm_queue, bm_voice, bm_sessions,
+        bm_gsm_blocking, bm_gprs_blocking;
+
+    SimulationResults totals;
+
+    // ======================================================================
+    // Helpers
+    // ======================================================================
+    const core::Parameters& p() const { return config.cell; }
+    double block_bits() const { return p().pdch_rate_kbps * 1000.0 * config.frame_duration; }
+
+    int random_neighbor(int cell) {
+        // Seven-cell wrap-around cluster: all other cells are neighbors.
+        int t = target_rng.uniform_int(0, config.num_cells - 2);
+        if (t >= cell) {
+            ++t;
+        }
+        return t;
+    }
+
+    // --- GSM voice traffic -------------------------------------------------
+    void schedule_gsm_arrival(int cell) {
+        const double rate = p().gsm_arrival_rate();
+        sim.schedule(gsm_arrival_rng.exponential(1.0 / rate), [this, cell] {
+            gsm_arrival(cell);
+            schedule_gsm_arrival(cell);
+        });
+    }
+
+    void note_gsm_attempt(int cell, bool blocked) {
+        if (cell == 0 && measuring) {
+            ++batch_gsm_attempts;
+            ++totals.gsm_attempts;
+            if (blocked) {
+                ++batch_gsm_blocked;
+                ++totals.gsm_blocked;
+            }
+        }
+    }
+
+    void gsm_enter(int cell) {
+        ++cells[static_cast<std::size_t>(cell)].gsm_calls;
+        if (cell == 0 && measuring) {
+            tw_voice.update(sim.now(), cells[0].gsm_calls);
+        }
+    }
+
+    void gsm_leave(int cell) {
+        --cells[static_cast<std::size_t>(cell)].gsm_calls;
+        if (cell == 0 && measuring) {
+            tw_voice.update(sim.now(), cells[0].gsm_calls);
+        }
+    }
+
+    void gsm_arrival(int cell) {
+        const bool blocked =
+            cells[static_cast<std::size_t>(cell)].gsm_calls >= p().gsm_channels();
+        note_gsm_attempt(cell, blocked);
+        if (blocked) {
+            return;
+        }
+        const std::uint64_t id = next_entity_id++;
+        gsm_enter(cell);
+        GsmCall call;
+        call.cell = cell;
+        call.completion =
+            sim.schedule(duration_rng.exponential(p().mean_gsm_call_duration), [this, id] {
+                const auto it = gsm_calls.find(id);
+                gsm_leave(it->second.cell);
+                sim.cancel(it->second.dwell);
+                gsm_calls.erase(it);
+            });
+        call.dwell = sim.schedule(dwell_rng.exponential(p().mean_gsm_dwell_time),
+                                  [this, id] { gsm_handover(id); });
+        gsm_calls.emplace(id, std::move(call));
+    }
+
+    void gsm_handover(std::uint64_t id) {
+        GsmCall& call = gsm_calls.at(id);
+        const int target = random_neighbor(call.cell);
+        gsm_leave(call.cell);
+        const bool blocked =
+            cells[static_cast<std::size_t>(target)].gsm_calls >= p().gsm_channels();
+        note_gsm_attempt(target, blocked);
+        if (blocked) {
+            // Handover failure: the call is forcibly terminated.
+            if (call.cell == 0 && measuring) {
+                ++totals.gsm_handover_failures;
+            }
+            sim.cancel(call.completion);
+            gsm_calls.erase(id);
+            return;
+        }
+        call.cell = target;
+        gsm_enter(target);
+        call.dwell = sim.schedule(dwell_rng.exponential(p().mean_gsm_dwell_time),
+                                  [this, id] { gsm_handover(id); });
+    }
+
+    // --- GPRS sessions -----------------------------------------------------
+    void schedule_gprs_arrival(int cell) {
+        const double rate = p().gprs_arrival_rate();
+        sim.schedule(gprs_arrival_rng.exponential(1.0 / rate), [this, cell] {
+            gprs_arrival(cell);
+            schedule_gprs_arrival(cell);
+        });
+    }
+
+    void note_gprs_attempt(int cell, bool blocked) {
+        if (cell == 0 && measuring) {
+            ++batch_gprs_attempts;
+            ++totals.gprs_attempts;
+            if (blocked) {
+                ++batch_gprs_blocked;
+                ++totals.gprs_blocked;
+            }
+        }
+    }
+
+    void gprs_enter(int cell) {
+        ++cells[static_cast<std::size_t>(cell)].gprs_sessions;
+        if (cell == 0 && measuring) {
+            tw_sessions.update(sim.now(), cells[0].gprs_sessions);
+        }
+    }
+
+    void gprs_leave(int cell) {
+        --cells[static_cast<std::size_t>(cell)].gprs_sessions;
+        if (cell == 0 && measuring) {
+            tw_sessions.update(sim.now(), cells[0].gprs_sessions);
+        }
+    }
+
+    void gprs_arrival(int cell) {
+        const bool blocked =
+            cells[static_cast<std::size_t>(cell)].gprs_sessions >= p().max_gprs_sessions;
+        note_gprs_attempt(cell, blocked);
+        if (blocked) {
+            return;
+        }
+        const std::uint64_t id = next_entity_id++;
+        auto session = std::make_unique<Session>();
+        session->id = id;
+        session->cell = cell;
+        session->packet_calls_remaining =
+            traffic_rng.geometric_count(p().traffic.mean_packet_calls);
+        if (config.tcp_enabled) {
+            session->sender = std::make_unique<TcpSender>(
+                sim, config.tcp, [this, id](std::int64_t seq, bool) {
+                    // Segment leaves the server; reaches the BSC after the
+                    // wired one-way delay.
+                    sim.schedule(config.wired_delay, [this, id, seq] {
+                        const auto it = sessions.find(id);
+                        if (it == sessions.end()) {
+                            return;  // session ended while in flight
+                        }
+                        bsc_enqueue(it->second->cell, id, seq);
+                    });
+                });
+        }
+        gprs_enter(cell);
+        session->dwell = sim.schedule(dwell_rng.exponential(p().mean_gprs_dwell_time),
+                                      [this, id] { gprs_handover(id); });
+        Session* raw = session.get();
+        sessions.emplace(id, std::move(session));
+        begin_packet_call(*raw);
+    }
+
+    void begin_packet_call(Session& session) {
+        session.packets_remaining_in_call =
+            traffic_rng.geometric_count(p().traffic.mean_packets_per_call);
+        schedule_next_packet(session);
+    }
+
+    void schedule_next_packet(Session& session) {
+        const std::uint64_t id = session.id;
+        session.generator_event =
+            sim.schedule(traffic_rng.exponential(p().traffic.mean_packet_interarrival),
+                         [this, id] {
+                             const auto it = sessions.find(id);
+                             if (it != sessions.end()) {
+                                 generate_packet(*it->second);
+                             }
+                         });
+    }
+
+    void generate_packet(Session& session) {
+        const std::int64_t seq = session.packets_generated++;
+        if (session.sender) {
+            session.sender->add_backlog(1);
+        } else {
+            // Open-loop source: the packet arrives at the BSC immediately,
+            // exactly as in the Markov model's arrival process.
+            bsc_enqueue(session.cell, session.id, seq);
+        }
+        --session.packets_remaining_in_call;
+        if (session.packets_remaining_in_call > 0) {
+            schedule_next_packet(session);
+            return;
+        }
+        --session.packet_calls_remaining;
+        if (session.packet_calls_remaining > 0) {
+            // Reading time, then the next packet call.
+            const std::uint64_t id = session.id;
+            session.generator_event =
+                sim.schedule(traffic_rng.exponential(p().traffic.mean_reading_time),
+                             [this, id] {
+                                 const auto it = sessions.find(id);
+                                 if (it != sessions.end()) {
+                                     begin_packet_call(*it->second);
+                                 }
+                             });
+            return;
+        }
+        session.generation_done = true;
+        maybe_end_session(session);
+    }
+
+    void maybe_end_session(Session& session) {
+        if (!session.generation_done) {
+            return;
+        }
+        // The session ends when the source process completes — the paper's
+        // session lifetime 1/mu_GPRS = N_pc (D_pc + N_d D_d) is independent
+        // of delivery progress (the user stops browsing; they do not wait
+        // for TCP to drain a congested cell). Unsent TCP backlog is
+        // discarded; packets already queued at the BSC are still delivered.
+        end_session(session.id, /*drop_buffered=*/false);
+    }
+
+    void end_session(std::uint64_t id, bool drop_buffered) {
+        const auto it = sessions.find(id);
+        Session& session = *it->second;
+        sim.cancel(session.generator_event);
+        sim.cancel(session.dwell);
+        if (session.sender) {
+            // Preserve the recovery statistics before the sender goes away.
+            totals.tcp_timeouts += session.sender->timeouts();
+            totals.tcp_fast_retransmits += session.sender->fast_retransmits();
+            session.sender->shutdown();
+        }
+        gprs_leave(session.cell);
+        if (drop_buffered) {
+            remove_session_packets(session.cell, id);
+        }
+        sessions.erase(it);
+    }
+
+    void remove_session_packets(int cell, std::uint64_t id) {
+        auto& buffer = cells[static_cast<std::size_t>(cell)].buffer;
+        const auto removed = std::erase_if(
+            buffer, [id](const Packet& pkt) { return pkt.session_id == id; });
+        if (removed > 0 && cell == 0 && measuring) {
+            tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
+        }
+    }
+
+    void gprs_handover(std::uint64_t id) {
+        Session& session = *sessions.at(id);
+        const int source = session.cell;
+        const int target = random_neighbor(source);
+        const bool blocked =
+            cells[static_cast<std::size_t>(target)].gprs_sessions >= p().max_gprs_sessions;
+        note_gprs_attempt(target, blocked);
+        if (blocked) {
+            // Handover failure: the session is dropped; buffered packets of
+            // the session are discarded.
+            if (source == 0 && measuring) {
+                ++totals.gprs_handover_failures;
+            }
+            remove_session_packets(source, id);
+            end_session(id, /*drop_buffered=*/true);
+            return;
+        }
+        gprs_leave(source);
+        session.cell = target;
+        gprs_enter(target);
+
+        // Relocate the session's queued packets to the target BSC.
+        auto& src_buffer = cells[static_cast<std::size_t>(source)].buffer;
+        auto& dst_buffer = cells[static_cast<std::size_t>(target)].buffer;
+        std::deque<Packet> moved;
+        for (auto it = src_buffer.begin(); it != src_buffer.end();) {
+            if (it->session_id == id) {
+                moved.push_back(*it);
+                it = src_buffer.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (source == 0 && measuring && !moved.empty()) {
+            tw_queue.update(sim.now(), static_cast<double>(src_buffer.size()));
+        }
+        for (Packet& pkt : moved) {
+            if (config.forward_buffer_on_handover &&
+                static_cast<int>(dst_buffer.size()) < p().buffer_capacity) {
+                pkt.enqueue_time = sim.now();
+                dst_buffer.push_back(pkt);
+            } else if (source == 0 && measuring) {
+                ++totals.handover_packet_drops;
+            }
+        }
+        if (target == 0 && measuring && !moved.empty()) {
+            tw_queue.update(sim.now(), static_cast<double>(dst_buffer.size()));
+        }
+        ensure_tick(target);
+
+        session.dwell = sim.schedule(dwell_rng.exponential(p().mean_gprs_dwell_time),
+                                     [this, id] { gprs_handover(id); });
+    }
+
+    // --- BSC buffer and radio service ---------------------------------------
+    void bsc_enqueue(int cell, std::uint64_t session_id, std::int64_t seq) {
+        auto& buffer = cells[static_cast<std::size_t>(cell)].buffer;
+        if (cell == 0 && measuring) {
+            ++batch_offered;
+            ++totals.packets_offered;
+        }
+        if (static_cast<int>(buffer.size()) >= p().buffer_capacity) {
+            if (cell == 0 && measuring) {
+                ++batch_dropped;
+                ++totals.packets_dropped;
+            }
+            return;  // TCP (if any) will detect the loss via dupacks/RTO
+        }
+        buffer.push_back(Packet{session_id, seq, p().traffic.packet_size_bits, sim.now()});
+        if (cell == 0 && measuring) {
+            tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
+        }
+        ensure_tick(cell);
+    }
+
+    void ensure_tick(int cell) {
+        Cell& c = cells[static_cast<std::size_t>(cell)];
+        if (!c.tick_active && !c.buffer.empty()) {
+            c.tick_active = true;
+            sim.schedule(config.frame_duration, [this, cell] { frame_tick(cell); });
+        }
+    }
+
+    void frame_tick(int cell) {
+        Cell& c = cells[static_cast<std::size_t>(cell)];
+        if (c.buffer.empty()) {
+            c.tick_active = false;
+            if (cell == 0 && measuring) {
+                tw_pdch.update(sim.now(), 0.0);
+            }
+            return;
+        }
+
+        // PDCHs usable this frame: every channel not held by a voice call.
+        const int available = p().total_channels - c.gsm_calls;
+        int channels_used = 0;
+        if (available > 0) {
+            const int head_count = std::min<int>(static_cast<int>(c.buffer.size()), available);
+            // Fair split of `available` channels over the first head_count
+            // packets, at most 8 slots per packet (multislot class limit).
+            const int base = available / head_count;
+            const int extra = available % head_count;
+            std::vector<std::size_t> finished;
+            for (int i = 0; i < head_count; ++i) {
+                const int share = std::min(8, base + (i < extra ? 1 : 0));
+                if (share == 0) {
+                    break;
+                }
+                channels_used += share;
+                Packet& pkt = c.buffer[static_cast<std::size_t>(i)];
+                // RLC acknowledged mode: a corrupted block occupies the
+                // channel but delivers nothing; ARQ resends it on a later
+                // frame (extension; BLER = 0 reproduces the paper).
+                int good_blocks = share;
+                if (p().block_error_rate > 0.0) {
+                    good_blocks = 0;
+                    for (int blk = 0; blk < share; ++blk) {
+                        if (!radio_rng.bernoulli(p().block_error_rate)) {
+                            ++good_blocks;
+                        }
+                    }
+                }
+                pkt.bits_remaining -= static_cast<double>(good_blocks) * block_bits();
+                if (pkt.bits_remaining <= 0.0) {
+                    finished.push_back(static_cast<std::size_t>(i));
+                }
+            }
+            // Deliver finished packets (reverse order keeps indices valid).
+            for (auto it = finished.rbegin(); it != finished.rend(); ++it) {
+                Packet done = c.buffer[*it];
+                c.buffer.erase(c.buffer.begin() + static_cast<std::ptrdiff_t>(*it));
+                deliver_packet(cell, done);
+            }
+        }
+        if (cell == 0 && measuring) {
+            tw_pdch.update(sim.now(), static_cast<double>(channels_used));
+            if (!c.buffer.empty()) {
+                tw_queue.update(sim.now(), static_cast<double>(c.buffer.size()));
+            } else {
+                tw_queue.update(sim.now(), 0.0);
+            }
+        }
+        sim.schedule(config.frame_duration, [this, cell] { frame_tick(cell); });
+    }
+
+    void deliver_packet(int cell, const Packet& pkt) {
+        if (cell == 0 && measuring) {
+            ++batch_delivered;
+            ++totals.packets_delivered;
+            batch_delay.add(sim.now() - pkt.enqueue_time);
+        }
+        const auto it = sessions.find(pkt.session_id);
+        if (it == sessions.end() || !it->second->sender) {
+            return;  // open-loop mode, or session already gone
+        }
+        Session& session = *it->second;
+        const std::int64_t ack = session.receiver.on_segment(pkt.seq);
+        const std::uint64_t id = session.id;
+        // The MS acknowledgement travels back over the (uncongested) uplink
+        // and wired path.
+        sim.schedule(config.wired_delay, [this, id, ack] {
+            const auto sit = sessions.find(id);
+            if (sit == sessions.end()) {
+                return;  // session completed its source process meanwhile
+            }
+            sit->second->sender->on_ack(ack);
+        });
+    }
+
+    // --- output analysis -----------------------------------------------------
+    void reset_measurement() {
+        const double t = sim.now();
+        tw_pdch = des::TimeWeighted(t, tw_pdch.current_value());
+        tw_queue = des::TimeWeighted(t, static_cast<double>(cells[0].buffer.size()));
+        tw_voice = des::TimeWeighted(t, static_cast<double>(cells[0].gsm_calls));
+        tw_sessions = des::TimeWeighted(t, static_cast<double>(cells[0].gprs_sessions));
+        batch_offered = batch_dropped = batch_delivered = 0;
+        batch_delay = des::Welford();
+        batch_gsm_attempts = batch_gsm_blocked = 0;
+        batch_gprs_attempts = batch_gprs_blocked = 0;
+        measuring = true;
+    }
+
+    void close_batch() {
+        const double t = sim.now();
+        const double cdt = tw_pdch.restart(t);
+        const double queue = tw_queue.restart(t);
+        const double voice = tw_voice.restart(t);
+        const double sessions_avg = tw_sessions.restart(t);
+        bm_cdt.add_batch(cdt);
+        bm_queue.add_batch(queue);
+        bm_voice.add_batch(voice);
+        bm_sessions.add_batch(sessions_avg);
+        if (batch_offered > 0) {
+            bm_plp.add_batch(static_cast<double>(batch_dropped) /
+                             static_cast<double>(batch_offered));
+        }
+        if (batch_delay.count() > 0) {
+            bm_delay.add_batch(batch_delay.mean());
+        }
+        if (sessions_avg > 0.0) {
+            const double delivered_kbps = static_cast<double>(batch_delivered) *
+                                          p().traffic.packet_size_bits /
+                                          config.batch_duration / 1000.0;
+            bm_atu.add_batch(delivered_kbps / sessions_avg);
+        }
+        if (batch_gsm_attempts > 0) {
+            bm_gsm_blocking.add_batch(static_cast<double>(batch_gsm_blocked) /
+                                      static_cast<double>(batch_gsm_attempts));
+        }
+        if (batch_gprs_attempts > 0) {
+            bm_gprs_blocking.add_batch(static_cast<double>(batch_gprs_blocked) /
+                                       static_cast<double>(batch_gprs_attempts));
+        }
+        batch_offered = batch_dropped = batch_delivered = 0;
+        batch_delay = des::Welford();
+        batch_gsm_attempts = batch_gsm_blocked = 0;
+        batch_gprs_attempts = batch_gprs_blocked = 0;
+    }
+
+    static MetricEstimate estimate(const des::BatchMeans& bm) {
+        return MetricEstimate{bm.mean(), bm.half_width(0.95), bm.count()};
+    }
+
+    SimulationResults run() {
+        const auto wall0 = std::chrono::steady_clock::now();
+        for (int cell = 0; cell < config.num_cells; ++cell) {
+            schedule_gsm_arrival(cell);
+            schedule_gprs_arrival(cell);
+        }
+        sim.run_until(config.warmup_time);
+        reset_measurement();
+        for (int b = 0; b < config.batch_count; ++b) {
+            sim.run_until(config.warmup_time +
+                          config.batch_duration * static_cast<double>(b + 1));
+            close_batch();
+        }
+        measuring = false;
+
+        totals.carried_data_traffic = estimate(bm_cdt);
+        totals.packet_loss_probability = estimate(bm_plp);
+        totals.queueing_delay = estimate(bm_delay);
+        totals.throughput_per_user_kbps = estimate(bm_atu);
+        totals.mean_queue_length = estimate(bm_queue);
+        totals.carried_voice_traffic = estimate(bm_voice);
+        totals.average_gprs_sessions = estimate(bm_sessions);
+        totals.gsm_blocking = estimate(bm_gsm_blocking);
+        totals.gprs_blocking = estimate(bm_gprs_blocking);
+        for (const auto& [id, session] : sessions) {
+            if (session->sender) {
+                totals.tcp_timeouts += session->sender->timeouts();
+                totals.tcp_fast_retransmits += session->sender->fast_retransmits();
+            }
+        }
+        totals.events_executed = sim.events_executed();
+        totals.simulated_time = sim.now();
+        totals.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+        return totals;
+    }
+};
+
+NetworkSimulator::NetworkSimulator(SimulationConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+NetworkSimulator::~NetworkSimulator() = default;
+
+SimulationResults NetworkSimulator::run() { return impl_->run(); }
+
+}  // namespace gprsim::sim

@@ -1,0 +1,118 @@
+// Network-level GPRS simulator (the paper's validation tool, Section 5.2).
+//
+// Simulates a cluster of seven hexagonal cells with wrap-around neighborship
+// (every cell is adjacent to the six others, making the cluster symmetric —
+// the standard construction that lets the mid cell represent any cell).
+// Explicitly modeled, in contrast to the Markov chain:
+//   * handover procedures between cells (GSM calls and GPRS sessions carry
+//     their state to a uniformly chosen neighbor at dwell expiry),
+//   * segmentation of 480-byte packets into 20 ms TDMA radio blocks
+//     (268 bits per block at CS-2, padding included),
+//   * the detailed 3GPP source process (geometric packet-call and packet
+//     counts rather than the exponential IPP abstraction), and
+//   * full TCP Reno flow control end to end (optional; open-loop sources
+//     reproduce the Markov chain's eta = 1 "no flow control" case).
+// Measurements are taken in the mid cell only and reported with 95% batch-
+// means confidence intervals, exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/parameters.hpp"
+#include "des/statistics.hpp"
+#include "sim/tcp.hpp"
+
+namespace gprsim::sim {
+
+struct SimulationConfig {
+    /// Cell parameters; shared with the analytical model so that a single
+    /// Parameters value drives both tools. (flow_control_threshold is the
+    /// Markov model's knob and is ignored here — the simulator runs real
+    /// TCP instead.)
+    core::Parameters cell = core::Parameters::base();
+
+    int num_cells = 7;
+    std::uint64_t seed = 1u;
+
+    // Output analysis (batch means, paper Section 5.2).
+    double warmup_time = 2000.0;     ///< transient deletion [s]
+    int batch_count = 20;
+    double batch_duration = 2000.0;  ///< [s]
+
+    // Flow control: true = TCP Reno per session; false = open-loop IPP
+    // sources (the chain's eta = 1.0 configuration).
+    bool tcp_enabled = true;
+    TcpConfig tcp;
+    /// One-way fixed latency between the data source and the BSC [s].
+    double wired_delay = 0.05;
+
+    /// TDMA radio block duration [s]; 20 ms is the GPRS block length.
+    double frame_duration = 0.02;
+    /// Forward a session's buffered packets to the target cell on handover
+    /// (drop them when false, or when the target buffer is full).
+    bool forward_buffer_on_handover = true;
+
+    void validate() const;
+};
+
+/// Point estimate with a batch-means confidence interval.
+struct MetricEstimate {
+    double mean = 0.0;
+    double half_width = 0.0;  ///< 95% confidence
+    int batches = 0;
+
+    double lower() const { return mean - half_width; }
+    double upper() const { return mean + half_width; }
+    bool covers(double value) const { return value >= lower() && value <= upper(); }
+};
+
+struct SimulationResults {
+    // Mid-cell measures, aligned with core::Measures semantics.
+    MetricEstimate carried_data_traffic;      ///< E[PDCHs busy]
+    MetricEstimate packet_loss_probability;   ///< buffer-overflow drops / offered
+    MetricEstimate queueing_delay;            ///< mean packet delay in BSC [s]
+    MetricEstimate throughput_per_user_kbps;  ///< delivered rate / E[m]
+    MetricEstimate mean_queue_length;         ///< E[packets in BSC buffer]
+    MetricEstimate carried_voice_traffic;     ///< E[busy voice channels]
+    MetricEstimate average_gprs_sessions;     ///< E[m]
+    MetricEstimate gsm_blocking;              ///< blocked / attempts (incl. handover)
+    MetricEstimate gprs_blocking;             ///< blocked / attempts (incl. handover)
+
+    // Mid-cell raw counters over the measured horizon.
+    std::int64_t packets_offered = 0;
+    std::int64_t packets_dropped = 0;
+    std::int64_t packets_delivered = 0;
+    std::int64_t handover_packet_drops = 0;  ///< forwarding overflow (not in PLP)
+    std::int64_t gsm_attempts = 0;
+    std::int64_t gsm_blocked = 0;
+    std::int64_t gprs_attempts = 0;
+    std::int64_t gprs_blocked = 0;
+    std::int64_t gsm_handover_failures = 0;
+    std::int64_t gprs_handover_failures = 0;
+    std::int64_t tcp_timeouts = 0;
+    std::int64_t tcp_fast_retransmits = 0;
+
+    std::uint64_t events_executed = 0;
+    double simulated_time = 0.0;
+    double wall_seconds = 0.0;
+};
+
+/// Runs one configuration to completion. Construction is cheap; run() does
+/// the work and may be called once per instance.
+class NetworkSimulator {
+public:
+    explicit NetworkSimulator(SimulationConfig config);
+    ~NetworkSimulator();
+
+    NetworkSimulator(const NetworkSimulator&) = delete;
+    NetworkSimulator& operator=(const NetworkSimulator&) = delete;
+
+    SimulationResults run();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gprsim::sim

@@ -1,0 +1,190 @@
+#include "sim/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gprsim::sim {
+
+TcpSender::TcpSender(des::Simulation& sim, const TcpConfig& config, TransmitFn transmit)
+    : sim_(sim),
+      config_(config),
+      transmit_(std::move(transmit)),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      rto_(config.initial_rto) {
+    if (!transmit_) {
+        throw std::invalid_argument("TcpSender: transmit callback required");
+    }
+}
+
+TcpSender::~TcpSender() { shutdown(); }
+
+void TcpSender::shutdown() { disarm_timer(); }
+
+void TcpSender::add_backlog(std::int64_t packets) {
+    if (packets < 0) {
+        throw std::invalid_argument("TcpSender::add_backlog: negative packet count");
+    }
+    backlog_ += packets;
+    try_send();
+}
+
+void TcpSender::try_send() {
+    // Usable window in whole segments.
+    const auto window = static_cast<std::int64_t>(std::floor(cwnd_));
+    while (backlog_ > 0 && flight_size() < window) {
+        const std::int64_t seq = next_seq_++;
+        --backlog_;
+        send_time_.emplace(seq, sim_.now());
+        if (!timer_.valid()) {
+            arm_timer();
+        }
+        transmit_(seq, false);
+    }
+}
+
+void TcpSender::on_ack(std::int64_t cum_seq) {
+    if (cum_seq > next_seq_) {
+        throw std::logic_error("TcpSender::on_ack: acknowledgement beyond sent data");
+    }
+    if (cum_seq <= una_) {
+        // Duplicate ACK: no new data acknowledged.
+        if (flight_size() > 0) {
+            ++dupacks_;
+            if (!in_recovery_ && dupacks_ == 3) {
+                enter_fast_retransmit();
+            } else if (in_recovery_) {
+                // Window inflation: each further dup ACK signals a departed
+                // segment.
+                cwnd_ += 1.0;
+                try_send();
+            }
+        }
+        return;
+    }
+
+    // New cumulative acknowledgement.
+    const std::int64_t newly_acked = cum_seq - una_;
+
+    // RTT sample from the oldest newly acked, first-transmission segment
+    // (Karn's rule: send_time_ entries of retransmitted segments were
+    // dropped when the retransmission happened).
+    for (std::int64_t seq = una_; seq < cum_seq; ++seq) {
+        const auto it = send_time_.find(seq);
+        if (it != send_time_.end()) {
+            update_rtt(sim_.now() - it->second);
+            send_time_.erase(send_time_.begin(), send_time_.upper_bound(cum_seq - 1));
+            break;
+        }
+    }
+    send_time_.erase(send_time_.begin(), send_time_.lower_bound(cum_seq));
+
+    una_ = cum_seq;
+    dupacks_ = 0;
+    backoff_ = 0;
+
+    if (in_recovery_) {
+        if (cum_seq > recover_) {
+            // Full acknowledgement: leave fast recovery (Reno deflation).
+            in_recovery_ = false;
+            cwnd_ = ssthresh_;
+        } else {
+            // Partial ACK (NewReno): retransmit the next hole immediately and
+            // deflate by the amount acknowledged.
+            cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+            send_time_.erase(una_);
+            transmit_(una_, true);
+        }
+    } else if (cwnd_ < ssthresh_) {
+        // Slow start: one segment per ACK.
+        cwnd_ += static_cast<double>(newly_acked);
+        if (cwnd_ > ssthresh_) {
+            cwnd_ = ssthresh_;
+        }
+    } else {
+        // Congestion avoidance: one segment per RTT.
+        cwnd_ += static_cast<double>(newly_acked) / cwnd_;
+    }
+
+    if (flight_size() == 0 && backlog_ == 0) {
+        disarm_timer();
+    } else {
+        arm_timer();  // restart on progress
+    }
+    try_send();
+}
+
+void TcpSender::enter_fast_retransmit() {
+    ++fast_retransmits_;
+    in_recovery_ = true;
+    recover_ = next_seq_ - 1;
+    ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0);
+    cwnd_ = ssthresh_ + 3.0;
+    send_time_.erase(una_);  // Karn: no RTT sample from the retransmission
+    transmit_(una_, true);
+    arm_timer();
+}
+
+void TcpSender::on_timeout() {
+    timer_ = des::EventHandle();
+    if (flight_size() == 0 && backlog_ == 0) {
+        return;
+    }
+    ++timeouts_;
+    ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0);
+    cwnd_ = 1.0;
+    dupacks_ = 0;
+    in_recovery_ = false;
+    backoff_ = std::min(backoff_ + 1, 6);  // cap keeps rto <= max_rto anyway
+    send_time_.erase(una_);
+    transmit_(una_, true);
+    arm_timer();
+}
+
+void TcpSender::update_rtt(double sample) {
+    if (srtt_ < 0.0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2.0;
+    } else {
+        constexpr double alpha = 0.125;
+        constexpr double beta = 0.25;
+        rttvar_ = (1.0 - beta) * rttvar_ + beta * std::fabs(srtt_ - sample);
+        srtt_ = (1.0 - alpha) * srtt_ + alpha * sample;
+    }
+    rto_ = std::clamp(srtt_ + 4.0 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+void TcpSender::arm_timer() {
+    disarm_timer();
+    const double timeout =
+        std::min(rto_ * std::exp2(static_cast<double>(backoff_)), config_.max_rto);
+    timer_ = sim_.schedule(timeout, [this] { on_timeout(); });
+}
+
+void TcpSender::disarm_timer() {
+    if (timer_.valid()) {
+        sim_.cancel(timer_);
+        timer_ = des::EventHandle();
+    }
+}
+
+std::int64_t TcpReceiver::on_segment(std::int64_t seq) {
+    if (seq < rcv_next_) {
+        return rcv_next_;  // stale retransmission; re-ACK
+    }
+    if (seq == rcv_next_) {
+        ++rcv_next_;
+        // Drain any contiguous out-of-order run.
+        auto it = out_of_order_.begin();
+        while (it != out_of_order_.end() && *it == rcv_next_) {
+            ++rcv_next_;
+            it = out_of_order_.erase(it);
+        }
+    } else {
+        out_of_order_.insert(seq);
+    }
+    return rcv_next_;
+}
+
+}  // namespace gprsim::sim

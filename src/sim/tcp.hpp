@@ -1,0 +1,125 @@
+// TCP Reno flow control for the network-level simulator.
+//
+// The paper validates its eta-threshold flow-control approximation against a
+// simulator implementing "all relevant TCP mechanisms, such as slow start,
+// congestion avoidance, and retransmission based on both timeouts and
+// duplicate acknowledgements". This module provides exactly that, as two
+// path-agnostic state machines:
+//
+//   TcpSender   — congestion window (slow start / congestion avoidance /
+//                 fast retransmit + fast recovery), RTO timer with Karn's
+//                 rule and exponential backoff.
+//   TcpReceiver — cumulative acknowledgements with out-of-order buffering
+//                 (the source of duplicate ACKs).
+//
+// One segment carries one 480-byte data packet, so cwnd is in packets. The
+// network path (wired latency, BSC buffer, radio transmission) is supplied
+// by the simulator through the transmit callback; drops simply never invoke
+// on_segment()/on_ack() for the lost segment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "des/simulation.hpp"
+
+namespace gprsim::sim {
+
+struct TcpConfig {
+    double initial_cwnd = 1.0;       ///< packets (RFC 2581 IW=1)
+    double initial_ssthresh = 64.0;  ///< packets
+    double min_rto = 1.0;            ///< seconds (conservative RFC 6298 floor)
+    double max_rto = 64.0;           ///< backoff cap
+    double initial_rto = 3.0;        ///< before the first RTT sample
+};
+
+class TcpSender {
+public:
+    /// `transmit(seq, is_retransmission)` must inject segment `seq` into the
+    /// network path. It is called re-entrantly from add_backlog()/on_ack()/
+    /// timeouts.
+    using TransmitFn = std::function<void(std::int64_t seq, bool is_retransmission)>;
+
+    TcpSender(des::Simulation& sim, const TcpConfig& config, TransmitFn transmit);
+    ~TcpSender();
+
+    TcpSender(const TcpSender&) = delete;
+    TcpSender& operator=(const TcpSender&) = delete;
+
+    /// Makes `packets` more data available to send (from the 3GPP source).
+    void add_backlog(std::int64_t packets);
+
+    /// Processes a cumulative acknowledgement (receiver expects `cum_seq`).
+    void on_ack(std::int64_t cum_seq);
+
+    /// Stops the retransmission timer; call before destroying mid-transfer.
+    void shutdown();
+
+    // --- observability ----------------------------------------------------
+    double cwnd() const { return cwnd_; }
+    double ssthresh() const { return ssthresh_; }
+    double rto() const { return rto_; }
+    double smoothed_rtt() const { return srtt_; }
+    bool in_fast_recovery() const { return in_recovery_; }
+    std::int64_t next_seq() const { return next_seq_; }
+    std::int64_t unacked_seq() const { return una_; }
+    /// Segments sent but not yet cumulatively acknowledged.
+    std::int64_t flight_size() const { return next_seq_ - una_; }
+    /// Data available but not yet transmitted.
+    std::int64_t backlog() const { return backlog_; }
+    /// True when every byte handed to add_backlog() has been acknowledged.
+    bool all_acked() const { return backlog_ == 0 && una_ == next_seq_; }
+    std::int64_t timeouts() const { return timeouts_; }
+    std::int64_t fast_retransmits() const { return fast_retransmits_; }
+
+private:
+    void try_send();
+    void enter_fast_retransmit();
+    void on_timeout();
+    void update_rtt(double sample);
+    void arm_timer();
+    void disarm_timer();
+
+    des::Simulation& sim_;
+    TcpConfig config_;
+    TransmitFn transmit_;
+
+    double cwnd_;
+    double ssthresh_;
+    std::int64_t backlog_ = 0;
+    std::int64_t next_seq_ = 0;  // next new sequence number to send
+    std::int64_t una_ = 0;       // lowest unacknowledged sequence
+    int dupacks_ = 0;
+    bool in_recovery_ = false;
+    std::int64_t recover_ = -1;  // highest seq outstanding at loss detection
+
+    // RTO state (RFC 6298): srtt < 0 means "no sample yet".
+    double srtt_ = -1.0;
+    double rttvar_ = 0.0;
+    double rto_;
+    int backoff_ = 0;
+    des::EventHandle timer_;
+    std::map<std::int64_t, double> send_time_;  // Karn: first transmissions only
+
+    std::int64_t timeouts_ = 0;
+    std::int64_t fast_retransmits_ = 0;
+};
+
+class TcpReceiver {
+public:
+    /// Processes arrival of segment `seq` and returns the cumulative ACK to
+    /// send back (the next expected sequence number). Out-of-order segments
+    /// are buffered, producing duplicate ACKs.
+    std::int64_t on_segment(std::int64_t seq);
+
+    std::int64_t expected_seq() const { return rcv_next_; }
+    std::size_t buffered_out_of_order() const { return out_of_order_.size(); }
+
+private:
+    std::int64_t rcv_next_ = 0;
+    std::set<std::int64_t> out_of_order_;
+};
+
+}  // namespace gprsim::sim

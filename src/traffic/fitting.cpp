@@ -1,0 +1,46 @@
+#include "traffic/fitting.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::traffic {
+
+Ipp fit_ipp(double mean_packet_rate, double index_of_dispersion, double on_probability) {
+    if (mean_packet_rate <= 0.0) {
+        throw std::invalid_argument("fit_ipp: mean rate must be positive");
+    }
+    if (index_of_dispersion <= 1.0) {
+        throw std::invalid_argument(
+            "fit_ipp: an IPP is over-dispersed; IDC must exceed 1 (use a plain "
+            "Poisson process for IDC = 1)");
+    }
+    if (on_probability <= 0.0 || on_probability >= 1.0) {
+        throw std::invalid_argument("fit_ipp: ON probability must lie strictly in (0, 1)");
+    }
+    const double lambda_p = mean_packet_rate / on_probability;
+    const double switch_rate =  // a + b
+        2.0 * lambda_p * (1.0 - on_probability) / (index_of_dispersion - 1.0);
+    Ipp result;
+    result.on_packet_rate = lambda_p;
+    result.off_to_on_rate = on_probability * switch_rate;         // b
+    result.on_to_off_rate = (1.0 - on_probability) * switch_rate; // a
+    result.validate();
+    return result;
+}
+
+ThreeGppSessionModel session_model_from_ipp(const Ipp& source, double mean_packet_calls,
+                                            double packet_size_bits) {
+    source.validate();
+    if (mean_packet_calls < 1.0) {
+        throw std::invalid_argument("session_model_from_ipp: need at least one packet call");
+    }
+    ThreeGppSessionModel model;
+    model.mean_packet_calls = mean_packet_calls;
+    model.mean_packet_interarrival = 1.0 / source.on_packet_rate;           // D_d
+    model.mean_packets_per_call = source.on_packet_rate / source.on_to_off_rate;  // N_d
+    model.mean_reading_time = 1.0 / source.off_to_on_rate;                  // D_pc
+    model.packet_size_bits = packet_size_bits;
+    model.validate();
+    return model;
+}
+
+}  // namespace gprsim::traffic

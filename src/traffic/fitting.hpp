@@ -1,0 +1,30 @@
+// Moment-matching calibration of traffic models (extension).
+//
+// The paper takes its source parameters from the 3GPP specification. For
+// workloads known only through measurements, this module inverts the model:
+// given a long-run packet rate, an asymptotic index of dispersion of counts
+// and a duty cycle, it constructs the matching IPP (and, from it, a 3GPP
+// session model) — the standard two-moment fitting recipe of the MMPP
+// cookbook (Fischer & Meier-Hellstern [12]).
+#pragma once
+
+#include "traffic/ipp.hpp"
+#include "traffic/threegpp.hpp"
+
+namespace gprsim::traffic {
+
+/// Fits an IPP to a target long-run packet rate [pkt/s], an asymptotic
+/// index of dispersion of counts (> 1), and the ON-state probability
+/// (0 < p_on < 1). Inversion of
+///   mean = lambda_p p_on,   IDC = 1 + 2 lambda_p (1 - p_on) / (a + b),
+///   p_on = b / (a + b).
+/// Throws std::invalid_argument for infeasible targets.
+Ipp fit_ipp(double mean_packet_rate, double index_of_dispersion, double on_probability);
+
+/// Builds the 3GPP session model whose Section 3 IPP equals `source`, with
+/// the session length fixed by `mean_packet_calls` (N_pc). Inversion of
+/// D_d = 1/lambda_p, N_d = lambda_p / a, D_pc = 1/b.
+ThreeGppSessionModel session_model_from_ipp(const Ipp& source, double mean_packet_calls,
+                                            double packet_size_bits = 3840.0);
+
+}  // namespace gprsim::traffic

@@ -1,0 +1,13 @@
+#include "traffic/ipp.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::traffic {
+
+void Ipp::validate() const {
+    if (on_to_off_rate <= 0.0 || off_to_on_rate <= 0.0 || on_packet_rate <= 0.0) {
+        throw std::invalid_argument("Ipp: all rates must be strictly positive");
+    }
+}
+
+}  // namespace gprsim::traffic

@@ -1,0 +1,37 @@
+// Interrupted Poisson process (IPP): the paper's per-session traffic source.
+//
+// A GPRS user alternates between an ON state ("packet call", packets arrive
+// at rate lambda_packet) and an OFF state ("reading time", silence). Both
+// sojourn times are exponential (paper Fig. 4):
+//
+//   ON  --a-->  OFF      a = 1 / (N_d * D_d)
+//   OFF --b-->  ON       b = 1 / D_pc
+#pragma once
+
+namespace gprsim::traffic {
+
+struct Ipp {
+    double on_to_off_rate = 0.0;   ///< a  [1/s]
+    double off_to_on_rate = 0.0;   ///< b  [1/s]
+    double on_packet_rate = 0.0;   ///< lambda_packet while ON  [packets/s]
+
+    /// Stationary probability of the ON state: b / (a + b).
+    double stationary_on_probability() const {
+        return off_to_on_rate / (on_to_off_rate + off_to_on_rate);
+    }
+    /// Long-run packet rate: lambda_packet * P(ON).
+    double mean_packet_rate() const {
+        return on_packet_rate * stationary_on_probability();
+    }
+    /// Mean ON (packet call) duration 1/a.
+    double mean_on_time() const { return 1.0 / on_to_off_rate; }
+    /// Mean OFF (reading) duration 1/b.
+    double mean_off_time() const { return 1.0 / off_to_on_rate; }
+    /// Peak-to-mean rate ratio; 1 for Poisson, grows with burstiness.
+    double burstiness() const { return 1.0 / stationary_on_probability(); }
+
+    /// Validates strict positivity of all rates.
+    void validate() const;
+};
+
+}  // namespace gprsim::traffic

@@ -1,0 +1,191 @@
+#include "traffic/mmpp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ctmc/gth.hpp"
+#include "traffic/ipp.hpp"
+
+namespace gprsim::traffic {
+
+Mmpp::Mmpp(std::vector<double> generator, std::vector<double> arrival_rates)
+    : generator_(std::move(generator)), rates_(std::move(arrival_rates)) {
+    const std::size_t n = rates_.size();
+    if (n == 0) {
+        throw std::invalid_argument("Mmpp: no modulating states");
+    }
+    if (generator_.size() != n * n) {
+        throw std::invalid_argument("Mmpp: generator size mismatch");
+    }
+    for (double r : rates_) {
+        if (r < 0.0) {
+            throw std::invalid_argument("Mmpp: negative arrival rate");
+        }
+    }
+    // Normalize the diagonal so the matrix is a proper generator.
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j != i) {
+                if (generator_[i * n + j] < 0.0) {
+                    throw std::invalid_argument("Mmpp: negative off-diagonal rate");
+                }
+                row_sum += generator_[i * n + j];
+            }
+        }
+        generator_[i * n + i] = -row_sum;
+    }
+}
+
+double Mmpp::transition_rate(ctmc::index_type s, ctmc::index_type t) const {
+    if (s == t) {
+        return 0.0;
+    }
+    const std::size_t n = rates_.size();
+    return generator_[static_cast<std::size_t>(s) * n + static_cast<std::size_t>(t)];
+}
+
+std::vector<double> Mmpp::stationary() const {
+    return ctmc::solve_gth_dense(generator_, num_states());
+}
+
+double Mmpp::mean_arrival_rate() const {
+    const std::vector<double> pi = stationary();
+    double rate = 0.0;
+    for (std::size_t s = 0; s < rates_.size(); ++s) {
+        rate += pi[s] * rates_[s];
+    }
+    return rate;
+}
+
+double Mmpp::index_of_dispersion() const {
+    // IDC(infinity) = 1 + 2 (sum_s pi_s lambda_s d_s) / mean_rate where d
+    // solves the Poisson-equation  Q d = mean_rate - lambda (componentwise),
+    // with pi d = 0. Solved densely; modulators are small.
+    const std::size_t n = rates_.size();
+    const std::vector<double> pi = stationary();
+    const double mean = mean_arrival_rate();
+    if (mean <= 0.0) {
+        return 1.0;
+    }
+
+    // Dense solve of [Q^T with one row replaced by pi-orthogonality].
+    // Build A = Q (row-major) and rhs = mean - lambda, then replace the last
+    // equation by sum_s pi_s d_s = 0 to pin the solution.
+    std::vector<double> a(generator_);
+    std::vector<double> rhs(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        rhs[s] = mean - rates_[s];
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        a[(n - 1) * n + j] = pi[j];
+    }
+    rhs[n - 1] = 0.0;
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        perm[i] = i;
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) {
+                pivot = r;
+            }
+        }
+        if (std::fabs(a[pivot * n + col]) < 1e-300) {
+            throw std::runtime_error("Mmpp::index_of_dispersion: singular system");
+        }
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::swap(a[pivot * n + j], a[col * n + j]);
+            }
+            std::swap(rhs[pivot], rhs[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r * n + col] / a[col * n + col];
+            if (f == 0.0) {
+                continue;
+            }
+            for (std::size_t j = col; j < n; ++j) {
+                a[r * n + j] -= f * a[col * n + j];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    std::vector<double> d(n);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = rhs[ri];
+        for (std::size_t j = ri + 1; j < n; ++j) {
+            acc -= a[ri * n + j] * d[j];
+        }
+        d[ri] = acc / a[ri * n + ri];
+    }
+
+    double correction = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+        correction += pi[s] * rates_[s] * d[s];
+    }
+    return 1.0 + 2.0 * correction / mean;
+}
+
+Mmpp Mmpp::superpose(const Mmpp& a, const Mmpp& b) {
+    const std::size_t na = static_cast<std::size_t>(a.num_states());
+    const std::size_t nb = static_cast<std::size_t>(b.num_states());
+    const std::size_t n = na * nb;
+    std::vector<double> gen(n * n, 0.0);
+    std::vector<double> rates(n, 0.0);
+    const auto idx = [nb](std::size_t sa, std::size_t sb) { return sa * nb + sb; };
+    for (std::size_t sa = 0; sa < na; ++sa) {
+        for (std::size_t sb = 0; sb < nb; ++sb) {
+            const std::size_t s = idx(sa, sb);
+            rates[s] = a.arrival_rate(static_cast<ctmc::index_type>(sa)) +
+                       b.arrival_rate(static_cast<ctmc::index_type>(sb));
+            for (std::size_t ta = 0; ta < na; ++ta) {
+                if (ta != sa) {
+                    gen[s * n + idx(ta, sb)] += a.transition_rate(
+                        static_cast<ctmc::index_type>(sa), static_cast<ctmc::index_type>(ta));
+                }
+            }
+            for (std::size_t tb = 0; tb < nb; ++tb) {
+                if (tb != sb) {
+                    gen[s * n + idx(sa, tb)] += b.transition_rate(
+                        static_cast<ctmc::index_type>(sb), static_cast<ctmc::index_type>(tb));
+                }
+            }
+        }
+    }
+    return Mmpp(std::move(gen), std::move(rates));
+}
+
+Mmpp ipp_as_mmpp(const Ipp& source) {
+    source.validate();
+    std::vector<double> gen(4, 0.0);
+    gen[0 * 2 + 1] = source.on_to_off_rate;
+    gen[1 * 2 + 0] = source.off_to_on_rate;
+    return Mmpp(std::move(gen), {source.on_packet_rate, 0.0});
+}
+
+Mmpp aggregate_ipps(int count, const Ipp& source) {
+    source.validate();
+    if (count < 0) {
+        throw std::invalid_argument("aggregate_ipps: negative source count");
+    }
+    const std::size_t n = static_cast<std::size_t>(count) + 1;
+    std::vector<double> gen(n * n, 0.0);
+    std::vector<double> rates(n, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double on = static_cast<double>(count) - static_cast<double>(r);
+        rates[r] = on * source.on_packet_rate;
+        if (r + 1 < n) {
+            gen[r * n + (r + 1)] = on * source.on_to_off_rate;  // one more OFF
+        }
+        if (r > 0) {
+            gen[r * n + (r - 1)] = static_cast<double>(r) * source.off_to_on_rate;
+        }
+    }
+    return Mmpp(std::move(gen), std::move(rates));
+}
+
+}  // namespace gprsim::traffic

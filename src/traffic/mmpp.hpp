@@ -1,0 +1,61 @@
+// Markov-modulated Poisson processes and the paper's key aggregation step.
+//
+// The CTMC of Section 4 becomes tractable because m statistically identical
+// two-state IPPs can be replaced by ONE (m+1)-state MMPP whose state r
+// counts the sessions currently OFF (Fischer & Meier-Hellstern [12]).
+// aggregate_ipps() builds that process; the test suite proves it equivalent
+// to the brute-force superposition (Kronecker sum) of individual sources.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/types.hpp"
+
+namespace gprsim::traffic {
+
+struct Ipp;
+
+/// Finite-state MMPP: a modulating CTMC plus a Poisson arrival rate per
+/// modulating state. Kept dense; modulators here are small (m+1 states).
+class Mmpp {
+public:
+    /// `generator` is row-major (num_states x num_states) with arbitrary
+    /// diagonal (it is recomputed as the negated off-diagonal row sum);
+    /// `arrival_rates` holds lambda_s per modulating state.
+    Mmpp(std::vector<double> generator, std::vector<double> arrival_rates);
+
+    ctmc::index_type num_states() const {
+        return static_cast<ctmc::index_type>(rates_.size());
+    }
+    /// Off-diagonal modulating rate s -> t (0 when s == t).
+    double transition_rate(ctmc::index_type s, ctmc::index_type t) const;
+    double arrival_rate(ctmc::index_type s) const {
+        return rates_[static_cast<std::size_t>(s)];
+    }
+
+    /// Stationary distribution of the modulating chain (GTH, exact).
+    std::vector<double> stationary() const;
+    /// Long-run average arrival rate sum_s pi_s lambda_s.
+    double mean_arrival_rate() const;
+    /// Asymptotic index of dispersion of counts; 1 for a plain Poisson
+    /// process, > 1 for bursty arrivals. Useful to compare burstiness of
+    /// the paper's traffic models.
+    double index_of_dispersion() const;
+
+    /// Kronecker-sum superposition of two independent MMPPs.
+    static Mmpp superpose(const Mmpp& a, const Mmpp& b);
+
+private:
+    std::vector<double> generator_;  // row-major, diagonal = -row sum
+    std::vector<double> rates_;
+};
+
+/// Single IPP viewed as a 2-state MMPP (state 0 = ON, state 1 = OFF).
+Mmpp ipp_as_mmpp(const Ipp& source);
+
+/// Exact aggregation of `count` i.i.d. IPPs into a (count+1)-state MMPP.
+/// State r = number of sources OFF; transitions r -> r+1 at (count-r)*a,
+/// r -> r-1 at r*b; arrival rate (count-r)*lambda_packet.
+Mmpp aggregate_ipps(int count, const Ipp& source);
+
+}  // namespace gprsim::traffic

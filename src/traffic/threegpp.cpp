@@ -1,0 +1,57 @@
+#include "traffic/threegpp.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::traffic {
+
+void ThreeGppSessionModel::validate() const {
+    if (mean_packet_calls < 1.0) {
+        throw std::invalid_argument(
+            "ThreeGppSessionModel: a session has at least one packet call (N_pc >= 1)");
+    }
+    if (mean_packets_per_call < 1.0) {
+        throw std::invalid_argument(
+            "ThreeGppSessionModel: a packet call has at least one packet (N_d >= 1)");
+    }
+    if (mean_reading_time <= 0.0 || mean_packet_interarrival <= 0.0 ||
+        packet_size_bits <= 0.0) {
+        throw std::invalid_argument("ThreeGppSessionModel: durations and sizes must be positive");
+    }
+}
+
+TrafficModelPreset traffic_model_1() {
+    TrafficModelPreset preset;
+    preset.name = "traffic model 1 (8 kbit/s WWW)";
+    preset.session.mean_packet_calls = 5.0;
+    preset.session.mean_reading_time = 412.0;
+    preset.session.mean_packets_per_call = 25.0;
+    preset.session.mean_packet_interarrival = 0.5;
+    preset.max_gprs_sessions = 50;
+    return preset;
+}
+
+TrafficModelPreset traffic_model_2() {
+    TrafficModelPreset preset;
+    preset.name = "traffic model 2 (32 kbit/s WWW)";
+    preset.session.mean_packet_calls = 5.0;
+    preset.session.mean_reading_time = 412.0;
+    preset.session.mean_packets_per_call = 25.0;
+    preset.session.mean_packet_interarrival = 0.125;
+    preset.max_gprs_sessions = 50;
+    return preset;
+}
+
+TrafficModelPreset traffic_model_3() {
+    TrafficModelPreset preset;
+    preset.name = "traffic model 3 (32 kbit/s, heavy load)";
+    preset.session.mean_packet_calls = 50.0;
+    // OFF duration equals the ON duration N_d * D_d = 3.125 s.
+    preset.session.mean_packets_per_call = 25.0;
+    preset.session.mean_packet_interarrival = 0.125;
+    preset.session.mean_reading_time =
+        preset.session.mean_packet_call_duration();
+    preset.max_gprs_sessions = 20;
+    return preset;
+}
+
+}  // namespace gprsim::traffic

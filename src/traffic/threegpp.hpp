@@ -1,0 +1,67 @@
+// The 3GPP WWW-browsing session model (ETSI TR 101 112 [11], paper Fig. 3).
+//
+// A packet service session is an alternating sequence of packet calls and
+// reading times: the session contains a geometrically distributed number of
+// packet calls (mean N_pc); reading time between calls is exponential (mean
+// D_pc); a packet call carries a geometric number of packets (mean N_d) with
+// exponential interarrival times (mean D_d).
+#pragma once
+
+#include <string>
+
+#include "traffic/ipp.hpp"
+
+namespace gprsim::traffic {
+
+struct ThreeGppSessionModel {
+    double mean_packet_calls = 5.0;        ///< N_pc
+    double mean_reading_time = 412.0;      ///< D_pc  [s]
+    double mean_packets_per_call = 25.0;   ///< N_d
+    double mean_packet_interarrival = 0.5; ///< D_d   [s]
+    double packet_size_bits = 480.0 * 8.0; ///< network-layer packet (480 byte)
+
+    /// Mean packet-call (ON) duration 1/a = N_d * D_d.
+    double mean_packet_call_duration() const {
+        return mean_packets_per_call * mean_packet_interarrival;
+    }
+    /// Mean session duration 1/mu_GPRS = N_pc (D_pc + N_d D_d) (Section 3).
+    double mean_session_duration() const {
+        return mean_packet_calls * (mean_reading_time + mean_packet_call_duration());
+    }
+    /// Source bandwidth during a packet call, in kbit/s (the "8 kbit/s" /
+    /// "32 kbit/s" labels of Table 3).
+    double on_rate_kbps() const {
+        return packet_size_bits / mean_packet_interarrival / 1000.0;
+    }
+    /// Total data volume per session in kbit.
+    double mean_session_volume_kbit() const {
+        return mean_packet_calls * mean_packets_per_call * packet_size_bits / 1000.0;
+    }
+    /// The equivalent IPP of Section 3: a = 1/(N_d D_d), b = 1/D_pc,
+    /// lambda_packet = 1/D_d.
+    Ipp ipp() const {
+        return Ipp{1.0 / mean_packet_call_duration(), 1.0 / mean_reading_time,
+                   1.0 / mean_packet_interarrival};
+    }
+
+    void validate() const;
+};
+
+/// A named Table 3 column: the session model plus the session cap M the
+/// paper pairs with it.
+struct TrafficModelPreset {
+    std::string name;
+    ThreeGppSessionModel session;
+    int max_gprs_sessions = 50;  ///< M
+};
+
+/// Table 3, "traffic model 1": 8 kbit/s WWW browsing (D_d = 0.5 s), M = 50.
+TrafficModelPreset traffic_model_1();
+/// Table 3, "traffic model 2": 32 kbit/s WWW browsing (D_d = 0.125 s), M = 50.
+TrafficModelPreset traffic_model_2();
+/// Table 3, "traffic model 3": heavy-load variant of model 2 with the OFF
+/// duration set equal to the ON duration and 50 packet calls per session,
+/// M = 20.
+TrafficModelPreset traffic_model_3();
+
+}  // namespace gprsim::traffic

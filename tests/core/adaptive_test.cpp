@@ -1,0 +1,84 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gprsim::core {
+namespace {
+
+Parameters adaptive_config(double rate) {
+    Parameters p = Parameters::base();
+    p.total_channels = 6;
+    p.buffer_capacity = 10;
+    p.max_gprs_sessions = 4;
+    p.call_arrival_rate = rate;
+    p.gprs_fraction = 0.4;
+    p.traffic.mean_packet_calls = 4.0;
+    p.traffic.mean_packets_per_call = 10.0;
+    p.traffic.mean_packet_interarrival = 0.2;
+    p.traffic.mean_reading_time = 4.0;
+    return p;
+}
+
+TEST(AdaptiveReservation, MeetsTargetsWhenFeasible) {
+    QosTargets targets;
+    targets.max_packet_loss = 5e-2;
+    targets.max_queueing_delay = 3.0;
+    const AdaptationResult result = recommend_reservation(adaptive_config(0.3), targets, 4);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_LE(result.measures.packet_loss_probability, targets.max_packet_loss);
+    EXPECT_LE(result.measures.queueing_delay, targets.max_queueing_delay);
+}
+
+TEST(AdaptiveReservation, ChoosesSmallestSufficientReservation) {
+    QosTargets loose;
+    loose.max_packet_loss = 0.9;
+    loose.max_queueing_delay = 1e6;
+    const AdaptationResult result = recommend_reservation(adaptive_config(0.3), loose, 4);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.reserved_pdch, 0) << "loose targets need no reservation";
+}
+
+TEST(AdaptiveReservation, RecommendationGrowsWithLoad) {
+    QosTargets targets;
+    targets.max_packet_loss = 2e-2;
+    targets.max_queueing_delay = 2.5;
+    const AdaptationResult light = recommend_reservation(adaptive_config(0.1), targets, 5);
+    const AdaptationResult heavy = recommend_reservation(adaptive_config(0.8), targets, 5);
+    EXPECT_GE(heavy.reserved_pdch, light.reserved_pdch);
+}
+
+TEST(AdaptiveReservation, ReportsInfeasibilityWithBestEffort) {
+    QosTargets impossible;
+    impossible.max_packet_loss = 1e-12;
+    impossible.max_queueing_delay = 1e-6;
+    const AdaptationResult result =
+        recommend_reservation(adaptive_config(1.5), impossible, 3);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_GE(result.reserved_pdch, 0);
+    EXPECT_LE(result.reserved_pdch, 3);
+    EXPECT_EQ(result.evaluated, 4);
+}
+
+TEST(AdaptiveReservation, VoiceConstraintCapsReservation) {
+    // A strict voice-blocking target forbids large reservations even if the
+    // data side would like them.
+    QosTargets targets;
+    targets.max_packet_loss = 1e-12;  // unreachable: forces max search
+    targets.max_queueing_delay = 1e-6;
+    targets.max_gsm_blocking = 0.3;
+    const AdaptationResult result =
+        recommend_reservation(adaptive_config(1.0), targets, 4);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_LE(result.measures.gsm_blocking, 0.3);
+}
+
+TEST(AdaptiveReservation, RejectsBadSearchRange) {
+    QosTargets targets;
+    EXPECT_THROW(recommend_reservation(adaptive_config(0.3), targets, -1),
+                 std::invalid_argument);
+    EXPECT_THROW(recommend_reservation(adaptive_config(0.3), targets, 6),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::core

@@ -1,0 +1,122 @@
+// Tests for the block-error / ARQ extension (the paper's declared future
+// work: "taking into account packet retransmissions that would lead to a
+// decrease in overall throughput").
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "sim/simulator.hpp"
+
+namespace gprsim::core {
+namespace {
+
+TEST(BlockErrors, EffectiveServiceRateShrinksByBler) {
+    Parameters p = Parameters::base();
+    const double clean = p.packet_service_rate();
+    p.block_error_rate = 0.1;
+    EXPECT_NEAR(p.packet_service_rate(), 0.9 * clean, 1e-12);
+    p.block_error_rate = 0.0;
+    EXPECT_DOUBLE_EQ(p.packet_service_rate(), clean);
+}
+
+TEST(BlockErrors, ValidationBoundsBler) {
+    Parameters p = Parameters::base();
+    p.block_error_rate = -0.1;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p.block_error_rate = 1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p.block_error_rate = 0.3;
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(BlockErrors, NoisyChannelDegradesModelMeasures) {
+    Parameters p = Parameters::base();
+    p.total_channels = 4;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 8;
+    p.max_gprs_sessions = 3;
+    p.call_arrival_rate = 0.5;
+    p.gprs_fraction = 0.4;
+    p.traffic.mean_packet_calls = 3.0;
+    p.traffic.mean_packets_per_call = 8.0;
+    p.traffic.mean_packet_interarrival = 0.3;
+    p.traffic.mean_reading_time = 5.0;
+
+    GprsModel clean(p);
+    p.block_error_rate = 0.3;
+    GprsModel noisy(p);
+    const Measures m_clean = clean.measures();
+    const Measures m_noisy = noisy.measures();
+    EXPECT_LT(m_noisy.throughput_per_user_kbps, m_clean.throughput_per_user_kbps);
+    EXPECT_GT(m_noisy.queueing_delay, m_clean.queueing_delay);
+    EXPECT_GE(m_noisy.packet_loss_probability, m_clean.packet_loss_probability - 1e-12);
+}
+
+TEST(BlockErrors, SimulatorThroughputDropsWithBler) {
+    sim::SimulationConfig config;
+    config.cell.total_channels = 4;
+    config.cell.reserved_pdch = 1;
+    config.cell.buffer_capacity = 10;
+    config.cell.max_gprs_sessions = 3;
+    config.cell.call_arrival_rate = 0.2;
+    config.cell.gprs_fraction = 0.3;
+    config.cell.traffic.mean_packet_calls = 3.0;
+    config.cell.traffic.mean_packets_per_call = 10.0;
+    config.cell.traffic.mean_packet_interarrival = 0.25;
+    config.cell.traffic.mean_reading_time = 5.0;
+    config.tcp_enabled = false;
+    config.seed = 23;
+    config.warmup_time = 500.0;
+    config.batch_count = 8;
+    config.batch_duration = 500.0;
+
+    const sim::SimulationResults clean = sim::NetworkSimulator(config).run();
+    config.cell.block_error_rate = 0.4;
+    const sim::SimulationResults noisy = sim::NetworkSimulator(config).run();
+
+    // Same offered traffic, ~40% of blocks lost: delivery takes ~1/0.6x
+    // longer, so delays grow and per-user throughput falls.
+    EXPECT_LT(noisy.throughput_per_user_kbps.mean, clean.throughput_per_user_kbps.mean);
+    EXPECT_GT(noisy.queueing_delay.mean, clean.queueing_delay.mean);
+}
+
+TEST(BlockErrors, SimulatorMatchesModelUnderBler) {
+    // The effective-rate abstraction in the chain must track the block-level
+    // ARQ in the simulator (open loop, moderate load).
+    Parameters p = Parameters::base();
+    p.total_channels = 6;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 15;
+    p.max_gprs_sessions = 5;
+    p.call_arrival_rate = 0.25;
+    p.gprs_fraction = 0.3;
+    p.mean_gsm_call_duration = 60.0;
+    p.mean_gsm_dwell_time = 60.0;
+    p.mean_gprs_dwell_time = 60.0;
+    p.traffic.mean_packet_calls = 8.0;
+    p.traffic.mean_packets_per_call = 12.0;
+    p.traffic.mean_packet_interarrival = 0.3;
+    p.traffic.mean_reading_time = 4.0;
+    p.flow_control_threshold = 1.0;
+    p.block_error_rate = 0.2;
+
+    GprsModel model(p);
+    const Measures analytic = model.measures();
+
+    sim::SimulationConfig config;
+    config.cell = p;
+    config.tcp_enabled = false;
+    config.seed = 29;
+    config.warmup_time = 2000.0;
+    config.batch_count = 15;
+    config.batch_duration = 2000.0;
+    const sim::SimulationResults simulated = sim::NetworkSimulator(config).run();
+
+    EXPECT_NEAR(simulated.carried_data_traffic.mean, analytic.carried_data_traffic,
+                3.0 * simulated.carried_data_traffic.half_width + 0.3);
+    EXPECT_NEAR(simulated.throughput_per_user_kbps.mean, analytic.throughput_per_user_kbps,
+                0.25 * analytic.throughput_per_user_kbps +
+                    3.0 * simulated.throughput_per_user_kbps.half_width);
+}
+
+}  // namespace
+}  // namespace gprsim::core

@@ -1,0 +1,64 @@
+#include "core/coding_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/model.hpp"
+
+namespace gprsim::core {
+namespace {
+
+TEST(CodingScheme, RatesMatchGprsSpecification) {
+    EXPECT_DOUBLE_EQ(coding_scheme_rate_kbps(CodingScheme::cs1), 9.05);
+    EXPECT_DOUBLE_EQ(coding_scheme_rate_kbps(CodingScheme::cs2), 13.4);
+    EXPECT_DOUBLE_EQ(coding_scheme_rate_kbps(CodingScheme::cs3), 15.6);
+    EXPECT_DOUBLE_EQ(coding_scheme_rate_kbps(CodingScheme::cs4), 21.4);
+}
+
+TEST(CodingScheme, PaperUsesCs2) {
+    // Table 2: "Transfer rate for one PDCH (CS-2): 13.4 Kbit/s".
+    const Parameters base = Parameters::base();
+    EXPECT_DOUBLE_EQ(base.pdch_rate_kbps, coding_scheme_rate_kbps(CodingScheme::cs2));
+}
+
+TEST(CodingScheme, NamesAreDistinct) {
+    EXPECT_EQ(std::string(coding_scheme_name(CodingScheme::cs1)), "CS-1");
+    EXPECT_EQ(std::string(coding_scheme_name(CodingScheme::cs4)), "CS-4");
+}
+
+TEST(CodingScheme, WithCodingSchemeOnlyChangesRate) {
+    const Parameters base = Parameters::base();
+    const Parameters cs4 = with_coding_scheme(base, CodingScheme::cs4);
+    EXPECT_DOUBLE_EQ(cs4.pdch_rate_kbps, 21.4);
+    EXPECT_EQ(cs4.total_channels, base.total_channels);
+    EXPECT_EQ(cs4.buffer_capacity, base.buffer_capacity);
+    EXPECT_GT(cs4.packet_service_rate(), base.packet_service_rate());
+}
+
+TEST(CodingScheme, FasterCodingReducesDelay) {
+    // On a congested small cell, CS-4's higher service rate must cut the
+    // queueing delay and loss relative to CS-1.
+    Parameters p = Parameters::base();
+    p.total_channels = 4;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 8;
+    p.max_gprs_sessions = 3;
+    p.call_arrival_rate = 0.5;
+    p.gprs_fraction = 0.4;
+    p.traffic.mean_packet_calls = 3.0;
+    p.traffic.mean_packets_per_call = 8.0;
+    p.traffic.mean_packet_interarrival = 0.3;
+    p.traffic.mean_reading_time = 5.0;
+
+    GprsModel slow(with_coding_scheme(p, CodingScheme::cs1));
+    GprsModel fast(with_coding_scheme(p, CodingScheme::cs4));
+    const Measures m_slow = slow.measures();
+    const Measures m_fast = fast.measures();
+    EXPECT_LT(m_fast.queueing_delay, m_slow.queueing_delay);
+    EXPECT_LE(m_fast.packet_loss_probability, m_slow.packet_loss_probability + 1e-12);
+    EXPECT_GT(m_fast.throughput_per_user_kbps, m_slow.throughput_per_user_kbps);
+}
+
+}  // namespace
+}  // namespace gprsim::core

@@ -1,0 +1,115 @@
+#include "core/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ctmc/gth.hpp"
+#include "core/handover.hpp"
+
+namespace gprsim::core {
+namespace {
+
+Parameters tiny_config() {
+    Parameters p = Parameters::base();
+    p.total_channels = 3;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 4;
+    p.max_gprs_sessions = 2;
+    p.call_arrival_rate = 0.3;
+    p.gprs_fraction = 0.3;
+    // Faster traffic so the chain mixes quickly.
+    p.traffic.mean_reading_time = 10.0;
+    p.traffic.mean_packet_calls = 2.0;
+    p.traffic.mean_packets_per_call = 5.0;
+    p.traffic.mean_packet_interarrival = 0.5;
+    return p;
+}
+
+TEST(GprsGenerator, MatrixFreeRowsMatchCsrRows) {
+    const Parameters p = tiny_config();
+    const BalancedTraffic balanced = balance_handover(p);
+    const GprsGenerator gen(p, balanced.rates);
+    const ctmc::QtMatrix qt = gen.to_qt_matrix();
+
+    ASSERT_EQ(qt.size(), gen.size());
+    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+        EXPECT_NEAR(qt.diagonal(i), gen.diagonal(i), 1e-13) << "state " << i;
+        std::map<ctmc::index_type, double> csr_row;
+        qt.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+            csr_row[j] += rate;
+        });
+        std::map<ctmc::index_type, double> free_row;
+        gen.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+            free_row[j] += rate;
+        });
+        ASSERT_EQ(csr_row.size(), free_row.size()) << "state " << i;
+        for (const auto& [j, rate] : csr_row) {
+            ASSERT_TRUE(free_row.count(j)) << "state " << i << " pred " << j;
+            EXPECT_NEAR(free_row.at(j), rate, 1e-13);
+        }
+    }
+}
+
+TEST(GprsGenerator, GeneratorRowsSumToZero) {
+    const Parameters p = tiny_config();
+    const GprsGenerator gen(p, balance_handover(p).rates);
+    const ctmc::SparseMatrix q = gen.to_generator_matrix();
+    for (ctmc::index_type i = 0; i < q.rows(); ++i) {
+        double row_sum = 0.0;
+        for (double v : q.row_values(i)) {
+            row_sum += v;
+        }
+        EXPECT_NEAR(row_sum, 0.0, 1e-12) << "row " << i;
+    }
+}
+
+TEST(GprsGenerator, TransposeOfGeneratorMatchesQtMatrix) {
+    const Parameters p = tiny_config();
+    const GprsGenerator gen(p, balance_handover(p).rates);
+    const ctmc::SparseMatrix q = gen.to_generator_matrix();
+    const ctmc::SparseMatrix qt_ref = q.transpose();
+    const ctmc::QtMatrix qt = gen.to_qt_matrix();
+    for (ctmc::index_type i = 0; i < q.rows(); ++i) {
+        qt.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+            EXPECT_NEAR(qt_ref.at(i, j), rate, 1e-13);
+        });
+        EXPECT_NEAR(qt_ref.at(i, i), qt.diagonal(i), 1e-13);
+    }
+}
+
+TEST(GprsGenerator, SteadyStateMatchesGthGroundTruth) {
+    const Parameters p = tiny_config();
+    const GprsGenerator gen(p, balance_handover(p).rates);
+
+    const std::vector<double> exact = ctmc::solve_gth(gen.to_generator_matrix());
+
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-13;
+    const ctmc::SolveResult iterative = ctmc::solve_steady_state(gen.to_qt_matrix(), options);
+    ASSERT_TRUE(iterative.converged);
+    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+        EXPECT_NEAR(iterative.distribution[static_cast<std::size_t>(i)],
+                    exact[static_cast<std::size_t>(i)], 1e-9);
+    }
+
+    // Matrix-free path reaches the same fixed point.
+    const ctmc::SolveResult matrix_free = ctmc::solve_steady_state(gen, options);
+    ASSERT_TRUE(matrix_free.converged);
+    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+        EXPECT_NEAR(matrix_free.distribution[static_cast<std::size_t>(i)],
+                    exact[static_cast<std::size_t>(i)], 1e-9);
+    }
+}
+
+TEST(GprsGenerator, MemoryEstimateCoversActualUsage) {
+    const Parameters p = tiny_config();
+    const GprsGenerator gen(p, balance_handover(p).rates);
+    const ctmc::QtMatrix qt = gen.to_qt_matrix();
+    EXPECT_GE(gen.estimated_qt_bytes(), qt.memory_bytes() / 2)
+        << "estimate should be within a factor of two of reality";
+}
+
+}  // namespace
+}  // namespace gprsim::core

@@ -1,0 +1,263 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ctmc/gth.hpp"
+#include "queueing/erlang.hpp"
+
+namespace gprsim::core {
+namespace {
+
+Parameters test_config() {
+    Parameters p = Parameters::base();
+    p.total_channels = 4;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 6;
+    p.max_gprs_sessions = 3;
+    p.call_arrival_rate = 0.5;
+    p.gprs_fraction = 0.3;
+    p.traffic.mean_reading_time = 8.0;
+    p.traffic.mean_packet_calls = 3.0;
+    p.traffic.mean_packets_per_call = 6.0;
+    p.traffic.mean_packet_interarrival = 0.4;
+    return p;
+}
+
+TEST(GprsModel, DistributionIsProperAndSolveConverges) {
+    GprsModel model(test_config());
+    const ctmc::SolveResult& result = model.solve();
+    EXPECT_TRUE(result.converged);
+    double sum = 0.0;
+    for (double v : model.distribution()) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(GprsModel, GsmMarginalEqualsErlangLaw) {
+    // GSM calls have strict priority and are never influenced by data
+    // traffic: the n-marginal of the full chain must be exactly the
+    // M/M/c/c distribution (paper Eq. 2).
+    GprsModel model(test_config());
+    model.solve();
+    const std::vector<double> marginal = model.gsm_distribution();
+    const std::vector<double> erlang = queueing::mmcc_distribution(
+        model.balanced().gsm.offered_load, model.parameters().gsm_channels());
+    ASSERT_EQ(marginal.size(), erlang.size());
+    for (std::size_t n = 0; n < marginal.size(); ++n) {
+        EXPECT_NEAR(marginal[n], erlang[n], 1e-8) << "n = " << n;
+    }
+}
+
+TEST(GprsModel, GprsSessionMarginalEqualsErlangLaw) {
+    // Session admission ignores the buffer, so the m-marginal is the
+    // M/M/M/M Erlang law (paper Eq. 3).
+    GprsModel model(test_config());
+    model.solve();
+    const std::vector<double> marginal = model.gprs_session_distribution();
+    const std::vector<double> erlang = queueing::mmcc_distribution(
+        model.balanced().gprs.offered_load, model.parameters().max_gprs_sessions);
+    ASSERT_EQ(marginal.size(), erlang.size());
+    for (std::size_t m = 0; m < marginal.size(); ++m) {
+        EXPECT_NEAR(marginal[m], erlang[m], 1e-8) << "m = " << m;
+    }
+}
+
+TEST(GprsModel, MeasuresAreConsistent) {
+    GprsModel model(test_config());
+    const Measures measures = model.measures();
+
+    EXPECT_GE(measures.carried_data_traffic, 0.0);
+    EXPECT_LE(measures.carried_data_traffic, model.parameters().total_channels);
+    EXPECT_GE(measures.packet_loss_probability, 0.0);
+    EXPECT_LE(measures.packet_loss_probability, 1.0);
+    EXPECT_GE(measures.queueing_delay, 0.0);
+    EXPECT_GE(measures.mean_queue_length, 0.0);
+    EXPECT_LE(measures.mean_queue_length, model.parameters().buffer_capacity);
+
+    // Eq. 11: ATU * AGS = throughput.
+    EXPECT_NEAR(measures.throughput_per_user_kbps * measures.average_gprs_sessions,
+                measures.data_throughput_kbps, 1e-9);
+    // Eq. 10: QD * throughput = MQL (Little's law).
+    EXPECT_NEAR(measures.queueing_delay * measures.carried_data_traffic *
+                    model.balanced().rates.service_rate,
+                measures.mean_queue_length, 1e-9);
+    // Closed-form blocking matches the marginal's last state.
+    const std::vector<double> m_marginal = model.gprs_session_distribution();
+    EXPECT_NEAR(measures.gprs_blocking, m_marginal.back(), 1e-8);
+    const std::vector<double> n_marginal = model.gsm_distribution();
+    EXPECT_NEAR(measures.gsm_blocking, n_marginal.back(), 1e-8);
+}
+
+TEST(GprsModel, ThroughputBalancesOfferedMinusLost) {
+    // In steady state: accepted rate = departure rate, so
+    // lambda_avg * (1 - PLP) = CDT * mu_service (this is Eq. 9 rearranged;
+    // checking it guards the offered-rate accounting).
+    GprsModel model(test_config());
+    const Measures measures = model.measures();
+    const double throughput =
+        measures.carried_data_traffic * model.balanced().rates.service_rate;
+    EXPECT_NEAR(measures.offered_packet_rate * (1.0 - measures.packet_loss_probability),
+                throughput, 1e-8);
+}
+
+TEST(GprsModel, ClosedFormNeedsNoSolve) {
+    GprsModel model(test_config());
+    const Measures closed = model.closed_form();
+    EXPECT_FALSE(model.solved());
+    EXPECT_GT(closed.carried_voice_traffic, 0.0);
+    EXPECT_GT(closed.average_gprs_sessions, 0.0);
+}
+
+TEST(GprsModel, DistributionBeforeSolveThrows) {
+    GprsModel model(test_config());
+    EXPECT_THROW(model.distribution(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's aggregation argument (Section 4.1): m identical two-state IPPs
+// may be replaced by one (m+1)-state MMPP. We verify the claim end to end by
+// building the UNAGGREGATED chain, whose state tracks each session slot
+// individually (0 = inactive, 1 = ON, 2 = OFF), and comparing its lumped
+// stationary distribution with the aggregated model's.
+// ---------------------------------------------------------------------------
+
+struct FullState {
+    int k = 0;
+    int n = 0;
+    int r1 = 0;  // slot states: 0 inactive, 1 ON, 2 OFF
+    int r2 = 0;
+};
+
+TEST(GprsModel, AggregationMatchesPerSessionChain) {
+    Parameters p = test_config();
+    p.max_gprs_sessions = 2;
+    const BalancedTraffic balanced = balance_handover(p);
+    const ModelRates& rates = balanced.rates;
+
+    // --- enumerate the unaggregated chain --------------------------------
+    const int kmax = p.buffer_capacity;
+    const int nmax = p.gsm_channels();
+    const auto full_index = [&](const FullState& s) {
+        return ((s.k * (nmax + 1) + s.n) * 3 + s.r1) * 3 + s.r2;
+    };
+    const int total = (kmax + 1) * (nmax + 1) * 9;
+
+    std::vector<double> q(static_cast<std::size_t>(total) * static_cast<std::size_t>(total),
+                          0.0);
+    const auto add = [&](const FullState& from, const FullState& to, double rate) {
+        q[static_cast<std::size_t>(full_index(from)) * static_cast<std::size_t>(total) +
+          static_cast<std::size_t>(full_index(to))] += rate;
+    };
+
+    const double p_on = rates.on_admission_probability();
+    for (int k = 0; k <= kmax; ++k) {
+        for (int n = 0; n <= nmax; ++n) {
+            for (int r1 = 0; r1 < 3; ++r1) {
+                for (int r2 = 0; r2 < 3; ++r2) {
+                    const FullState s{k, n, r1, r2};
+                    const int active = (r1 != 0) + (r2 != 0);
+                    const int on = (r1 == 1) + (r2 == 1);
+                    // GSM arrivals/departures.
+                    if (n < nmax) {
+                        add(s, {k, n + 1, r1, r2}, rates.gsm_arrival);
+                    }
+                    if (n > 0) {
+                        add(s, {k, n - 1, r1, r2}, n * rates.gsm_departure);
+                    }
+                    // GPRS arrival: occupies each inactive slot with equal
+                    // probability (slots are exchangeable).
+                    const int inactive = 2 - active;
+                    if (inactive > 0) {
+                        const double per_slot = rates.gprs_arrival / inactive;
+                        if (r1 == 0) {
+                            add(s, {k, n, 1, r2}, per_slot * p_on);
+                            add(s, {k, n, 2, r2}, per_slot * (1.0 - p_on));
+                        }
+                        if (r2 == 0) {
+                            add(s, {k, n, r1, 1}, per_slot * p_on);
+                            add(s, {k, n, r1, 2}, per_slot * (1.0 - p_on));
+                        }
+                    }
+                    // GPRS departures: every active slot leaves at mu.
+                    if (r1 != 0) {
+                        add(s, {k, n, 0, r2}, rates.gprs_departure);
+                    }
+                    if (r2 != 0) {
+                        add(s, {k, n, r1, 0}, rates.gprs_departure);
+                    }
+                    // IPP flips per slot.
+                    if (r1 == 1) {
+                        add(s, {k, n, 2, r2}, rates.on_to_off);
+                    }
+                    if (r1 == 2) {
+                        add(s, {k, n, 1, r2}, rates.off_to_on);
+                    }
+                    if (r2 == 1) {
+                        add(s, {k, n, r1, 2}, rates.on_to_off);
+                    }
+                    if (r2 == 2) {
+                        add(s, {k, n, r1, 1}, rates.off_to_on);
+                    }
+                    // Packet arrivals: flow-controlled exactly as Table 1,
+                    // with (m - r) replaced by the per-slot ON count.
+                    if (k < kmax && on > 0) {
+                        const double full_rate = on * rates.packet_rate;
+                        const int used = std::min(p.total_channels - n, 8 * k);
+                        const double service = used * rates.service_rate;
+                        const double rate = k <= p.flow_control_onset()
+                                                ? full_rate
+                                                : std::min(full_rate, service);
+                        if (rate > 0.0) {
+                            add(s, {k + 1, n, r1, r2}, rate);
+                        }
+                    }
+                    // Packet service.
+                    const int used = std::min(p.total_channels - n, 8 * k);
+                    if (used > 0) {
+                        add(s, {k - 1, n, r1, r2}, used * rates.service_rate);
+                    }
+                }
+            }
+        }
+    }
+
+    const std::vector<double> full_pi = ctmc::solve_gth_dense(std::move(q), total);
+
+    // --- lump onto (k, n, m, r) and compare --------------------------------
+    GprsModel model(p);
+    model.solve();
+    const std::vector<double>& agg_pi = model.distribution();
+    const StateSpace& space = model.space();
+
+    std::map<std::tuple<int, int, int, int>, double> lumped;
+    for (int k = 0; k <= kmax; ++k) {
+        for (int n = 0; n <= nmax; ++n) {
+            for (int r1 = 0; r1 < 3; ++r1) {
+                for (int r2 = 0; r2 < 3; ++r2) {
+                    const int m = (r1 != 0) + (r2 != 0);
+                    const int off = (r1 == 2) + (r2 == 2);
+                    lumped[{k, n, m, off}] +=
+                        full_pi[static_cast<std::size_t>(full_index({k, n, r1, r2}))];
+                }
+            }
+        }
+    }
+
+    space.for_each([&](const State& s, ctmc::index_type i) {
+        const double expected =
+            lumped[{s.buffer, s.gsm_calls, s.gprs_sessions, s.off_sessions}];
+        EXPECT_NEAR(agg_pi[static_cast<std::size_t>(i)], expected, 1e-8)
+            << "(k,n,m,r) = (" << s.buffer << "," << s.gsm_calls << ","
+            << s.gprs_sessions << "," << s.off_sessions << ")";
+    });
+}
+
+}  // namespace
+}  // namespace gprsim::core

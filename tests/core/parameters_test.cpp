@@ -1,0 +1,90 @@
+#include "core/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gprsim::core {
+namespace {
+
+TEST(Parameters, BaseSettingMatchesTable2) {
+    const Parameters p = Parameters::base();
+    EXPECT_EQ(p.total_channels, 20);
+    EXPECT_EQ(p.reserved_pdch, 1);
+    EXPECT_EQ(p.buffer_capacity, 100);
+    EXPECT_DOUBLE_EQ(p.pdch_rate_kbps, 13.4);
+    EXPECT_DOUBLE_EQ(p.mean_gsm_call_duration, 120.0);
+    EXPECT_DOUBLE_EQ(p.mean_gsm_dwell_time, 60.0);
+    EXPECT_DOUBLE_EQ(p.mean_gprs_dwell_time, 120.0);
+    EXPECT_DOUBLE_EQ(p.gprs_fraction, 0.05);
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Parameters, DerivedRates) {
+    Parameters p = Parameters::base();
+    p.call_arrival_rate = 1.0;
+    EXPECT_EQ(p.gsm_channels(), 19);
+    EXPECT_NEAR(p.gsm_arrival_rate(), 0.95, 1e-12);
+    EXPECT_NEAR(p.gprs_arrival_rate(), 0.05, 1e-12);
+    EXPECT_NEAR(p.gsm_completion_rate(), 1.0 / 120.0, 1e-15);
+    EXPECT_NEAR(p.gsm_handover_rate(), 1.0 / 60.0, 1e-15);
+    EXPECT_NEAR(p.gprs_handover_rate(), 1.0 / 120.0, 1e-15);
+    // mu_service = 13.4 kbit/s / 3840 bit = 3.4896 packets/s.
+    EXPECT_NEAR(p.packet_service_rate(), 13400.0 / 3840.0, 1e-12);
+    // Traffic model 1: session duration 2122.5 s.
+    EXPECT_NEAR(p.gprs_completion_rate(), 1.0 / 2122.5, 1e-15);
+}
+
+TEST(Parameters, FlowControlOnset) {
+    Parameters p = Parameters::base();
+    EXPECT_EQ(p.flow_control_onset(), 70);  // floor(0.7 * 100)
+    p.flow_control_threshold = 1.0;
+    EXPECT_EQ(p.flow_control_onset(), 100);  // no flow control
+    p.flow_control_threshold = 0.333;
+    EXPECT_EQ(p.flow_control_onset(), 33);
+}
+
+TEST(Parameters, WithTrafficModelAppliesPresetAndM) {
+    const Parameters p = Parameters::with_traffic_model(traffic::traffic_model_3());
+    EXPECT_EQ(p.max_gprs_sessions, 20);
+    EXPECT_NEAR(p.traffic.mean_session_duration(), 312.5, 1e-9);
+}
+
+TEST(Parameters, ValidationCatchesInconsistencies) {
+    Parameters p = Parameters::base();
+    p.reserved_pdch = 21;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.reserved_pdch = 20;  // leaves zero GSM channels
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.call_arrival_rate = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.gprs_fraction = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.flow_control_threshold = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.flow_control_threshold = 1.2;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Parameters::base();
+    p.buffer_capacity = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Parameters, ZeroReservedPdchIsValid) {
+    // Figs. 11-13 include the "0 reserved PDCH" configuration.
+    Parameters p = Parameters::base();
+    p.reserved_pdch = 0;
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_EQ(p.gsm_channels(), 20);
+}
+
+}  // namespace
+}  // namespace gprsim::core

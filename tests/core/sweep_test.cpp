@@ -1,0 +1,84 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gprsim::core {
+namespace {
+
+Parameters sweep_config() {
+    Parameters p = Parameters::base();
+    p.total_channels = 4;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 6;
+    p.max_gprs_sessions = 3;
+    p.gprs_fraction = 0.3;
+    p.traffic.mean_reading_time = 8.0;
+    p.traffic.mean_packet_calls = 3.0;
+    p.traffic.mean_packets_per_call = 6.0;
+    p.traffic.mean_packet_interarrival = 0.4;
+    return p;
+}
+
+TEST(ArrivalRateGrid, EvenSpacing) {
+    const std::vector<double> grid = arrival_rate_grid(0.1, 1.0, 10);
+    ASSERT_EQ(grid.size(), 10u);
+    EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+    EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+    EXPECT_NEAR(grid[1] - grid[0], 0.1, 1e-12);
+}
+
+TEST(ArrivalRateGrid, RejectsDegenerateInputs) {
+    EXPECT_THROW(arrival_rate_grid(1.0, 0.5, 5), std::invalid_argument);
+    EXPECT_THROW(arrival_rate_grid(0.1, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Sweep, ProducesOnePointPerRateInOrder) {
+    const std::vector<double> rates{0.2, 0.4, 0.6};
+    std::vector<std::size_t> seen;
+    SweepOptions options;
+    options.progress = [&](std::size_t idx, const SweepPoint&) { seen.push_back(idx); };
+    const std::vector<SweepPoint> points =
+        sweep_call_arrival_rate(sweep_config(), rates, options);
+    ASSERT_EQ(points.size(), 3u);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_DOUBLE_EQ(points[i].call_arrival_rate, rates[i]);
+        EXPECT_GT(points[i].iterations, 0);
+    }
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Sweep, BlockingIncreasesWithLoad) {
+    const std::vector<double> rates{0.2, 0.6, 1.2};
+    const std::vector<SweepPoint> points = sweep_call_arrival_rate(sweep_config(), rates);
+    EXPECT_LT(points[0].measures.gsm_blocking, points[1].measures.gsm_blocking);
+    EXPECT_LT(points[1].measures.gsm_blocking, points[2].measures.gsm_blocking);
+    EXPECT_LT(points[0].measures.gprs_blocking, points[2].measures.gprs_blocking);
+}
+
+TEST(Sweep, WarmStartGivesSameAnswersFasterOnLaterPoints) {
+    const std::vector<double> rates{0.3, 0.35, 0.4};
+    SweepOptions warm;
+    warm.warm_start = true;
+    SweepOptions cold;
+    cold.warm_start = false;
+    const auto warm_points = sweep_call_arrival_rate(sweep_config(), rates, warm);
+    const auto cold_points = sweep_call_arrival_rate(sweep_config(), rates, cold);
+    ctmc::index_type warm_total = 0;
+    ctmc::index_type cold_total = 0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_NEAR(warm_points[i].measures.carried_data_traffic,
+                    cold_points[i].measures.carried_data_traffic, 1e-7);
+        EXPECT_NEAR(warm_points[i].measures.packet_loss_probability,
+                    cold_points[i].measures.packet_loss_probability, 1e-7);
+        if (i > 0) {
+            warm_total += warm_points[i].iterations;
+            cold_total += cold_points[i].iterations;
+        }
+    }
+    EXPECT_LE(warm_total, cold_total);
+}
+
+}  // namespace
+}  // namespace gprsim::core

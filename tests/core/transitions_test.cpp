@@ -1,0 +1,225 @@
+#include "core/transitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/handover.hpp"
+
+namespace gprsim::core {
+namespace {
+
+/// Small configuration whose chain can be enumerated exhaustively.
+Parameters small_config() {
+    Parameters p = Parameters::base();
+    p.total_channels = 4;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 5;
+    p.max_gprs_sessions = 3;
+    p.call_arrival_rate = 0.4;
+    p.gprs_fraction = 0.25;
+    return p;
+}
+
+using Key = std::tuple<int, int, int, int>;
+Key key(const State& s) {
+    return {s.buffer, s.gsm_calls, s.gprs_sessions, s.off_sessions};
+}
+
+TEST(Transitions, PdchInUseFormula) {
+    Parameters p = small_config();  // N = 4
+    // min(N - n, 8k).
+    EXPECT_EQ(pdch_in_use(p, State{0, 0, 0, 0}), 0);
+    EXPECT_EQ(pdch_in_use(p, State{1, 0, 0, 0}), 4);   // 8*1 >= 4 free
+    EXPECT_EQ(pdch_in_use(p, State{1, 3, 0, 0}), 1);   // only N-n = 1 free
+    EXPECT_EQ(pdch_in_use(p, State{2, 2, 0, 0}), 2);
+    p.total_channels = 20;
+    EXPECT_EQ(pdch_in_use(p, State{1, 0, 0, 0}), 8);   // multislot cap: 8 per packet
+    EXPECT_EQ(pdch_in_use(p, State{2, 0, 0, 0}), 16);
+    EXPECT_EQ(pdch_in_use(p, State{3, 0, 0, 0}), 20);  // all channels busy
+}
+
+TEST(Transitions, FlowControlThrottlesAboveOnset) {
+    Parameters p = small_config();
+    p.flow_control_threshold = 0.6;  // onset = floor(0.6*5) = 3
+    ASSERT_EQ(p.flow_control_onset(), 3);
+    ModelRates rates = balance_handover(p).rates;
+
+    // Two sessions ON: full rate 2 * lambda_packet below/at the onset.
+    const State below{2, 0, 2, 0};
+    EXPECT_NEAR(offered_packet_rate(p, rates, below), 2.0 * rates.packet_rate, 1e-12);
+    const State at_onset{3, 0, 2, 0};
+    EXPECT_NEAR(offered_packet_rate(p, rates, at_onset), 2.0 * rates.packet_rate, 1e-12);
+
+    // Above the onset: min(full, service). With n = 3 only one channel is
+    // free, so service = 1 * mu_service < 2 * lambda_packet here.
+    const State above{4, 3, 2, 0};
+    const double service = 1.0 * rates.service_rate;
+    EXPECT_NEAR(offered_packet_rate(p, rates, above),
+                std::min(2.0 * rates.packet_rate, service), 1e-12);
+
+    // Full buffer: offered traffic still counted, but nothing is accepted.
+    const State full{5, 0, 2, 0};
+    EXPECT_GT(offered_packet_rate(p, rates, full), 0.0);
+    EXPECT_DOUBLE_EQ(accepted_packet_rate(p, rates, full), 0.0);
+}
+
+TEST(Transitions, NoFlowControlWhenEtaIsOne) {
+    Parameters p = small_config();
+    p.flow_control_threshold = 1.0;
+    ModelRates rates = balance_handover(p).rates;
+    // Unthrottled at every buffer level below K.
+    for (int k = 0; k < p.buffer_capacity; ++k) {
+        const State s{k, 3, 2, 0};
+        EXPECT_NEAR(offered_packet_rate(p, rates, s), 2.0 * rates.packet_rate, 1e-12)
+            << "k = " << k;
+    }
+}
+
+TEST(Transitions, OffSourcesGenerateNothing) {
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+    const State all_off{0, 0, 2, 2};
+    EXPECT_DOUBLE_EQ(offered_packet_rate(p, rates, all_off), 0.0);
+    EXPECT_DOUBLE_EQ(accepted_packet_rate(p, rates, all_off), 0.0);
+}
+
+/// Collects the outgoing transition map of a state.
+std::map<Key, double> outgoing_map(const Parameters& p, const ModelRates& rates,
+                                   const State& s) {
+    std::map<Key, double> map;
+    for_each_outgoing(p, rates, s, [&](const State& succ, double rate) {
+        map[key(succ)] += rate;
+    });
+    return map;
+}
+
+TEST(Transitions, Table1RowsFromEmptyState) {
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+    const auto map = outgoing_map(p, rates, State{0, 0, 0, 0});
+
+    // From (0,0,0,0): GSM arrival, GPRS arrival (ON or OFF start) — nothing
+    // else is possible.
+    ASSERT_EQ(map.size(), 3u);
+    EXPECT_NEAR(map.at(Key{0, 1, 0, 0}), rates.gsm_arrival, 1e-12);
+    const double p_on = rates.on_admission_probability();
+    EXPECT_NEAR(map.at(Key{0, 0, 1, 0}), p_on * rates.gprs_arrival, 1e-12);
+    EXPECT_NEAR(map.at(Key{0, 0, 1, 1}), (1.0 - p_on) * rates.gprs_arrival, 1e-12);
+}
+
+TEST(Transitions, Table1RowsFromInteriorState) {
+    const Parameters p = small_config();  // N=4, N_GSM=3, M=3, K=5
+    const ModelRates rates = balance_handover(p).rates;
+    const State s{2, 1, 2, 1};  // k=2, n=1, m=2, r=1
+    const auto map = outgoing_map(p, rates, s);
+
+    // GSM arrival and departure.
+    EXPECT_NEAR(map.at(Key{2, 2, 2, 1}), rates.gsm_arrival, 1e-12);
+    EXPECT_NEAR(map.at(Key{2, 0, 2, 1}), 1.0 * rates.gsm_departure, 1e-12);
+    // GPRS arrival split.
+    const double p_on = rates.on_admission_probability();
+    EXPECT_NEAR(map.at(Key{2, 1, 3, 1}), p_on * rates.gprs_arrival, 1e-12);
+    EXPECT_NEAR(map.at(Key{2, 1, 3, 2}), (1.0 - p_on) * rates.gprs_arrival, 1e-12);
+    // GPRS departure: ON leaves (m-r = 1) keeps r, OFF leaves (r = 1) drops r.
+    EXPECT_NEAR(map.at(Key{2, 1, 1, 1}), 1.0 * rates.gprs_departure, 1e-12);
+    EXPECT_NEAR(map.at(Key{2, 1, 1, 0}), 1.0 * rates.gprs_departure, 1e-12);
+    // Packet arrival: one ON source, below onset (floor(0.7*5) = 3).
+    EXPECT_NEAR(map.at(Key{3, 1, 2, 1}), 1.0 * rates.packet_rate, 1e-12);
+    // Packet service: min(N-n, 8k) = min(3, 16) = 3 channels.
+    EXPECT_NEAR(map.at(Key{1, 1, 2, 1}), 3.0 * rates.service_rate, 1e-12);
+    // MMPP flips: ON->OFF at (m-r) a, OFF->ON at r b.
+    EXPECT_NEAR(map.at(Key{2, 1, 2, 2}), 1.0 * rates.on_to_off, 1e-12);
+    EXPECT_NEAR(map.at(Key{2, 1, 2, 0}), 1.0 * rates.off_to_on, 1e-12);
+    EXPECT_EQ(map.size(), 10u);
+}
+
+TEST(Transitions, BoundaryConditionsRespectTable1) {
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+
+    // n at N_GSM: no further GSM arrivals.
+    const auto at_gsm_cap = outgoing_map(p, rates, State{0, 3, 0, 0});
+    EXPECT_EQ(at_gsm_cap.count(Key{0, 4, 0, 0}), 0u);
+
+    // m at M: no further GPRS arrivals.
+    const auto at_m_cap = outgoing_map(p, rates, State{0, 0, 3, 0});
+    EXPECT_EQ(at_m_cap.count(Key{0, 0, 4, 0}), 0u);
+
+    // k at K: no packet-arrival transition even with ON sources.
+    const auto at_k_cap = outgoing_map(p, rates, State{5, 0, 1, 0});
+    EXPECT_EQ(at_k_cap.count(Key{6, 0, 1, 0}), 0u);
+
+    // r = 0: no OFF->ON flip; r = m: no ON->OFF flip.
+    const auto r_zero = outgoing_map(p, rates, State{0, 0, 2, 0});
+    EXPECT_EQ(r_zero.count(Key{0, 0, 2, -1}), 0u);
+    const auto r_full = outgoing_map(p, rates, State{0, 0, 2, 2});
+    EXPECT_EQ(r_full.count(Key{0, 0, 2, 3}), 0u);
+}
+
+TEST(Transitions, IncomingIsExactInverseOfOutgoing) {
+    // Build the full transition multimap both ways and compare. This is the
+    // strongest structural check: every Table 1 row and its hand-derived
+    // inverse must agree entry for entry.
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+    const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
+
+    std::map<std::pair<Key, Key>, double> forward;
+    std::map<std::pair<Key, Key>, double> backward;
+    space.for_each([&](const State& s, ctmc::index_type) {
+        for_each_outgoing(p, rates, s, [&](const State& succ, double rate) {
+            if (rate > 0.0) {
+                forward[{key(s), key(succ)}] += rate;
+            }
+        });
+        for_each_incoming(p, rates, s, [&](const State& pred, double rate) {
+            if (rate > 0.0) {
+                backward[{key(pred), key(s)}] += rate;
+            }
+        });
+    });
+
+    ASSERT_EQ(forward.size(), backward.size());
+    for (const auto& [edge, rate] : forward) {
+        const auto it = backward.find(edge);
+        ASSERT_NE(it, backward.end())
+            << "edge missing in incoming view: (" << std::get<0>(edge.first) << ","
+            << std::get<1>(edge.first) << "," << std::get<2>(edge.first) << ","
+            << std::get<3>(edge.first) << ") -> ...";
+        EXPECT_NEAR(it->second, rate, 1e-13);
+    }
+}
+
+TEST(Transitions, ExitRateMatchesSumOfOutgoing) {
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+    const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
+    space.for_each([&](const State& s, ctmc::index_type) {
+        double sum = 0.0;
+        for_each_outgoing(p, rates, s, [&](const State&, double rate) { sum += rate; });
+        EXPECT_NEAR(total_exit_rate(p, rates, s), sum, 1e-13);
+    });
+}
+
+TEST(Transitions, SuccessorsStayInsideStateSpace) {
+    const Parameters p = small_config();
+    const ModelRates rates = balance_handover(p).rates;
+    const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
+    space.for_each([&](const State& s, ctmc::index_type) {
+        for_each_outgoing(p, rates, s, [&](const State& succ, double) {
+            EXPECT_GE(succ.buffer, 0);
+            EXPECT_LE(succ.buffer, p.buffer_capacity);
+            EXPECT_GE(succ.gsm_calls, 0);
+            EXPECT_LE(succ.gsm_calls, p.gsm_channels());
+            EXPECT_GE(succ.gprs_sessions, 0);
+            EXPECT_LE(succ.gprs_sessions, p.max_gprs_sessions);
+            EXPECT_GE(succ.off_sessions, 0);
+            EXPECT_LE(succ.off_sessions, succ.gprs_sessions);
+        });
+    });
+}
+
+}  // namespace
+}  // namespace gprsim::core

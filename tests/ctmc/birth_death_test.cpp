@@ -1,0 +1,64 @@
+#include "ctmc/birth_death.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gprsim::ctmc {
+namespace {
+
+TEST(BirthDeath, SingleStateWhenNoRates) {
+    const std::vector<double> pi = birth_death_distribution({}, {});
+    ASSERT_EQ(pi.size(), 1u);
+    EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(BirthDeath, Mm1GeometricShape) {
+    // M/M/1/K truncates the geometric distribution: pi_k ∝ rho^k.
+    const double rho = 0.5;
+    const std::vector<double> birth(4, rho);
+    const std::vector<double> death(4, 1.0);
+    const std::vector<double> pi = birth_death_distribution(birth, death);
+    for (std::size_t k = 1; k < pi.size(); ++k) {
+        EXPECT_NEAR(pi[k] / pi[k - 1], rho, 1e-14);
+    }
+    double sum = 0.0;
+    for (double v : pi) {
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(BirthDeath, ExtremeSkewStaysFinite) {
+    // Loss probability ~1e-40 must not underflow to nonsense.
+    const std::vector<double> birth(20, 1e-2);
+    const std::vector<double> death(20, 1e2);
+    const std::vector<double> pi = birth_death_distribution(birth, death);
+    EXPECT_NEAR(pi[0], 1.0, 1e-4);
+    EXPECT_GT(pi[20], 0.0);
+    EXPECT_NEAR(std::log10(pi[20]), -80.0, 1.0);
+}
+
+TEST(BirthDeath, ZeroBirthRateTruncatesChain) {
+    const std::vector<double> birth{1.0, 0.0, 1.0};
+    const std::vector<double> death{1.0, 1.0, 1.0};
+    const std::vector<double> pi = birth_death_distribution(birth, death);
+    EXPECT_GT(pi[0], 0.0);
+    EXPECT_GT(pi[1], 0.0);
+    EXPECT_DOUBLE_EQ(pi[2], 0.0);
+    EXPECT_DOUBLE_EQ(pi[3], 0.0);
+}
+
+TEST(BirthDeath, RejectsInvalidRates) {
+    const std::vector<double> one{1.0};
+    const std::vector<double> zero{0.0};
+    const std::vector<double> negative{-1.0};
+    const std::vector<double> two{1.0, 1.0};
+    EXPECT_THROW(birth_death_distribution(one, zero), std::invalid_argument);
+    EXPECT_THROW(birth_death_distribution(negative, one), std::invalid_argument);
+    EXPECT_THROW(birth_death_distribution(two, one), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::ctmc

@@ -1,0 +1,74 @@
+#include "ctmc/gth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ctmc/birth_death.hpp"
+#include "ctmc/sparse_matrix.hpp"
+
+namespace gprsim::ctmc {
+namespace {
+
+TEST(Gth, TwoStateChainMatchesHandComputation) {
+    // 0 -> 1 at rate 2, 1 -> 0 at rate 3: pi = (3/5, 2/5).
+    std::vector<double> rates{0.0, 2.0, 3.0, 0.0};
+    const std::vector<double> pi = solve_gth_dense(std::move(rates), 2);
+    EXPECT_NEAR(pi[0], 0.6, 1e-14);
+    EXPECT_NEAR(pi[1], 0.4, 1e-14);
+}
+
+TEST(Gth, MatchesBirthDeathClosedFormOnMm1k) {
+    // M/M/1/5 with lambda = 0.8, mu = 1.0.
+    const int capacity = 5;
+    std::vector<double> dense(36, 0.0);
+    for (int k = 0; k < capacity; ++k) {
+        dense[static_cast<std::size_t>(k) * 6 + static_cast<std::size_t>(k) + 1] = 0.8;
+        dense[(static_cast<std::size_t>(k) + 1) * 6 + static_cast<std::size_t>(k)] = 1.0;
+    }
+    const std::vector<double> pi = solve_gth_dense(std::move(dense), 6);
+
+    const std::vector<double> birth(5, 0.8);
+    const std::vector<double> death(5, 1.0);
+    const std::vector<double> expected = birth_death_distribution(birth, death);
+    for (int k = 0; k <= capacity; ++k) {
+        EXPECT_NEAR(pi[static_cast<std::size_t>(k)], expected[static_cast<std::size_t>(k)],
+                    1e-13);
+    }
+}
+
+TEST(Gth, HandlesStiffChains) {
+    // Rates spanning 12 orders of magnitude: GTH stays exact because it
+    // never subtracts.
+    std::vector<double> rates{0.0, 1e-6, 1e6, 0.0};
+    const std::vector<double> pi = solve_gth_dense(std::move(rates), 2);
+    // pi_1 / pi_0 = 1e-6 / 1e6 = 1e-12.
+    EXPECT_NEAR(pi[1] / pi[0], 1e-12, 1e-24);
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-15);
+}
+
+TEST(Gth, SparseOverloadMatchesDense) {
+    // Small cyclic chain 0 -> 1 -> 2 -> 0 with distinct rates.
+    const SparseMatrix q = SparseMatrix::from_triplets(
+        3, 3,
+        {{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}, {0, 0, -1.0}, {1, 1, -2.0}, {2, 2, -3.0}});
+    const std::vector<double> pi = solve_gth(q);
+    // Flow balance: pi_0 * 1 = pi_1 * 2 = pi_2 * 3.
+    EXPECT_NEAR(pi[0] * 1.0, pi[1] * 2.0, 1e-14);
+    EXPECT_NEAR(pi[1] * 2.0, pi[2] * 3.0, 1e-14);
+}
+
+TEST(Gth, RejectsReducibleChain) {
+    // State 1 is absorbing: elimination hits a zero pivot.
+    std::vector<double> rates{0.0, 1.0, 0.0, 0.0};
+    EXPECT_THROW(solve_gth_dense(std::move(rates), 2), std::runtime_error);
+}
+
+TEST(Gth, RejectsBadDimensions) {
+    EXPECT_THROW(solve_gth_dense({1.0, 2.0}, 3), std::invalid_argument);
+    EXPECT_THROW(solve_gth_dense({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::ctmc

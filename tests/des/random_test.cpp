@@ -1,0 +1,123 @@
+#include "des/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gprsim::des {
+namespace {
+
+constexpr int kSamples = 200000;
+
+TEST(RandomStream, UniformMomentsAndRange) {
+    RandomStream rng(12345);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GT(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(RandomStream, ExponentialMeanAndVariance) {
+    RandomStream rng(99);
+    const double target_mean = 7.5;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.exponential(target_mean);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, target_mean, 0.15);
+    // Exponential: var = mean^2.
+    EXPECT_NEAR(var / (target_mean * target_mean), 1.0, 0.05);
+}
+
+TEST(RandomStream, GeometricCountMeanAndSupport) {
+    RandomStream rng(7);
+    const double target_mean = 25.0;  // N_d of the 3GPP model
+    double sum = 0.0;
+    int minimum = 1 << 30;
+    for (int i = 0; i < kSamples; ++i) {
+        const int x = rng.geometric_count(target_mean);
+        ASSERT_GE(x, 1);
+        minimum = std::min(minimum, x);
+        sum += x;
+    }
+    EXPECT_EQ(minimum, 1);
+    EXPECT_NEAR(sum / kSamples, target_mean, 0.5);
+}
+
+TEST(RandomStream, GeometricCountMeanOneIsDegenerate) {
+    RandomStream rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.geometric_count(1.0), 1);
+    }
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+    RandomStream rng(11);
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        if (rng.bernoulli(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RandomStream, UniformIntCoversRange) {
+    RandomStream rng(17);
+    std::vector<int> counts(6, 0);
+    for (int i = 0; i < 60000; ++i) {
+        const int v = rng.uniform_int(0, 5);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, 5);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c, 10000, 500);
+    }
+}
+
+TEST(RandomStream, SameSeedSameStreamReproduces) {
+    RandomStream a(42, 3);
+    RandomStream b(42, 3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(RandomStream, DifferentStreamsDiffer) {
+    RandomStream a(42, 0);
+    RandomStream b(42, 1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomStream, RejectsInvalidParameters) {
+    RandomStream rng(1);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.geometric_count(0.5), std::invalid_argument);
+    EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+    EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::des

@@ -1,0 +1,110 @@
+#include "des/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gprsim::des {
+namespace {
+
+TEST(Simulation, ExecutesEventsInTimeOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+    EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulation, SimultaneousEventsFireInScheduleOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.schedule(1.0, [&, i] { order.push_back(i); });
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+    Simulation sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10) {
+            sim.schedule(1.0, chain);
+        }
+    };
+    sim.schedule(1.0, chain);
+    sim.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+    Simulation sim;
+    bool fired = false;
+    const EventHandle handle = sim.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(handle));
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulation, CancelInvalidHandleIsNoOp) {
+    Simulation sim;
+    EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulation, RunUntilAdvancesClockToHorizon) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(5.0, [&] { ++fired; });
+    sim.run_until(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    sim.run_until(10.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, StopEndsRunEarly) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2.0, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    // A fresh run() resumes with the remaining events.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, PendingCountExcludesCancelled) {
+    Simulation sim;
+    sim.schedule(1.0, [] {});
+    const EventHandle h = sim.schedule(2.0, [] {});
+    EXPECT_EQ(sim.events_pending(), 2u);
+    sim.cancel(h);
+    EXPECT_EQ(sim.events_pending(), 1u);
+}
+
+TEST(Simulation, RejectsInvalidScheduling) {
+    Simulation sim;
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule_at(-0.5, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule(1.0, EventCallback{}), std::invalid_argument);
+    sim.schedule(5.0, [] {});
+    sim.run_until(5.0);
+    EXPECT_THROW(sim.run_until(4.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::des

@@ -1,0 +1,111 @@
+#include "des/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/random.hpp"
+
+namespace gprsim::des {
+namespace {
+
+TEST(Welford, MeanAndVarianceMatchDirectComputation) {
+    Welford w;
+    const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double v : values) {
+        w.add(v);
+    }
+    EXPECT_EQ(w.count(), 8u);
+    EXPECT_NEAR(w.mean(), 5.0, 1e-12);
+    // Sample variance of the classic dataset: 32/7.
+    EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Welford, SingleSampleHasZeroVariance) {
+    Welford w;
+    w.add(3.0);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+    TimeWeighted tw(0.0, 0.0);
+    tw.update(1.0, 2.0);  // value 0 on [0,1), 2 on [1,3), 4 on [3,4]
+    tw.update(3.0, 4.0);
+    EXPECT_NEAR(tw.mean(4.0), (0.0 * 1.0 + 2.0 * 2.0 + 4.0 * 1.0) / 4.0, 1e-12);
+}
+
+TEST(TimeWeighted, RestartOpensNewWindow) {
+    TimeWeighted tw(0.0, 1.0);
+    tw.update(2.0, 3.0);
+    const double first = tw.restart(4.0);
+    EXPECT_NEAR(first, (1.0 * 2.0 + 3.0 * 2.0) / 4.0, 1e-12);
+    // New window starts at t=4 with the current value 3.
+    EXPECT_NEAR(tw.mean(6.0), 3.0, 1e-12);
+}
+
+TEST(TimeWeighted, RejectsTimeTravel) {
+    TimeWeighted tw(1.0, 0.0);
+    tw.update(2.0, 1.0);
+    EXPECT_THROW(tw.update(1.5, 2.0), std::invalid_argument);
+}
+
+TEST(StudentT, KnownQuantiles) {
+    EXPECT_NEAR(student_t_quantile(1, 0.95), 12.706, 1e-3);
+    EXPECT_NEAR(student_t_quantile(10, 0.95), 2.228, 1e-3);
+    EXPECT_NEAR(student_t_quantile(30, 0.95), 2.042, 1e-3);
+    EXPECT_NEAR(student_t_quantile(1000, 0.95), 1.960, 1e-3);
+    EXPECT_NEAR(student_t_quantile(5, 0.99), 4.032, 1e-3);
+    EXPECT_NEAR(student_t_quantile(20, 0.90), 1.725, 1e-3);
+    EXPECT_THROW(student_t_quantile(0, 0.95), std::invalid_argument);
+    EXPECT_THROW(student_t_quantile(5, 0.80), std::invalid_argument);
+}
+
+TEST(BatchMeans, IntervalShrinksWithMoreBatches) {
+    RandomStream rng(5);
+    BatchMeans few;
+    BatchMeans many;
+    for (int i = 0; i < 5; ++i) {
+        few.add_batch(rng.exponential(1.0));
+    }
+    RandomStream rng2(5);
+    for (int i = 0; i < 50; ++i) {
+        many.add_batch(rng2.exponential(1.0));
+    }
+    EXPECT_GT(few.half_width(), 0.0);
+    EXPECT_LT(many.half_width(), few.half_width());
+}
+
+TEST(BatchMeans, CoversTrueMeanTypically) {
+    // 95% CI over batches of i.i.d. exponentials should cover the true mean
+    // in the vast majority of replications.
+    int covered = 0;
+    const int reps = 200;
+    for (int rep = 0; rep < reps; ++rep) {
+        RandomStream rng(static_cast<std::uint64_t>(rep) + 1);
+        BatchMeans bm;
+        for (int b = 0; b < 20; ++b) {
+            Welford batch;
+            for (int i = 0; i < 50; ++i) {
+                batch.add(rng.exponential(2.0));
+            }
+            bm.add_batch(batch.mean());
+        }
+        if (bm.covers(2.0)) {
+            ++covered;
+        }
+    }
+    // Expected ~190/200; allow generous slack to stay deterministic.
+    EXPECT_GE(covered, 175);
+}
+
+TEST(BatchMeans, FewerThanTwoBatchesHasZeroWidth) {
+    BatchMeans bm;
+    EXPECT_DOUBLE_EQ(bm.half_width(), 0.0);
+    bm.add_batch(1.0);
+    EXPECT_DOUBLE_EQ(bm.half_width(), 0.0);
+    EXPECT_TRUE(bm.covers(1.0));
+}
+
+}  // namespace
+}  // namespace gprsim::des

@@ -1,0 +1,70 @@
+// End-to-end check of the matrix-free solve path: forcing a zero memory
+// budget must route GprsModel through the on-the-fly operator and produce
+// the same measures as the CSR path (used for the 22M-state Fig. 10 chain,
+// where this path is the only option).
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+
+namespace gprsim {
+namespace {
+
+core::Parameters small_parameters() {
+    core::Parameters p = core::Parameters::base();
+    p.total_channels = 5;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 8;
+    p.max_gprs_sessions = 3;
+    p.call_arrival_rate = 0.4;
+    p.gprs_fraction = 0.3;
+    p.traffic.mean_packet_calls = 3.0;
+    p.traffic.mean_packets_per_call = 6.0;
+    p.traffic.mean_packet_interarrival = 0.4;
+    p.traffic.mean_reading_time = 6.0;
+    return p;
+}
+
+TEST(MatrixFreePath, ProducesSameMeasuresAsCsr) {
+    const core::Parameters p = small_parameters();
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-11;
+
+    core::GprsModel csr(p);
+    csr.solve(options);
+    ASSERT_FALSE(csr.used_matrix_free());
+    const core::Measures m_csr = csr.measures();
+
+    core::GprsModel free(p);
+    free.set_memory_budget(0);  // force the matrix-free route
+    free.solve(options);
+    ASSERT_TRUE(free.used_matrix_free());
+    const core::Measures m_free = free.measures();
+
+    EXPECT_NEAR(m_free.carried_data_traffic, m_csr.carried_data_traffic, 1e-8);
+    EXPECT_NEAR(m_free.packet_loss_probability, m_csr.packet_loss_probability, 1e-8);
+    EXPECT_NEAR(m_free.queueing_delay, m_csr.queueing_delay, 1e-7);
+    EXPECT_NEAR(m_free.mean_queue_length, m_csr.mean_queue_length, 1e-7);
+    EXPECT_NEAR(m_free.throughput_per_user_kbps, m_csr.throughput_per_user_kbps, 1e-7);
+}
+
+TEST(MatrixFreePath, DistributionsAgreeStateByState) {
+    const core::Parameters p = small_parameters();
+    ctmc::SolveOptions options;
+    options.tolerance = 1e-12;
+
+    core::GprsModel csr(p);
+    csr.solve(options);
+    core::GprsModel free(p);
+    free.set_memory_budget(0);
+    free.solve(options);
+
+    const auto& a = csr.distribution();
+    const auto& b = free.distribution();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace gprsim

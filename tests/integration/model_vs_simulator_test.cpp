@@ -1,0 +1,108 @@
+// The paper's Section 5.2 methodology as an automated test: the Markov
+// model's measures must fall inside (or near) the detailed simulator's 95%
+// confidence intervals on a configuration small enough to run in seconds.
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "sim/simulator.hpp"
+
+namespace gprsim {
+namespace {
+
+/// Downsized joint configuration: one shared Parameters value drives both
+/// the chain and the simulator, exactly as in the paper's validation.
+core::Parameters joint_parameters() {
+    core::Parameters p = core::Parameters::base();
+    p.total_channels = 6;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 15;
+    p.max_gprs_sessions = 5;
+    p.call_arrival_rate = 0.25;
+    p.gprs_fraction = 0.3;
+    p.mean_gsm_call_duration = 60.0;
+    p.mean_gsm_dwell_time = 60.0;
+    p.mean_gprs_dwell_time = 60.0;
+    // Busy on/off data source (heavy-load traffic model 3 in miniature).
+    p.traffic.mean_packet_calls = 8.0;
+    p.traffic.mean_packets_per_call = 12.0;
+    p.traffic.mean_packet_interarrival = 0.3;
+    p.traffic.mean_reading_time = 4.0;
+    return p;
+}
+
+sim::SimulationConfig simulator_config(const core::Parameters& p) {
+    sim::SimulationConfig config;
+    config.cell = p;
+    config.seed = 20010401;
+    config.warmup_time = 3000.0;
+    config.batch_count = 20;
+    config.batch_duration = 3000.0;
+    config.tcp_enabled = false;  // matches the chain's eta = 1 setting
+    return config;
+}
+
+TEST(ModelVsSimulator, OpenLoopMeasuresAgreeWithinConfidenceBands) {
+    core::Parameters p = joint_parameters();
+    p.flow_control_threshold = 1.0;  // no flow control on either side
+
+    core::GprsModel model(p);
+    const core::Measures analytic = model.measures();
+
+    const sim::SimulationResults simulated =
+        sim::NetworkSimulator(simulator_config(p)).run();
+
+    // The chain idealizes service as exponential-fluid while the simulator
+    // transmits padded TDMA blocks, so we allow 3 half-widths plus a small
+    // absolute slack rather than demanding strict CI membership.
+    const auto close = [](double value, const sim::MetricEstimate& est, double slack) {
+        return value >= est.mean - 3.0 * est.half_width - slack &&
+               value <= est.mean + 3.0 * est.half_width + slack;
+    };
+
+    EXPECT_TRUE(close(analytic.carried_data_traffic, simulated.carried_data_traffic, 0.25))
+        << "CDT: model " << analytic.carried_data_traffic << " vs sim ["
+        << simulated.carried_data_traffic.lower() << ", "
+        << simulated.carried_data_traffic.upper() << "]";
+
+    EXPECT_TRUE(close(analytic.average_gprs_sessions, simulated.average_gprs_sessions, 0.2))
+        << "AGS: model " << analytic.average_gprs_sessions << " vs sim ["
+        << simulated.average_gprs_sessions.lower() << ", "
+        << simulated.average_gprs_sessions.upper() << "]";
+
+    EXPECT_TRUE(close(analytic.carried_voice_traffic, simulated.carried_voice_traffic, 0.15))
+        << "CVT: model " << analytic.carried_voice_traffic << " vs sim ["
+        << simulated.carried_voice_traffic.lower() << ", "
+        << simulated.carried_voice_traffic.upper() << "]";
+
+    EXPECT_TRUE(close(analytic.gsm_blocking, simulated.gsm_blocking, 0.02))
+        << "GSM blocking: model " << analytic.gsm_blocking << " vs sim ["
+        << simulated.gsm_blocking.lower() << ", " << simulated.gsm_blocking.upper() << "]";
+
+    // Loss probabilities are the paper's "sensitive measure": compare within
+    // a generous band (both are small but must have the same magnitude).
+    EXPECT_TRUE(close(analytic.packet_loss_probability, simulated.packet_loss_probability,
+                      0.03))
+        << "PLP: model " << analytic.packet_loss_probability << " vs sim ["
+        << simulated.packet_loss_probability.lower() << ", "
+        << simulated.packet_loss_probability.upper() << "]";
+}
+
+TEST(ModelVsSimulator, ThroughputPerUserAgrees) {
+    core::Parameters p = joint_parameters();
+    p.flow_control_threshold = 1.0;
+
+    core::GprsModel model(p);
+    const core::Measures analytic = model.measures();
+    const sim::SimulationResults simulated =
+        sim::NetworkSimulator(simulator_config(p)).run();
+
+    // ATU within 20% relative (TDMA padding costs the simulator ~5-10%).
+    EXPECT_NEAR(simulated.throughput_per_user_kbps.mean, analytic.throughput_per_user_kbps,
+                0.2 * analytic.throughput_per_user_kbps +
+                    3.0 * simulated.throughput_per_user_kbps.half_width)
+        << "model " << analytic.throughput_per_user_kbps << " sim "
+        << simulated.throughput_per_user_kbps.mean;
+}
+
+}  // namespace
+}  // namespace gprsim

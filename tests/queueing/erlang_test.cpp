@@ -1,0 +1,92 @@
+#include "queueing/erlang.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gprsim::queueing {
+namespace {
+
+TEST(ErlangB, TextbookValues) {
+    // Classic Erlang-B table entries.
+    EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+    EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+    // A = 10 Erlang, c = 10 servers: B ~ 0.21458.
+    EXPECT_NEAR(erlang_b(10.0, 10), 0.21458, 1e-4);
+    // A = 5, c = 10: B ~ 0.018385.
+    EXPECT_NEAR(erlang_b(5.0, 10), 0.018385, 1e-5);
+}
+
+TEST(ErlangB, ZeroServersAlwaysBlocks) { EXPECT_DOUBLE_EQ(erlang_b(3.0, 0), 1.0); }
+
+TEST(ErlangB, ZeroLoadNeverBlocks) { EXPECT_DOUBLE_EQ(erlang_b(0.0, 4), 0.0); }
+
+TEST(ErlangB, MonotoneInLoadAndServers) {
+    EXPECT_LT(erlang_b(4.0, 10), erlang_b(6.0, 10));
+    EXPECT_GT(erlang_b(6.0, 5), erlang_b(6.0, 10));
+}
+
+TEST(ErlangB, HandlesHugeLoadsWithoutOverflow) {
+    const double b = erlang_b(1e6, 100);
+    EXPECT_GT(b, 0.99);
+    EXPECT_LE(b, 1.0);
+}
+
+TEST(ErlangC, KnownValueAndLimits) {
+    // A = 2, c = 3: C ~ 0.44444... Actually C(3,2) = 4/9.
+    EXPECT_NEAR(erlang_c(2.0, 3), 4.0 / 9.0, 1e-10);
+    // Overload: waiting with certainty.
+    EXPECT_DOUBLE_EQ(erlang_c(5.0, 3), 1.0);
+    EXPECT_DOUBLE_EQ(erlang_c(1.0, 0), 1.0);
+}
+
+TEST(ErlangC, AtLeastErlangB) {
+    for (double a : {0.5, 2.0, 7.5}) {
+        for (int c : {2, 5, 10}) {
+            if (a < c) {
+                EXPECT_GE(erlang_c(a, c), erlang_b(a, c));
+            }
+        }
+    }
+}
+
+TEST(MmccDistribution, MatchesTruncatedPoissonShape) {
+    const double rho = 3.0;
+    const std::vector<double> pi = mmcc_distribution(rho, 5);
+    ASSERT_EQ(pi.size(), 6u);
+    for (std::size_t n = 1; n < pi.size(); ++n) {
+        EXPECT_NEAR(pi[n] / pi[n - 1], rho / static_cast<double>(n), 1e-12);
+    }
+    double sum = 0.0;
+    for (double v : pi) {
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MmccDistribution, LastStateIsErlangB) {
+    const double rho = 4.2;
+    const int c = 7;
+    const std::vector<double> pi = mmcc_distribution(rho, c);
+    EXPECT_NEAR(pi[static_cast<std::size_t>(c)], erlang_b(rho, c), 1e-12);
+}
+
+TEST(MmccCarriedLoad, EqualsMeanOfDistribution) {
+    const double rho = 2.5;
+    const int c = 6;
+    const std::vector<double> pi = mmcc_distribution(rho, c);
+    double mean = 0.0;
+    for (int n = 0; n <= c; ++n) {
+        mean += static_cast<double>(n) * pi[static_cast<std::size_t>(n)];
+    }
+    EXPECT_NEAR(mmcc_carried_load(rho, c), mean, 1e-12);
+}
+
+TEST(ErlangB, RejectsInvalidArguments) {
+    EXPECT_THROW(erlang_b(-1.0, 3), std::invalid_argument);
+    EXPECT_THROW(erlang_b(1.0, -3), std::invalid_argument);
+    EXPECT_THROW(mmcc_distribution(-0.1, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::queueing

@@ -1,0 +1,70 @@
+#include "queueing/handover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/erlang.hpp"
+
+namespace gprsim::queueing {
+namespace {
+
+TEST(HandoverBalance, FixedPointSatisfiesBalanceEquation) {
+    const double lambda = 0.5;
+    const double mu = 1.0 / 120.0;
+    const double mu_h = 1.0 / 60.0;
+    const int servers = 19;
+    const HandoverBalance balance = balance_handover_flow(lambda, mu, mu_h, servers);
+    ASSERT_TRUE(balance.converged);
+
+    // lambda_h = mu_h * carried(rho) must hold at the fixed point.
+    const double carried = mmcc_carried_load(balance.offered_load, servers);
+    EXPECT_NEAR(balance.handover_arrival_rate, mu_h * carried, 1e-9);
+    // rho must be consistent with the flows.
+    EXPECT_NEAR(balance.offered_load,
+                (lambda + balance.handover_arrival_rate) / (mu + mu_h), 1e-12);
+}
+
+TEST(HandoverBalance, NoMobilityMeansNoHandoverFlow) {
+    const HandoverBalance balance = balance_handover_flow(0.3, 0.01, 0.0, 10);
+    ASSERT_TRUE(balance.converged);
+    EXPECT_DOUBLE_EQ(balance.handover_arrival_rate, 0.0);
+    EXPECT_NEAR(balance.offered_load, 0.3 / 0.01, 1e-12);
+}
+
+TEST(HandoverBalance, LightLoadApproximation) {
+    // With negligible blocking, rho * mu = lambda must (almost) hold:
+    // the handover flow only redistributes users, it does not create them.
+    const double lambda = 0.001;
+    const double mu = 1.0 / 100.0;
+    const double mu_h = 1.0 / 50.0;
+    const HandoverBalance balance = balance_handover_flow(lambda, mu, mu_h, 50);
+    ASSERT_TRUE(balance.converged);
+    EXPECT_NEAR(balance.offered_load * mu, lambda, 1e-6);
+}
+
+TEST(HandoverBalance, FasterMobilityIncreasesHandoverFlow) {
+    const HandoverBalance slow = balance_handover_flow(0.5, 1.0 / 120.0, 1.0 / 120.0, 19);
+    const HandoverBalance fast = balance_handover_flow(0.5, 1.0 / 120.0, 1.0 / 30.0, 19);
+    EXPECT_GT(fast.handover_arrival_rate, slow.handover_arrival_rate);
+}
+
+TEST(HandoverBalance, MatchesPaperMagnitude) {
+    // Paper Section 5.3: with traffic model 1 at 1 call/s and 5% GPRS users,
+    // the GPRS handover rate is "about 0.3 handover requests per second"
+    // (dwell 120 s, session duration 2122.5 s, M = 50).
+    const double lambda = 0.05;
+    const double mu = 1.0 / 2122.5;
+    const double mu_h = 1.0 / 120.0;
+    const HandoverBalance balance = balance_handover_flow(lambda, mu, mu_h, 50);
+    ASSERT_TRUE(balance.converged);
+    EXPECT_NEAR(balance.handover_arrival_rate, 0.3, 0.1);
+}
+
+TEST(HandoverBalance, RejectsInvalidArguments) {
+    EXPECT_THROW(balance_handover_flow(-0.1, 1.0, 1.0, 5), std::invalid_argument);
+    EXPECT_THROW(balance_handover_flow(0.1, 0.0, 1.0, 5), std::invalid_argument);
+    EXPECT_THROW(balance_handover_flow(0.1, 1.0, -1.0, 5), std::invalid_argument);
+    EXPECT_THROW(balance_handover_flow(0.1, 1.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::queueing

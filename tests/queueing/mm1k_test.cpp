@@ -1,0 +1,66 @@
+#include "queueing/mm1k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gprsim::queueing {
+namespace {
+
+TEST(Mm1k, MatchesClosedFormGeometric) {
+    const double lambda = 0.5;
+    const double mu = 1.0;
+    const int capacity = 10;
+    const FiniteQueueMetrics metrics = mm1k(lambda, mu, capacity);
+
+    // pi_k = (1 - rho) rho^k / (1 - rho^{K+1}).
+    const double rho = lambda / mu;
+    const double norm = (1.0 - std::pow(rho, capacity + 1)) / (1.0 - rho);
+    for (int k = 0; k <= capacity; ++k) {
+        EXPECT_NEAR(metrics.distribution[static_cast<std::size_t>(k)],
+                    std::pow(rho, k) / norm, 1e-12);
+    }
+}
+
+TEST(Mm1k, LossProbabilityIsLastState) {
+    const FiniteQueueMetrics metrics = mm1k(2.0, 1.0, 5);
+    EXPECT_DOUBLE_EQ(metrics.loss_probability, metrics.distribution[5]);
+    EXPECT_GT(metrics.loss_probability, 0.3);  // overloaded queue loses a lot
+}
+
+TEST(Mm1k, LittleLawConsistency) {
+    const FiniteQueueMetrics metrics = mm1k(0.7, 1.0, 8);
+    EXPECT_NEAR(metrics.mean_delay * metrics.throughput, metrics.mean_queue_length, 1e-12);
+}
+
+TEST(Mm1k, CriticallyLoadedIsUniform) {
+    // rho = 1: all states equally likely.
+    const FiniteQueueMetrics metrics = mm1k(1.0, 1.0, 4);
+    for (int k = 0; k <= 4; ++k) {
+        EXPECT_NEAR(metrics.distribution[static_cast<std::size_t>(k)], 0.2, 1e-12);
+    }
+}
+
+TEST(Mmck, ReducesToMm1kWithOneServer) {
+    const FiniteQueueMetrics a = mm1k(0.6, 1.2, 6);
+    const FiniteQueueMetrics b = mmck(0.6, 1.2, 1, 6);
+    for (std::size_t k = 0; k < a.distribution.size(); ++k) {
+        EXPECT_NEAR(a.distribution[k], b.distribution[k], 1e-14);
+    }
+}
+
+TEST(Mmck, FullCapacityEqualsErlangLoss) {
+    // M/M/c/c: loss = Erlang B(3, 4) = 0.20611...
+    const FiniteQueueMetrics metrics = mmck(3.0, 1.0, 4, 4);
+    EXPECT_NEAR(metrics.loss_probability, 0.20611, 1e-4);
+}
+
+TEST(Mm1k, RejectsInvalidArguments) {
+    EXPECT_THROW(mm1k(-1.0, 1.0, 3), std::invalid_argument);
+    EXPECT_THROW(mm1k(1.0, 0.0, 3), std::invalid_argument);
+    EXPECT_THROW(mm1k(1.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(mmck(1.0, 1.0, 3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::queueing

@@ -1,0 +1,122 @@
+// Failure-path tests for the network simulator: forced call terminations at
+// handover, buffer exhaustion, and sessions dropped mid-transfer must all be
+// handled and accounted without corrupting the run.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace gprsim::sim {
+namespace {
+
+TEST(FailureInjection, HandoverIntoFullCellsDropsCalls) {
+    // Tiny cells under heavy voice load: handovers frequently target a full
+    // cell, forcing terminations. The run must complete and report them.
+    SimulationConfig config;
+    config.cell.total_channels = 2;
+    config.cell.reserved_pdch = 1;  // leaves a single voice channel
+    config.cell.buffer_capacity = 5;
+    config.cell.max_gprs_sessions = 2;
+    config.cell.call_arrival_rate = 0.5;
+    config.cell.gprs_fraction = 0.1;
+    config.cell.mean_gsm_call_duration = 120.0;
+    config.cell.mean_gsm_dwell_time = 20.0;  // fast mobility: many handovers
+    config.cell.mean_gprs_dwell_time = 20.0;
+    config.cell.traffic.mean_packet_calls = 2.0;
+    config.cell.traffic.mean_packets_per_call = 5.0;
+    config.cell.traffic.mean_packet_interarrival = 0.5;
+    config.cell.traffic.mean_reading_time = 5.0;
+    config.seed = 11;
+    config.warmup_time = 200.0;
+    config.batch_count = 5;
+    config.batch_duration = 400.0;
+
+    const SimulationResults results = NetworkSimulator(config).run();
+    EXPECT_GT(results.gsm_blocked, 0);
+    EXPECT_GT(results.gsm_handover_failures, 0);
+    // Blocking estimate reflects the pressure.
+    EXPECT_GT(results.gsm_blocking.mean, 0.3);
+}
+
+TEST(FailureInjection, SessionDropsDiscardTheirBufferedPackets) {
+    // GPRS sessions bounce between cells with M = 1: most handovers fail,
+    // dropping sessions with packets still queued. The queue accounting
+    // must stay consistent (no negative lengths, run completes).
+    SimulationConfig config;
+    config.cell.total_channels = 3;
+    config.cell.reserved_pdch = 1;
+    config.cell.buffer_capacity = 8;
+    config.cell.max_gprs_sessions = 1;
+    config.cell.call_arrival_rate = 0.3;
+    config.cell.gprs_fraction = 0.6;
+    config.cell.mean_gprs_dwell_time = 10.0;  // sessions rarely finish in place
+    config.cell.traffic.mean_packet_calls = 5.0;
+    config.cell.traffic.mean_packets_per_call = 20.0;
+    config.cell.traffic.mean_packet_interarrival = 0.1;
+    config.cell.traffic.mean_reading_time = 2.0;
+    config.tcp_enabled = true;
+    config.seed = 13;
+    config.warmup_time = 200.0;
+    config.batch_count = 5;
+    config.batch_duration = 400.0;
+
+    const SimulationResults results = NetworkSimulator(config).run();
+    EXPECT_GT(results.gprs_handover_failures, 0);
+    EXPECT_GT(results.gprs_blocked, 0);
+    EXPECT_GE(results.mean_queue_length.mean, 0.0);
+    EXPECT_LE(results.mean_queue_length.mean, config.cell.buffer_capacity);
+}
+
+TEST(FailureInjection, ZeroWiredDelayAndTinyFramesWork) {
+    // Degenerate path parameters must not break event ordering.
+    SimulationConfig config;
+    config.cell.total_channels = 3;
+    config.cell.reserved_pdch = 1;
+    config.cell.buffer_capacity = 5;
+    config.cell.max_gprs_sessions = 2;
+    config.cell.call_arrival_rate = 0.2;
+    config.cell.gprs_fraction = 0.3;
+    config.cell.traffic.mean_packet_calls = 2.0;
+    config.cell.traffic.mean_packets_per_call = 5.0;
+    config.cell.traffic.mean_packet_interarrival = 0.4;
+    config.cell.traffic.mean_reading_time = 4.0;
+    config.wired_delay = 0.0;
+    config.frame_duration = 0.005;
+    config.seed = 17;
+    config.warmup_time = 100.0;
+    config.batch_count = 3;
+    config.batch_duration = 300.0;
+
+    const SimulationResults results = NetworkSimulator(config).run();
+    EXPECT_GT(results.packets_delivered, 0);
+}
+
+TEST(FailureInjection, NoForwardingPolicyDropsOnHandover) {
+    // With forwarding disabled, every session handover discards queued
+    // packets; the run must stay consistent and TCP must recover.
+    SimulationConfig config;
+    config.cell.total_channels = 4;
+    config.cell.reserved_pdch = 1;
+    config.cell.buffer_capacity = 10;
+    config.cell.max_gprs_sessions = 3;
+    config.cell.call_arrival_rate = 0.3;
+    config.cell.gprs_fraction = 0.4;
+    config.cell.mean_gprs_dwell_time = 15.0;
+    config.cell.traffic.mean_packet_calls = 4.0;
+    config.cell.traffic.mean_packets_per_call = 10.0;
+    config.cell.traffic.mean_packet_interarrival = 0.15;
+    config.cell.traffic.mean_reading_time = 3.0;
+    config.forward_buffer_on_handover = false;
+    config.tcp_enabled = true;
+    config.seed = 19;
+    config.warmup_time = 200.0;
+    config.batch_count = 5;
+    config.batch_duration = 300.0;
+
+    const SimulationResults results = NetworkSimulator(config).run();
+    EXPECT_GT(results.packets_delivered, 0);
+    EXPECT_GT(results.tcp_timeouts + results.tcp_fast_retransmits, 0)
+        << "dropped buffers must surface as TCP recoveries";
+}
+
+}  // namespace
+}  // namespace gprsim::sim

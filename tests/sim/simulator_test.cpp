@@ -1,0 +1,155 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/handover.hpp"
+#include "queueing/erlang.hpp"
+
+namespace gprsim::sim {
+namespace {
+
+/// Downsized cell so the simulator reaches steady state quickly.
+SimulationConfig fast_config() {
+    SimulationConfig config;
+    config.cell.total_channels = 4;
+    config.cell.reserved_pdch = 1;
+    config.cell.buffer_capacity = 10;
+    config.cell.max_gprs_sessions = 3;
+    config.cell.call_arrival_rate = 0.15;
+    config.cell.gprs_fraction = 0.2;
+    config.cell.mean_gsm_call_duration = 60.0;
+    config.cell.mean_gsm_dwell_time = 60.0;
+    config.cell.mean_gprs_dwell_time = 60.0;
+    config.cell.traffic.mean_packet_calls = 3.0;
+    config.cell.traffic.mean_packets_per_call = 10.0;
+    config.cell.traffic.mean_packet_interarrival = 0.25;
+    config.cell.traffic.mean_reading_time = 5.0;
+    config.seed = 7;
+    config.warmup_time = 500.0;
+    config.batch_count = 10;
+    config.batch_duration = 500.0;
+    return config;
+}
+
+TEST(NetworkSimulator, RunsToCompletionAndProducesEstimates) {
+    SimulationConfig config = fast_config();
+    NetworkSimulator simulator(config);
+    const SimulationResults results = simulator.run();
+
+    EXPECT_GT(results.events_executed, 1000u);
+    EXPECT_NEAR(results.simulated_time,
+                config.warmup_time + config.batch_count * config.batch_duration, 1e-9);
+    EXPECT_EQ(results.carried_data_traffic.batches, config.batch_count);
+    EXPECT_GT(results.packets_offered, 0);
+    EXPECT_GT(results.packets_delivered, 0);
+    EXPECT_GE(results.carried_data_traffic.mean, 0.0);
+    EXPECT_LE(results.carried_data_traffic.mean, config.cell.total_channels);
+    EXPECT_GE(results.packet_loss_probability.mean, 0.0);
+    EXPECT_LE(results.packet_loss_probability.mean, 1.0);
+    EXPECT_GT(results.average_gprs_sessions.mean, 0.0);
+}
+
+TEST(NetworkSimulator, ReproducibleWithSameSeed) {
+    const SimulationResults a = NetworkSimulator(fast_config()).run();
+    const SimulationResults b = NetworkSimulator(fast_config()).run();
+    EXPECT_EQ(a.packets_offered, b.packets_offered);
+    EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+    EXPECT_DOUBLE_EQ(a.carried_data_traffic.mean, b.carried_data_traffic.mean);
+}
+
+TEST(NetworkSimulator, DifferentSeedsDiffer) {
+    SimulationConfig other = fast_config();
+    other.seed = 8;
+    const SimulationResults a = NetworkSimulator(fast_config()).run();
+    const SimulationResults b = NetworkSimulator(other).run();
+    EXPECT_NE(a.packets_offered, b.packets_offered);
+}
+
+TEST(NetworkSimulator, GsmBlockingMatchesErlangWithBalancedHandover) {
+    // With almost no data traffic the voice side is an M/M/c/c system with
+    // handover flows — the simulated blocking must match the closed form of
+    // paper Eq. 2-4 (this is the simulator's own validation experiment).
+    SimulationConfig config = fast_config();
+    config.cell.total_channels = 4;
+    config.cell.reserved_pdch = 1;
+    config.cell.call_arrival_rate = 0.1;  // rho ~ 3.2 on 3 channels: real blocking
+    config.cell.gprs_fraction = 0.01;
+    config.tcp_enabled = false;
+    config.warmup_time = 2000.0;
+    config.batch_count = 20;
+    config.batch_duration = 2000.0;
+
+    const SimulationResults results = NetworkSimulator(config).run();
+    const core::BalancedTraffic balanced = core::balance_handover(config.cell);
+    const double erlang_blocking =
+        queueing::erlang_b(balanced.gsm.offered_load, config.cell.gsm_channels());
+
+    // Within 3 half-widths (the CI is random; 3 sigma keeps the test stable).
+    EXPECT_NEAR(results.gsm_blocking.mean, erlang_blocking,
+                3.0 * results.gsm_blocking.half_width + 0.01);
+    // Carried voice traffic likewise.
+    const double carried =
+        queueing::mmcc_carried_load(balanced.gsm.offered_load, config.cell.gsm_channels());
+    EXPECT_NEAR(results.carried_voice_traffic.mean, carried,
+                3.0 * results.carried_voice_traffic.half_width + 0.05);
+}
+
+TEST(NetworkSimulator, OpenLoopOverloadLosesPackets) {
+    // Saturate a tiny buffer without flow control: losses must appear.
+    SimulationConfig config = fast_config();
+    config.tcp_enabled = false;
+    config.cell.buffer_capacity = 3;
+    config.cell.call_arrival_rate = 0.4;
+    config.cell.gprs_fraction = 0.5;
+    config.cell.traffic.mean_packet_interarrival = 0.05;  // 76.8 kbit/s bursts
+    const SimulationResults results = NetworkSimulator(config).run();
+    EXPECT_GT(results.packets_dropped, 0);
+    EXPECT_GT(results.packet_loss_probability.mean, 0.01);
+}
+
+TEST(NetworkSimulator, TcpModeKeepsLossesLowerThanOpenLoop) {
+    // The whole point of flow control: same overload, fewer buffer drops.
+    SimulationConfig open_loop = fast_config();
+    open_loop.cell.buffer_capacity = 5;
+    open_loop.cell.call_arrival_rate = 0.4;
+    open_loop.cell.gprs_fraction = 0.5;
+    open_loop.cell.traffic.mean_packet_interarrival = 0.05;
+    open_loop.tcp_enabled = false;
+
+    SimulationConfig tcp = open_loop;
+    tcp.tcp_enabled = true;
+
+    const SimulationResults without = NetworkSimulator(open_loop).run();
+    const SimulationResults with = NetworkSimulator(tcp).run();
+    EXPECT_LT(with.packet_loss_probability.mean, without.packet_loss_probability.mean);
+}
+
+TEST(NetworkSimulator, VoicePriorityShrinksDataCapacity) {
+    // More voice load with the same data demand must reduce carried data
+    // traffic head-room (the preemption mechanism of Section 2).
+    SimulationConfig light = fast_config();
+    light.cell.call_arrival_rate = 0.05;
+    SimulationConfig heavy = fast_config();
+    heavy.cell.call_arrival_rate = 0.6;
+
+    const SimulationResults a = NetworkSimulator(light).run();
+    const SimulationResults b = NetworkSimulator(heavy).run();
+    EXPECT_GT(b.carried_voice_traffic.mean, a.carried_voice_traffic.mean);
+    // Per-user throughput suffers under voice pressure.
+    EXPECT_LT(b.throughput_per_user_kbps.mean, a.throughput_per_user_kbps.mean * 1.05);
+}
+
+TEST(NetworkSimulator, ValidatesConfiguration) {
+    SimulationConfig config = fast_config();
+    config.num_cells = 1;
+    EXPECT_THROW(NetworkSimulator{config}, std::invalid_argument);
+    config = fast_config();
+    config.batch_count = 1;
+    EXPECT_THROW(NetworkSimulator{config}, std::invalid_argument);
+    config = fast_config();
+    config.frame_duration = 0.0;
+    EXPECT_THROW(NetworkSimulator{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::sim

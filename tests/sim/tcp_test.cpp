@@ -1,0 +1,212 @@
+#include "sim/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace gprsim::sim {
+namespace {
+
+struct Sent {
+    std::int64_t seq;
+    bool retransmission;
+    double time;
+};
+
+struct Harness {
+    des::Simulation sim;
+    std::vector<Sent> sent;
+    TcpConfig config;
+    std::unique_ptr<TcpSender> sender;
+
+    explicit Harness(TcpConfig cfg = {}) : config(cfg) {
+        sender = std::make_unique<TcpSender>(sim, config,
+                                             [this](std::int64_t seq, bool retx) {
+                                                 sent.push_back({seq, retx, sim.now()});
+                                             });
+    }
+};
+
+TEST(TcpSender, InitialWindowLimitsTransmission) {
+    Harness h;
+    h.sender->add_backlog(10);
+    // IW = 1: exactly one segment goes out.
+    ASSERT_EQ(h.sent.size(), 1u);
+    EXPECT_EQ(h.sent[0].seq, 0);
+    EXPECT_FALSE(h.sent[0].retransmission);
+    EXPECT_EQ(h.sender->backlog(), 9);
+    EXPECT_EQ(h.sender->flight_size(), 1);
+}
+
+TEST(TcpSender, SlowStartDoublesPerRound) {
+    Harness h;
+    h.sender->add_backlog(100);
+    ASSERT_EQ(h.sent.size(), 1u);
+    // Round 1: ack seq 0 -> cwnd 2, two segments out.
+    h.sender->on_ack(1);
+    EXPECT_EQ(h.sent.size(), 3u);
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 2.0);
+    // Round 2: ack both -> cwnd 4.
+    h.sender->on_ack(3);
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 4.0);
+    EXPECT_EQ(h.sent.size(), 7u);
+}
+
+TEST(TcpSender, CongestionAvoidanceGrowsLinearly) {
+    TcpConfig cfg;
+    cfg.initial_ssthresh = 2.0;
+    Harness h(cfg);
+    h.sender->add_backlog(100);
+    h.sender->on_ack(1);  // cwnd: 1 -> 2 (hits ssthresh)
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 2.0);
+    h.sender->on_ack(2);  // CA: 2 + 1/2 = 2.5
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 2.5);
+    h.sender->on_ack(3);  // 2.5 + 1/2.5 = 2.9
+    EXPECT_NEAR(h.sender->cwnd(), 2.9, 1e-12);
+}
+
+TEST(TcpSender, TripleDupAckTriggersFastRetransmit) {
+    TcpConfig cfg;
+    cfg.initial_ssthresh = 64.0;
+    Harness h(cfg);
+    h.sender->add_backlog(20);
+    h.sender->on_ack(1);
+    h.sender->on_ack(3);
+    h.sender->on_ack(7);  // cwnd 8, flight 8 (seqs 7..14)
+    const std::size_t before = h.sent.size();
+    EXPECT_EQ(h.sender->fast_retransmits(), 0);
+
+    // Three duplicate ACKs for 7.
+    h.sender->on_ack(7);
+    h.sender->on_ack(7);
+    EXPECT_FALSE(h.sender->in_fast_recovery());
+    h.sender->on_ack(7);
+    EXPECT_TRUE(h.sender->in_fast_recovery());
+    EXPECT_EQ(h.sender->fast_retransmits(), 1);
+    ASSERT_GT(h.sent.size(), before);
+    EXPECT_EQ(h.sent[before].seq, 7);
+    EXPECT_TRUE(h.sent[before].retransmission);
+    // ssthresh = flight/2 = 4; cwnd = ssthresh + 3.
+    EXPECT_DOUBLE_EQ(h.sender->ssthresh(), 4.0);
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 7.0);
+
+    // Full ACK ends recovery and deflates to ssthresh.
+    h.sender->on_ack(h.sender->next_seq());
+    EXPECT_FALSE(h.sender->in_fast_recovery());
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 4.0);
+}
+
+TEST(TcpSender, TimeoutCollapsesWindowAndBacksOff) {
+    TcpConfig cfg;
+    cfg.initial_rto = 3.0;
+    Harness h(cfg);
+    h.sender->add_backlog(5);
+    ASSERT_EQ(h.sent.size(), 1u);
+
+    h.sim.run_until(3.5);  // first RTO fires at t=3
+    EXPECT_EQ(h.sender->timeouts(), 1);
+    ASSERT_EQ(h.sent.size(), 2u);
+    EXPECT_EQ(h.sent[1].seq, 0);
+    EXPECT_TRUE(h.sent[1].retransmission);
+    EXPECT_DOUBLE_EQ(h.sender->cwnd(), 1.0);
+
+    // Exponential backoff: next timeout after 6 s (at t=9).
+    h.sim.run_until(8.5);
+    EXPECT_EQ(h.sender->timeouts(), 1);
+    h.sim.run_until(9.5);
+    EXPECT_EQ(h.sender->timeouts(), 2);
+}
+
+TEST(TcpSender, RttSamplingSetsRtoFromSmoothedEstimate) {
+    TcpConfig cfg;
+    cfg.min_rto = 0.2;
+    Harness h(cfg);
+    h.sender->add_backlog(10);
+    h.sim.run_until(0.5);  // 0.5 s of "network latency"
+    h.sender->on_ack(1);
+    // First sample: srtt = 0.5, rttvar = 0.25, rto = 0.5 + 4*0.25 = 1.5.
+    EXPECT_NEAR(h.sender->smoothed_rtt(), 0.5, 1e-12);
+    EXPECT_NEAR(h.sender->rto(), 1.5, 1e-12);
+}
+
+TEST(TcpSender, AllAckedAfterCompleteTransfer) {
+    Harness h;
+    h.sender->add_backlog(3);
+    EXPECT_FALSE(h.sender->all_acked());
+    while (!h.sender->all_acked()) {
+        h.sender->on_ack(h.sender->unacked_seq() + 1);
+    }
+    EXPECT_EQ(h.sender->next_seq(), 3);
+    EXPECT_EQ(h.sender->backlog(), 0);
+}
+
+TEST(TcpSender, RejectsInvalidUse) {
+    Harness h;
+    EXPECT_THROW(h.sender->add_backlog(-1), std::invalid_argument);
+    h.sender->add_backlog(2);
+    EXPECT_THROW(h.sender->on_ack(99), std::logic_error);
+    des::Simulation sim;
+    EXPECT_THROW(TcpSender(sim, TcpConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST(TcpReceiver, InOrderSegmentsAdvanceCumulativeAck) {
+    TcpReceiver rx;
+    EXPECT_EQ(rx.on_segment(0), 1);
+    EXPECT_EQ(rx.on_segment(1), 2);
+    EXPECT_EQ(rx.on_segment(2), 3);
+    EXPECT_EQ(rx.buffered_out_of_order(), 0u);
+}
+
+TEST(TcpReceiver, OutOfOrderProducesDuplicateAcksThenDrains) {
+    TcpReceiver rx;
+    EXPECT_EQ(rx.on_segment(0), 1);
+    // Segment 1 lost; 2, 3, 4 arrive -> dup ACKs "1".
+    EXPECT_EQ(rx.on_segment(2), 1);
+    EXPECT_EQ(rx.on_segment(3), 1);
+    EXPECT_EQ(rx.on_segment(4), 1);
+    EXPECT_EQ(rx.buffered_out_of_order(), 3u);
+    // Retransmitted 1 fills the hole; ack jumps to 5.
+    EXPECT_EQ(rx.on_segment(1), 5);
+    EXPECT_EQ(rx.buffered_out_of_order(), 0u);
+}
+
+TEST(TcpReceiver, StaleSegmentsReAcked) {
+    TcpReceiver rx;
+    rx.on_segment(0);
+    rx.on_segment(1);
+    EXPECT_EQ(rx.on_segment(0), 2);  // spurious retransmission
+}
+
+TEST(TcpEndToEnd, LossRecoveryDeliversEverything) {
+    // Sender and receiver joined by a lossy in-order pipe: every 7th segment
+    // of the first transmission wave is dropped. TCP must still deliver all
+    // 50 packets, using fast retransmit and/or timeouts.
+    des::Simulation sim;
+    TcpReceiver rx;
+    std::unique_ptr<TcpSender> tx;
+    int transmissions = 0;
+    const double latency = 0.05;
+    TcpConfig cfg;
+    cfg.initial_rto = 1.0;
+    tx = std::make_unique<TcpSender>(sim, cfg, [&](std::int64_t seq, bool retx) {
+        ++transmissions;
+        const bool drop = !retx && (seq % 7 == 6);
+        if (drop) {
+            return;
+        }
+        sim.schedule(latency, [&, seq] {
+            const std::int64_t ack = rx.on_segment(seq);
+            sim.schedule(latency, [&, ack] { tx->on_ack(ack); });
+        });
+    });
+    tx->add_backlog(50);
+    sim.run_until(300.0);
+    EXPECT_TRUE(tx->all_acked());
+    EXPECT_EQ(rx.expected_seq(), 50);
+    EXPECT_GE(transmissions, 57);  // 50 originals + 7 retransmissions
+}
+
+}  // namespace
+}  // namespace gprsim::sim

@@ -1,0 +1,63 @@
+#include "traffic/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/mmpp.hpp"
+
+namespace gprsim::traffic {
+namespace {
+
+TEST(FitIpp, RoundTripsAKnownSource) {
+    const Ipp original = traffic_model_2().session.ipp();
+    const Mmpp mmpp = ipp_as_mmpp(original);
+    const Ipp fitted = fit_ipp(mmpp.mean_arrival_rate(), mmpp.index_of_dispersion(),
+                               original.stationary_on_probability());
+    EXPECT_NEAR(fitted.on_packet_rate, original.on_packet_rate, 1e-8);
+    EXPECT_NEAR(fitted.on_to_off_rate, original.on_to_off_rate, 1e-8);
+    EXPECT_NEAR(fitted.off_to_on_rate, original.off_to_on_rate, 1e-8);
+}
+
+TEST(FitIpp, FittedProcessReproducesTargetMoments) {
+    const double mean = 3.0;
+    const double idc = 25.0;
+    const double p_on = 0.35;
+    const Ipp fitted = fit_ipp(mean, idc, p_on);
+    const Mmpp mmpp = ipp_as_mmpp(fitted);
+    EXPECT_NEAR(mmpp.mean_arrival_rate(), mean, 1e-10);
+    EXPECT_NEAR(mmpp.index_of_dispersion(), idc, 1e-8);
+    EXPECT_NEAR(fitted.stationary_on_probability(), p_on, 1e-12);
+}
+
+TEST(FitIpp, RejectsInfeasibleTargets) {
+    EXPECT_THROW(fit_ipp(0.0, 5.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(fit_ipp(1.0, 1.0, 0.5), std::invalid_argument);  // Poisson
+    EXPECT_THROW(fit_ipp(1.0, 0.8, 0.5), std::invalid_argument);  // under-dispersed
+    EXPECT_THROW(fit_ipp(1.0, 5.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(fit_ipp(1.0, 5.0, 1.0), std::invalid_argument);
+}
+
+TEST(SessionModelFromIpp, InvertsTheSection3Mapping) {
+    const ThreeGppSessionModel original = traffic_model_1().session;
+    const ThreeGppSessionModel rebuilt =
+        session_model_from_ipp(original.ipp(), original.mean_packet_calls);
+    EXPECT_NEAR(rebuilt.mean_packet_interarrival, original.mean_packet_interarrival, 1e-10);
+    EXPECT_NEAR(rebuilt.mean_packets_per_call, original.mean_packets_per_call, 1e-8);
+    EXPECT_NEAR(rebuilt.mean_reading_time, original.mean_reading_time, 1e-8);
+    EXPECT_NEAR(rebuilt.mean_session_duration(), original.mean_session_duration(), 1e-6);
+}
+
+TEST(SessionModelFromIpp, FittedWorkloadIsUsableEndToEnd) {
+    // Calibrate a synthetic "measured" workload and check it validates.
+    const Ipp fitted = fit_ipp(2.5, 40.0, 0.25);
+    const ThreeGppSessionModel model = session_model_from_ipp(fitted, 10.0);
+    EXPECT_NO_THROW(model.validate());
+    EXPECT_GT(model.mean_session_duration(), 0.0);
+    // The derived IPP of the rebuilt model matches the fitted source.
+    const Ipp back = model.ipp();
+    EXPECT_NEAR(back.on_packet_rate, fitted.on_packet_rate, 1e-10);
+    EXPECT_NEAR(back.on_to_off_rate, fitted.on_to_off_rate, 1e-10);
+    EXPECT_NEAR(back.off_to_on_rate, fitted.off_to_on_rate, 1e-10);
+}
+
+}  // namespace
+}  // namespace gprsim::traffic

@@ -1,0 +1,32 @@
+#include "traffic/ipp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gprsim::traffic {
+namespace {
+
+TEST(Ipp, StationarySplitAndMeanRate) {
+    // Mean ON 2 s (a = 0.5), mean OFF 8 s (b = 0.125): P(ON) = 0.2.
+    const Ipp source{0.5, 0.125, 10.0};
+    EXPECT_NEAR(source.stationary_on_probability(), 0.2, 1e-12);
+    EXPECT_NEAR(source.mean_packet_rate(), 2.0, 1e-12);
+    EXPECT_NEAR(source.mean_on_time(), 2.0, 1e-12);
+    EXPECT_NEAR(source.mean_off_time(), 8.0, 1e-12);
+    EXPECT_NEAR(source.burstiness(), 5.0, 1e-12);
+}
+
+TEST(Ipp, SymmetricSourceIsHalfOn) {
+    const Ipp source{1.0, 1.0, 4.0};
+    EXPECT_DOUBLE_EQ(source.stationary_on_probability(), 0.5);
+    EXPECT_DOUBLE_EQ(source.burstiness(), 2.0);
+}
+
+TEST(Ipp, ValidateRejectsNonPositiveRates) {
+    EXPECT_THROW((Ipp{0.0, 1.0, 1.0}).validate(), std::invalid_argument);
+    EXPECT_THROW((Ipp{1.0, -1.0, 1.0}).validate(), std::invalid_argument);
+    EXPECT_THROW((Ipp{1.0, 1.0, 0.0}).validate(), std::invalid_argument);
+    EXPECT_NO_THROW((Ipp{1.0, 1.0, 1.0}).validate());
+}
+
+}  // namespace
+}  // namespace gprsim::traffic

@@ -1,0 +1,96 @@
+#include "traffic/mmpp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "traffic/ipp.hpp"
+
+namespace gprsim::traffic {
+namespace {
+
+const Ipp kSource{0.08, 1.0 / 412.0, 8.0};  // traffic-model-2-like IPP
+
+TEST(Mmpp, SingleIppStationaryMatchesClosedForm) {
+    const Mmpp mmpp = ipp_as_mmpp(kSource);
+    const std::vector<double> pi = mmpp.stationary();
+    EXPECT_NEAR(pi[0], kSource.stationary_on_probability(), 1e-12);
+    EXPECT_NEAR(mmpp.mean_arrival_rate(), kSource.mean_packet_rate(), 1e-12);
+}
+
+TEST(Mmpp, PoissonProcessHasUnitDispersion) {
+    // One modulating state = plain Poisson: IDC = 1.
+    const Mmpp poisson({0.0}, {5.0});
+    EXPECT_NEAR(poisson.index_of_dispersion(), 1.0, 1e-12);
+}
+
+TEST(Mmpp, IppDispersionMatchesClosedForm) {
+    // For a doubly stochastic Poisson process, Var N(t)/t -> mean_rate +
+    // 2 * integral of the rate autocovariance. For the IPP the modulating
+    // indicator decays as e^{-(a+b)u}, giving the closed form
+    //   IDC(inf) = 1 + 2 lambda_p (1 - P_on) / (a + b).
+    const double a = kSource.on_to_off_rate;
+    const double b = kSource.off_to_on_rate;
+    const double lp = kSource.on_packet_rate;
+    const double p_on = b / (a + b);
+    const double expected = 1.0 + 2.0 * lp * (1.0 - p_on) / (a + b);
+
+    const Mmpp mmpp = ipp_as_mmpp(kSource);
+    const double idc = mmpp.index_of_dispersion();
+    EXPECT_GT(idc, 1.0);  // bursty
+    EXPECT_NEAR(idc, expected, 1e-9 * expected);
+}
+
+TEST(Mmpp, AggregationMatchesKroneckerSuperposition) {
+    // The paper's key reduction: m i.i.d. IPPs == one (m+1)-state MMPP.
+    // Verify mean rate and index of dispersion for m = 2 and 3 against the
+    // brute-force Kronecker superposition (4 and 8 states).
+    Mmpp super = ipp_as_mmpp(kSource);
+    for (int m = 2; m <= 3; ++m) {
+        super = Mmpp::superpose(super, ipp_as_mmpp(kSource));
+        const Mmpp aggregated = aggregate_ipps(m, kSource);
+        EXPECT_NEAR(aggregated.mean_arrival_rate(), super.mean_arrival_rate(),
+                    1e-10 * super.mean_arrival_rate())
+            << "m = " << m;
+        EXPECT_NEAR(aggregated.index_of_dispersion(), super.index_of_dispersion(), 1e-8)
+            << "m = " << m;
+    }
+}
+
+TEST(Mmpp, AggregateStationaryIsBinomial) {
+    const int m = 5;
+    const Mmpp aggregated = aggregate_ipps(m, kSource);
+    const std::vector<double> pi = aggregated.stationary();
+    const double p_off = 1.0 - kSource.stationary_on_probability();
+    // P(r sources off) = C(m, r) p_off^r (1-p_off)^(m-r).
+    double binom = 1.0;
+    for (int r = 0; r <= m; ++r) {
+        const double expected = binom * std::pow(p_off, r) * std::pow(1.0 - p_off, m - r);
+        EXPECT_NEAR(pi[static_cast<std::size_t>(r)], expected, 1e-12) << "r = " << r;
+        binom *= static_cast<double>(m - r) / static_cast<double>(r + 1);
+    }
+}
+
+TEST(Mmpp, AggregateMeanRateScalesLinearly) {
+    const Mmpp one = aggregate_ipps(1, kSource);
+    const Mmpp ten = aggregate_ipps(10, kSource);
+    EXPECT_NEAR(ten.mean_arrival_rate(), 10.0 * one.mean_arrival_rate(), 1e-9);
+}
+
+TEST(Mmpp, ZeroSourcesIsSilent) {
+    const Mmpp none = aggregate_ipps(0, kSource);
+    EXPECT_EQ(none.num_states(), 1);
+    EXPECT_DOUBLE_EQ(none.mean_arrival_rate(), 0.0);
+}
+
+TEST(Mmpp, RejectsInvalidConstruction) {
+    EXPECT_THROW(Mmpp({}, {}), std::invalid_argument);
+    EXPECT_THROW(Mmpp({0.0, 1.0, 2.0}, {1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Mmpp({0.0, -1.0, 1.0, 0.0}, {1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Mmpp({0.0, 1.0, 1.0, 0.0}, {-1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(aggregate_ipps(-1, kSource), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::traffic

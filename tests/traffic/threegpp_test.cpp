@@ -1,0 +1,84 @@
+#include "traffic/threegpp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gprsim::traffic {
+namespace {
+
+TEST(ThreeGpp, TrafficModel1MatchesTable3) {
+    const TrafficModelPreset preset = traffic_model_1();
+    const ThreeGppSessionModel& s = preset.session;
+    EXPECT_EQ(preset.max_gprs_sessions, 50);
+    // Paper Table 3: session duration 2122.5 s, packet call 12.5 s,
+    // reading time 412 s, source rate ~8 kbit/s.
+    EXPECT_NEAR(s.mean_session_duration(), 2122.5, 1e-9);
+    EXPECT_NEAR(s.mean_packet_call_duration(), 12.5, 1e-9);
+    EXPECT_NEAR(s.mean_reading_time, 412.0, 1e-9);
+    EXPECT_NEAR(s.on_rate_kbps(), 7.68, 1e-9);  // 480 byte / 0.5 s; labeled "8"
+}
+
+TEST(ThreeGpp, TrafficModel2MatchesTable3) {
+    const TrafficModelPreset preset = traffic_model_2();
+    const ThreeGppSessionModel& s = preset.session;
+    EXPECT_EQ(preset.max_gprs_sessions, 50);
+    // Paper Table 3: 2075.6 s session, 3.1 s packet call, 32 kbit/s label.
+    EXPECT_NEAR(s.mean_session_duration(), 2075.625, 1e-9);
+    EXPECT_NEAR(s.mean_packet_call_duration(), 3.125, 1e-9);
+    EXPECT_NEAR(s.on_rate_kbps(), 30.72, 1e-9);  // labeled "32"
+}
+
+TEST(ThreeGpp, TrafficModel3MatchesTable3) {
+    const TrafficModelPreset preset = traffic_model_3();
+    const ThreeGppSessionModel& s = preset.session;
+    EXPECT_EQ(preset.max_gprs_sessions, 20);
+    // Paper Table 3: 312.5 s session; ON and OFF both 3.1 s.
+    EXPECT_NEAR(s.mean_session_duration(), 312.5, 1e-9);
+    EXPECT_NEAR(s.mean_packet_call_duration(), 3.125, 1e-9);
+    EXPECT_NEAR(s.mean_reading_time, 3.125, 1e-9);
+}
+
+TEST(ThreeGpp, IppConversionMatchesSection3) {
+    // a = 1/(N_d D_d), b = 1/D_pc, lambda_packet = 1/D_d.
+    const ThreeGppSessionModel s = traffic_model_1().session;
+    const Ipp ipp = s.ipp();
+    EXPECT_NEAR(ipp.on_to_off_rate, 1.0 / 12.5, 1e-12);
+    EXPECT_NEAR(ipp.off_to_on_rate, 1.0 / 412.0, 1e-12);
+    EXPECT_NEAR(ipp.on_packet_rate, 2.0, 1e-12);
+}
+
+TEST(ThreeGpp, SessionVolumeIsCallsTimesPacketsTimesSize) {
+    const ThreeGppSessionModel s = traffic_model_1().session;
+    // 5 calls x 25 packets x 3840 bits = 480 kbit.
+    EXPECT_NEAR(s.mean_session_volume_kbit(), 480.0, 1e-9);
+}
+
+TEST(ThreeGpp, SessionDurationFormula) {
+    // 1/mu = N_pc (D_pc + N_d D_d) for arbitrary parameters.
+    ThreeGppSessionModel s;
+    s.mean_packet_calls = 3.0;
+    s.mean_reading_time = 10.0;
+    s.mean_packets_per_call = 4.0;
+    s.mean_packet_interarrival = 2.0;
+    EXPECT_NEAR(s.mean_session_duration(), 3.0 * (10.0 + 8.0), 1e-12);
+}
+
+TEST(ThreeGpp, ValidateRejectsDegenerateModels) {
+    ThreeGppSessionModel s = traffic_model_1().session;
+    s.mean_packet_calls = 0.5;  // fewer than one packet call per session
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = traffic_model_1().session;
+    s.mean_packets_per_call = 0.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = traffic_model_1().session;
+    s.mean_reading_time = -1.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    EXPECT_NO_THROW(traffic_model_1().session.validate());
+    EXPECT_NO_THROW(traffic_model_2().session.validate());
+    EXPECT_NO_THROW(traffic_model_3().session.validate());
+}
+
+}  // namespace
+}  // namespace gprsim::traffic
