@@ -4,16 +4,20 @@
 // The paper fixes CS-2 and notes that block errors / retransmission effects
 // are future work. Here the same cell is solved under CS-1..CS-4 — i.e.,
 // per-PDCH rates from 9.05 to 21.4 kbit/s — showing how strongly the QoS
-// measures and the "how many PDCHs" answer depend on channel quality.
+// measures and the "how many PDCHs" answer depend on channel quality. The
+// four configurations form a heterogeneous batch, so they run through
+// sweep_scenarios() and shard across the engine pool under --threads=N.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/coding_scheme.hpp"
-#include "core/model.hpp"
+#include "core/sweep.hpp"
 #include "traffic/threegpp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace gprsim;
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::print_header(
         "Ablation -- coding schemes CS-1..CS-4 (traffic model 3, 5% GPRS, "
         "0.5 calls/s, 1 reserved PDCH)");
@@ -24,21 +28,29 @@ int main() {
 
     const core::CodingScheme schemes[] = {core::CodingScheme::cs1, core::CodingScheme::cs2,
                                           core::CodingScheme::cs3, core::CodingScheme::cs4};
+    std::vector<core::Parameters> scenarios;
+    for (core::CodingScheme scheme : schemes) {
+        scenarios.push_back(core::with_coding_scheme(base, scheme));
+    }
+
+    core::SweepOptions options;
+    options.solve.tolerance = 1e-9;
+    bench::apply_threads(options, args);
+    bench::WallTimer timer;
+    const std::vector<core::ScenarioPoint> points = core::sweep_scenarios(scenarios, options);
+    const double seconds = timer.seconds();
 
     std::printf("%6s %10s %12s %12s %12s %12s\n", "scheme", "kbit/s", "CDT [PDCH]", "PLP",
                 "QD [s]", "ATU [kbit/s]");
-    for (core::CodingScheme scheme : schemes) {
-        core::GprsModel model(core::with_coding_scheme(base, scheme));
-        ctmc::SolveOptions options;
-        options.tolerance = 1e-9;
-        model.solve(options);
-        const core::Measures m = model.measures();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const core::Measures& m = points[i].measures;
         std::printf("%6s %10.2f %12.4f %12.4e %12.4f %12.4f\n",
-                    core::coding_scheme_name(scheme),
-                    core::coding_scheme_rate_kbps(scheme), m.carried_data_traffic,
+                    core::coding_scheme_name(schemes[i]),
+                    core::coding_scheme_rate_kbps(schemes[i]), m.carried_data_traffic,
                     m.packet_loss_probability, m.queueing_delay,
                     m.throughput_per_user_kbps);
     }
+    bench::print_walltime("4-scenario batch", seconds);
 
     std::printf("\nReading: at this load the cell is congestion-limited, so the\n");
     std::printf("channel rate translates almost directly into per-user throughput;\n");

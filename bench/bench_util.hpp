@@ -1,18 +1,26 @@
-// Shared helpers for the reproduction benches: consistent table printing and
-// a tiny command-line convention (--full for paper-resolution sweeps,
-// --points=N to override the arrival-rate grid size).
+// Shared helpers for the reproduction benches: consistent table printing, a
+// tiny command-line convention (--full for paper-resolution sweeps,
+// --points=N to override the arrival-rate grid size, --threads=N to size
+// the solver engine), wall-clock timing with speedup reporting, and
+// machine-readable perf records (BENCH_solver.json) so successive PRs have
+// a perf trajectory to compare against.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "core/sweep.hpp"
 
 namespace gprsim::bench {
 
 struct BenchArgs {
     bool full = false;  ///< paper-resolution grids (slower)
     int points = 0;     ///< 0 = per-bench default
+    int threads = 1;    ///< solver engine width; 0 = all hardware threads
+    std::string json;   ///< path for machine-readable records ("" = none)
 
     static BenchArgs parse(int argc, char** argv) {
         BenchArgs args;
@@ -21,6 +29,10 @@ struct BenchArgs {
                 args.full = true;
             } else if (std::strncmp(argv[i], "--points=", 9) == 0) {
                 args.points = std::atoi(argv[i] + 9);
+            } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+                args.threads = std::atoi(argv[i] + 10);
+            } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+                args.json = argv[i] + 7;
             }
         }
         return args;
@@ -33,6 +45,13 @@ struct BenchArgs {
         return full ? full_default : quick_default;
     }
 };
+
+/// Applies --threads to a sweep: N != 1 shards independent sweep points
+/// across the engine pool (N == 0 uses all hardware threads).
+inline void apply_threads(core::SweepOptions& sweep, const BenchArgs& args) {
+    sweep.num_threads = args.threads;
+    sweep.parallel_points = args.threads != 1;
+}
 
 inline void print_header(const std::string& title) {
     std::printf("\n================================================================\n");
@@ -48,5 +67,79 @@ inline void print_row_rule(int columns, int width = 12) {
     }
     std::putchar('\n');
 }
+
+/// Simple wall-clock stopwatch for bench phases.
+class WallTimer {
+public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints "<label>: <seconds> s (speedup <x> vs <baseline_label>)".
+inline void print_walltime(const std::string& label, double seconds,
+                           double baseline_seconds = 0.0,
+                           const std::string& baseline_label = "serial") {
+    if (baseline_seconds > 0.0 && seconds > 0.0) {
+        std::printf("%-32s %9.3f s   speedup %5.2fx vs %s\n", label.c_str(), seconds,
+                    baseline_seconds / seconds, baseline_label.c_str());
+    } else {
+        std::printf("%-32s %9.3f s\n", label.c_str(), seconds);
+    }
+}
+
+/// One machine-readable solver perf record.
+struct SolverRecord {
+    std::string name;    ///< bench/case identifier
+    long long states = 0;
+    std::string method;  ///< solver method actually used
+    int threads = 1;
+    double seconds = 0.0;
+    long long iterations = 0;
+    double residual = 0.0;
+    double speedup = 0.0;  ///< vs the serial baseline of the same case (0 = n/a)
+};
+
+/// Collects SolverRecords and writes them as a JSON array. The format is
+/// deliberately flat so downstream tooling can diff perf across PRs.
+class BenchJsonWriter {
+public:
+    void add(const SolverRecord& r) { records_.push_back(r); }
+
+    bool write(const std::string& path) const {
+        if (path.empty()) {
+            return false;
+        }
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const SolverRecord& r = records_[i];
+            std::fprintf(f,
+                         "  {\"name\": \"%s\", \"states\": %lld, \"method\": \"%s\", "
+                         "\"threads\": %d, \"seconds\": %.6f, \"iterations\": %lld, "
+                         "\"residual\": %.3e, \"speedup\": %.3f}%s\n",
+                         r.name.c_str(), r.states, r.method.c_str(), r.threads, r.seconds,
+                         r.iterations, r.residual, r.speedup,
+                         i + 1 < records_.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
+        return true;
+    }
+
+private:
+    std::vector<SolverRecord> records_;
+};
 
 }  // namespace gprsim::bench

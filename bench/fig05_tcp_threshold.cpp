@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> plp(std::size(etas));
     core::SweepOptions sweep;
     sweep.solve.tolerance = 1e-9;
+    bench::apply_threads(sweep, args);
     for (std::size_t e = 0; e < std::size(etas); ++e) {
         core::Parameters p = base;
         p.flow_control_threshold = etas[e];

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
 
         core::SweepOptions sweep;
         sweep.solve.tolerance = 1e-9;
+        bench::apply_threads(sweep, args);
         const auto model_points = core::sweep_call_arrival_rate(base, rates, sweep);
         std::fprintf(stderr, "  [model] %.0f%% GPRS done\n", 100.0 * fraction);
 

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
             p.gprs_fraction = 0.05;
             core::SweepOptions sweep;
             sweep.solve.tolerance = 1e-10;
+            bench::apply_threads(sweep, args);
             sweep.progress = [&](std::size_t idx, const core::SweepPoint& point) {
                 std::fprintf(stderr,
                              "  [%s, %d PDCH] rate %.2f: %lld sweeps, %.1fs\n",

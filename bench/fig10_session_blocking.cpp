@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
         p.gprs_fraction = 0.05;
         core::SweepOptions sweep;
         sweep.solve.tolerance = 1e-10;
+        bench::apply_threads(sweep, args);
         sweep.progress = [&](std::size_t, const core::SweepPoint& point) {
             std::fprintf(stderr, "  [M = %d] rate %.2f: %lld sweeps, %.1fs\n",
                          solved_limits[i], point.call_arrival_rate,

@@ -32,6 +32,7 @@ inline int run_cdt_atu_figure(const char* figure_name, double gprs_fraction, int
         p.gprs_fraction = gprs_fraction;
         core::SweepOptions sweep;
         sweep.solve.tolerance = 1e-9;
+        apply_threads(sweep, args);
         sweep.progress = [&](std::size_t, const core::SweepPoint& point) {
             std::fprintf(stderr, "  [%d PDCH] rate %.2f: %lld sweeps, %.1fs\n",
                          pdch_options[c], point.call_arrival_rate,

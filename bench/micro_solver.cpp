@@ -1,149 +1,174 @@
-// Microbenchmarks backing the paper's methodological claim (Section 1):
+// Solver microbench backing the paper's methodological claim (Section 1):
 // "sensitive performance measures can be computed on a modern PC within few
-// minutes of CPU solution time" — numerical solution scales to the full
-// state space, while simulation cannot resolve rare-event measures.
+// minutes of CPU solution time" — and, since the parallel-engine refactor,
+// measuring how far the thread-sharded kernels push that claim.
 //
-// Benchmarks generator construction and steady-state solution across
-// state-space sizes (controlled via the buffer capacity K and session cap M)
-// and compares iterative methods.
-#include <benchmark/benchmark.h>
+// For each case the harness solves the chain once with the serial seed path
+// (Gauss-Seidel, num_threads = 1) as the baseline, then with the parallel
+// methods (red-black Gauss-Seidel, Jacobi) across thread counts, reporting
+// wall time, speedup, and the max-norm distance of each distribution from
+// the serial baseline. Records land in BENCH_solver.json (--json=PATH to
+// override) so later PRs can diff the perf trajectory.
+//
+//   micro_solver [--full] [--m=N] [--threads=N] [--json=PATH]
+//
+// --threads caps the widest configuration measured: the ladder is
+// {1, 2, 4, ..., cap}, so --threads=1 runs just the serial baseline and
+// --threads=0 ladders up to every hardware thread; with no flag the cap is
+// min(8, 2 x hardware threads). The quick default solves M = 10 (~130k
+// states, finishes in seconds); --full solves the Fig. 10 mid-size
+// configuration M = 100 (~10 million states); --m=N picks any session cap
+// in between.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
+#include "core/handover.hpp"
 #include "core/initial_guess.hpp"
 #include "core/model.hpp"
+#include "ctmc/engine.hpp"
 #include "traffic/threegpp.hpp"
 
 namespace {
 
 using namespace gprsim;
 
-core::Parameters scaled_parameters(int buffer_capacity, int max_sessions) {
-    core::Parameters p = core::Parameters::with_traffic_model(traffic::traffic_model_3());
-    p.buffer_capacity = buffer_capacity;
+const char* method_name(ctmc::SolveMethod m) {
+    switch (m) {
+        case ctmc::SolveMethod::gauss_seidel: return "gauss_seidel";
+        case ctmc::SolveMethod::symmetric_gauss_seidel: return "symmetric_gauss_seidel";
+        case ctmc::SolveMethod::sor: return "sor";
+        case ctmc::SolveMethod::jacobi: return "jacobi";
+        case ctmc::SolveMethod::power: return "power";
+        case ctmc::SolveMethod::red_black_gauss_seidel: return "red_black_gauss_seidel";
+    }
+    return "unknown";
+}
+
+core::Parameters fig10_parameters(int max_sessions) {
+    // Fig. 10 operating point: traffic model 1, 2 reserved PDCHs, 5% GPRS.
+    core::Parameters p = core::Parameters::with_traffic_model(traffic::traffic_model_1());
+    p.reserved_pdch = 2;
+    p.gprs_fraction = 0.05;
     p.max_gprs_sessions = max_sessions;
     p.call_arrival_rate = 0.5;
     return p;
 }
 
-void BM_BuildQtMatrix(benchmark::State& state) {
-    const core::Parameters p =
-        scaled_parameters(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
-    const core::BalancedTraffic balanced = core::balance_handover(p);
-    const core::GprsGenerator generator(p, balanced.rates);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(generator.to_qt_matrix());
+double max_norm_distance(const std::vector<double>& a, const std::vector<double>& b) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
     }
-    state.counters["states"] = static_cast<double>(generator.size());
+    return worst;
 }
-BENCHMARK(BM_BuildQtMatrix)
-    ->Args({20, 5})
-    ->Args({50, 10})
-    ->Args({100, 10})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_SolveSteadyState(benchmark::State& state) {
-    const core::Parameters p =
-        scaled_parameters(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
-    const core::BalancedTraffic balanced = core::balance_handover(p);
-    const core::GprsGenerator generator(p, balanced.rates);
-    const ctmc::QtMatrix qt = generator.to_qt_matrix();
-    ctmc::SolveOptions options;
-    options.tolerance = 1e-10;
-    ctmc::index_type iterations = 0;
-    for (auto _ : state) {
-        const ctmc::SolveResult result = ctmc::solve_steady_state(qt, options);
-        benchmark::DoNotOptimize(result.distribution.data());
-        iterations = result.iterations;
-    }
-    state.counters["states"] = static_cast<double>(generator.size());
-    state.counters["sweeps"] = static_cast<double>(iterations);
-}
-BENCHMARK(BM_SolveSteadyState)
-    ->Args({20, 5})
-    ->Args({50, 10})
-    ->Args({100, 10})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_SolveMethodComparison(benchmark::State& state) {
-    // SOR is deliberately absent: over-relaxation oscillates on this
-    // non-symmetric generator (see DESIGN.md, numerical strategy).
-    const core::Parameters p = scaled_parameters(30, 8);
-    const core::BalancedTraffic balanced = core::balance_handover(p);
-    const core::GprsGenerator generator(p, balanced.rates);
-    const ctmc::QtMatrix qt = generator.to_qt_matrix();
-    ctmc::SolveOptions options;
-    options.method = static_cast<ctmc::SolveMethod>(state.range(0));
-    options.tolerance = 1e-10;
-    options.max_iterations = 20000;
-    ctmc::index_type sweeps = 0;
-    for (auto _ : state) {
-        const ctmc::SolveResult result = ctmc::solve_steady_state(qt, options);
-        benchmark::DoNotOptimize(result.residual);
-        sweeps = result.iterations;
-    }
-    state.counters["sweeps"] = static_cast<double>(sweeps);
-}
-BENCHMARK(BM_SolveMethodComparison)
-    ->Arg(static_cast<int>(ctmc::SolveMethod::gauss_seidel))
-    ->Arg(static_cast<int>(ctmc::SolveMethod::symmetric_gauss_seidel))
-    ->Unit(benchmark::kMillisecond);
-
-void BM_InitialGuessAblation(benchmark::State& state) {
-    // Ablation for the product-form warm start (DESIGN.md design choice):
-    // iterations to 1e-10 from a uniform vector vs from the closed-form
-    // product approximation.
-    const core::Parameters p = scaled_parameters(60, 10);
-    const core::BalancedTraffic balanced = core::balance_handover(p);
-    const core::GprsGenerator generator(p, balanced.rates);
-    const ctmc::QtMatrix qt = generator.to_qt_matrix();
-    ctmc::SolveOptions options;
-    options.tolerance = 1e-10;
-    if (state.range(0) == 1) {
-        options.initial = core::product_form_initial(p, balanced, generator.space());
-    }
-    ctmc::index_type sweeps = 0;
-    for (auto _ : state) {
-        const ctmc::SolveResult result = ctmc::solve_steady_state(qt, options);
-        benchmark::DoNotOptimize(result.residual);
-        sweeps = result.iterations;
-    }
-    state.SetLabel(state.range(0) == 1 ? "product_form_start" : "uniform_start");
-    state.counters["sweeps"] = static_cast<double>(sweeps);
-}
-BENCHMARK(BM_InitialGuessAblation)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void BM_MatrixFreeVsCsrSweepCost(benchmark::State& state) {
-    // One Gauss-Seidel sweep through the matrix-free operator vs CSR: the
-    // matrix-free path trades ~an order of magnitude in speed for zero
-    // matrix memory (needed for the 22M-state chain of Fig. 10).
-    const core::Parameters p = scaled_parameters(50, 10);
-    const core::BalancedTraffic balanced = core::balance_handover(p);
-    const core::GprsGenerator generator(p, balanced.rates);
-    ctmc::SolveOptions one_sweep;
-    one_sweep.max_iterations = 1;
-    one_sweep.check_interval = 1;
-    if (state.range(0) == 0) {
-        const ctmc::QtMatrix qt = generator.to_qt_matrix();
-        for (auto _ : state) {
-            benchmark::DoNotOptimize(ctmc::solve_steady_state(qt, one_sweep).residual);
-        }
-    } else {
-        for (auto _ : state) {
-            benchmark::DoNotOptimize(ctmc::solve_steady_state(generator, one_sweep).residual);
-        }
-    }
-    state.SetLabel(state.range(0) == 0 ? "csr" : "matrix_free");
-}
-BENCHMARK(BM_MatrixFreeVsCsrSweepCost)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
-
-void BM_HandoverBalance(benchmark::State& state) {
-    core::Parameters p = core::Parameters::base();
-    p.call_arrival_rate = 1.0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(core::balance_handover(p).rates.gsm_arrival);
-    }
-}
-BENCHMARK(BM_HandoverBalance);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) try {
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    const int hw = ctmc::ThreadPool::hardware_threads();
+    // Repo-wide --threads semantics: 0 = all hardware threads, 1 = serial
+    // only, N = ladder up to N. With no flag the ladder tops out at
+    // min(8, 2*hw) so the table is informative on any machine.
+    int m_sessions = args.full ? 100 : 10;
+    bool threads_given = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--m=", 4) == 0) {
+            m_sessions = std::atoi(argv[i] + 4);
+        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threads_given = true;
+        }
+    }
+    const int max_threads = threads_given
+                                ? ctmc::SolverEngine::resolve_thread_count(args.threads)
+                                : std::min(8, 2 * hw);
+
+    bench::print_header("micro_solver -- steady-state engine: threads vs wall time");
+    std::printf("hardware threads: %d, widest measured: %d\n", hw, max_threads);
+
+    const core::Parameters p = fig10_parameters(m_sessions);
+    const core::BalancedTraffic balanced = core::balance_handover(p);
+    const core::GprsGenerator generator(p, balanced.rates);
+    const std::vector<double> initial =
+        core::product_form_initial(p, balanced, generator.space());
+
+    bench::WallTimer build_timer;
+    const ctmc::QtMatrix qt = generator.to_qt_matrix();
+    std::printf("case: Fig. 10 %s (M = %d): %lld states, %lld transitions, "
+                "CSR build %.2f s\n",
+                args.full ? "mid-size" : "quick", m_sessions,
+                static_cast<long long>(qt.size()),
+                static_cast<long long>(qt.off_diagonal().nonzeros()),
+                build_timer.seconds());
+
+    ctmc::SolverEngine engine(max_threads);
+    bench::BenchJsonWriter json;
+    const std::string case_name =
+        "fig10_M" + std::to_string(m_sessions);
+
+    ctmc::SolveOptions base;
+    // 1e-14 on the scaled residual keeps the per-method distributions
+    // within 1e-10 max-norm of each other (the residual-to-error
+    // amplification on this chain is ~4e3).
+    base.tolerance = 1e-14;
+    base.initial = initial;
+
+    // Serial seed path: the baseline every other run is compared against.
+    ctmc::SolveOptions serial = base;
+    serial.method = ctmc::SolveMethod::gauss_seidel;
+    serial.num_threads = 1;
+    const ctmc::SolveResult baseline = engine.solve(qt, serial);
+    std::printf("\n%-26s %7s %9s %10s %12s %12s\n", "method", "threads", "sweeps",
+                "seconds", "speedup", "maxdiff");
+    std::printf("%-26s %7d %9lld %10.3f %12s %12s\n", method_name(baseline.method_used),
+                baseline.threads_used, static_cast<long long>(baseline.iterations),
+                baseline.seconds, "1.00x", "-");
+    json.add({case_name, static_cast<long long>(qt.size()),
+              method_name(baseline.method_used), baseline.threads_used, baseline.seconds,
+              static_cast<long long>(baseline.iterations), baseline.residual, 1.0});
+
+    std::vector<int> ladder;
+    for (int t = 1; t <= max_threads; t *= 2) {
+        ladder.push_back(t);
+    }
+    if (ladder.back() != max_threads) {
+        ladder.push_back(max_threads);
+    }
+
+    const ctmc::SolveMethod methods[] = {ctmc::SolveMethod::red_black_gauss_seidel,
+                                         ctmc::SolveMethod::jacobi};
+    for (ctmc::SolveMethod method : methods) {
+        for (int threads : ladder) {
+            ctmc::SolveOptions options = base;
+            options.method = method;
+            options.num_threads = threads;
+            const ctmc::SolveResult r = engine.solve(qt, options);
+            const double diff = max_norm_distance(r.distribution, baseline.distribution);
+            std::printf("%-26s %7d %9lld %10.3f %11.2fx %12.2e\n",
+                        method_name(r.method_used), r.threads_used,
+                        static_cast<long long>(r.iterations), r.seconds,
+                        baseline.seconds / r.seconds, diff);
+            json.add({case_name, static_cast<long long>(qt.size()),
+                      method_name(r.method_used), r.threads_used, r.seconds,
+                      static_cast<long long>(r.iterations), r.residual,
+                      baseline.seconds / r.seconds});
+            if (diff > 1e-10) {
+                std::fprintf(stderr,
+                             "WARNING: %s @ %d threads drifted %.2e from the serial "
+                             "baseline (budget 1e-10)\n",
+                             method_name(r.method_used), threads, diff);
+            }
+        }
+    }
+
+    json.write(args.json.empty() ? "BENCH_solver.json" : args.json);
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_solver: %s\n", e.what());
+    return 1;
+}

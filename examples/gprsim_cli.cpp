@@ -14,6 +14,7 @@
 //   --buffer=<k>          BSC buffer K                     (default 100)
 //   --eta=<0..1>          flow-control threshold           (default 0.7)
 //   --bler=<0..1>         RLC block error rate             (default 0)
+//   --threads=<n>         solver threads; 0 = all cores    (default 1)
 // simulate:
 //   --seed=<n> --batches=<n> --batch-seconds=<s> --no-tcp
 // dimension:
@@ -77,11 +78,15 @@ int cmd_analyze(int argc, char** argv) {
     core::GprsModel model(parameters_from_flags(argc, argv));
     ctmc::SolveOptions options;
     options.tolerance = 1e-9;
+    // --threads=N runs the red-black parallel engine; 1 keeps the serial
+    // seed path, 0 uses every hardware thread.
+    options.num_threads = static_cast<int>(flag(argc, argv, "threads", 1));
     const auto& solve = model.solve(options);
     const core::Measures m = model.measures();
-    std::printf("states %lld, %lld sweeps, %.1f s\n",
+    std::printf("states %lld, %lld sweeps, %.1f s (%d threads)\n",
                 static_cast<long long>(model.space().size()),
-                static_cast<long long>(solve.iterations), solve.seconds);
+                static_cast<long long>(solve.iterations), solve.seconds,
+                solve.threads_used);
     std::printf("CDT %.4f PDCH | PLP %.3e | QD %.3f s | ATU %.3f kbit/s\n",
                 m.carried_data_traffic, m.packet_loss_probability, m.queueing_delay,
                 m.throughput_per_user_kbps);

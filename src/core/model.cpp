@@ -12,6 +12,11 @@ GprsModel::GprsModel(Parameters parameters)
       generator_(parameters_, balanced_.rates) {}
 
 const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options) {
+    return solve(options, ctmc::default_engine());
+}
+
+const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options,
+                                          ctmc::SolverEngine& engine) {
     if (solution_) {
         return *solution_;
     }
@@ -24,10 +29,10 @@ const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options) {
     ctmc::SolveResult result;
     if (estimated_qt_bytes() <= memory_budget_) {
         const ctmc::QtMatrix qt = generator_.to_qt_matrix();
-        result = ctmc::solve_steady_state(qt, effective);
+        result = engine.solve(qt, effective);
         used_matrix_free_ = false;
     } else {
-        result = ctmc::solve_steady_state(generator_, effective);
+        result = engine.solve(generator_, effective);
         used_matrix_free_ = true;
     }
     if (!result.converged) {

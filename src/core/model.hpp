@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "ctmc/engine.hpp"
 #include "ctmc/solver.hpp"
 #include "core/generator.hpp"
 #include "core/handover.hpp"
@@ -36,9 +37,15 @@ public:
     /// CSR is used when estimated_qt_bytes() <= memory_budget (default 8 GiB).
     void set_memory_budget(std::size_t bytes) { memory_budget_ = bytes; }
 
-    /// Solves for the stationary distribution (cached). Returns solver
-    /// statistics; throws std::runtime_error if the solve did not converge.
+    /// Solves for the stationary distribution (cached) on the process-wide
+    /// default engine. Returns solver statistics; throws
+    /// std::runtime_error if the solve did not converge.
     const ctmc::SolveResult& solve(const ctmc::SolveOptions& options = {});
+
+    /// Same, but on a caller-managed engine — the route every sweep and
+    /// bench takes so one thread pool is reused across all solves.
+    const ctmc::SolveResult& solve(const ctmc::SolveOptions& options,
+                                   ctmc::SolverEngine& engine);
 
     bool solved() const { return solution_.has_value(); }
     /// Stationary distribution (requires a prior successful solve()).

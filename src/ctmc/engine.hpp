@@ -1,0 +1,191 @@
+// SolverEngine: the reusable entry point of the steady-state stack.
+//
+//   engine layer   (this file + kernels.hpp + thread_pool.hpp)
+//        ^ owns a ThreadPool, dispatches per-method kernels
+//   model layer    (core/model.hpp, core/sweep.hpp)
+//        ^ routes GprsModel::solve() and sweeps through an engine
+//   consumers      (bench/, examples/)
+//
+// One engine should live as long as the workload: its pool is spawned once
+// and reused across every solve, sweep point, and residual evaluation; a
+// pool wider than a given solve's width never over-parallelizes it (the
+// dispatch caps participating threads at num_threads).
+// Thread-count semantics (SolveOptions::num_threads):
+//   1  -> serial. For the Gauss-Seidel family this is the exact seed
+//         arithmetic (bit-compatible); the parallel methods use
+//         block-ordered reductions, whose rounding differs from the seed's
+//         left-to-right sums in the last ulps.
+//   0  -> all hardware threads,
+//   N  -> N-wide execution. The parallel methods (jacobi, power,
+//         red_black_gauss_seidel) produce bitwise identical distributions
+//         for every thread count; plain gauss_seidel upgrades to
+//         red_black_gauss_seidel when more than one thread is requested.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "ctmc/kernels.hpp"
+#include "ctmc/solver_options.hpp"
+#include "ctmc/thread_pool.hpp"
+
+namespace gprsim::ctmc {
+
+class SolverEngine {
+public:
+    /// `prewarm_threads` > 1 spawns the pool eagerly; otherwise the pool is
+    /// created on first parallel solve (or pool() call).
+    explicit SolverEngine(int prewarm_threads = 0);
+
+    SolverEngine(const SolverEngine&) = delete;
+    SolverEngine& operator=(const SolverEngine&) = delete;
+
+    /// Resolves SolveOptions::num_threads: 0 -> hardware threads, else
+    /// max(1, requested).
+    static int resolve_thread_count(int requested);
+
+    /// The shared pool, grown (recreated) if narrower than `min_threads`.
+    /// Do not resize while another thread is solving on this engine.
+    ThreadPool& pool(int min_threads);
+
+    /// Solves pi Q = 0, sum(pi) = 1 for the operator's chain.
+    ///
+    /// Throws std::invalid_argument for degenerate generators. A
+    /// non-converged result (result.converged == false) is returned rather
+    /// than thrown so callers can decide whether the residual is
+    /// acceptable. Concurrent serial solves (num_threads == 1) on one
+    /// engine are safe; concurrent *parallel* solves serialize on the pool.
+    template <QtOperatorConcept Op>
+    SolveResult solve(const Op& op, const SolveOptions& options = {});
+
+private:
+    std::unique_ptr<ThreadPool> pool_;
+    std::mutex pool_mutex_;
+};
+
+/// Process-wide engine used by the solve_steady_state() convenience wrapper
+/// and by model-layer callers that do not manage their own engine.
+SolverEngine& default_engine();
+
+// --- implementation -----------------------------------------------------
+
+template <QtOperatorConcept Op>
+SolveResult SolverEngine::solve(const Op& op, const SolveOptions& options) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const index_type n = op.size();
+    if (n <= 0) {
+        throw std::invalid_argument("solve_steady_state: empty state space");
+    }
+    if (!options.initial.empty() &&
+        static_cast<index_type>(options.initial.size()) != n) {
+        throw std::invalid_argument("solve_steady_state: initial vector size mismatch");
+    }
+
+    const int threads = resolve_thread_count(options.num_threads);
+    SolveMethod method = options.method;
+    if (method == SolveMethod::gauss_seidel && threads > 1) {
+        method = SolveMethod::red_black_gauss_seidel;
+    }
+    const bool parallel_family = method == SolveMethod::jacobi ||
+                                 method == SolveMethod::power ||
+                                 method == SolveMethod::red_black_gauss_seidel;
+    detail::Executor exec;
+    if (threads > 1 && parallel_family) {
+        exec = {&this->pool(threads), threads};
+    }
+
+    SolveResult result;
+    result.threads_used = exec.pool != nullptr ? threads : 1;
+    result.method_used = method;
+    result.distribution.assign(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
+    if (!options.initial.empty()) {
+        result.distribution = options.initial;
+        for (double& v : result.distribution) {
+            v = std::max(v, 0.0);
+        }
+        if (parallel_family) {
+            detail::normalize_blocked(result.distribution, exec);
+        } else {
+            detail::normalize(result.distribution);
+        }
+    }
+    std::vector<double>& x = result.distribution;
+
+    const double lambda = detail::max_exit_rate(op, exec);
+    const bool needs_old = method == SolveMethod::jacobi || method == SolveMethod::power;
+    std::vector<double> old;
+    if (needs_old) {
+        old.resize(static_cast<std::size_t>(n));
+    }
+    std::vector<double> scratch;
+    if (method == SolveMethod::red_black_gauss_seidel) {
+        scratch.resize(static_cast<std::size_t>(n));
+    }
+
+    const double omega = method == SolveMethod::sor ? options.relaxation : 1.0;
+    if (omega <= 0.0 || omega >= 2.0) {
+        throw std::invalid_argument("solve_steady_state: relaxation must be in (0, 2)");
+    }
+
+    bool residual_current = false;  // does result.residual describe x as-is?
+    for (index_type sweep = 1; sweep <= options.max_iterations; ++sweep) {
+        switch (method) {
+            case SolveMethod::gauss_seidel:
+            case SolveMethod::sor:
+                detail::gauss_seidel_forward(op, x, omega);
+                break;
+            case SolveMethod::symmetric_gauss_seidel:
+                detail::gauss_seidel_forward(op, x, omega);
+                detail::gauss_seidel_backward(op, x, omega);
+                break;
+            case SolveMethod::jacobi:
+                old.swap(x);
+                detail::jacobi_sweep(op, old, x, exec);
+                break;
+            case SolveMethod::power:
+                old.swap(x);
+                detail::power_sweep(op, old, x, lambda, exec);
+                break;
+            case SolveMethod::red_black_gauss_seidel:
+                detail::red_black_sweep(op, x, scratch, exec);
+                break;
+        }
+        result.iterations = sweep;
+        residual_current = false;
+
+        if (sweep % options.check_interval == 0 || sweep == options.max_iterations) {
+            if (parallel_family) {
+                detail::normalize_blocked(x, exec);
+            } else {
+                detail::normalize(x);
+            }
+            result.residual = detail::scaled_residual(op, x, lambda, exec);
+            residual_current = true;
+            if (options.progress) {
+                options.progress(sweep, result.residual);
+            }
+            if (result.residual <= options.tolerance) {
+                break;
+            }
+        }
+    }
+
+    // Every loop exit passes through a residual check (converged break or
+    // the forced check on the final sweep), so the O(nnz) recomputation the
+    // seed solver did here is skipped unless the loop never ran.
+    if (!residual_current) {
+        if (parallel_family) {
+            detail::normalize_blocked(x, exec);
+        } else {
+            detail::normalize(x);
+        }
+        result.residual = detail::scaled_residual(op, x, lambda, exec);
+    }
+    result.converged = result.residual <= options.tolerance;
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
+}
+
+}  // namespace gprsim::ctmc

@@ -1,304 +1,27 @@
-// Iterative steady-state solvers for large continuous-time Markov chains.
+// Compatibility facade for the steady-state solver stack.
 //
-// All solvers compute the stationary distribution pi of an irreducible CTMC
-// with generator Q, i.e. the solution of  pi * Q = 0,  sum(pi) = 1.
-// They operate on the *transposed* generator: a type modelling the
-// QtOperatorConcept below exposes, for every state i, the diagonal Q_ii and
-// the incoming transition rates Q_ji (j != i). This works both for an
-// explicitly stored CSR matrix (QtMatrix) and for matrix-free operators that
-// enumerate transitions on the fly (used when the chain does not fit in RAM).
+// The monolithic solver that used to live here is now layered:
+//   solver_options.hpp - QtOperatorConcept, QtMatrix, options/result structs
+//   kernels.hpp        - per-method serial and block-sharded kernels
+//   thread_pool.hpp    - reusable fork-join worker pool
+//   engine.hpp         - SolverEngine tying pool + kernels together
+// This header re-exports all of it and keeps the original free-function
+// entry point, which routes through the process-wide default engine.
 #pragma once
 
-#include <chrono>
-#include <cmath>
-#include <concepts>
-#include <cstddef>
-#include <functional>
-#include <span>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-#include "ctmc/sparse_matrix.hpp"
-#include "ctmc/types.hpp"
+#include "ctmc/engine.hpp"
+#include "ctmc/kernels.hpp"
+#include "ctmc/solver_options.hpp"
 
 namespace gprsim::ctmc {
 
-/// Requirements for a transposed-generator operator usable by the solvers.
-///
-///   index_type size() const;                 // number of states
-///   double diagonal(index_type i) const;     // Q_ii  (strictly negative
-///                                            //  for non-absorbing states)
-///   void for_each_incoming(index_type i, F&& f) const;
-///                                            // f(j, rate) for every j != i
-///                                            //  with Q_ji = rate > 0
-template <typename Op>
-concept QtOperatorConcept = requires(const Op& op, index_type i) {
-    { op.size() } -> std::convertible_to<index_type>;
-    { op.diagonal(i) } -> std::convertible_to<double>;
-    op.for_each_incoming(i, [](index_type, double) {});
-};
-
-/// Transposed generator stored explicitly: off-diagonal CSR + diagonal array.
-class QtMatrix {
-public:
-    QtMatrix() = default;
-    QtMatrix(SparseMatrix off_diagonal_qt, std::vector<double> diagonal)
-        : off_diag_(std::move(off_diagonal_qt)), diag_(std::move(diagonal)) {
-        if (off_diag_.rows() != static_cast<index_type>(diag_.size()) ||
-            off_diag_.cols() != static_cast<index_type>(diag_.size())) {
-            throw std::invalid_argument("QtMatrix: dimension mismatch");
-        }
-    }
-
-    index_type size() const { return static_cast<index_type>(diag_.size()); }
-    double diagonal(index_type i) const { return diag_[static_cast<std::size_t>(i)]; }
-
-    template <typename F>
-    void for_each_incoming(index_type i, F&& f) const {
-        const auto cols = off_diag_.row_cols(i);
-        const auto values = off_diag_.row_values(i);
-        for (std::size_t p = 0; p < cols.size(); ++p) {
-            f(cols[p], values[p]);
-        }
-    }
-
-    const SparseMatrix& off_diagonal() const { return off_diag_; }
-    std::size_t memory_bytes() const {
-        return off_diag_.memory_bytes() + diag_.capacity() * sizeof(double);
-    }
-
-private:
-    SparseMatrix off_diag_;  // entry (i, j) = Q_ji, i != j
-    std::vector<double> diag_;
-};
-
-/// Builds a QtMatrix from an enumerator of *outgoing* transitions.
-///
-/// `outgoing(i, emit)` must call `emit(j, rate)` for every transition
-/// i -> j (j != i, rate > 0) of the chain. The diagonal is derived as the
-/// negated row sum, so the result is a proper generator by construction.
-template <typename Outgoing>
-QtMatrix build_qt_matrix(index_type num_states, Outgoing&& outgoing) {
-    std::vector<double> diag(static_cast<std::size_t>(num_states), 0.0);
-    std::vector<Triplet> triplets;
-    for (index_type i = 0; i < num_states; ++i) {
-        outgoing(i, [&](index_type j, double rate) {
-            if (rate <= 0.0) {
-                return;
-            }
-            diag[static_cast<std::size_t>(i)] -= rate;
-            triplets.push_back({j, i, rate});  // transposed: row=target, col=source
-        });
-    }
-    SparseMatrix off = SparseMatrix::from_triplets(num_states, num_states, std::move(triplets));
-    return QtMatrix(std::move(off), std::move(diag));
-}
-
-/// Iteration scheme used by solve_steady_state().
-enum class SolveMethod {
-    /// In-place forward sweeps; the default. With the product-form warm
-    /// start of the GPRS model this needs roughly half the wall time of the
-    /// symmetric variant per unit of residual reduction.
-    gauss_seidel,
-    /// Forward + backward pass per sweep (2x cost per sweep); converges in
-    /// fewer sweeps on level-structured chains but rarely wins overall.
-    symmetric_gauss_seidel,
-    /// Gauss-Seidel with over-relaxation. NOTE: on this non-symmetric
-    /// generator large omega oscillates; kept for experimentation.
-    sor,
-    jacobi,  ///< two-vector sweeps (parallelizable, slower convergence)
-    power,   ///< uniformized power iteration pi <- pi (I + Q/Lambda)
-};
-
-struct SolveOptions {
-    SolveMethod method = SolveMethod::gauss_seidel;
-    /// Convergence target on max_i |(pi Q)_i| / Lambda with
-    /// Lambda = max_i |Q_ii| (a dimensionless residual).
-    double tolerance = 1e-12;
-    index_type max_iterations = 200000;
-    /// Relaxation factor for SolveMethod::sor (1 < omega < 2 accelerates).
-    double relaxation = 1.2;
-    /// Residual is evaluated every `check_interval` sweeps.
-    index_type check_interval = 10;
-    /// Warm start; empty means the uniform distribution. Non-negative,
-    /// renormalized internally.
-    std::vector<double> initial;
-    /// Optional progress callback: (sweeps done, current residual).
-    std::function<void(index_type, double)> progress;
-};
-
-struct SolveResult {
-    std::vector<double> distribution;
-    index_type iterations = 0;
-    double residual = 0.0;
-    bool converged = false;
-    double seconds = 0.0;
-};
-
-namespace detail {
-
-inline void normalize(std::span<double> x) {
-    double sum = 0.0;
-    for (double v : x) {
-        sum += v;
-    }
-    if (sum <= 0.0) {
-        throw std::runtime_error("steady-state solve collapsed to the zero vector");
-    }
-    for (double& v : x) {
-        v /= sum;
-    }
-}
-
-/// max_i |(pi Q)_i| / Lambda for a normalized pi.
-template <QtOperatorConcept Op>
-double scaled_residual(const Op& op, std::span<const double> x, double uniformization_rate) {
-    const index_type n = op.size();
-    double worst = 0.0;
-    for (index_type i = 0; i < n; ++i) {
-        double acc = op.diagonal(i) * x[static_cast<std::size_t>(i)];
-        op.for_each_incoming(i, [&](index_type j, double rate) {
-            acc += rate * x[static_cast<std::size_t>(j)];
-        });
-        worst = std::max(worst, std::fabs(acc));
-    }
-    return worst / uniformization_rate;
-}
-
-template <QtOperatorConcept Op>
-double max_exit_rate(const Op& op) {
-    double lambda = 0.0;
-    for (index_type i = 0; i < op.size(); ++i) {
-        lambda = std::max(lambda, -op.diagonal(i));
-    }
-    if (lambda <= 0.0) {
-        throw std::invalid_argument("generator has no transitions (all diagonal zero)");
-    }
-    return lambda;
-}
-
-}  // namespace detail
-
-/// Solves pi Q = 0, sum(pi) = 1 for the operator's chain.
-///
-/// Throws std::invalid_argument for degenerate generators. A non-converged
-/// result (result.converged == false) is returned rather than thrown so
-/// callers can decide whether the residual is acceptable.
+/// Solves pi Q = 0, sum(pi) = 1 for the operator's chain on the default
+/// engine. With the default options.num_threads == 1 this is the exact
+/// serial arithmetic of the original solver; see engine.hpp for the
+/// parallel semantics.
 template <QtOperatorConcept Op>
 SolveResult solve_steady_state(const Op& op, const SolveOptions& options = {}) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const index_type n = op.size();
-    if (n <= 0) {
-        throw std::invalid_argument("solve_steady_state: empty state space");
-    }
-    if (!options.initial.empty() &&
-        static_cast<index_type>(options.initial.size()) != n) {
-        throw std::invalid_argument("solve_steady_state: initial vector size mismatch");
-    }
-
-    SolveResult result;
-    result.distribution.assign(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
-    if (!options.initial.empty()) {
-        result.distribution = options.initial;
-        for (double& v : result.distribution) {
-            v = std::max(v, 0.0);
-        }
-        detail::normalize(result.distribution);
-    }
-    std::vector<double>& x = result.distribution;
-
-    const double lambda = detail::max_exit_rate(op);
-    const bool needs_old = options.method == SolveMethod::jacobi ||
-                           options.method == SolveMethod::power;
-    std::vector<double> old;
-    if (needs_old) {
-        old.resize(static_cast<std::size_t>(n));
-    }
-
-    const double omega =
-        options.method == SolveMethod::sor ? options.relaxation : 1.0;
-    if (omega <= 0.0 || omega >= 2.0) {
-        throw std::invalid_argument("solve_steady_state: relaxation must be in (0, 2)");
-    }
-
-    const auto gs_update = [&](index_type i) {
-        const double d = op.diagonal(i);
-        if (d == 0.0) {
-            return;  // isolated state keeps its (zero) mass
-        }
-        double acc = 0.0;
-        op.for_each_incoming(i, [&](index_type j, double rate) {
-            acc += rate * x[static_cast<std::size_t>(j)];
-        });
-        const double gs = acc / -d;
-        double& xi = x[static_cast<std::size_t>(i)];
-        xi = (1.0 - omega) * xi + omega * gs;
-        if (xi < 0.0) {
-            xi = 0.0;  // SOR overshoot guard; harmless for GS
-        }
-    };
-
-    for (index_type sweep = 1; sweep <= options.max_iterations; ++sweep) {
-        switch (options.method) {
-            case SolveMethod::gauss_seidel:
-            case SolveMethod::sor:
-                for (index_type i = 0; i < n; ++i) {
-                    gs_update(i);
-                }
-                break;
-            case SolveMethod::symmetric_gauss_seidel:
-                for (index_type i = 0; i < n; ++i) {
-                    gs_update(i);
-                }
-                for (index_type i = n; i-- > 0;) {
-                    gs_update(i);
-                }
-                break;
-            case SolveMethod::jacobi:
-                old.swap(x);
-                for (index_type i = 0; i < n; ++i) {
-                    const double d = op.diagonal(i);
-                    double acc = 0.0;
-                    op.for_each_incoming(i, [&](index_type j, double rate) {
-                        acc += rate * old[static_cast<std::size_t>(j)];
-                    });
-                    x[static_cast<std::size_t>(i)] = d == 0.0 ? 0.0 : acc / -d;
-                }
-                break;
-            case SolveMethod::power:
-                old.swap(x);
-                for (index_type i = 0; i < n; ++i) {
-                    double acc = op.diagonal(i) * old[static_cast<std::size_t>(i)];
-                    op.for_each_incoming(i, [&](index_type j, double rate) {
-                        acc += rate * old[static_cast<std::size_t>(j)];
-                    });
-                    x[static_cast<std::size_t>(i)] =
-                        old[static_cast<std::size_t>(i)] + acc / lambda;
-                }
-                break;
-        }
-        result.iterations = sweep;
-
-        if (sweep % options.check_interval == 0 || sweep == options.max_iterations) {
-            detail::normalize(x);
-            result.residual = detail::scaled_residual(op, x, lambda);
-            if (options.progress) {
-                options.progress(sweep, result.residual);
-            }
-            if (result.residual <= options.tolerance) {
-                result.converged = true;
-                break;
-            }
-        }
-    }
-
-    detail::normalize(x);
-    result.residual = detail::scaled_residual(op, x, lambda);
-    result.converged = result.residual <= options.tolerance;
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    return result;
+    return default_engine().solve(op, options);
 }
 
 }  // namespace gprsim::ctmc

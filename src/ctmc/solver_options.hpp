@@ -1,0 +1,156 @@
+// Solver vocabulary shared by every layer of the steady-state stack: the
+// transposed-generator operator concept, the explicit CSR operator, and the
+// option/result structs consumed by SolverEngine (see engine.hpp).
+//
+// All solvers compute the stationary distribution pi of an irreducible CTMC
+// with generator Q, i.e. the solution of  pi * Q = 0,  sum(pi) = 1.
+// They operate on the *transposed* generator: a type modelling the
+// QtOperatorConcept below exposes, for every state i, the diagonal Q_ii and
+// the incoming transition rates Q_ji (j != i). This works both for an
+// explicitly stored CSR matrix (QtMatrix) and for matrix-free operators that
+// enumerate transitions on the fly (used when the chain does not fit in RAM).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ctmc/sparse_matrix.hpp"
+#include "ctmc/types.hpp"
+
+namespace gprsim::ctmc {
+
+/// Requirements for a transposed-generator operator usable by the solvers.
+///
+///   index_type size() const;                 // number of states
+///   double diagonal(index_type i) const;     // Q_ii  (strictly negative
+///                                            //  for non-absorbing states)
+///   void for_each_incoming(index_type i, F&& f) const;
+///                                            // f(j, rate) for every j != i
+///                                            //  with Q_ji = rate > 0
+template <typename Op>
+concept QtOperatorConcept = requires(const Op& op, index_type i) {
+    { op.size() } -> std::convertible_to<index_type>;
+    { op.diagonal(i) } -> std::convertible_to<double>;
+    op.for_each_incoming(i, [](index_type, double) {});
+};
+
+/// Transposed generator stored explicitly: off-diagonal CSR + diagonal array.
+class QtMatrix {
+public:
+    QtMatrix() = default;
+    QtMatrix(SparseMatrix off_diagonal_qt, std::vector<double> diagonal)
+        : off_diag_(std::move(off_diagonal_qt)), diag_(std::move(diagonal)) {
+        if (off_diag_.rows() != static_cast<index_type>(diag_.size()) ||
+            off_diag_.cols() != static_cast<index_type>(diag_.size())) {
+            throw std::invalid_argument("QtMatrix: dimension mismatch");
+        }
+    }
+
+    index_type size() const { return static_cast<index_type>(diag_.size()); }
+    double diagonal(index_type i) const { return diag_[static_cast<std::size_t>(i)]; }
+
+    template <typename F>
+    void for_each_incoming(index_type i, F&& f) const {
+        const auto cols = off_diag_.row_cols(i);
+        const auto values = off_diag_.row_values(i);
+        for (std::size_t p = 0; p < cols.size(); ++p) {
+            f(cols[p], values[p]);
+        }
+    }
+
+    const SparseMatrix& off_diagonal() const { return off_diag_; }
+    std::size_t memory_bytes() const {
+        return off_diag_.memory_bytes() + diag_.capacity() * sizeof(double);
+    }
+
+private:
+    SparseMatrix off_diag_;  // entry (i, j) = Q_ji, i != j
+    std::vector<double> diag_;
+};
+
+/// Builds a QtMatrix from an enumerator of *outgoing* transitions.
+///
+/// `outgoing(i, emit)` must call `emit(j, rate)` for every transition
+/// i -> j (j != i, rate > 0) of the chain. The diagonal is derived as the
+/// negated row sum, so the result is a proper generator by construction.
+template <typename Outgoing>
+QtMatrix build_qt_matrix(index_type num_states, Outgoing&& outgoing) {
+    std::vector<double> diag(static_cast<std::size_t>(num_states), 0.0);
+    std::vector<Triplet> triplets;
+    for (index_type i = 0; i < num_states; ++i) {
+        outgoing(i, [&](index_type j, double rate) {
+            if (rate <= 0.0) {
+                return;
+            }
+            diag[static_cast<std::size_t>(i)] -= rate;
+            triplets.push_back({j, i, rate});  // transposed: row=target, col=source
+        });
+    }
+    SparseMatrix off = SparseMatrix::from_triplets(num_states, num_states, std::move(triplets));
+    return QtMatrix(std::move(off), std::move(diag));
+}
+
+/// Iteration scheme used by SolverEngine::solve() / solve_steady_state().
+enum class SolveMethod {
+    /// In-place forward sweeps; the default. With the product-form warm
+    /// start of the GPRS model this needs roughly half the wall time of the
+    /// symmetric variant per unit of residual reduction. Strictly serial;
+    /// with num_threads > 1 the engine substitutes the red-black variant.
+    gauss_seidel,
+    /// Forward + backward pass per sweep (2x cost per sweep); converges in
+    /// fewer sweeps on level-structured chains but rarely wins overall.
+    symmetric_gauss_seidel,
+    /// Gauss-Seidel with over-relaxation. NOTE: on this non-symmetric
+    /// generator large omega oscillates; kept for experimentation.
+    sor,
+    jacobi,  ///< two-vector sweeps (parallel across row shards)
+    power,   ///< uniformized power iteration pi <- pi (I + Q/Lambda)
+    /// Two-color Gauss-Seidel: states are split by index parity; each color
+    /// phase updates all of its states from a consistent snapshot (writes go
+    /// to a scratch half-vector, then commit), so the phase parallelizes
+    /// over row shards and the result is bitwise independent of the thread
+    /// count. Converges between Jacobi and serial Gauss-Seidel.
+    red_black_gauss_seidel,
+};
+
+struct SolveOptions {
+    SolveMethod method = SolveMethod::gauss_seidel;
+    /// Convergence target on max_i |(pi Q)_i| / Lambda with
+    /// Lambda = max_i |Q_ii| (a dimensionless residual).
+    double tolerance = 1e-12;
+    index_type max_iterations = 200000;
+    /// Relaxation factor for SolveMethod::sor (1 < omega < 2 accelerates).
+    double relaxation = 1.2;
+    /// Residual is evaluated every `check_interval` sweeps.
+    index_type check_interval = 10;
+    /// Execution width. 1 (default) runs serially; 0 means "all hardware
+    /// threads". For the parallel methods (jacobi, power,
+    /// red_black_gauss_seidel) results are bitwise identical for every
+    /// thread count. The Gauss-Seidel family is inherently sequential:
+    /// sor and symmetric_gauss_seidel run serially whatever the width,
+    /// while plain gauss_seidel upgrades to red_black_gauss_seidel when
+    /// more than one thread is requested.
+    int num_threads = 1;
+    /// Warm start; empty means the uniform distribution. Non-negative,
+    /// renormalized internally.
+    std::vector<double> initial;
+    /// Optional progress callback: (sweeps done, current residual).
+    std::function<void(index_type, double)> progress;
+};
+
+struct SolveResult {
+    std::vector<double> distribution;
+    index_type iterations = 0;
+    double residual = 0.0;
+    bool converged = false;
+    double seconds = 0.0;
+    /// Execution width actually used (after resolving num_threads == 0).
+    int threads_used = 1;
+    /// Method actually executed (gauss_seidel may upgrade to red-black).
+    SolveMethod method_used = SolveMethod::gauss_seidel;
+};
+
+}  // namespace gprsim::ctmc

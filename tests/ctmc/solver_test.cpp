@@ -79,7 +79,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, SolverMethods,
                          ::testing::Values(SolveMethod::gauss_seidel,
                                            SolveMethod::symmetric_gauss_seidel,
                                            SolveMethod::sor, SolveMethod::jacobi,
-                                           SolveMethod::power),
+                                           SolveMethod::power,
+                                           SolveMethod::red_black_gauss_seidel),
                          [](const auto& info) {
                              switch (info.param) {
                                  case SolveMethod::gauss_seidel:
@@ -92,6 +93,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, SolverMethods,
                                      return "jacobi";
                                  case SolveMethod::power:
                                      return "power";
+                                 case SolveMethod::red_black_gauss_seidel:
+                                     return "red_black_gauss_seidel";
                              }
                              return "unknown";
                          });

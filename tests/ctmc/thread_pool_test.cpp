@@ -1,0 +1,95 @@
+#include "ctmc/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <stdexcept>
+#include <vector>
+
+namespace gprsim::ctmc {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryTaskExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(100, [&](int t) { hits[static_cast<std::size_t>(t)].fetch_add(1); });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, IsReusableAcrossManyDispatches) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.run(17, [&](int) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 50 * 17);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<int> order;
+    pool.run(5, [&](int t) { order.push_back(t); });  // no workers: no data race
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ClampsNonPositiveWidthToOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    int runs = 0;
+    pool.run(3, [&](int) { ++runs; });
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+    ThreadPool pool(2);
+    pool.run(0, [&](int) { FAIL() << "task must not run"; });
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.run(8,
+                          [&](int t) {
+                              if (t == 3) {
+                                  throw std::runtime_error("boom");
+                              }
+                          }),
+                 std::runtime_error);
+    // The pool must stay usable after a failed dispatch.
+    std::atomic<int> total{0};
+    pool.run(4, [&](int) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, MaxWidthCapsConcurrency) {
+    // A pool wider than the requested job width must not over-parallelize:
+    // at most `max_width` threads (caller included) may claim tasks.
+    ThreadPool pool(8);
+    std::atomic<int> active{0};
+    std::atomic<int> peak{0};
+    pool.run(
+        32,
+        [&](int) {
+            const int now = active.fetch_add(1) + 1;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            active.fetch_sub(1);
+        },
+        2);
+    EXPECT_LE(peak.load(), 2);
+    EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+    EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace gprsim::ctmc
