@@ -1,9 +1,10 @@
 // Shared helpers for the reproduction benches: consistent table printing, a
 // tiny command-line convention (--full for paper-resolution sweeps,
 // --points=N to override the arrival-rate grid size, --threads=N to size
-// the solver engine), wall-clock timing with speedup reporting, and
-// machine-readable perf records (BENCH_solver.json) so successive PRs have
-// a perf trajectory to compare against.
+// the solver/experiment engines, --replications=N for simulator
+// experiments), wall-clock timing with speedup reporting, and
+// machine-readable perf records (BENCH_solver.json / BENCH_simulator.json)
+// so successive PRs have a perf trajectory to compare against.
 #pragma once
 
 #include <chrono>
@@ -17,10 +18,12 @@
 namespace gprsim::bench {
 
 struct BenchArgs {
-    bool full = false;  ///< paper-resolution grids (slower)
-    int points = 0;     ///< 0 = per-bench default
-    int threads = 1;    ///< solver engine width; 0 = all hardware threads
-    std::string json;   ///< path for machine-readable records ("" = none)
+    bool full = false;     ///< paper-resolution grids (slower)
+    int points = 0;        ///< 0 = per-bench default
+    int threads = 1;       ///< engine width; 0 = all hardware threads
+    bool threads_given = false;  ///< --threads was on the command line
+    int replications = 0;  ///< simulator replications; 0 = per-bench default
+    std::string json;      ///< path for machine-readable records ("" = none)
 
     static BenchArgs parse(int argc, char** argv) {
         BenchArgs args;
@@ -31,6 +34,9 @@ struct BenchArgs {
                 args.points = std::atoi(argv[i] + 9);
             } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
                 args.threads = std::atoi(argv[i] + 10);
+                args.threads_given = true;
+            } else if (std::strncmp(argv[i], "--replications=", 15) == 0) {
+                args.replications = std::atoi(argv[i] + 15);
             } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
                 args.json = argv[i] + 7;
             }
@@ -41,6 +47,13 @@ struct BenchArgs {
     int grid(int quick_default, int full_default) const {
         if (points > 0) {
             return points;
+        }
+        return full ? full_default : quick_default;
+    }
+
+    int replication_count(int quick_default, int full_default) const {
+        if (replications > 0) {
+            return replications;
         }
         return full ? full_default : quick_default;
     }
@@ -94,6 +107,29 @@ inline void print_walltime(const std::string& label, double seconds,
     }
 }
 
+/// Shared scaffolding of the perf-record writers: wraps pre-formatted
+/// record lines into a JSON array at `path` and reports the write.
+inline bool write_json_records(const std::string& path,
+                               const std::vector<std::string>& records) {
+    if (path.empty()) {
+        return false;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        std::fprintf(f, "  %s%s\n", records[i].c_str(),
+                     i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
+    return true;
+}
+
 /// One machine-readable solver perf record.
 struct SolverRecord {
     std::string name;    ///< bench/case identifier
@@ -110,36 +146,56 @@ struct SolverRecord {
 /// deliberately flat so downstream tooling can diff perf across PRs.
 class BenchJsonWriter {
 public:
-    void add(const SolverRecord& r) { records_.push_back(r); }
-
-    bool write(const std::string& path) const {
-        if (path.empty()) {
-            return false;
-        }
-        std::FILE* f = std::fopen(path.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-            return false;
-        }
-        std::fprintf(f, "[\n");
-        for (std::size_t i = 0; i < records_.size(); ++i) {
-            const SolverRecord& r = records_[i];
-            std::fprintf(f,
-                         "  {\"name\": \"%s\", \"states\": %lld, \"method\": \"%s\", "
-                         "\"threads\": %d, \"seconds\": %.6f, \"iterations\": %lld, "
-                         "\"residual\": %.3e, \"speedup\": %.3f}%s\n",
-                         r.name.c_str(), r.states, r.method.c_str(), r.threads, r.seconds,
-                         r.iterations, r.residual, r.speedup,
-                         i + 1 < records_.size() ? "," : "");
-        }
-        std::fprintf(f, "]\n");
-        std::fclose(f);
-        std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
-        return true;
+    void add(const SolverRecord& r) {
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "{\"name\": \"%s\", \"states\": %lld, \"method\": \"%s\", "
+                      "\"threads\": %d, \"seconds\": %.6f, \"iterations\": %lld, "
+                      "\"residual\": %.3e, \"speedup\": %.3f}",
+                      r.name.c_str(), r.states, r.method.c_str(), r.threads, r.seconds,
+                      r.iterations, r.residual, r.speedup);
+        records_.emplace_back(line);
     }
 
+    bool write(const std::string& path) const { return write_json_records(path, records_); }
+
 private:
-    std::vector<SolverRecord> records_;
+    std::vector<std::string> records_;
+};
+
+/// One machine-readable simulator perf record (BENCH_simulator.json):
+/// replication experiments instead of chain solves, with throughput in
+/// executed events rather than solver sweeps.
+struct SimulatorRecord {
+    std::string name;       ///< bench/case identifier
+    int threads = 1;
+    int replications = 1;
+    long long events = 0;   ///< events executed, summed over replications
+    double sim_seconds = 0.0;  ///< simulated time, summed over replications
+    double seconds = 0.0;      ///< wall clock for the whole experiment
+    double speedup = 0.0;   ///< vs the serial baseline of the same case (0 = n/a)
+};
+
+/// SimulatorRecord counterpart of BenchJsonWriter.
+class SimJsonWriter {
+public:
+    void add(const SimulatorRecord& r) {
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "{\"name\": \"%s\", \"threads\": %d, \"replications\": %d, "
+                      "\"events\": %lld, \"sim_seconds\": %.1f, \"seconds\": %.6f, "
+                      "\"events_per_second\": %.0f, \"speedup\": %.3f}",
+                      r.name.c_str(), r.threads, r.replications, r.events, r.sim_seconds,
+                      r.seconds,
+                      r.seconds > 0.0 ? static_cast<double>(r.events) / r.seconds : 0.0,
+                      r.speedup);
+        records_.emplace_back(line);
+    }
+
+    bool write(const std::string& path) const { return write_json_records(path, records_); }
+
+private:
+    std::vector<std::string> records_;
 };
 
 }  // namespace gprsim::bench

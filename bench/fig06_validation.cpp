@@ -2,16 +2,25 @@
 // detailed network simulator — carried data traffic and throughput per user
 // for 2%/5%/10% GPRS users (traffic model 3, 1 reserved PDCH).
 //
+// Since the experiment-engine refactor the whole figure runs as pooled
+// workloads on one thread pool: for each GPRS fraction,
+// core::ScenarioSweep::validate_call_arrival_rate claims the chain solves
+// and the individual simulator replications from the same workers
+// (--threads=N; --replications=N per point), and the simulator columns are
+// replication-level 95% confidence intervals. Output is bitwise identical
+// for every thread count. Perf records land in BENCH_simulator.json.
+//
 // Paper findings: the model's curves lie within the simulator's 95%
 // confidence intervals; CDT rises to ~4.8 PDCHs for 10% GPRS users at
 // moderate load, then falls as voice traffic claims the on-demand channels.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/model.hpp"
 #include "core/sweep.hpp"
-#include "sim/simulator.hpp"
+#include "sim/experiment.hpp"
 #include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
@@ -19,11 +28,17 @@ int main(int argc, char** argv) {
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     const std::vector<double> rates =
         core::arrival_rate_grid(0.1, 1.0, args.grid(4, 10));
+    const int replications = args.replication_count(4, 8);
     const double fractions[] = {0.02, 0.05, 0.10};
 
     bench::print_header(
         "Fig. 6 -- Validation of the Markov model with the detailed simulator "
         "(traffic model 3, 1 reserved PDCH)");
+    std::printf("replications per point: %d, threads: %d\n", replications, args.threads);
+
+    ctmc::SolverEngine engine;
+    core::ScenarioSweep sweeps(engine);
+    bench::SimJsonWriter json;
 
     int inside = 0;
     int total = 0;
@@ -34,45 +49,48 @@ int main(int argc, char** argv) {
         base.gprs_fraction = fraction;
         base.flow_control_threshold = 0.7;  // the calibrated value of Fig. 5
 
-        core::SweepOptions sweep;
-        sweep.solve.tolerance = 1e-9;
-        bench::apply_threads(sweep, args);
-        const auto model_points = core::sweep_call_arrival_rate(base, rates, sweep);
-        std::fprintf(stderr, "  [model] %.0f%% GPRS done\n", 100.0 * fraction);
+        core::ValidationOptions options;
+        options.solve.tolerance = 1e-9;
+        options.num_threads = args.threads;
+        options.experiment.replications = replications;
+        options.experiment.seed = 600u + static_cast<std::uint64_t>(fraction * 1000.0);
+        options.experiment.base.tcp_enabled = true;
+        options.experiment.base.warmup_time = args.full ? 3000.0 : 1500.0;
+        options.experiment.base.batch_count = args.full ? 20 : 10;
+        options.experiment.base.batch_duration = args.full ? 3000.0 : 1500.0;
+
+        bench::WallTimer timer;
+        const auto points = sweeps.validate_call_arrival_rate(base, rates, options);
+        std::fprintf(stderr, "  [validate] %.0f%% GPRS done (%.1fs wall)\n",
+                     100.0 * fraction, timer.seconds());
 
         std::printf("\n--- %.0f%% GPRS users ---\n", 100.0 * fraction);
         std::printf("%8s | %10s %22s | %10s %22s\n", "calls/s", "CDT model",
                     "CDT sim [95% CI]", "ATU model", "ATU sim [95% CI]");
-        for (std::size_t r = 0; r < rates.size(); ++r) {
-            sim::SimulationConfig config;
-            config.cell = base;
-            config.cell.call_arrival_rate = rates[r];
-            config.tcp_enabled = true;
-            config.seed = 600u + static_cast<std::uint64_t>(fraction * 1000.0) +
-                          static_cast<std::uint64_t>(rates[r] * 100.0);
-            config.warmup_time = args.full ? 3000.0 : 1500.0;
-            config.batch_count = args.full ? 20 : 10;
-            config.batch_duration = args.full ? 3000.0 : 1500.0;
-            const sim::SimulationResults sim_result = sim::NetworkSimulator(config).run();
-
-            const core::Measures& m = model_points[r].measures;
-            const auto& cdt = sim_result.carried_data_traffic;
-            const auto& atu = sim_result.throughput_per_user_kbps;
+        long long events = 0;
+        double sim_seconds = 0.0;
+        for (const core::ValidationPoint& point : points) {
+            const auto& cdt = point.simulated.carried_data_traffic;
+            const auto& atu = point.simulated.throughput_per_user_kbps;
             std::printf("%8.3f | %10.3f [%8.3f, %8.3f]%s | %10.3f [%8.3f, %8.3f]%s\n",
-                        rates[r], m.carried_data_traffic, cdt.lower(), cdt.upper(),
-                        cdt.covers(m.carried_data_traffic) ? " in " : " OUT",
-                        m.throughput_per_user_kbps, atu.lower(), atu.upper(),
-                        atu.covers(m.throughput_per_user_kbps) ? " in " : " OUT");
-            inside += cdt.covers(m.carried_data_traffic) ? 1 : 0;
-            inside += atu.covers(m.throughput_per_user_kbps) ? 1 : 0;
+                        point.call_arrival_rate, point.model.carried_data_traffic,
+                        cdt.lower(), cdt.upper(),
+                        cdt.covers(point.model.carried_data_traffic) ? " in " : " OUT",
+                        point.model.throughput_per_user_kbps, atu.lower(), atu.upper(),
+                        atu.covers(point.model.throughput_per_user_kbps) ? " in " : " OUT");
+            inside += cdt.covers(point.model.carried_data_traffic) ? 1 : 0;
+            inside += atu.covers(point.model.throughput_per_user_kbps) ? 1 : 0;
             total += 2;
-            std::fprintf(stderr, "  [sim] %.0f%% rate %.2f done (%.1fs wall)\n",
-                         100.0 * fraction, rates[r], sim_result.wall_seconds);
+            events += static_cast<long long>(point.simulated.events_executed);
+            sim_seconds += point.simulated.simulated_time;
         }
+        json.add({"fig06_" + std::to_string(static_cast<int>(100.0 * fraction)) + "pct",
+                  args.threads, replications, events, sim_seconds, timer.seconds(), 0.0});
     }
 
     std::printf("\nModel points inside the simulator's 95%% CI: %d / %d\n", inside, total);
     std::printf("Paper: \"almost all performance curves ... lie in the confidence\n");
-    std::printf("intervals\"; exact counts vary with seeds and batch settings.\n");
+    std::printf("intervals\"; exact counts vary with seeds and replication settings.\n");
+    json.write(args.json.empty() ? "BENCH_simulator.json" : args.json);
     return 0;
 }

@@ -1,89 +1,166 @@
-// Microbenchmarks for the discrete-event substrate and the network
-// simulator, including the paper's observation that simulation cannot
-// estimate small loss probabilities: the relative CI half-width on PLP is
-// reported as a counter, showing how wide the intervals stay even after
-// millions of events (Section 1: "even with simulation runs in the order of
-// hours proper estimates for such measures cannot be derived").
-#include <benchmark/benchmark.h>
+// Simulator microbench: the replication-experiment counterpart of
+// micro_solver, self-contained (no external benchmark dependency) so the
+// perf trajectory works on minimal containers.
+//
+// Three cases, all recorded to BENCH_simulator.json (--json=PATH to
+// override):
+//   * calendar      — raw event-calendar throughput (schedule + execute).
+//   * experiment    — sim::ExperimentEngine running the full 7-cell
+//     simulator (traffic model 3, TCP enabled) across a thread ladder
+//     {1, 2, 4, ..., cap}: wall time, speedup vs the serial run, and a
+//     check that the pooled measures stay bitwise identical at every
+//     width (the engine's replication-invariance guarantee).
+//   * plp_ci        — the paper's motivating claim (Section 1): at light
+//     load the loss probability is so small that even pooled replications
+//     leave a huge relative CI, while the numerical method resolves it
+//     exactly.
+//
+//   micro_simulator [--full] [--threads=N] [--replications=N] [--json=PATH]
+//
+// --threads caps the ladder (0 = all hardware threads; default
+// min(8, 2 x hardware threads)); --full lengthens the per-replication
+// horizon to paper-like settings.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "des/random.hpp"
 #include "des/simulation.hpp"
-#include "sim/simulator.hpp"
+#include "sim/experiment.hpp"
 #include "traffic/threegpp.hpp"
 
 namespace {
 
 using namespace gprsim;
 
-void BM_EventCalendarThroughput(benchmark::State& state) {
-    // Schedule/execute cost with a calendar holding `range` pending events.
-    const int pending = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        state.PauseTiming();
+/// Max-norm distance between two pooled result sets (means and CI widths
+/// of every measure); 0.0 means bitwise identical pooling.
+double pooled_distance(const sim::ExperimentResults& a, const sim::ExperimentResults& b) {
+    const auto gap = [](const sim::MetricEstimate& x, const sim::MetricEstimate& y) {
+        return std::max(std::fabs(x.mean - y.mean),
+                        std::fabs(x.half_width - y.half_width));
+    };
+    double worst = 0.0;
+    worst = std::max(worst, gap(a.carried_data_traffic, b.carried_data_traffic));
+    worst = std::max(worst, gap(a.packet_loss_probability, b.packet_loss_probability));
+    worst = std::max(worst, gap(a.queueing_delay, b.queueing_delay));
+    worst = std::max(worst, gap(a.throughput_per_user_kbps, b.throughput_per_user_kbps));
+    worst = std::max(worst, gap(a.mean_queue_length, b.mean_queue_length));
+    worst = std::max(worst, gap(a.carried_voice_traffic, b.carried_voice_traffic));
+    worst = std::max(worst, gap(a.average_gprs_sessions, b.average_gprs_sessions));
+    worst = std::max(worst, gap(a.gsm_blocking, b.gsm_blocking));
+    worst = std::max(worst, gap(a.gprs_blocking, b.gprs_blocking));
+    return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+    const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    const int hw = common::ThreadPool::hardware_threads();
+    const int max_threads = args.threads_given
+                                ? common::ThreadPool::resolve_thread_count(args.threads)
+                                : std::min(8, 2 * hw);
+    const int replications = args.replication_count(4, 8);
+
+    bench::print_header("micro_simulator -- experiment engine: threads vs wall time");
+    std::printf("hardware threads: %d, widest measured: %d, replications: %d\n", hw,
+                max_threads, replications);
+    bench::SimJsonWriter json;
+
+    // --- calendar: raw event throughput ------------------------------------
+    {
+        const int pending = 100000;
         des::Simulation sim;
         des::RandomStream rng(7);
         for (int i = 0; i < pending; ++i) {
             sim.schedule(rng.exponential(1.0), [] {});
         }
-        state.ResumeTiming();
+        bench::WallTimer timer;
         sim.run();
-        benchmark::DoNotOptimize(sim.events_executed());
+        const double seconds = timer.seconds();
+        std::printf("\ncalendar: %d events in %.3f s (%.2e events/s)\n", pending, seconds,
+                    static_cast<double>(pending) / seconds);
+        json.add({"calendar_100k", 1, 1, pending, sim.now(), seconds, 0.0});
     }
-    state.SetItemsProcessed(state.iterations() * pending);
-}
-BENCHMARK(BM_EventCalendarThroughput)->Arg(1000)->Arg(100000);
 
-void BM_RandomStreams(benchmark::State& state) {
-    des::RandomStream rng(11);
-    double acc = 0.0;
-    for (auto _ : state) {
-        acc += rng.exponential(2.0);
+    // --- experiment: replication sharding across the thread ladder ----------
+    sim::ExperimentConfig config;
+    config.base.cell = core::Parameters::with_traffic_model(traffic::traffic_model_3());
+    config.base.cell.call_arrival_rate = 0.5;
+    config.base.tcp_enabled = true;
+    config.base.warmup_time = args.full ? 1000.0 : 150.0;
+    config.base.batch_count = args.full ? 10 : 4;
+    config.base.batch_duration = args.full ? 1000.0 : 300.0;
+    config.replications = replications;
+    config.seed = 3;
+
+    std::vector<int> ladder;
+    for (int t = 1; t <= max_threads; t *= 2) {
+        ladder.push_back(t);
     }
-    benchmark::DoNotOptimize(acc);
-}
-BENCHMARK(BM_RandomStreams);
-
-void BM_SimulatorSecondsPerSimulatedHour(benchmark::State& state) {
-    // Full 7-cell simulator, traffic model 3, TCP enabled.
-    for (auto _ : state) {
-        sim::SimulationConfig config;
-        config.cell = core::Parameters::with_traffic_model(traffic::traffic_model_3());
-        config.cell.call_arrival_rate = 0.5;
-        config.seed = 3;
-        config.warmup_time = 300.0;
-        config.batch_count = 3;
-        config.batch_duration = 1100.0;  // ~1 simulated hour total
-        const sim::SimulationResults results = sim::NetworkSimulator(config).run();
-        benchmark::DoNotOptimize(results.packets_delivered);
-        state.counters["events"] = static_cast<double>(results.events_executed);
+    if (ladder.back() != max_threads) {
+        ladder.push_back(max_threads);
     }
-}
-BENCHMARK(BM_SimulatorSecondsPerSimulatedHour)->Unit(benchmark::kSecond)->Iterations(1);
 
-void BM_SimulationCannotResolveSmallPlp(benchmark::State& state) {
-    // The paper's motivating claim: at light load PLP is tiny and the
-    // simulator's relative CI width explodes (or no loss is observed at
-    // all), while the numerical method resolves it exactly.
-    for (auto _ : state) {
-        sim::SimulationConfig config;
-        config.cell = core::Parameters::with_traffic_model(traffic::traffic_model_3());
-        config.cell.call_arrival_rate = 0.2;  // light load: rare losses
-        config.tcp_enabled = false;
-        config.seed = 5;
-        config.warmup_time = 500.0;
-        config.batch_count = 10;
-        config.batch_duration = 1000.0;
-        const sim::SimulationResults results = sim::NetworkSimulator(config).run();
+    sim::ExperimentEngine engine;
+    std::printf("\nexperiment: 7-cell simulator, %d replications of %.0f s each\n",
+                replications,
+                config.base.warmup_time +
+                    config.base.batch_count * config.base.batch_duration);
+    std::printf("%7s %12s %12s %12s %14s\n", "threads", "events", "seconds", "speedup",
+                "pooled drift");
+    sim::ExperimentResults baseline;
+    for (int threads : ladder) {
+        config.num_threads = threads;
+        const sim::ExperimentResults results = engine.run(config);
+        const bool is_serial = threads == 1;
+        if (is_serial) {
+            baseline = results;
+        }
+        const double drift = pooled_distance(results, baseline);
+        std::printf("%7d %12lld %12.3f %11.2fx %14.2e\n", results.threads_used,
+                    static_cast<long long>(results.events_executed), results.wall_seconds,
+                    is_serial ? 1.0 : baseline.wall_seconds / results.wall_seconds, drift);
+        if (drift != 0.0) {
+            std::fprintf(stderr,
+                         "WARNING: pooled measures drifted %.2e at %d threads; the "
+                         "experiment engine must be thread-count invariant\n",
+                         drift, threads);
+        }
+        json.add({"experiment_tm3", results.threads_used, replications,
+                  static_cast<long long>(results.events_executed), results.simulated_time,
+                  results.wall_seconds,
+                  is_serial ? 1.0 : baseline.wall_seconds / results.wall_seconds});
+    }
+    std::printf("pooled CDT %.4f +- %.4f over %d replications\n",
+                baseline.carried_data_traffic.mean, baseline.carried_data_traffic.half_width,
+                baseline.carried_data_traffic.batches);
+
+    // --- plp_ci: simulation cannot resolve small loss probabilities ----------
+    {
+        sim::ExperimentConfig light = config;
+        light.base.cell.call_arrival_rate = 0.2;  // light load: rare losses
+        light.base.tcp_enabled = false;
+        light.seed = 5;
+        light.num_threads = max_threads;
+        const sim::ExperimentResults results = sim::ExperimentEngine().run(light);
         const double mean = results.packet_loss_probability.mean;
         const double half = results.packet_loss_probability.half_width;
-        state.counters["plp_mean"] = mean;
-        state.counters["plp_ci_half"] = half;
-        state.counters["rel_ci"] = mean > 0.0 ? half / mean : -1.0;
-        benchmark::DoNotOptimize(results.packets_dropped);
+        std::printf("\nplp_ci: light-load PLP %.3e +- %.3e (relative CI %s%.1f)\n", mean,
+                    half, mean > 0.0 ? "" : "n/a ", mean > 0.0 ? half / mean : 0.0);
+        std::printf("paper Section 1: \"even with simulation runs in the order of hours\n");
+        std::printf("proper estimates for such measures cannot be derived\"\n");
+        json.add({"plp_light_load", results.threads_used, replications,
+                  static_cast<long long>(results.events_executed), results.simulated_time,
+                  results.wall_seconds, 0.0});
     }
+
+    json.write(args.json.empty() ? "BENCH_simulator.json" : args.json);
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_simulator: %s\n", e.what());
+    return 1;
 }
-BENCHMARK(BM_SimulationCannotResolveSmallPlp)->Unit(benchmark::kSecond)->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

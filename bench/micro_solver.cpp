@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/thread_pool.hpp"
 #include "core/handover.hpp"
 #include "core/initial_guess.hpp"
 #include "core/model.hpp"
@@ -71,20 +72,17 @@ double max_norm_distance(const std::vector<double>& a, const std::vector<double>
 
 int main(int argc, char** argv) try {
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const int hw = ctmc::ThreadPool::hardware_threads();
+    const int hw = common::ThreadPool::hardware_threads();
     // Repo-wide --threads semantics: 0 = all hardware threads, 1 = serial
     // only, N = ladder up to N. With no flag the ladder tops out at
     // min(8, 2*hw) so the table is informative on any machine.
     int m_sessions = args.full ? 100 : 10;
-    bool threads_given = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--m=", 4) == 0) {
             m_sessions = std::atoi(argv[i] + 4);
-        } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-            threads_given = true;
         }
     }
-    const int max_threads = threads_given
+    const int max_threads = args.threads_given
                                 ? ctmc::SolverEngine::resolve_thread_count(args.threads)
                                 : std::min(8, 2 * hw);
 

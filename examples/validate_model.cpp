@@ -1,18 +1,22 @@
 // Side-by-side validation run: Markov model vs network-level simulator on
 // one configuration (the paper's Section 5.2 methodology, scriptable).
+// The simulator side runs as parallel replications on the experiment
+// engine, so the confidence intervals are replication-level.
 //
-//   $ ./validate_model [call_arrival_rate] [tcp:0|1]
+//   $ ./validate_model [call_arrival_rate] [tcp:0|1] [replications] [threads]
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/model.hpp"
-#include "sim/simulator.hpp"
+#include "sim/experiment.hpp"
 #include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const double rate = argc > 1 ? std::atof(argv[1]) : 0.4;
     const bool tcp = argc > 2 ? std::atoi(argv[2]) != 0 : true;
+    const int replications = argc > 3 ? std::atoi(argv[3]) : 4;
+    const int threads = argc > 4 ? std::atoi(argv[4]) : 0;  // 0 = all hardware
 
     core::Parameters params = core::Parameters::with_traffic_model(traffic::traffic_model_3());
     params.call_arrival_rate = rate;
@@ -30,23 +34,29 @@ int main(int argc, char** argv) {
     model.solve(options);
     const core::Measures analytic = model.measures();
 
-    sim::SimulationConfig config;
-    config.cell = params;
-    config.tcp_enabled = tcp;
+    sim::ExperimentConfig config;
+    config.base.cell = params;
+    config.base.tcp_enabled = tcp;
+    config.base.warmup_time = 2000.0;
+    config.base.batch_count = 15;
+    config.base.batch_duration = 2000.0;
+    config.replications = replications;
+    config.num_threads = threads;
     config.seed = 42;
-    config.warmup_time = 2000.0;
-    config.batch_count = 15;
-    config.batch_duration = 2000.0;
-    std::printf("Simulating %.0f s of network time (7 cells)...\n",
-                config.warmup_time + config.batch_count * config.batch_duration);
-    const sim::SimulationResults simulated = sim::NetworkSimulator(config).run();
+    std::printf("Simulating %d replications of %.0f s of network time (7 cells)...\n",
+                replications,
+                config.base.warmup_time +
+                    config.base.batch_count * config.base.batch_duration);
+    sim::ExperimentEngine engine;
+    const sim::ExperimentResults simulated = engine.run(config);
 
     const auto row = [](const char* name, double model_value,
                         const sim::MetricEstimate& est) {
         std::printf("  %-28s %12.4f   [%9.4f, %9.4f] %s\n", name, model_value, est.lower(),
                     est.upper(), est.covers(model_value) ? "(model inside CI)" : "");
     };
-    std::printf("\n%-30s %12s   %-24s\n", "measure", "model", "simulator 95% CI");
+    std::printf("\n%-30s %12s   %-24s\n", "measure", "model",
+                "simulator 95% CI (replication-level)");
     row("carried data traffic [PDCH]", analytic.carried_data_traffic,
         simulated.carried_data_traffic);
     row("throughput per user [kbit/s]", analytic.throughput_per_user_kbps,
@@ -63,10 +73,15 @@ int main(int argc, char** argv) {
     row("GSM blocking", analytic.gsm_blocking, simulated.gsm_blocking);
     row("GPRS blocking", analytic.gprs_blocking, simulated.gprs_blocking);
 
-    std::printf("\nSimulator: %.2e events, %.1f s wall clock; TCP: %lld timeouts, %lld fast"
-                " retransmits\n",
-                static_cast<double>(simulated.events_executed), simulated.wall_seconds,
-                static_cast<long long>(simulated.tcp_timeouts),
-                static_cast<long long>(simulated.tcp_fast_retransmits));
+    long long timeouts = 0;
+    long long fast_retransmits = 0;
+    for (const sim::SimulationResults& r : simulated.replications) {
+        timeouts += r.tcp_timeouts;
+        fast_retransmits += r.tcp_fast_retransmits;
+    }
+    std::printf("\nSimulator: %.2e events on %d threads, %.1f s wall clock; TCP: %lld"
+                " timeouts, %lld fast retransmits\n",
+                static_cast<double>(simulated.events_executed), simulated.threads_used,
+                simulated.wall_seconds, timeouts, fast_retransmits);
     return 0;
 }

@@ -1,8 +1,8 @@
-#include "ctmc/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace gprsim::ctmc {
+namespace gprsim::common {
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
     workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
@@ -24,6 +24,13 @@ ThreadPool::~ThreadPool() {
 
 int ThreadPool::hardware_threads() {
     return std::max(1u, std::thread::hardware_concurrency());
+}
+
+int ThreadPool::resolve_thread_count(int requested) {
+    if (requested == 0) {
+        return hardware_threads();
+    }
+    return std::max(requested, 1);
 }
 
 void ThreadPool::execute_tasks() {
@@ -105,4 +112,4 @@ void ThreadPool::run(int num_tasks, const std::function<void(int)>& task, int ma
     }
 }
 
-}  // namespace gprsim::ctmc
+}  // namespace gprsim::common

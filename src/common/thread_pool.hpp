@@ -1,7 +1,9 @@
-// Reusable fixed-size worker pool for fork-join parallelism over row
-// ranges of a CTMC operator. The pool is created once (thread spawn is
-// ~100us per worker) and reused across sweeps, residual evaluations, and
-// whole solves, so the per-dispatch overhead is two mutex handshakes.
+// Reusable fixed-size worker pool for fork-join parallelism, shared by the
+// CTMC solver engine (row ranges of an operator) and the simulation
+// experiment engine (independent replications). The pool is created once
+// (thread spawn is ~100us per worker) and reused across sweeps, residual
+// evaluations, whole solves, and replication batches, so the per-dispatch
+// overhead is two mutex handshakes.
 #pragma once
 
 #include <atomic>
@@ -12,7 +14,7 @@
 #include <thread>
 #include <vector>
 
-namespace gprsim::ctmc {
+namespace gprsim::common {
 
 /// Fork-join pool: run(num_tasks, task) invokes task(t) for every
 /// t in [0, num_tasks) across the workers plus the calling thread and
@@ -41,6 +43,11 @@ public:
     /// Number of concurrent threads the hardware supports (>= 1).
     static int hardware_threads();
 
+    /// Repo-wide thread-count convention: 0 -> all hardware threads,
+    /// otherwise max(1, requested). Shared by the solver and experiment
+    /// engines so every --threads flag means the same thing.
+    static int resolve_thread_count(int requested);
+
 private:
     void worker_loop();
     void execute_tasks();
@@ -65,4 +72,4 @@ private:
     bool stop_ = false;
 };
 
-}  // namespace gprsim::ctmc
+}  // namespace gprsim::common

@@ -1,13 +1,14 @@
-// Basic integer types shared by the CTMC substrate.
+// Basic integer types shared across the library layers (CTMC substrate,
+// cell model, traffic processes).
 #pragma once
 
 #include <cstdint>
 
-namespace gprsim::ctmc {
+namespace gprsim::common {
 
 /// Index of a state in a (possibly very large) finite Markov chain.
 /// 64-bit: the largest chain in the GPRS study has ~22 million states and
 /// ~240 million transitions, which overflows 32-bit nonzero counters.
 using index_type = std::int64_t;
 
-}  // namespace gprsim::ctmc
+}  // namespace gprsim::common

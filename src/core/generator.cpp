@@ -15,23 +15,23 @@ GprsGenerator::GprsGenerator(Parameters parameters, ModelRates rates)
 }
 
 ctmc::QtMatrix GprsGenerator::to_qt_matrix() const {
-    const ctmc::index_type n = space_.size();
+    const common::index_type n = space_.size();
 
     // Rows of Q^T are exactly the incoming-transition lists, so the CSR can
     // be emitted row by row in index order with no staging triplets. The
     // inverse events of Table 1 never produce duplicate (pred, state) pairs,
     // which the per-row sort below would otherwise have to merge.
-    std::vector<ctmc::index_type> row_ptr;
+    std::vector<common::index_type> row_ptr;
     row_ptr.reserve(static_cast<std::size_t>(n) + 1);
-    std::vector<ctmc::index_type> cols;
+    std::vector<common::index_type> cols;
     std::vector<double> values;
     cols.reserve(static_cast<std::size_t>(n) * 10);
     values.reserve(static_cast<std::size_t>(n) * 10);
     std::vector<double> diag(static_cast<std::size_t>(n));
 
     row_ptr.push_back(0);
-    std::vector<std::pair<ctmc::index_type, double>> row;
-    space_.for_each([&](const State& s, ctmc::index_type i) {
+    std::vector<std::pair<common::index_type, double>> row;
+    space_.for_each([&](const State& s, common::index_type i) {
         row.clear();
         core::for_each_incoming(parameters_, rates_, s,
                                 [&](const State& pred, double rate) {
@@ -42,7 +42,7 @@ ctmc::QtMatrix GprsGenerator::to_qt_matrix() const {
             cols.push_back(col);
             values.push_back(rate);
         }
-        row_ptr.push_back(static_cast<ctmc::index_type>(cols.size()));
+        row_ptr.push_back(static_cast<common::index_type>(cols.size()));
         diag[static_cast<std::size_t>(i)] = -total_exit_rate(parameters_, rates_, s);
     });
 
@@ -53,7 +53,7 @@ ctmc::QtMatrix GprsGenerator::to_qt_matrix() const {
 
 ctmc::SparseMatrix GprsGenerator::to_generator_matrix() const {
     std::vector<ctmc::Triplet> triplets;
-    space_.for_each([&](const State& s, ctmc::index_type i) {
+    space_.for_each([&](const State& s, common::index_type i) {
         double exit = 0.0;
         core::for_each_outgoing(parameters_, rates_, s,
                                 [&](const State& succ, double rate) {
@@ -70,8 +70,8 @@ std::size_t GprsGenerator::estimated_qt_bytes() const {
     // ~10 incoming transitions per state, each costing a column index and a
     // value, plus the diagonal and row-pointer arrays.
     const auto n = static_cast<std::size_t>(space_.size());
-    return n * 10 * (sizeof(ctmc::index_type) + sizeof(double)) +
-           n * (2 * sizeof(double) + sizeof(ctmc::index_type));
+    return n * 10 * (sizeof(common::index_type) + sizeof(double)) +
+           n * (2 * sizeof(double) + sizeof(common::index_type));
 }
 
 }  // namespace gprsim::core

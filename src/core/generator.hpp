@@ -29,14 +29,14 @@ public:
     const StateSpace& space() const { return space_; }
 
     // --- ctmc::QtOperatorConcept ---------------------------------------
-    ctmc::index_type size() const { return space_.size(); }
+    common::index_type size() const { return space_.size(); }
 
-    double diagonal(ctmc::index_type i) const {
+    double diagonal(common::index_type i) const {
         return -total_exit_rate(parameters_, rates_, space_.state_of(i));
     }
 
     template <typename F>
-    void for_each_incoming(ctmc::index_type i, F&& f) const {
+    void for_each_incoming(common::index_type i, F&& f) const {
         const State s = space_.state_of(i);
         core::for_each_incoming(parameters_, rates_, s,
                                 [&](const State& pred, double rate) {

@@ -77,7 +77,7 @@ std::vector<double> product_form_initial(const Parameters& p, const BalancedTraf
 
     // Assemble the product.
     std::vector<double> initial(static_cast<std::size_t>(space.size()));
-    space.for_each([&](const State& s, ctmc::index_type i) {
+    space.for_each([&](const State& s, common::index_type i) {
         initial[static_cast<std::size_t>(i)] =
             pi_k[static_cast<std::size_t>(s.buffer)] *
             pi_n[static_cast<std::size_t>(s.gsm_calls)] *

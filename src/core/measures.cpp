@@ -21,7 +21,7 @@ Measures closed_form_measures(const Parameters& p, const BalancedTraffic& balanc
 
 Measures compute_measures(const Parameters& p, const BalancedTraffic& balanced,
                           const StateSpace& space, std::span<const double> pi) {
-    if (static_cast<ctmc::index_type>(pi.size()) != space.size()) {
+    if (static_cast<common::index_type>(pi.size()) != space.size()) {
         throw std::invalid_argument("compute_measures: distribution size mismatch");
     }
     Measures m = closed_form_measures(p, balanced);
@@ -29,7 +29,7 @@ Measures compute_measures(const Parameters& p, const BalancedTraffic& balanced,
     double cdt = 0.0;
     double mql = 0.0;
     double offered = 0.0;
-    space.for_each([&](const State& s, ctmc::index_type i) {
+    space.for_each([&](const State& s, common::index_type i) {
         const double weight = pi[static_cast<std::size_t>(i)];
         if (weight == 0.0) {
             return;

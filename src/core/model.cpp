@@ -61,7 +61,7 @@ Measures GprsModel::measures() {
 std::vector<double> GprsModel::buffer_distribution() const {
     const std::vector<double>& pi = distribution();
     std::vector<double> marginal(static_cast<std::size_t>(parameters_.buffer_capacity) + 1, 0.0);
-    space().for_each([&](const State& s, ctmc::index_type i) {
+    space().for_each([&](const State& s, common::index_type i) {
         marginal[static_cast<std::size_t>(s.buffer)] += pi[static_cast<std::size_t>(i)];
     });
     return marginal;
@@ -70,7 +70,7 @@ std::vector<double> GprsModel::buffer_distribution() const {
 std::vector<double> GprsModel::gsm_distribution() const {
     const std::vector<double>& pi = distribution();
     std::vector<double> marginal(static_cast<std::size_t>(parameters_.gsm_channels()) + 1, 0.0);
-    space().for_each([&](const State& s, ctmc::index_type i) {
+    space().for_each([&](const State& s, common::index_type i) {
         marginal[static_cast<std::size_t>(s.gsm_calls)] += pi[static_cast<std::size_t>(i)];
     });
     return marginal;
@@ -80,7 +80,7 @@ std::vector<double> GprsModel::gprs_session_distribution() const {
     const std::vector<double>& pi = distribution();
     std::vector<double> marginal(static_cast<std::size_t>(parameters_.max_gprs_sessions) + 1,
                                  0.0);
-    space().for_each([&](const State& s, ctmc::index_type i) {
+    space().for_each([&](const State& s, common::index_type i) {
         marginal[static_cast<std::size_t>(s.gprs_sessions)] += pi[static_cast<std::size_t>(i)];
     });
     return marginal;

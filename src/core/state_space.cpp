@@ -10,8 +10,8 @@ namespace {
 
 /// Index of (m, r) within the triangular enumeration (0,0), (1,0), (1,1),
 /// (2,0), ...: m(m+1)/2 + r.
-ctmc::index_type pair_index(int m, int r) {
-    return static_cast<ctmc::index_type>(m) * (m + 1) / 2 + r;
+common::index_type pair_index(int m, int r) {
+    return static_cast<common::index_type>(m) * (m + 1) / 2 + r;
 }
 
 }  // namespace
@@ -24,27 +24,27 @@ StateSpace::StateSpace(int buffer_capacity, int gsm_channels, int max_gprs_sessi
     pair_count_ = pair_index(max_m_, max_m_) + 1;
 }
 
-ctmc::index_type StateSpace::index_of(const State& s) const {
+common::index_type StateSpace::index_of(const State& s) const {
     assert(s.buffer >= 0 && s.buffer <= capacity_);
     assert(s.gsm_calls >= 0 && s.gsm_calls <= max_gsm_);
     assert(s.gprs_sessions >= 0 && s.gprs_sessions <= max_m_);
     assert(s.off_sessions >= 0 && s.off_sessions <= s.gprs_sessions);
-    const ctmc::index_type per_k =
-        (static_cast<ctmc::index_type>(max_gsm_) + 1) * pair_count_;
-    return static_cast<ctmc::index_type>(s.buffer) * per_k +
-           static_cast<ctmc::index_type>(s.gsm_calls) * pair_count_ +
+    const common::index_type per_k =
+        (static_cast<common::index_type>(max_gsm_) + 1) * pair_count_;
+    return static_cast<common::index_type>(s.buffer) * per_k +
+           static_cast<common::index_type>(s.gsm_calls) * pair_count_ +
            pair_index(s.gprs_sessions, s.off_sessions);
 }
 
-State StateSpace::state_of(ctmc::index_type index) const {
+State StateSpace::state_of(common::index_type index) const {
     assert(index >= 0 && index < size());
-    const ctmc::index_type per_k =
-        (static_cast<ctmc::index_type>(max_gsm_) + 1) * pair_count_;
+    const common::index_type per_k =
+        (static_cast<common::index_type>(max_gsm_) + 1) * pair_count_;
     State s;
     s.buffer = static_cast<int>(index / per_k);
     index %= per_k;
     s.gsm_calls = static_cast<int>(index / pair_count_);
-    const ctmc::index_type p = index % pair_count_;
+    const common::index_type p = index % pair_count_;
 
     // Invert p = m(m+1)/2 + r: start from the float estimate and correct.
     int m = static_cast<int>((std::sqrt(8.0 * static_cast<double>(p) + 1.0) - 1.0) / 2.0);

@@ -6,7 +6,7 @@
 // state count to (M+1)(M+2)/2 * (N_GSM+1) * (K+1).
 #pragma once
 
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::core {
 
@@ -32,21 +32,21 @@ public:
     int gsm_channels() const { return max_gsm_; }
     int max_gprs_sessions() const { return max_m_; }
 
-    ctmc::index_type size() const {
-        return (static_cast<ctmc::index_type>(capacity_) + 1) *
-               (static_cast<ctmc::index_type>(max_gsm_) + 1) * pair_count_;
+    common::index_type size() const {
+        return (static_cast<common::index_type>(capacity_) + 1) *
+               (static_cast<common::index_type>(max_gsm_) + 1) * pair_count_;
     }
 
-    ctmc::index_type index_of(const State& s) const;
-    State state_of(ctmc::index_type index) const;
+    common::index_type index_of(const State& s) const;
+    State state_of(common::index_type index) const;
 
     /// Number of (m, r) pairs: (M+1)(M+2)/2.
-    ctmc::index_type session_pair_count() const { return pair_count_; }
+    common::index_type session_pair_count() const { return pair_count_; }
 
     /// Calls f(State, index) for every state in index order.
     template <typename F>
     void for_each(F&& f) const {
-        ctmc::index_type index = 0;
+        common::index_type index = 0;
         for (int k = 0; k <= capacity_; ++k) {
             for (int n = 0; n <= max_gsm_; ++n) {
                 for (int m = 0; m <= max_m_; ++m) {
@@ -63,7 +63,7 @@ private:
     int capacity_;
     int max_gsm_;
     int max_m_;
-    ctmc::index_type pair_count_;
+    common::index_type pair_count_;
 };
 
 }  // namespace gprsim::core

@@ -7,9 +7,11 @@
 #include <span>
 #include <vector>
 
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::ctmc {
+
+using common::index_type;
 
 /// Stationary distribution of the birth-death chain on states 0..n where
 /// birth_rates[i] is the rate i -> i+1 (size n) and death_rates[i] is the

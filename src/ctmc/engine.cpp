@@ -6,23 +6,20 @@ namespace gprsim::ctmc {
 
 SolverEngine::SolverEngine(int prewarm_threads) {
     if (prewarm_threads > 1) {
-        pool_ = std::make_unique<ThreadPool>(prewarm_threads);
+        pool_ = std::make_unique<common::ThreadPool>(prewarm_threads);
     }
 }
 
 int SolverEngine::resolve_thread_count(int requested) {
-    if (requested == 0) {
-        return ThreadPool::hardware_threads();
-    }
-    return std::max(requested, 1);
+    return common::ThreadPool::resolve_thread_count(requested);
 }
 
-ThreadPool& SolverEngine::pool(int min_threads) {
+common::ThreadPool& SolverEngine::pool(int min_threads) {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     const int want = std::max(min_threads, 1);
     if (!pool_ || pool_->size() < want) {
         pool_.reset();  // join the old workers before spawning the new pool
-        pool_ = std::make_unique<ThreadPool>(want);
+        pool_ = std::make_unique<common::ThreadPool>(want);
     }
     return *pool_;
 }

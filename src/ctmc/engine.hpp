@@ -1,7 +1,7 @@
 // SolverEngine: the reusable entry point of the steady-state stack.
 //
 //   engine layer   (this file + kernels.hpp + thread_pool.hpp)
-//        ^ owns a ThreadPool, dispatches per-method kernels
+//        ^ owns a shared common::ThreadPool, dispatches per-method kernels
 //   model layer    (core/model.hpp, core/sweep.hpp)
 //        ^ routes GprsModel::solve() and sweeps through an engine
 //   consumers      (bench/, examples/)
@@ -28,7 +28,7 @@
 
 #include "ctmc/kernels.hpp"
 #include "ctmc/solver_options.hpp"
-#include "ctmc/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gprsim::ctmc {
 
@@ -41,13 +41,14 @@ public:
     SolverEngine(const SolverEngine&) = delete;
     SolverEngine& operator=(const SolverEngine&) = delete;
 
-    /// Resolves SolveOptions::num_threads: 0 -> hardware threads, else
-    /// max(1, requested).
+    /// Resolves SolveOptions::num_threads via the repo-wide convention
+    /// (common::ThreadPool::resolve_thread_count): 0 -> hardware threads,
+    /// else max(1, requested).
     static int resolve_thread_count(int requested);
 
     /// The shared pool, grown (recreated) if narrower than `min_threads`.
     /// Do not resize while another thread is solving on this engine.
-    ThreadPool& pool(int min_threads);
+    common::ThreadPool& pool(int min_threads);
 
     /// Solves pi Q = 0, sum(pi) = 1 for the operator's chain.
     ///
@@ -60,7 +61,7 @@ public:
     SolveResult solve(const Op& op, const SolveOptions& options = {});
 
 private:
-    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<common::ThreadPool> pool_;
     std::mutex pool_mutex_;
 };
 

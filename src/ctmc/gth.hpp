@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "ctmc/sparse_matrix.hpp"
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::ctmc {
 

@@ -16,8 +16,8 @@
 #include <vector>
 
 #include "ctmc/solver_options.hpp"
-#include "ctmc/thread_pool.hpp"
-#include "ctmc/types.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::ctmc {
 namespace detail {
@@ -44,7 +44,7 @@ inline BlockRange reduction_block(index_type n, int block) {
 /// and how many threads of it may participate. A default-constructed
 /// Executor runs inline — the serial path of every kernel.
 struct Executor {
-    ThreadPool* pool = nullptr;
+    common::ThreadPool* pool = nullptr;
     int width = 1;  ///< cap on participating threads (pool may be wider)
 
     /// Runs body(block) for every block; on the pool when one is given

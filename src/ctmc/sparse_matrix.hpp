@@ -5,9 +5,13 @@
 #include <span>
 #include <vector>
 
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::ctmc {
+
+/// State indices are the library-wide common::index_type; the alias keeps
+/// unqualified `index_type` spelled the same throughout the CTMC layer.
+using common::index_type;
 
 /// One (row, col, value) entry used while assembling a sparse matrix.
 struct Triplet {

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "ctmc/solver.hpp"
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::ctmc {
+
+using common::index_type;
 
 struct TransientOptions {
     /// Truncation error bound for the Poisson series.

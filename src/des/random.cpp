@@ -20,7 +20,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }  // namespace
 
 RandomStream::RandomStream(std::uint64_t seed, std::uint64_t stream_id) {
-    std::uint64_t state = seed ^ (0xd1342543de82ef95ULL * (stream_id + 1));
+    // Finalize the seed word first, then absorb the stream id into the
+    // avalanched state. The previous scheme xor-ed `seed` with a multiple
+    // of `stream_id`, so low-entropy adjacent ids produced linearly related
+    // pre-mix states; here every seed_seq word sits behind at least two
+    // SplitMix64 finalizations of the pair.
+    std::uint64_t state = seed;
+    state = splitmix64(state) ^ stream_id;
     std::seed_seq seq{splitmix64(state), splitmix64(state), splitmix64(state),
                       splitmix64(state)};
     engine_.seed(seq);

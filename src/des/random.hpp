@@ -14,6 +14,14 @@ class RandomStream {
 public:
     /// Stream `stream_id` of the experiment seeded by `seed`. Distinct
     /// (seed, stream_id) pairs give statistically independent sequences.
+    ///
+    /// Guarantee: the pair is mixed through the SplitMix64 finalizer before
+    /// it seeds the mt19937_64 — the seed word is finalized, the stream id
+    /// is absorbed into the finalized state, and every seed_seq word is a
+    /// further finalizer output. Because each step avalanches all 64 bits,
+    /// low-entropy adjacent ids (0, 1, 2, ... as used by per-replication
+    /// substream blocks) land on unrelated engine seedings; no xor/multiply
+    /// structure of the raw pair survives into the engine state.
     explicit RandomStream(std::uint64_t seed, std::uint64_t stream_id = 0);
 
     /// Uniform on (0, 1) — never returns exactly 0 or 1.

@@ -22,19 +22,21 @@ EventHandle Simulation::schedule_at(double time, EventCallback callback) {
     }
     const std::uint64_t id = next_id_++;
     heap_.push(Entry{time, next_sequence_++, id, std::move(callback)});
+    pending_.insert(id);
     return EventHandle(id);
 }
 
 bool Simulation::cancel(EventHandle handle) {
-    if (!handle.valid()) {
+    if (!handle.valid() || pending_.erase(handle.id_) == 0) {
+        // Invalid, already fired, or already cancelled: a stale id must not
+        // enter the lazy-deletion set, where it would never be popped and
+        // would corrupt the pending count forever.
         return false;
     }
-    // Lazy deletion: remember the id; the entry is dropped when popped.
-    // Ids of already-fired events are never re-inserted, so marking them is
-    // harmless (the set entry is garbage-collected on the next pop attempt
-    // that would have matched — in practice never, so bound the set by
-    // checking against next_id_ when popping).
-    return cancelled_.insert(handle.id_).second;
+    // Lazy deletion: remember the pending id; its entry is dropped when it
+    // reaches the top of the heap.
+    cancelled_.insert(handle.id_);
+    return true;
 }
 
 bool Simulation::dispatch_next(double horizon) {
@@ -50,6 +52,8 @@ bool Simulation::dispatch_next(double horizon) {
         Entry entry = std::move(const_cast<Entry&>(top));
         heap_.pop();
         now_ = entry.time;
+        // Un-track before the callback so a self-cancel observes "fired".
+        pending_.erase(entry.id);
         ++executed_;
         entry.callback();
         return true;

@@ -40,7 +40,10 @@ public:
     /// Schedules `callback` at absolute time `time` (>= now()).
     EventHandle schedule_at(double time, EventCallback callback);
 
-    /// Cancels a pending event. Returns true when the event was pending.
+    /// Cancels a pending event. Returns true when the event was pending;
+    /// cancelling an invalid, already-fired, or already-cancelled handle —
+    /// including from inside a running callback — is a no-op that returns
+    /// false and leaves the calendar intact.
     bool cancel(EventHandle handle);
 
     /// Runs until the calendar is empty or stop() is called.
@@ -52,7 +55,7 @@ public:
     void stop() { stopped_ = true; }
 
     std::uint64_t events_executed() const { return executed_; }
-    std::size_t events_pending() const { return heap_.size() - cancelled_.size(); }
+    std::size_t events_pending() const { return pending_.size(); }
 
 private:
     struct Entry {
@@ -74,6 +77,12 @@ private:
     bool dispatch_next(double horizon);
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /// Ids scheduled but not yet fired or cancelled. Membership is what
+    /// makes cancel() of a stale handle a detectable no-op instead of
+    /// poisoning the lazy-deletion set with an id that never pops.
+    std::unordered_set<std::uint64_t> pending_;
+    /// Pending ids whose heap entries must be dropped when popped (lazy
+    /// deletion); always a subset of ids still in the heap.
     std::unordered_set<std::uint64_t> cancelled_;
     double now_ = 0.0;
     std::uint64_t next_sequence_ = 0;

@@ -67,4 +67,30 @@ private:
     Welford stats_;
 };
 
+/// Pools one point estimate per independent replication into a
+/// replication-level confidence interval (the classic independent-
+/// replications method). The interval math is the same Student-t
+/// construction as BatchMeans, but the samples here are means of whole
+/// replications run on disjoint random substreams, so — unlike batches cut
+/// from one long run — they are independent by construction and the CI
+/// width shrinks like 1/sqrt(replications) without batch-size caveats.
+class ReplicationStats {
+public:
+    void add_replication(double replication_mean) { means_.add_batch(replication_mean); }
+    int replications() const { return means_.count(); }
+    double mean() const { return means_.mean(); }
+    /// Half width of the CI; 0 with fewer than 2 replications.
+    double half_width(double confidence = 0.95) const {
+        return means_.half_width(confidence);
+    }
+    double lower(double confidence = 0.95) const { return means_.lower(confidence); }
+    double upper(double confidence = 0.95) const { return means_.upper(confidence); }
+    bool covers(double value, double confidence = 0.95) const {
+        return means_.covers(value, confidence);
+    }
+
+private:
+    BatchMeans means_;
+};
+
 }  // namespace gprsim::des

@@ -1,0 +1,106 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace gprsim::sim {
+
+void ExperimentConfig::validate() const {
+    base.validate();
+    if (replications < 1) {
+        throw std::invalid_argument("ExperimentConfig: need at least one replication");
+    }
+}
+
+ExperimentEngine::ExperimentEngine(common::ThreadPool* shared_pool)
+    : shared_(shared_pool) {}
+
+common::ThreadPool& ExperimentEngine::pool(int min_threads) {
+    if (shared_ != nullptr) {
+        return *shared_;
+    }
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    const int want = std::max(min_threads, 1);
+    if (!owned_ || owned_->size() < want) {
+        owned_.reset();  // join the old workers before spawning the new pool
+        owned_ = std::make_unique<common::ThreadPool>(want);
+    }
+    return *owned_;
+}
+
+SimulationConfig replication_config(const ExperimentConfig& config, std::uint64_t block) {
+    SimulationConfig replication = config.base;
+    replication.seed = config.seed;
+    replication.stream_base = block * SimulationConfig::kStreamsPerRun;
+    return replication;
+}
+
+ExperimentResults pool_replications(std::vector<SimulationResults> replications) {
+    ExperimentResults results;
+    results.replications = std::move(replications);
+
+    // Pool in replication order — with the per-replication results fixed by
+    // their substreams, this serial reduction is what makes the estimates
+    // bitwise invariant to the thread count.
+    const auto pooled = [&](MetricEstimate SimulationResults::*measure) {
+        des::ReplicationStats stats;
+        for (const SimulationResults& r : results.replications) {
+            stats.add_replication((r.*measure).mean);
+        }
+        return MetricEstimate{stats.mean(), stats.half_width(0.95), stats.replications()};
+    };
+    results.carried_data_traffic = pooled(&SimulationResults::carried_data_traffic);
+    results.packet_loss_probability = pooled(&SimulationResults::packet_loss_probability);
+    results.queueing_delay = pooled(&SimulationResults::queueing_delay);
+    results.throughput_per_user_kbps = pooled(&SimulationResults::throughput_per_user_kbps);
+    results.mean_queue_length = pooled(&SimulationResults::mean_queue_length);
+    results.carried_voice_traffic = pooled(&SimulationResults::carried_voice_traffic);
+    results.average_gprs_sessions = pooled(&SimulationResults::average_gprs_sessions);
+    results.gsm_blocking = pooled(&SimulationResults::gsm_blocking);
+    results.gprs_blocking = pooled(&SimulationResults::gprs_blocking);
+
+    for (const SimulationResults& r : results.replications) {
+        results.events_executed += r.events_executed;
+        results.simulated_time += r.simulated_time;
+    }
+    return results;
+}
+
+ExperimentResults ExperimentEngine::run(const ExperimentConfig& config) {
+    config.validate();
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    std::vector<SimulationResults> replications(
+        static_cast<std::size_t>(config.replications));
+    const int width =
+        std::min(common::ThreadPool::resolve_thread_count(config.num_threads),
+                 config.replications);
+
+    std::mutex progress_mutex;
+    const auto run_replication = [&](int r) {
+        const SimulationConfig replication =
+            replication_config(config, static_cast<std::uint64_t>(r));
+        const SimulationResults result = NetworkSimulator(replication).run();
+        replications[static_cast<std::size_t>(r)] = result;
+        if (config.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            config.progress(r, result);
+        }
+    };
+    if (width <= 1) {
+        for (int r = 0; r < config.replications; ++r) {
+            run_replication(r);
+        }
+    } else {
+        pool(width).run(config.replications, run_replication, width);
+    }
+
+    ExperimentResults results = pool_replications(std::move(replications));
+    results.threads_used = width;
+    results.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+    return results;
+}
+
+}  // namespace gprsim::sim

@@ -68,13 +68,13 @@ struct Session {
 struct NetworkSimulator::Impl {
     explicit Impl(SimulationConfig cfg)
         : config(std::move(cfg)),
-          gsm_arrival_rng(config.seed, 1),
-          gprs_arrival_rng(config.seed, 2),
-          duration_rng(config.seed, 3),
-          dwell_rng(config.seed, 4),
-          traffic_rng(config.seed, 5),
-          target_rng(config.seed, 6),
-          radio_rng(config.seed, 7) {
+          gsm_arrival_rng(config.seed, config.stream_base + 1),
+          gprs_arrival_rng(config.seed, config.stream_base + 2),
+          duration_rng(config.seed, config.stream_base + 3),
+          dwell_rng(config.seed, config.stream_base + 4),
+          traffic_rng(config.seed, config.stream_base + 5),
+          target_rng(config.seed, config.stream_base + 6),
+          radio_rng(config.seed, config.stream_base + 7) {
         config.validate();
         cells.resize(static_cast<std::size_t>(config.num_cells));
     }

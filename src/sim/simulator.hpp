@@ -34,6 +34,14 @@ struct SimulationConfig {
 
     int num_cells = 7;
     std::uint64_t seed = 1u;
+    /// First RandomStream id this run may use: the simulator draws from
+    /// streams [stream_base + 1, stream_base + kStreamsPerRun]. An
+    /// experiment gives replication r the block r * kStreamsPerRun under a
+    /// shared seed, so replications are non-overlapping substreams of one
+    /// experiment rather than unrelated reseedings.
+    std::uint64_t stream_base = 0;
+    /// Substream block width reserved per simulator run (a few ids spare).
+    static constexpr std::uint64_t kStreamsPerRun = 16;
 
     // Output analysis (batch means, paper Section 5.2).
     double warmup_time = 2000.0;     ///< transient deletion [s]

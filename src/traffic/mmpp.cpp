@@ -37,7 +37,7 @@ Mmpp::Mmpp(std::vector<double> generator, std::vector<double> arrival_rates)
     }
 }
 
-double Mmpp::transition_rate(ctmc::index_type s, ctmc::index_type t) const {
+double Mmpp::transition_rate(common::index_type s, common::index_type t) const {
     if (s == t) {
         return 0.0;
     }
@@ -140,18 +140,18 @@ Mmpp Mmpp::superpose(const Mmpp& a, const Mmpp& b) {
     for (std::size_t sa = 0; sa < na; ++sa) {
         for (std::size_t sb = 0; sb < nb; ++sb) {
             const std::size_t s = idx(sa, sb);
-            rates[s] = a.arrival_rate(static_cast<ctmc::index_type>(sa)) +
-                       b.arrival_rate(static_cast<ctmc::index_type>(sb));
+            rates[s] = a.arrival_rate(static_cast<common::index_type>(sa)) +
+                       b.arrival_rate(static_cast<common::index_type>(sb));
             for (std::size_t ta = 0; ta < na; ++ta) {
                 if (ta != sa) {
                     gen[s * n + idx(ta, sb)] += a.transition_rate(
-                        static_cast<ctmc::index_type>(sa), static_cast<ctmc::index_type>(ta));
+                        static_cast<common::index_type>(sa), static_cast<common::index_type>(ta));
                 }
             }
             for (std::size_t tb = 0; tb < nb; ++tb) {
                 if (tb != sb) {
                     gen[s * n + idx(sa, tb)] += b.transition_rate(
-                        static_cast<ctmc::index_type>(sb), static_cast<ctmc::index_type>(tb));
+                        static_cast<common::index_type>(sb), static_cast<common::index_type>(tb));
                 }
             }
         }

@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "ctmc/types.hpp"
+#include "common/types.hpp"
 
 namespace gprsim::traffic {
 
@@ -24,12 +24,12 @@ public:
     /// `arrival_rates` holds lambda_s per modulating state.
     Mmpp(std::vector<double> generator, std::vector<double> arrival_rates);
 
-    ctmc::index_type num_states() const {
-        return static_cast<ctmc::index_type>(rates_.size());
+    common::index_type num_states() const {
+        return static_cast<common::index_type>(rates_.size());
     }
     /// Off-diagonal modulating rate s -> t (0 when s == t).
-    double transition_rate(ctmc::index_type s, ctmc::index_type t) const;
-    double arrival_rate(ctmc::index_type s) const {
+    double transition_rate(common::index_type s, common::index_type t) const;
+    double arrival_rate(common::index_type s) const {
         return rates_[static_cast<std::size_t>(s)];
     }
 

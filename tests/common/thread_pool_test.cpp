@@ -1,4 +1,4 @@
-#include "ctmc/thread_pool.hpp"
+#include "common/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
-namespace gprsim::ctmc {
+namespace gprsim::common {
 namespace {
 
 TEST(ThreadPool, ExecutesEveryTaskExactlyOnce) {
@@ -92,4 +92,4 @@ TEST(ThreadPool, HardwareThreadsIsPositive) {
 }
 
 }  // namespace
-}  // namespace gprsim::ctmc
+}  // namespace gprsim::common

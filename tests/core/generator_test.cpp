@@ -34,14 +34,14 @@ TEST(GprsGenerator, MatrixFreeRowsMatchCsrRows) {
     const ctmc::QtMatrix qt = gen.to_qt_matrix();
 
     ASSERT_EQ(qt.size(), gen.size());
-    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+    for (common::index_type i = 0; i < gen.size(); ++i) {
         EXPECT_NEAR(qt.diagonal(i), gen.diagonal(i), 1e-13) << "state " << i;
-        std::map<ctmc::index_type, double> csr_row;
-        qt.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+        std::map<common::index_type, double> csr_row;
+        qt.for_each_incoming(i, [&](common::index_type j, double rate) {
             csr_row[j] += rate;
         });
-        std::map<ctmc::index_type, double> free_row;
-        gen.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+        std::map<common::index_type, double> free_row;
+        gen.for_each_incoming(i, [&](common::index_type j, double rate) {
             free_row[j] += rate;
         });
         ASSERT_EQ(csr_row.size(), free_row.size()) << "state " << i;
@@ -56,7 +56,7 @@ TEST(GprsGenerator, GeneratorRowsSumToZero) {
     const Parameters p = tiny_config();
     const GprsGenerator gen(p, balance_handover(p).rates);
     const ctmc::SparseMatrix q = gen.to_generator_matrix();
-    for (ctmc::index_type i = 0; i < q.rows(); ++i) {
+    for (common::index_type i = 0; i < q.rows(); ++i) {
         double row_sum = 0.0;
         for (double v : q.row_values(i)) {
             row_sum += v;
@@ -71,8 +71,8 @@ TEST(GprsGenerator, TransposeOfGeneratorMatchesQtMatrix) {
     const ctmc::SparseMatrix q = gen.to_generator_matrix();
     const ctmc::SparseMatrix qt_ref = q.transpose();
     const ctmc::QtMatrix qt = gen.to_qt_matrix();
-    for (ctmc::index_type i = 0; i < q.rows(); ++i) {
-        qt.for_each_incoming(i, [&](ctmc::index_type j, double rate) {
+    for (common::index_type i = 0; i < q.rows(); ++i) {
+        qt.for_each_incoming(i, [&](common::index_type j, double rate) {
             EXPECT_NEAR(qt_ref.at(i, j), rate, 1e-13);
         });
         EXPECT_NEAR(qt_ref.at(i, i), qt.diagonal(i), 1e-13);
@@ -89,7 +89,7 @@ TEST(GprsGenerator, SteadyStateMatchesGthGroundTruth) {
     options.tolerance = 1e-13;
     const ctmc::SolveResult iterative = ctmc::solve_steady_state(gen.to_qt_matrix(), options);
     ASSERT_TRUE(iterative.converged);
-    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+    for (common::index_type i = 0; i < gen.size(); ++i) {
         EXPECT_NEAR(iterative.distribution[static_cast<std::size_t>(i)],
                     exact[static_cast<std::size_t>(i)], 1e-9);
     }
@@ -97,7 +97,7 @@ TEST(GprsGenerator, SteadyStateMatchesGthGroundTruth) {
     // Matrix-free path reaches the same fixed point.
     const ctmc::SolveResult matrix_free = ctmc::solve_steady_state(gen, options);
     ASSERT_TRUE(matrix_free.converged);
-    for (ctmc::index_type i = 0; i < gen.size(); ++i) {
+    for (common::index_type i = 0; i < gen.size(); ++i) {
         EXPECT_NEAR(matrix_free.distribution[static_cast<std::size_t>(i)],
                     exact[static_cast<std::size_t>(i)], 1e-9);
     }

@@ -31,7 +31,7 @@ TEST(ProductFormInitial, IsAProperDistribution) {
     const BalancedTraffic balanced = balance_handover(p);
     const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
     const std::vector<double> guess = product_form_initial(p, balanced, space);
-    ASSERT_EQ(static_cast<ctmc::index_type>(guess.size()), space.size());
+    ASSERT_EQ(static_cast<common::index_type>(guess.size()), space.size());
     double sum = 0.0;
     for (double v : guess) {
         EXPECT_GE(v, 0.0);
@@ -49,7 +49,7 @@ TEST(ProductFormInitial, MarginalsMatchClosedForms) {
 
     std::vector<double> marginal_n(static_cast<std::size_t>(p.gsm_channels()) + 1, 0.0);
     std::vector<double> marginal_m(static_cast<std::size_t>(p.max_gprs_sessions) + 1, 0.0);
-    space.for_each([&](const State& s, ctmc::index_type i) {
+    space.for_each([&](const State& s, common::index_type i) {
         marginal_n[static_cast<std::size_t>(s.gsm_calls)] += guess[static_cast<std::size_t>(i)];
         marginal_m[static_cast<std::size_t>(s.gprs_sessions)] +=
             guess[static_cast<std::size_t>(i)];

@@ -250,7 +250,7 @@ TEST(GprsModel, AggregationMatchesPerSessionChain) {
         }
     }
 
-    space.for_each([&](const State& s, ctmc::index_type i) {
+    space.for_each([&](const State& s, common::index_type i) {
         const double expected =
             lumped[{s.buffer, s.gsm_calls, s.gprs_sessions, s.off_sessions}];
         EXPECT_NEAR(agg_pi[static_cast<std::size_t>(i)], expected, 1e-8)

@@ -11,7 +11,7 @@ TEST(StateSpace, SizeMatchesPaperFormula) {
     // (M+1)(M+2)/2 * (N_GSM+1) * (K+1), paper Section 4.1.
     const StateSpace space(100, 19, 50);
     EXPECT_EQ(space.size(),
-              static_cast<ctmc::index_type>(51) * 52 / 2 * 20 * 101);
+              static_cast<common::index_type>(51) * 52 / 2 * 20 * 101);
     EXPECT_EQ(space.session_pair_count(), 51 * 52 / 2);
 }
 
@@ -23,8 +23,8 @@ TEST(StateSpace, PaperBaseConfigurationStateCount) {
 
 TEST(StateSpace, RoundTripIsExhaustive) {
     const StateSpace space(5, 3, 4);
-    ctmc::index_type count = 0;
-    space.for_each([&](const State& s, ctmc::index_type index) {
+    common::index_type count = 0;
+    space.for_each([&](const State& s, common::index_type index) {
         EXPECT_EQ(space.index_of(s), index);
         const State back = space.state_of(index);
         EXPECT_EQ(back, s);
@@ -36,8 +36,8 @@ TEST(StateSpace, RoundTripIsExhaustive) {
 
 TEST(StateSpace, IndicesAreDenseAndOrdered) {
     const StateSpace space(2, 2, 2);
-    ctmc::index_type previous = -1;
-    space.for_each([&](const State&, ctmc::index_type index) {
+    common::index_type previous = -1;
+    space.for_each([&](const State&, common::index_type index) {
         EXPECT_EQ(index, previous + 1);
         previous = index;
     });

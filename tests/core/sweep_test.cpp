@@ -65,8 +65,8 @@ TEST(Sweep, WarmStartGivesSameAnswersFasterOnLaterPoints) {
     cold.warm_start = false;
     const auto warm_points = sweep_call_arrival_rate(sweep_config(), rates, warm);
     const auto cold_points = sweep_call_arrival_rate(sweep_config(), rates, cold);
-    ctmc::index_type warm_total = 0;
-    ctmc::index_type cold_total = 0;
+    common::index_type warm_total = 0;
+    common::index_type cold_total = 0;
     for (std::size_t i = 0; i < rates.size(); ++i) {
         EXPECT_NEAR(warm_points[i].measures.carried_data_traffic,
                     cold_points[i].measures.carried_data_traffic, 1e-7);

@@ -1,0 +1,114 @@
+// Validation sweeps (model solves + simulator replications pooled on one
+// thread pool) must produce bitwise identical output at every width, and
+// the replication CIs must actually bracket the chain on a configuration
+// where the two tools agree.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "ctmc/engine.hpp"
+
+namespace gprsim::core {
+namespace {
+
+Parameters joint_parameters() {
+    Parameters p = Parameters::base();
+    p.total_channels = 6;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 15;
+    p.max_gprs_sessions = 5;
+    p.gprs_fraction = 0.3;
+    p.mean_gsm_call_duration = 60.0;
+    p.mean_gsm_dwell_time = 60.0;
+    p.mean_gprs_dwell_time = 60.0;
+    p.traffic.mean_packet_calls = 4.0;
+    p.traffic.mean_packets_per_call = 8.0;
+    p.traffic.mean_packet_interarrival = 0.4;
+    p.traffic.mean_reading_time = 4.0;
+    p.flow_control_threshold = 1.0;  // open loop on both sides
+    return p;
+}
+
+ValidationOptions quick_options(int num_threads) {
+    ValidationOptions options;
+    options.num_threads = num_threads;
+    options.experiment.replications = 3;
+    options.experiment.seed = 4242;
+    options.experiment.base.tcp_enabled = false;
+    options.experiment.base.warmup_time = 100.0;
+    options.experiment.base.batch_count = 3;
+    options.experiment.base.batch_duration = 150.0;
+    return options;
+}
+
+TEST(ValidationSweep, ShardedOutputIsBitwiseIdenticalToSerial) {
+    const std::vector<double> rates{0.2, 0.35};
+    ctmc::SolverEngine engine;
+    ScenarioSweep sweeps(engine);
+
+    const auto serial = sweeps.validate_call_arrival_rate(joint_parameters(), rates,
+                                                          quick_options(1));
+    const auto sharded = sweeps.validate_call_arrival_rate(joint_parameters(), rates,
+                                                           quick_options(4));
+
+    ASSERT_EQ(serial.size(), rates.size());
+    ASSERT_EQ(sharded.size(), rates.size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        // Chain solves are forced single-threaded in both runs (work items
+        // are the parallelism), so the model side is bitwise equal too.
+        EXPECT_EQ(sharded[i].model.carried_data_traffic,
+                  serial[i].model.carried_data_traffic);
+        EXPECT_EQ(sharded[i].model.packet_loss_probability,
+                  serial[i].model.packet_loss_probability);
+        EXPECT_EQ(sharded[i].iterations, serial[i].iterations);
+        EXPECT_EQ(sharded[i].simulated.carried_data_traffic.mean,
+                  serial[i].simulated.carried_data_traffic.mean);
+        EXPECT_EQ(sharded[i].simulated.carried_data_traffic.half_width,
+                  serial[i].simulated.carried_data_traffic.half_width);
+        EXPECT_EQ(sharded[i].simulated.gsm_blocking.mean,
+                  serial[i].simulated.gsm_blocking.mean);
+        EXPECT_EQ(sharded[i].simulated.events_executed,
+                  serial[i].simulated.events_executed);
+    }
+}
+
+TEST(ValidationSweep, ReplicationIntervalsBracketTheChain) {
+    // Paper Section 5.2 in miniature: on the open-loop joint configuration
+    // the chain's CDT must sit inside (or within 3 half-widths of) the
+    // simulator's replication-level interval at every point.
+    const std::vector<double> rates{0.25};
+    ctmc::SolverEngine engine;
+    ScenarioSweep sweeps(engine);
+    ValidationOptions options = quick_options(2);
+    options.experiment.replications = 5;
+    options.experiment.base.warmup_time = 500.0;
+    options.experiment.base.batch_count = 4;
+    options.experiment.base.batch_duration = 500.0;
+
+    const auto points =
+        sweeps.validate_call_arrival_rate(joint_parameters(), rates, options);
+    ASSERT_EQ(points.size(), 1u);
+    const ValidationPoint& point = points[0];
+    EXPECT_EQ(point.simulated.carried_data_traffic.batches, 5);
+    const auto& cdt = point.simulated.carried_data_traffic;
+    // The chain idealizes service as exponential-fluid while the simulator
+    // pads TDMA blocks, so allow 3 half-widths plus a small absolute slack
+    // (same bands as the model-vs-simulator integration test).
+    EXPECT_NEAR(point.model.carried_data_traffic, cdt.mean,
+                3.0 * cdt.half_width + 0.25);
+    EXPECT_NEAR(point.model.carried_voice_traffic,
+                point.simulated.carried_voice_traffic.mean,
+                3.0 * point.simulated.carried_voice_traffic.half_width + 0.15);
+}
+
+TEST(ValidationSweep, EmptyGridReturnsEmpty) {
+    ctmc::SolverEngine engine;
+    ScenarioSweep sweeps(engine);
+    const auto points = sweeps.validate_call_arrival_rate(
+        joint_parameters(), std::vector<double>{}, quick_options(2));
+    EXPECT_TRUE(points.empty());
+}
+
+}  // namespace
+}  // namespace gprsim::core

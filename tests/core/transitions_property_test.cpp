@@ -55,7 +55,7 @@ TEST_P(TransitionsProperty, IncomingInvertsOutgoing) {
 
     std::map<std::pair<Key, Key>, double> forward;
     std::map<std::pair<Key, Key>, double> backward;
-    space.for_each([&](const State& s, ctmc::index_type) {
+    space.for_each([&](const State& s, common::index_type) {
         for_each_outgoing(p, rates, s, [&](const State& succ, double rate) {
             if (rate > 0.0) {
                 forward[{key(s), key(succ)}] += rate;
@@ -80,7 +80,7 @@ TEST_P(TransitionsProperty, EveryStateCanExit) {
     const Parameters p = make_parameters();
     const ModelRates rates = balance_handover(p).rates;
     const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
-    space.for_each([&](const State& s, ctmc::index_type) {
+    space.for_each([&](const State& s, common::index_type) {
         EXPECT_GT(total_exit_rate(p, rates, s), 0.0)
             << "absorbing state (" << s.buffer << "," << s.gsm_calls << ","
             << s.gprs_sessions << "," << s.off_sessions << ")";

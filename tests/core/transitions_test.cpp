@@ -168,7 +168,7 @@ TEST(Transitions, IncomingIsExactInverseOfOutgoing) {
 
     std::map<std::pair<Key, Key>, double> forward;
     std::map<std::pair<Key, Key>, double> backward;
-    space.for_each([&](const State& s, ctmc::index_type) {
+    space.for_each([&](const State& s, common::index_type) {
         for_each_outgoing(p, rates, s, [&](const State& succ, double rate) {
             if (rate > 0.0) {
                 forward[{key(s), key(succ)}] += rate;
@@ -196,7 +196,7 @@ TEST(Transitions, ExitRateMatchesSumOfOutgoing) {
     const Parameters p = small_config();
     const ModelRates rates = balance_handover(p).rates;
     const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
-    space.for_each([&](const State& s, ctmc::index_type) {
+    space.for_each([&](const State& s, common::index_type) {
         double sum = 0.0;
         for_each_outgoing(p, rates, s, [&](const State&, double rate) { sum += rate; });
         EXPECT_NEAR(total_exit_rate(p, rates, s), sum, 1e-13);
@@ -207,7 +207,7 @@ TEST(Transitions, SuccessorsStayInsideStateSpace) {
     const Parameters p = small_config();
     const ModelRates rates = balance_handover(p).rates;
     const StateSpace space(p.buffer_capacity, p.gsm_channels(), p.max_gprs_sessions);
-    space.for_each([&](const State& s, ctmc::index_type) {
+    space.for_each([&](const State& s, common::index_type) {
         for_each_outgoing(p, rates, s, [&](const State& succ, double) {
             EXPECT_GE(succ.buffer, 0);
             EXPECT_LE(succ.buffer, p.buffer_capacity);

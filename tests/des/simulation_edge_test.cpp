@@ -33,6 +33,26 @@ TEST(SimulationEdge, CancelOwnHandleWhileFiringIsHarmless) {
     EXPECT_EQ(fired, 2);
 }
 
+TEST(SimulationEdge, CancelAlreadyFiredHandleDuringCallbackIsNoOp) {
+    // A dwell timer may fire, and only later does another callback (session
+    // teardown) try to cancel the stale handle: the cancel must report
+    // "not pending" and leave the calendar fully intact.
+    Simulation sim;
+    EventHandle first;
+    int fired = 0;
+    first = sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(2.0, [&] {
+        EXPECT_FALSE(sim.cancel(first));  // fired at t=1: stale handle
+        EXPECT_FALSE(sim.cancel(first));  // idempotent
+        ++fired;
+    });
+    sim.schedule(3.0, [&] { ++fired; });  // later events must still run
+    sim.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(sim.events_executed(), 3u);
+    EXPECT_EQ(sim.events_pending(), 0u);
+}
+
 TEST(SimulationEdge, RescheduleSameCallbackRepeatedly) {
     // The dwell-timer pattern: cancel + re-schedule across "cells".
     Simulation sim;

@@ -107,5 +107,46 @@ TEST(BatchMeans, FewerThanTwoBatchesHasZeroWidth) {
     EXPECT_TRUE(bm.covers(1.0));
 }
 
+TEST(ReplicationStats, PoolsIndependentReplicationMeans) {
+    ReplicationStats stats;
+    for (double mean : {1.0, 2.0, 3.0, 4.0}) {
+        stats.add_replication(mean);
+    }
+    EXPECT_EQ(stats.replications(), 4);
+    EXPECT_NEAR(stats.mean(), 2.5, 1e-12);
+    // Sample stddev of {1,2,3,4} is sqrt(5/3); t_{3, 0.975} = 3.182.
+    EXPECT_NEAR(stats.half_width(), 3.182 * std::sqrt(5.0 / 3.0) / 2.0, 1e-3);
+    EXPECT_TRUE(stats.covers(2.5));
+    EXPECT_FALSE(stats.covers(100.0));
+}
+
+TEST(ReplicationStats, WidthShrinksLikeRootOfReplicationCount) {
+    // i.i.d. replication means: quadrupling the replication count must cut
+    // the half width roughly in half (plus the t-quantile tightening).
+    RandomStream rng(77);
+    ReplicationStats few;
+    for (int r = 0; r < 8; ++r) {
+        few.add_replication(rng.exponential(3.0));
+    }
+    RandomStream rng2(77);
+    ReplicationStats many;
+    for (int r = 0; r < 32; ++r) {
+        many.add_replication(rng2.exponential(3.0));
+    }
+    ASSERT_GT(few.half_width(), 0.0);
+    const double ratio = many.half_width() / few.half_width();
+    EXPECT_GT(ratio, 0.2);
+    EXPECT_LT(ratio, 0.8);
+}
+
+TEST(ReplicationStats, FewerThanTwoReplicationsHasZeroWidth) {
+    ReplicationStats stats;
+    EXPECT_DOUBLE_EQ(stats.half_width(), 0.0);
+    stats.add_replication(2.0);
+    EXPECT_DOUBLE_EQ(stats.half_width(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+    EXPECT_TRUE(stats.covers(2.0));
+}
+
 }  // namespace
 }  // namespace gprsim::des

@@ -1,0 +1,143 @@
+// ExperimentEngine: replication sharding must never change the numbers —
+// pooled measures are bitwise invariant to the thread count — and the
+// replication-level confidence intervals must behave like independent
+// replications (width shrinking ~1/sqrt(N), disjoint substreams).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace gprsim::sim {
+namespace {
+
+/// Downsized cell so one replication runs in milliseconds.
+ExperimentConfig small_experiment(int replications) {
+    ExperimentConfig config;
+    core::Parameters& p = config.base.cell;
+    p.total_channels = 6;
+    p.reserved_pdch = 1;
+    p.buffer_capacity = 15;
+    p.max_gprs_sessions = 5;
+    p.call_arrival_rate = 0.25;
+    p.gprs_fraction = 0.3;
+    p.mean_gsm_call_duration = 60.0;
+    p.mean_gsm_dwell_time = 60.0;
+    p.mean_gprs_dwell_time = 60.0;
+    p.traffic.mean_packet_calls = 4.0;
+    p.traffic.mean_packets_per_call = 8.0;
+    p.traffic.mean_packet_interarrival = 0.4;
+    p.traffic.mean_reading_time = 4.0;
+    config.base.tcp_enabled = false;
+    config.base.warmup_time = 100.0;
+    config.base.batch_count = 3;
+    config.base.batch_duration = 150.0;
+    config.replications = replications;
+    config.seed = 91;
+    return config;
+}
+
+void expect_bitwise_equal(const MetricEstimate& a, const MetricEstimate& b) {
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.half_width, b.half_width);
+    EXPECT_EQ(a.batches, b.batches);
+}
+
+TEST(ExperimentEngine, PooledMeasuresAreBitwiseThreadCountInvariant) {
+    ExperimentConfig config = small_experiment(5);
+    ExperimentEngine engine;
+
+    config.num_threads = 1;
+    const ExperimentResults serial = engine.run(config);
+    for (int threads : {2, 8}) {
+        config.num_threads = threads;
+        const ExperimentResults sharded = engine.run(config);
+        SCOPED_TRACE(threads);
+        expect_bitwise_equal(sharded.carried_data_traffic, serial.carried_data_traffic);
+        expect_bitwise_equal(sharded.packet_loss_probability,
+                             serial.packet_loss_probability);
+        expect_bitwise_equal(sharded.queueing_delay, serial.queueing_delay);
+        expect_bitwise_equal(sharded.throughput_per_user_kbps,
+                             serial.throughput_per_user_kbps);
+        expect_bitwise_equal(sharded.mean_queue_length, serial.mean_queue_length);
+        expect_bitwise_equal(sharded.carried_voice_traffic, serial.carried_voice_traffic);
+        expect_bitwise_equal(sharded.average_gprs_sessions, serial.average_gprs_sessions);
+        expect_bitwise_equal(sharded.gsm_blocking, serial.gsm_blocking);
+        expect_bitwise_equal(sharded.gprs_blocking, serial.gprs_blocking);
+        EXPECT_EQ(sharded.events_executed, serial.events_executed);
+        ASSERT_EQ(sharded.replications.size(), serial.replications.size());
+        for (std::size_t r = 0; r < serial.replications.size(); ++r) {
+            EXPECT_EQ(sharded.replications[r].events_executed,
+                      serial.replications[r].events_executed);
+            EXPECT_EQ(sharded.replications[r].carried_data_traffic.mean,
+                      serial.replications[r].carried_data_traffic.mean);
+        }
+    }
+}
+
+TEST(ExperimentEngine, ReplicationsRunOnDisjointSubstreams) {
+    const ExperimentConfig config = small_experiment(4);
+    const ExperimentResults results = ExperimentEngine().run(config);
+    // Every replication sees a different trajectory: identical event counts
+    // or identical means across replications would indicate stream reuse.
+    std::set<std::uint64_t> event_counts;
+    for (const SimulationResults& r : results.replications) {
+        event_counts.insert(r.events_executed);
+    }
+    EXPECT_EQ(event_counts.size(), results.replications.size());
+}
+
+TEST(ExperimentEngine, ConfidenceIntervalShrinksLikeRootN) {
+    ExperimentEngine engine;
+    const ExperimentResults few = engine.run(small_experiment(6));
+    const ExperimentResults many = engine.run(small_experiment(24));
+
+    ASSERT_EQ(few.carried_data_traffic.batches, 6);
+    ASSERT_EQ(many.carried_data_traffic.batches, 24);
+    ASSERT_GT(few.carried_data_traffic.half_width, 0.0);
+    // 4x the replications: expect roughly half the width. The Student-t
+    // quantile also tightens with dof, so the ratio may undershoot 1/2;
+    // the band just excludes "no shrinkage" and "collapse to zero".
+    const double ratio =
+        many.carried_data_traffic.half_width / few.carried_data_traffic.half_width;
+    EXPECT_GT(ratio, 0.15);
+    EXPECT_LT(ratio, 0.85);
+}
+
+TEST(ExperimentEngine, ProgressReportsEveryReplication) {
+    ExperimentConfig config = small_experiment(4);
+    config.num_threads = 2;
+    std::mutex mutex;
+    std::vector<int> seen;
+    config.progress = [&](int replication, const SimulationResults& result) {
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.push_back(replication);
+        EXPECT_GT(result.events_executed, 0u);
+    };
+    ExperimentEngine().run(config);
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(std::set<int>(seen.begin(), seen.end()).size(), 4u);
+}
+
+TEST(ExperimentEngine, RejectsNonPositiveReplicationCount) {
+    ExperimentConfig config = small_experiment(0);
+    EXPECT_THROW(ExperimentEngine().run(config), std::invalid_argument);
+}
+
+TEST(ExperimentEngine, SharedPoolIsUsedAsIs) {
+    common::ThreadPool pool(3);
+    ExperimentEngine engine(&pool);
+    EXPECT_EQ(&engine.pool(1), &pool);
+    EXPECT_EQ(&engine.pool(8), &pool);  // shared pools are never resized
+    ExperimentConfig config = small_experiment(3);
+    config.num_threads = 3;
+    const ExperimentResults results = engine.run(config);
+    EXPECT_EQ(results.threads_used, 3);
+    EXPECT_EQ(results.replications.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gprsim::sim
