@@ -10,9 +10,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
 #include "core/sweep.hpp"
 
 namespace gprsim::bench {
@@ -64,6 +67,30 @@ struct BenchArgs {
 inline void apply_threads(core::SweepOptions& sweep, const BenchArgs& args) {
     sweep.num_threads = args.threads;
     sweep.parallel_points = args.threads != 1;
+}
+
+/// Campaign counterpart of apply_threads: --threads sizes the runner's
+/// task sharding (campaign output never depends on it).
+inline campaign::CampaignOptions campaign_options(const BenchArgs& args) {
+    campaign::CampaignOptions options;
+    options.num_threads = args.threads;
+    return options;
+}
+
+/// Attaches the benches' stderr progress line to a campaign: every chain
+/// solve reports its variant label, rate, sweeps and wall time.
+inline void attach_solve_progress(campaign::CampaignOptions& options,
+                                  const campaign::ScenarioSpec& spec) {
+    // Labels are resolved up front (the callback outlives this scope).
+    auto variants =
+        std::make_shared<std::vector<campaign::Variant>>(spec.expand());
+    options.solve_progress = [variants](std::size_t,
+                                        const campaign::CampaignPoint& point) {
+        std::fprintf(stderr, "  [%s] rate %.2f: %lld sweeps, %.1fs%s\n",
+                     (*variants)[point.variant].label.c_str(), point.call_arrival_rate,
+                     point.iterations, point.solve_seconds,
+                     point.warm_parent >= 0 ? " (warm)" : "");
+    };
 }
 
 inline void print_header(const std::string& title) {

@@ -2,95 +2,91 @@
 // detailed network simulator — carried data traffic and throughput per user
 // for 2%/5%/10% GPRS users (traffic model 3, 1 reserved PDCH).
 //
-// Since the experiment-engine refactor the whole figure runs as pooled
-// workloads on one thread pool: for each GPRS fraction,
-// core::ScenarioSweep::validate_call_arrival_rate claims the chain solves
-// and the individual simulator replications from the same workers
-// (--threads=N; --replications=N per point), and the simulator columns are
-// replication-level 95% confidence intervals. Output is bitwise identical
-// for every thread count. Perf records land in BENCH_simulator.json.
+// Since the campaign refactor the whole figure is one declarative campaign
+// (campaigns/fig06_validation.json carries the same spec for the CLI):
+// method "both" runs, for every (GPRS fraction, arrival rate) point, one
+// warm-started chain solve plus R simulator replications, all claimed from
+// one thread pool; the simulator columns are replication-level 95%
+// confidence intervals and the delta columns are the per-point model-minus-
+// simulator differences. Output is bitwise identical for every thread
+// count. Perf records land in BENCH_simulator.json.
 //
 // Paper findings: the model's curves lie within the simulator's 95%
 // confidence intervals; CDT rises to ~4.8 PDCHs for 10% GPRS users at
 // moderate load, then falls as voice traffic claims the on-demand channels.
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/model.hpp"
-#include "core/sweep.hpp"
-#include "sim/experiment.hpp"
-#include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const std::vector<double> rates =
-        core::arrival_rate_grid(0.1, 1.0, args.grid(4, 10));
-    const int replications = args.replication_count(4, 8);
-    const double fractions[] = {0.02, 0.05, 0.10};
+
+    campaign::ScenarioSpec spec;
+    spec.named("fig06_validation")
+        .with_method(campaign::Method::both)
+        .over_traffic_models({3})
+        .over_reserved_pdch({1})
+        .over_gprs_fractions({0.02, 0.05, 0.10})
+        .with_rate_grid(0.1, 1.0, args.grid(4, 10))
+        .with_tolerance(1e-9)
+        .with_replications(args.replication_count(4, 8))
+        .with_seed(600u);
+    spec.flow_control_threshold = 0.7;  // the calibrated value of Fig. 5
+    spec.simulation.warmup_time = args.full ? 3000.0 : 1500.0;
+    spec.simulation.batch_count = args.full ? 20 : 10;
+    spec.simulation.batch_duration = args.full ? 3000.0 : 1500.0;
+    spec.simulation.tcp = true;
 
     bench::print_header(
         "Fig. 6 -- Validation of the Markov model with the detailed simulator "
         "(traffic model 3, 1 reserved PDCH)");
-    std::printf("replications per point: %d, threads: %d\n", replications, args.threads);
+    std::printf("replications per point: %d, threads: %d\n",
+                spec.simulation.replications, args.threads);
 
-    ctmc::SolverEngine engine;
-    core::ScenarioSweep sweeps(engine);
-    bench::SimJsonWriter json;
+    campaign::CampaignOptions options = bench::campaign_options(args);
+    bench::attach_solve_progress(options, spec);
+    bench::WallTimer timer;
+    const campaign::CampaignResult result = campaign::run_campaign(spec, options);
 
     int inside = 0;
     int total = 0;
-    for (double fraction : fractions) {
-        core::Parameters base =
-            core::Parameters::with_traffic_model(traffic::traffic_model_3());
-        base.reserved_pdch = 1;
-        base.gprs_fraction = fraction;
-        base.flow_control_threshold = 0.7;  // the calibrated value of Fig. 5
-
-        core::ValidationOptions options;
-        options.solve.tolerance = 1e-9;
-        options.num_threads = args.threads;
-        options.experiment.replications = replications;
-        options.experiment.seed = 600u + static_cast<std::uint64_t>(fraction * 1000.0);
-        options.experiment.base.tcp_enabled = true;
-        options.experiment.base.warmup_time = args.full ? 3000.0 : 1500.0;
-        options.experiment.base.batch_count = args.full ? 20 : 10;
-        options.experiment.base.batch_duration = args.full ? 3000.0 : 1500.0;
-
-        bench::WallTimer timer;
-        const auto points = sweeps.validate_call_arrival_rate(base, rates, options);
-        std::fprintf(stderr, "  [validate] %.0f%% GPRS done (%.1fs wall)\n",
-                     100.0 * fraction, timer.seconds());
-
-        std::printf("\n--- %.0f%% GPRS users ---\n", 100.0 * fraction);
-        std::printf("%8s | %10s %22s | %10s %22s\n", "calls/s", "CDT model",
-                    "CDT sim [95% CI]", "ATU model", "ATU sim [95% CI]");
-        long long events = 0;
-        double sim_seconds = 0.0;
-        for (const core::ValidationPoint& point : points) {
-            const auto& cdt = point.simulated.carried_data_traffic;
-            const auto& atu = point.simulated.throughput_per_user_kbps;
-            std::printf("%8.3f | %10.3f [%8.3f, %8.3f]%s | %10.3f [%8.3f, %8.3f]%s\n",
-                        point.call_arrival_rate, point.model.carried_data_traffic,
-                        cdt.lower(), cdt.upper(),
-                        cdt.covers(point.model.carried_data_traffic) ? " in " : " OUT",
-                        point.model.throughput_per_user_kbps, atu.lower(), atu.upper(),
-                        atu.covers(point.model.throughput_per_user_kbps) ? " in " : " OUT");
+    for (std::size_t v = 0; v < result.variants.size(); ++v) {
+        const campaign::Variant& variant = result.variants[v];
+        std::printf("\n--- %.0f%% GPRS users ---\n", 100.0 * variant.gprs_fraction);
+        std::printf("%8s | %10s %22s %9s | %10s %22s %9s\n", "calls/s", "CDT model",
+                    "CDT sim [95% CI]", "delta", "ATU model", "ATU sim [95% CI]", "delta");
+        for (std::size_t r = 0; r < result.rates.size(); ++r) {
+            const campaign::CampaignPoint& point = result.at(v, r);
+            const auto& cdt = point.sim.carried_data_traffic;
+            const auto& atu = point.sim.throughput_per_user_kbps;
+            std::printf(
+                "%8.3f | %10.3f [%8.3f, %8.3f]%s %+9.3f | %10.3f [%8.3f, %8.3f]%s %+9.3f\n",
+                point.call_arrival_rate, point.model.carried_data_traffic, cdt.lower(),
+                cdt.upper(), cdt.covers(point.model.carried_data_traffic) ? " in " : " OUT",
+                point.delta_cdt, point.model.throughput_per_user_kbps, atu.lower(),
+                atu.upper(), atu.covers(point.model.throughput_per_user_kbps) ? " in " : " OUT",
+                point.delta_atu);
             inside += cdt.covers(point.model.carried_data_traffic) ? 1 : 0;
             inside += atu.covers(point.model.throughput_per_user_kbps) ? 1 : 0;
             total += 2;
-            events += static_cast<long long>(point.simulated.events_executed);
-            sim_seconds += point.simulated.simulated_time;
         }
-        json.add({"fig06_" + std::to_string(static_cast<int>(100.0 * fraction)) + "pct",
-                  args.threads, replications, events, sim_seconds, timer.seconds(), 0.0});
     }
 
     std::printf("\nModel points inside the simulator's 95%% CI: %d / %d\n", inside, total);
     std::printf("Paper: \"almost all performance curves ... lie in the confidence\n");
     std::printf("intervals\"; exact counts vary with seeds and replication settings.\n");
+    campaign::print_campaign_summary(result, stdout);
+
+    double sim_seconds = 0.0;
+    for (const campaign::CampaignPoint& point : result.points) {
+        sim_seconds += point.sim.simulated_time;
+    }
+    bench::SimJsonWriter json;
+    json.add({"fig06_campaign", args.threads, spec.simulation.replications,
+              static_cast<long long>(result.summary.sim_events), sim_seconds,
+              timer.seconds(), 0.0});
     json.write(args.json.empty() ? "BENCH_simulator.json" : args.json);
     return 0;
 }

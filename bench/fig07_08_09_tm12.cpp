@@ -1,4 +1,4 @@
-// Reproduces paper Figs. 7, 8 and 9 from a single sweep set:
+// Reproduces paper Figs. 7, 8 and 9 from a single campaign:
 //   Fig. 7: carried data traffic (CDT),
 //   Fig. 8: packet loss probability (PLP),
 //   Fig. 9: queueing delay (QD),
@@ -6,55 +6,35 @@
 // 1/2/4 reserved PDCHs (M = 50, 5% GPRS users).
 //
 // The three figures use the same six Markov-chain sweeps (~2.7 million
-// states per solve), so one binary regenerates all of them; rerunning the
-// sweep three times would triple a substantial runtime for identical data.
+// states per solve), declared as one campaign over the traffic-model and
+// reserved-PDCH axes: the runner claims all solves from one pool and
+// warm-starts each from its nearest solved grid neighbor.
 //
 // Paper findings: CDT is nearly independent of the reservation and stays
 // around 0.6 PDCHs at 1 call/s (one PDCH suffices); more reserved PDCHs
 // reduce PLP and QD; the burstier model 2 has higher PLP and longer delays.
 #include <cstdio>
-#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/sweep.hpp"
-#include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const std::vector<double> rates =
-        core::arrival_rate_grid(0.25, 1.0, args.grid(3, 9));
+
+    campaign::ScenarioSpec spec;
+    spec.named("fig07_08_09")
+        .over_traffic_models({1, 2})
+        .over_reserved_pdch({1, 2, 4})
+        .with_rate_grid(0.25, 1.0, args.grid(3, 9))
+        .with_tolerance(1e-10);
+
+    campaign::CampaignOptions options = bench::campaign_options(args);
+    bench::attach_solve_progress(options, spec);
+    const campaign::CampaignResult result = campaign::run_campaign(spec, options);
+
+    // Variant-major order: traffic model outermost, then reserved PDCHs —
+    // variant t * 3 + c is (model t+1, pdch_options[c]).
     const int pdch_options[] = {1, 2, 4};
-    const traffic::TrafficModelPreset models[] = {traffic::traffic_model_1(),
-                                                  traffic::traffic_model_2()};
-
-    // results[model][pdch][rate]
-    std::vector<std::vector<std::vector<core::Measures>>> results(
-        2, std::vector<std::vector<core::Measures>>(3));
-
-    for (std::size_t t = 0; t < 2; ++t) {
-        for (std::size_t c = 0; c < 3; ++c) {
-            core::Parameters p = core::Parameters::with_traffic_model(models[t]);
-            p.reserved_pdch = pdch_options[c];
-            p.gprs_fraction = 0.05;
-            core::SweepOptions sweep;
-            sweep.solve.tolerance = 1e-10;
-            bench::apply_threads(sweep, args);
-            sweep.progress = [&](std::size_t idx, const core::SweepPoint& point) {
-                std::fprintf(stderr,
-                             "  [%s, %d PDCH] rate %.2f: %lld sweeps, %.1fs\n",
-                             models[t].name.c_str(), pdch_options[c],
-                             point.call_arrival_rate,
-                             static_cast<long long>(point.iterations), point.seconds);
-                (void)idx;
-            };
-            const auto points = core::sweep_call_arrival_rate(p, rates, sweep);
-            for (const auto& point : points) {
-                results[t][c].push_back(point.measures);
-            }
-        }
-    }
-
     const auto print_figure = [&](const char* title, auto measure, const char* fmt) {
         bench::print_header(title);
         for (std::size_t t = 0; t < 2; ++t) {
@@ -64,10 +44,10 @@ int main(int argc, char** argv) {
                 std::printf("  %7d PDCH", pdch);
             }
             std::printf("\n");
-            for (std::size_t r = 0; r < rates.size(); ++r) {
-                std::printf("%10.3f", rates[r]);
+            for (std::size_t r = 0; r < result.rates.size(); ++r) {
+                std::printf("%10.3f", result.rates[r]);
                 for (std::size_t c = 0; c < 3; ++c) {
-                    std::printf(fmt, measure(results[t][c][r]));
+                    std::printf(fmt, measure(result.at(t * 3 + c, r).model));
                 }
                 std::printf("\n");
             }
@@ -85,22 +65,25 @@ int main(int argc, char** argv) {
                  "  %12.4f");
 
     // Paper checks.
+    const std::size_t last = result.rates.size() - 1;
     std::printf("\nPaper checks:\n");
     std::printf("  CDT at 1 call/s, TM1, 1 PDCH: %.3f (paper: ~0.6 PDCHs)\n",
-                results[0][0].back().carried_data_traffic);
+                result.at(0, last).model.carried_data_traffic);
     std::printf("  PLP(TM2) >= PLP(TM1) at matching configs: ");
     bool burstier_worse = true;
     for (std::size_t c = 0; c < 3; ++c) {
-        for (std::size_t r = 0; r < rates.size(); ++r) {
-            if (results[1][c][r].packet_loss_probability + 1e-12 <
-                results[0][c][r].packet_loss_probability) {
+        for (std::size_t r = 0; r < result.rates.size(); ++r) {
+            if (result.at(3 + c, r).model.packet_loss_probability + 1e-12 <
+                result.at(c, r).model.packet_loss_probability) {
                 burstier_worse = false;
             }
         }
     }
     std::printf("%s\n", burstier_worse ? "yes" : "NO (check)");
     std::printf("  QD falls as PDCHs are reserved (TM2 @ 1 call/s): %.3f / %.3f / %.3f s\n",
-                results[1][0].back().queueing_delay, results[1][1].back().queueing_delay,
-                results[1][2].back().queueing_delay);
+                result.at(3, last).model.queueing_delay,
+                result.at(4, last).model.queueing_delay,
+                result.at(5, last).model.queueing_delay);
+    campaign::print_campaign_summary(result, stdout);
     return 0;
 }

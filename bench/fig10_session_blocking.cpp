@@ -2,112 +2,97 @@
 // all GPRS session requests — CDT and GPRS session blocking probability for
 // M in {50, 100, 150} (traffic model 1, 2 reserved PDCHs, 5% GPRS users).
 //
-// The blocking series is an Erlang closed form (Eq. 3/5) and is printed at
-// full resolution. The CDT series requires full chain solves; M = 100 gives
-// a ~10-million-state chain and M = 150 a ~22-million-state chain, so by
+// Two campaigns over the session-cap axis: the blocking series is an Erlang
+// closed form (Eq. 3/5, method "erlang") printed at full resolution; the
+// CDT series requires full chain solves (method "ctmc") — M = 100 gives a
+// ~10-million-state chain and M = 150 a ~22-million-state chain, so by
 // default CDT is solved for M = 50 and the larger M under --full only.
 //
 // Paper findings: with M = 150 the maximal blocking stays below 1e-5 while
 // only ~1.8 PDCHs are used on average: reserving 2 PDCHs satisfies nearly
 // all session requests up to 1 call/s.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/handover.hpp"
-#include "core/measures.hpp"
-#include "core/sweep.hpp"
-#include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const int session_limits[] = {50, 100, 150};
 
     bench::print_header(
         "Fig. 10 -- CDT and GPRS session blocking vs M "
         "(traffic model 1, 2 reserved PDCHs, 5% GPRS)");
 
     // --- blocking probability: closed form, full resolution ----------------
-    const std::vector<double> fine = core::arrival_rate_grid(0.05, 1.0, 20);
+    campaign::ScenarioSpec blocking_spec;
+    blocking_spec.named("fig10_blocking")
+        .with_method(campaign::Method::erlang)
+        .over_reserved_pdch({2})
+        .over_session_limits({50, 100, 150})
+        .with_rate_grid(0.05, 1.0, 20);
+    const campaign::CampaignResult blocking =
+        campaign::run_campaign(blocking_spec, bench::campaign_options(args));
+
     std::printf("\nGPRS session blocking probability (Erlang closed form, Eq. 3/5):\n");
     std::printf("%10s  %12s %12s %12s\n", "calls/s", "M = 50", "M = 100", "M = 150");
     double max_blocking_150 = 0.0;
-    for (double rate : fine) {
-        std::printf("%10.3f", rate);
-        for (int m_limit : session_limits) {
-            core::Parameters p =
-                core::Parameters::with_traffic_model(traffic::traffic_model_1());
-            p.reserved_pdch = 2;
-            p.max_gprs_sessions = m_limit;
-            p.call_arrival_rate = rate;
-            const core::Measures m =
-                core::closed_form_measures(p, core::balance_handover(p));
-            std::printf("  %12.4e", m.gprs_blocking);
-            if (m_limit == 150) {
-                max_blocking_150 = std::max(max_blocking_150, m.gprs_blocking);
+    for (std::size_t r = 0; r < blocking.rates.size(); ++r) {
+        std::printf("%10.3f", blocking.rates[r]);
+        for (std::size_t v = 0; v < blocking.variants.size(); ++v) {
+            const double p = blocking.at(v, r).model.gprs_blocking;
+            std::printf("  %12.4e", p);
+            if (blocking.variants[v].max_gprs_sessions == 150) {
+                max_blocking_150 = std::max(max_blocking_150, p);
             }
         }
         std::printf("\n");
     }
 
     // --- carried data traffic: full chain solves ----------------------------
-    const std::vector<double> rates =
-        core::arrival_rate_grid(0.25, 1.0, args.grid(3, 8));
+    std::vector<int> solved_limits{50};
+    if (args.full) {
+        solved_limits = {50, 100, 150};
+    }
+    campaign::ScenarioSpec cdt_spec;
+    cdt_spec.named("fig10_cdt")
+        .over_reserved_pdch({2})
+        .over_session_limits(solved_limits)
+        .with_rate_grid(0.25, 1.0, args.grid(3, 8))
+        .with_tolerance(1e-10);
+    campaign::CampaignOptions options = bench::campaign_options(args);
+    bench::attach_solve_progress(options, cdt_spec);
+    const campaign::CampaignResult cdt = campaign::run_campaign(cdt_spec, options);
+
     std::printf("\nCarried data traffic [PDCHs]");
     if (!args.full) {
         std::printf(" (M = 50 by default; pass --full for M = 100/150 — the\n"
                     "M = 150 chain has ~22 million states)");
     }
     std::printf(":\n%10s", "calls/s");
-    std::vector<int> solved_limits{50};
-    if (args.full) {
-        solved_limits = {50, 100, 150};
-    }
-    for (int m_limit : solved_limits) {
-        std::printf("  %6s M=%-3d", "", m_limit);
+    for (const campaign::Variant& variant : cdt.variants) {
+        std::printf("  %6s M=%-3d", "", variant.max_gprs_sessions);
     }
     std::printf("\n");
-
-    std::vector<std::vector<double>> cdt(solved_limits.size());
-    double cdt_150_at_1 = 0.0;
-    for (std::size_t i = 0; i < solved_limits.size(); ++i) {
-        core::Parameters p =
-            core::Parameters::with_traffic_model(traffic::traffic_model_1());
-        p.reserved_pdch = 2;
-        p.max_gprs_sessions = solved_limits[i];
-        p.gprs_fraction = 0.05;
-        core::SweepOptions sweep;
-        sweep.solve.tolerance = 1e-10;
-        bench::apply_threads(sweep, args);
-        sweep.progress = [&](std::size_t, const core::SweepPoint& point) {
-            std::fprintf(stderr, "  [M = %d] rate %.2f: %lld sweeps, %.1fs\n",
-                         solved_limits[i], point.call_arrival_rate,
-                         static_cast<long long>(point.iterations), point.seconds);
-        };
-        const auto points = core::sweep_call_arrival_rate(p, rates, sweep);
-        for (const auto& point : points) {
-            cdt[i].push_back(point.measures.carried_data_traffic);
-        }
-        if (solved_limits[i] == 150) {
-            cdt_150_at_1 = cdt[i].back();
-        }
-    }
-    for (std::size_t r = 0; r < rates.size(); ++r) {
-        std::printf("%10.3f", rates[r]);
-        for (std::size_t i = 0; i < solved_limits.size(); ++i) {
-            std::printf("  %12.4f", cdt[i][r]);
+    for (std::size_t r = 0; r < cdt.rates.size(); ++r) {
+        std::printf("%10.3f", cdt.rates[r]);
+        for (std::size_t v = 0; v < cdt.variants.size(); ++v) {
+            std::printf("  %12.4f", cdt.at(v, r).model.carried_data_traffic);
         }
         std::printf("\n");
     }
 
+    const std::size_t last_rate = cdt.rates.size() - 1;
     std::printf("\nPaper checks:\n");
     std::printf("  max blocking at M = 150: %.2e (paper: below 1e-5)\n", max_blocking_150);
     if (args.full) {
-        std::printf("  CDT at 1 call/s, M = 150: %.2f PDCHs (paper: ~1.8)\n", cdt_150_at_1);
+        std::printf("  CDT at 1 call/s, M = 150: %.2f PDCHs (paper: ~1.8)\n",
+                    cdt.at(cdt.variants.size() - 1, last_rate).model.carried_data_traffic);
     } else {
         std::printf("  CDT at 1 call/s, M = 50: %.2f PDCHs (paper, M = 150: ~1.8)\n",
-                    cdt[0].back());
+                    cdt.at(0, last_rate).model.carried_data_traffic);
     }
+    campaign::print_campaign_summary(cdt, stdout);
     return 0;
 }

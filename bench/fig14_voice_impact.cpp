@@ -3,78 +3,58 @@
 // Carried voice traffic (CVT) and voice blocking probability versus the
 // GSM/GPRS call arrival rate, for 0/1/2/4 reserved PDCHs (95% GSM users).
 // Both measures are Erlang closed forms after handover balancing (Eq. 2-6),
-// so this bench runs in milliseconds at full paper resolution.
+// declared as one method-"erlang" campaign over the reserved-PDCH axis, so
+// this bench runs in milliseconds at full paper resolution.
 //
 // Paper finding: the capacity loss from reserving PDCHs is negligible
 // compared to the benefit for GPRS.
+#include <algorithm>
 #include <cstdio>
-#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/handover.hpp"
-#include "core/measures.hpp"
-#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const std::vector<double> rates = core::arrival_rate_grid(0.05, 1.0, args.grid(20, 20));
-    const int pdch_options[] = {0, 1, 2, 4};
+
+    campaign::ScenarioSpec spec;
+    spec.named("fig14_voice_impact")
+        .with_method(campaign::Method::erlang)
+        .over_reserved_pdch({0, 1, 2, 4})
+        .with_rate_grid(0.05, 1.0, args.grid(20, 20));
+    const campaign::CampaignResult result =
+        campaign::run_campaign(spec, bench::campaign_options(args));
 
     bench::print_header(
         "Fig. 14 -- Influence of GPRS on GSM voice service (95% GSM calls)");
 
-    std::printf("\nCarried voice traffic [channels]:\n");
-    std::printf("%10s", "calls/s");
-    for (int pdch : pdch_options) {
-        std::printf("  %7d PDCH", pdch);
-    }
-    std::printf("\n");
-    for (double rate : rates) {
-        std::printf("%10.3f", rate);
-        for (int pdch : pdch_options) {
-            core::Parameters p = core::Parameters::base();
-            p.reserved_pdch = pdch;
-            p.call_arrival_rate = rate;
-            const core::BalancedTraffic balanced = core::balance_handover(p);
-            const core::Measures m = core::closed_form_measures(p, balanced);
-            std::printf("  %12.4f", m.carried_voice_traffic);
+    const auto table = [&](const char* title, auto measure, const char* fmt) {
+        std::printf("\n%s:\n%10s", title, "calls/s");
+        for (const campaign::Variant& variant : result.variants) {
+            std::printf("  %7d PDCH", variant.reserved_pdch);
         }
         std::printf("\n");
-    }
-
-    std::printf("\nGSM voice blocking probability:\n");
-    std::printf("%10s", "calls/s");
-    for (int pdch : pdch_options) {
-        std::printf("  %7d PDCH", pdch);
-    }
-    std::printf("\n");
-    for (double rate : rates) {
-        std::printf("%10.3f", rate);
-        for (int pdch : pdch_options) {
-            core::Parameters p = core::Parameters::base();
-            p.reserved_pdch = pdch;
-            p.call_arrival_rate = rate;
-            const core::BalancedTraffic balanced = core::balance_handover(p);
-            const core::Measures m = core::closed_form_measures(p, balanced);
-            std::printf("  %12.4e", m.gsm_blocking);
+        for (std::size_t r = 0; r < result.rates.size(); ++r) {
+            std::printf("%10.3f", result.rates[r]);
+            for (std::size_t v = 0; v < result.variants.size(); ++v) {
+                std::printf(fmt, measure(result.at(v, r).model));
+            }
+            std::printf("\n");
         }
-        std::printf("\n");
-    }
+    };
+    table("Carried voice traffic [channels]",
+          [](const core::Measures& m) { return m.carried_voice_traffic; }, "  %12.4f");
+    table("GSM voice blocking probability",
+          [](const core::Measures& m) { return m.gsm_blocking; }, "  %12.4e");
 
     // Paper's qualitative claim: reserving up to 4 PDCHs costs little voice
-    // capacity. Quantify the worst-case relative CVT loss over the sweep.
+    // capacity. Quantify the worst-case relative CVT loss over the sweep
+    // (variant 0 reserves no PDCH, the last variant reserves 4).
+    const std::size_t four = result.variants.size() - 1;
     double worst_loss = 0.0;
-    for (double rate : rates) {
-        core::Parameters p0 = core::Parameters::base();
-        p0.reserved_pdch = 0;
-        p0.call_arrival_rate = rate;
-        core::Parameters p4 = p0;
-        p4.reserved_pdch = 4;
-        const double cvt0 =
-            core::closed_form_measures(p0, core::balance_handover(p0)).carried_voice_traffic;
-        const double cvt4 =
-            core::closed_form_measures(p4, core::balance_handover(p4)).carried_voice_traffic;
+    for (std::size_t r = 0; r < result.rates.size(); ++r) {
+        const double cvt0 = result.at(0, r).model.carried_voice_traffic;
+        const double cvt4 = result.at(four, r).model.carried_voice_traffic;
         worst_loss = std::max(worst_loss, (cvt0 - cvt4) / cvt0);
     }
     std::printf("\nWorst-case relative CVT loss when reserving 4 PDCHs: %.2f%%\n",

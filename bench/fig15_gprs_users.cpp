@@ -3,70 +3,56 @@
 // GPRS users (traffic model 3, M = 20).
 //
 // Both measures are Erlang closed forms over the balanced flows (Eq. 3, 5,
-// 7), exactly as the paper computes them.
+// 7), exactly as the paper computes them — one method-"erlang" campaign
+// over the GPRS-fraction axis.
 //
 // Paper findings: at 2% the limit of 20 sessions is never reached (blocking
 // < 1e-5); at 10% the average session count approaches M and users are
 // rejected.
+#include <algorithm>
 #include <cstdio>
-#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/handover.hpp"
-#include "core/measures.hpp"
-#include "core/sweep.hpp"
-#include "traffic/threegpp.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    const std::vector<double> rates = core::arrival_rate_grid(0.05, 1.0, args.grid(20, 20));
-    const double fractions[] = {0.02, 0.05, 0.10};
+
+    campaign::ScenarioSpec spec;
+    spec.named("fig15_gprs_users")
+        .with_method(campaign::Method::erlang)
+        .over_traffic_models({3})
+        .over_gprs_fractions({0.02, 0.05, 0.10})
+        .with_rate_grid(0.05, 1.0, args.grid(20, 20));
+    const campaign::CampaignResult result =
+        campaign::run_campaign(spec, bench::campaign_options(args));
 
     bench::print_header(
         "Fig. 15 -- Average GPRS users in cell and GPRS user blocking "
         "(traffic model 3, M = 20)");
 
-    std::printf("\nAverage number of GPRS sessions (AGS):\n");
-    std::printf("%10s  %12s %12s %12s\n", "calls/s", "2% GPRS", "5% GPRS", "10% GPRS");
-    for (double rate : rates) {
-        std::printf("%10.3f", rate);
-        for (double fraction : fractions) {
-            core::Parameters p =
-                core::Parameters::with_traffic_model(traffic::traffic_model_3());
-            p.gprs_fraction = fraction;
-            p.call_arrival_rate = rate;
-            const core::Measures m =
-                core::closed_form_measures(p, core::balance_handover(p));
-            std::printf("  %12.4f", m.average_gprs_sessions);
+    const auto table = [&](const char* title, auto measure, const char* fmt) {
+        std::printf("\n%s:\n", title);
+        std::printf("%10s  %12s %12s %12s\n", "calls/s", "2% GPRS", "5% GPRS", "10% GPRS");
+        for (std::size_t r = 0; r < result.rates.size(); ++r) {
+            std::printf("%10.3f", result.rates[r]);
+            for (std::size_t v = 0; v < result.variants.size(); ++v) {
+                std::printf(fmt, measure(result.at(v, r).model));
+            }
+            std::printf("\n");
         }
-        std::printf("\n");
-    }
+    };
+    table("Average number of GPRS sessions (AGS)",
+          [](const core::Measures& m) { return m.average_gprs_sessions; }, "  %12.4f");
+    table("GPRS session blocking probability",
+          [](const core::Measures& m) { return m.gprs_blocking; }, "  %12.4e");
 
-    std::printf("\nGPRS session blocking probability:\n");
-    std::printf("%10s  %12s %12s %12s\n", "calls/s", "2% GPRS", "5% GPRS", "10% GPRS");
     double blocking_2pct_max = 0.0;
     double ags_10pct_max = 0.0;
-    for (double rate : rates) {
-        std::printf("%10.3f", rate);
-        for (double fraction : fractions) {
-            core::Parameters p =
-                core::Parameters::with_traffic_model(traffic::traffic_model_3());
-            p.gprs_fraction = fraction;
-            p.call_arrival_rate = rate;
-            const core::Measures m =
-                core::closed_form_measures(p, core::balance_handover(p));
-            std::printf("  %12.4e", m.gprs_blocking);
-            if (fraction == 0.02) {
-                blocking_2pct_max = std::max(blocking_2pct_max, m.gprs_blocking);
-            }
-            if (fraction == 0.10) {
-                ags_10pct_max = std::max(ags_10pct_max, m.average_gprs_sessions);
-            }
-        }
-        std::printf("\n");
+    for (std::size_t r = 0; r < result.rates.size(); ++r) {
+        blocking_2pct_max = std::max(blocking_2pct_max, result.at(0, r).model.gprs_blocking);
+        ags_10pct_max = std::max(ags_10pct_max, result.at(2, r).model.average_gprs_sessions);
     }
-
     std::printf("\nPaper checks:\n");
     std::printf("  2%% GPRS: max blocking over sweep = %.2e (paper: stays below 1e-5)\n",
                 blocking_2pct_max);

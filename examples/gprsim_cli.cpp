@@ -4,6 +4,8 @@
 //   gprsim_cli analyze   [options]   — solve the Markov model, print measures
 //   gprsim_cli simulate  [options]   — run the network simulator (95% CIs)
 //   gprsim_cli dimension [options]   — recommend a PDCH reservation
+//   gprsim_cli campaign <spec.json> [options]
+//                                    — run a declarative scenario campaign
 //
 // Common options:
 //   --rate=<calls/s>      combined GSM+GPRS arrival rate   (default 0.5)
@@ -19,12 +21,21 @@
 //   --seed=<n> --batches=<n> --batch-seconds=<s> --no-tcp
 // dimension:
 //   --max-plp=<p> --max-delay=<s> --max-voice-blocking=<p>
+// campaign:
+//   --threads=<n>         task-sharding width (output is identical at any)
+//   --cold                disable warm-start caching (baseline comparison)
+//   --replications=<n>    override the spec's replication count
+//   --csv=<path>          write the per-point table as CSV
+//   --out=<path>          write points + summary as JSON
+//   --quiet               suppress per-solve progress on stderr
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
 #include "core/adaptive.hpp"
 #include "core/model.hpp"
 #include "sim/simulator.hpp"
@@ -52,6 +63,17 @@ bool has_flag(int argc, char** argv, const char* name) {
         }
     }
     return false;
+}
+
+std::string string_flag(int argc, char** argv, const char* name,
+                        const std::string& fallback = "") {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 2; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return argv[i] + prefix.size();
+        }
+    }
+    return fallback;
 }
 
 core::Parameters parameters_from_flags(int argc, char** argv) {
@@ -137,11 +159,99 @@ int cmd_dimension(int argc, char** argv) {
     return r.feasible ? 0 : 2;
 }
 
+int cmd_campaign(int argc, char** argv) {
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "usage: gprsim_cli campaign <spec.json> [options]\n");
+        return 1;
+    }
+    const std::string path = argv[2];
+    campaign::ScenarioSpec spec;
+    try {
+        spec = campaign::parse_spec_file(path);
+    } catch (const campaign::SpecError& e) {
+        std::fprintf(stderr, "error in %s: %s\n", path.c_str(), e.what());
+        return 1;
+    }
+    if (const int replications = static_cast<int>(flag(argc, argv, "replications", 0));
+        replications > 0) {
+        spec.simulation.replications = replications;
+    }
+
+    campaign::CampaignOptions options;
+    options.num_threads = static_cast<int>(flag(argc, argv, "threads", 1));
+    options.force_cold = has_flag(argc, argv, "cold");
+    if (!has_flag(argc, argv, "quiet")) {
+        options.solve_progress = [](std::size_t flat, const campaign::CampaignPoint& p) {
+            std::fprintf(stderr, "  point %zu: rate %.3f, %lld sweeps%s\n", flat,
+                         p.call_arrival_rate, p.iterations,
+                         p.warm_parent >= 0 ? " (warm)" : "");
+        };
+    }
+
+    const campaign::CampaignResult result = campaign::run_campaign(spec, options);
+
+    // Compact per-point table; column set follows the method.
+    const bool model = result.points.empty() ? false : result.points.front().has_model;
+    const bool sim = result.points.empty() ? false : result.points.front().has_sim;
+    for (std::size_t v = 0; v < result.variants.size(); ++v) {
+        std::printf("\n--- %s ---\n", result.variants[v].label.c_str());
+        std::printf("%8s", "calls/s");
+        if (model) {
+            std::printf(" | %9s %10s %8s %9s", "CDT", "PLP", "QD [s]", "ATU");
+        }
+        if (sim) {
+            std::printf(" | %9s %9s", "CDT sim", "+-");
+        }
+        if (model && sim) {
+            std::printf(" %9s", "delta");
+        }
+        std::printf("\n");
+        for (std::size_t r = 0; r < result.rates.size(); ++r) {
+            const campaign::CampaignPoint& point = result.at(v, r);
+            std::printf("%8.3f", point.call_arrival_rate);
+            if (model) {
+                std::printf(" | %9.4f %10.3e %8.3f %9.4f",
+                            point.model.carried_data_traffic,
+                            point.model.packet_loss_probability,
+                            point.model.queueing_delay,
+                            point.model.throughput_per_user_kbps);
+            }
+            if (sim) {
+                std::printf(" | %9.4f %9.4f", point.sim.carried_data_traffic.mean,
+                            point.sim.carried_data_traffic.half_width);
+            }
+            if (model && sim) {
+                std::printf(" %+9.4f", point.delta_cdt);
+            }
+            std::printf("\n");
+        }
+    }
+    campaign::print_campaign_summary(result, stdout);
+
+    bool sinks_ok = true;
+    if (const std::string csv = string_flag(argc, argv, "csv"); !csv.empty()) {
+        if (campaign::write_campaign_csv(result, csv)) {
+            std::printf("wrote %zu points to %s\n", result.points.size(), csv.c_str());
+        } else {
+            sinks_ok = false;
+        }
+    }
+    if (const std::string json = string_flag(argc, argv, "out"); !json.empty()) {
+        if (campaign::write_campaign_json(result, json)) {
+            std::printf("wrote campaign JSON to %s\n", json.c_str());
+        } else {
+            sinks_ok = false;
+        }
+    }
+    return sinks_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: gprsim_cli <analyze|simulate|dimension> [options]\n");
+        std::fprintf(stderr,
+                     "usage: gprsim_cli <analyze|simulate|dimension|campaign> [options]\n");
         return 1;
     }
     const std::string command = argv[1];
@@ -154,6 +264,9 @@ int main(int argc, char** argv) {
         }
         if (command == "dimension") {
             return cmd_dimension(argc, argv);
+        }
+        if (command == "campaign") {
+            return cmd_campaign(argc, argv);
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,163 @@
+// CampaignRunner: executes a ScenarioSpec as one flat task set on the
+// shared parallel runtime.
+//
+//   campaign layer   (this file + spec.hpp + sink.hpp)
+//        ^ expands variants x rate grid into solver tasks + DES replication
+//          tasks, dispatches them on one common::ThreadPool (the
+//          ctmc::SolverEngine's), pools and post-processes deterministically
+//   model/sim layer  core::GprsModel, sim::NetworkSimulator/replication
+//   consumers        bench/fig*, examples/gprsim_cli ("campaign" command)
+//
+// Warm-start cache. Chain solves across an arrival-rate grid are highly
+// redundant, so the runner transfers information between neighboring
+// points — but a raw neighbor distribution is a poor initial guess
+// whenever the solution moves faster along the grid than the model's
+// closed-form product approximation (on the paper's Fig. 6 cell it LOSES
+// to the plain product-form start everywhere). What does transfer well is
+// the neighbor's *deviation from its own product form*: the cache stores,
+// per solved point, the elementwise ratio solved/product, and each
+// dependent point offers the engine two candidate initials — the plain
+// product form, and the target's product form with the parent's deviation
+// grafted on. The engine evaluates one scaled residual per candidate (an
+// O(nnz) pass, no iterations) and adopts the transfer only when it
+// undercuts HALF the product form's residual (near-ties routinely
+// mispredict the iteration count, so they go to the product form), which
+// makes a poisoned transfer cost nothing while a good transfer cuts the
+// remaining sweeps severalfold (measured: 140 -> 40 on Fig. 6 high-load
+// points, 320 -> 190 across a 30%-GPRS cell).
+//
+// To keep the output bitwise invariant to the thread count, the "nearest
+// solved neighbor" is NOT whatever happens to be finished first: each
+// variant's grid gets a deterministic bisection schedule fixed at
+// expansion time (first point from the product form alone, last point
+// offered the first's deviation, then recursively every segment midpoint
+// offered its nearest solved endpoint's). Every point's candidate set is
+// therefore a pure function of the spec, the schedule has O(log n) depth
+// (so up to n/2 points of one variant solve concurrently), and deviation
+// vectors are released as soon as the last dependent has claimed them,
+// keeping the cache at the O(active frontier) rather than O(grid).
+//
+// Determinism. Per-point solves run single-threaded (the points are the
+// parallelism), DES replication r of flat point p always draws from
+// substream block p * replications + r of the experiment seed, and every
+// reduction (replication pooling, summary totals) runs serially in point
+// order after the parallel phase — so campaign output is bitwise invariant
+// to CampaignOptions::num_threads, the same guarantee the two engines give.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "core/measures.hpp"
+#include "ctmc/engine.hpp"
+#include "sim/experiment.hpp"
+
+namespace gprsim::campaign {
+
+/// One (variant, arrival rate) cell of the campaign.
+struct CampaignPoint {
+    std::size_t variant = 0;  ///< index into CampaignResult::variants
+    std::size_t rate_index = 0;
+    double call_arrival_rate = 0.0;
+
+    bool has_model = false;  ///< model columns valid (erlang/ctmc/both)
+    core::Measures model;    ///< closed-form only under Method::erlang
+    long long iterations = 0;
+    double residual = 0.0;
+    double solve_seconds = 0.0;
+    /// Grid index whose deviation vector was offered as a warm-start
+    /// candidate; -1 = root (product form only).
+    int warm_parent = -1;
+    /// Whether the transferred candidate beat the plain product form in
+    /// the engine's residual comparison (always false for roots).
+    bool warm_started = false;
+
+    bool has_sim = false;  ///< sim columns valid (des/both)
+    sim::ExperimentResults sim;
+
+    /// Model minus pooled simulator mean; valid when has_model && has_sim.
+    double delta_cdt = 0.0;
+    double delta_plp = 0.0;
+    double delta_qd = 0.0;
+    double delta_atu = 0.0;
+};
+
+struct CampaignOptions {
+    /// Execution width for sharding tasks across the engine's pool:
+    /// 0 = all hardware threads, <= 1 = serial. Never changes any output.
+    int num_threads = 1;
+    /// Overrides ScenarioSpec::SolverSpec::warm_start with false (the
+    /// cold-start baseline the summary is compared against).
+    bool force_cold = false;
+    /// Called after every finished chain solve (under a lock, NOT in point
+    /// order): flat point index and the solved point.
+    std::function<void(std::size_t, const CampaignPoint&)> solve_progress;
+};
+
+struct CampaignSummary {
+    std::size_t variants = 0;
+    std::size_t points = 0;
+    std::size_t model_solves = 0;
+    /// Solves that were offered a transferred deviation candidate, and the
+    /// subset where it won the residual comparison.
+    std::size_t warm_offered_solves = 0;
+    std::size_t warm_started_solves = 0;
+    bool warm_start = false;
+    /// Summed chain-solve iterations — the number to compare between a
+    /// warm-started run and a force_cold run of the same spec.
+    long long total_iterations = 0;
+    long long sim_replications = 0;
+    std::uint64_t sim_events = 0;
+    double wall_seconds = 0.0;
+    int threads = 1;
+};
+
+struct CampaignResult {
+    std::string name;
+    Method method = Method::ctmc;
+    std::vector<double> rates;
+    std::vector<Variant> variants;
+    /// Variant-major, rate-minor: points[v * rates.size() + r].
+    std::vector<CampaignPoint> points;
+    CampaignSummary summary;
+
+    const CampaignPoint& at(std::size_t variant, std::size_t rate_index) const {
+        return points[variant * rates.size() + rate_index];
+    }
+};
+
+/// Deterministic per-variant solve schedule (exposed for tests): parent[i]
+/// is the grid index point i warm-starts from (-1 = cold), and levels groups
+/// the indices into dependency waves — every parent of a level-k point sits
+/// in a level < k. warm_start = false yields a single all-cold level.
+struct SolveSchedule {
+    std::vector<int> parent;
+    std::vector<std::vector<int>> levels;
+};
+
+SolveSchedule bisection_schedule(std::size_t count, bool warm_start);
+
+/// Runs campaigns on a SolverEngine's pool; chain solves and simulator
+/// replications interleave on the same workers. Like the engines, one
+/// runner should live as long as the workload.
+class CampaignRunner {
+public:
+    explicit CampaignRunner(ctmc::SolverEngine& engine) : engine_(engine) {}
+
+    CampaignRunner(const CampaignRunner&) = delete;
+    CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+    /// Expands and executes the spec. Throws SpecError on an invalid spec
+    /// and std::runtime_error when a chain solve fails to converge.
+    CampaignResult run(const ScenarioSpec& spec, const CampaignOptions& options = {});
+
+private:
+    ctmc::SolverEngine& engine_;
+};
+
+/// Convenience wrapper on the process-wide default engine.
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
+
+}  // namespace gprsim::campaign

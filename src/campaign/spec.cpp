@@ -1,0 +1,446 @@
+#include "campaign/spec.hpp"
+
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "campaign/json.hpp"
+#include "core/sweep.hpp"
+#include "traffic/threegpp.hpp"
+
+namespace gprsim::campaign {
+
+namespace {
+
+traffic::TrafficModelPreset preset_for_model(int model_id, int line) {
+    switch (model_id) {
+        case 1: return traffic::traffic_model_1();
+        case 2: return traffic::traffic_model_2();
+        case 3: return traffic::traffic_model_3();
+        default:
+            throw SpecError("traffic_model must be 1, 2 or 3, got " +
+                                std::to_string(model_id),
+                            line);
+    }
+}
+
+int require_int(const JsonValue& value, const std::string& key) {
+    const double number = value.as_number();
+    if (number != std::floor(number) || number < static_cast<double>(INT_MIN) ||
+        number > static_cast<double>(INT_MAX)) {
+        throw SpecError("\"" + key + "\" must be an integer", value.line());
+    }
+    return static_cast<int>(number);
+}
+
+/// Seeds are uint64-valued; doubles represent integers exactly up to 2^53,
+/// which is the precision the JSON number syntax can deliver anyway.
+std::uint64_t require_seed(const JsonValue& value, const std::string& key) {
+    const double number = value.as_number();
+    if (number != std::floor(number) || number < 0.0 || number > 9.007199254740992e15) {
+        throw SpecError("\"" + key + "\" must be a non-negative integer <= 2^53",
+                        value.line());
+    }
+    return static_cast<std::uint64_t>(number);
+}
+
+/// Scalar-or-array convention of the axis keys: 2 and [2, 4] are both valid.
+std::vector<double> number_axis(const JsonValue& value, const std::string& key) {
+    std::vector<double> out;
+    if (value.is_array()) {
+        if (value.items().empty()) {
+            throw SpecError("\"" + key + "\" must not be an empty array", value.line());
+        }
+        for (const JsonValue& item : value.items()) {
+            out.push_back(item.as_number());
+        }
+    } else {
+        out.push_back(value.as_number());
+    }
+    return out;
+}
+
+std::vector<int> int_axis(const JsonValue& value, const std::string& key) {
+    std::vector<int> out;
+    if (value.is_array()) {
+        if (value.items().empty()) {
+            throw SpecError("\"" + key + "\" must not be an empty array", value.line());
+        }
+        for (const JsonValue& item : value.items()) {
+            out.push_back(require_int(item, key));
+        }
+    } else {
+        out.push_back(require_int(value, key));
+    }
+    return out;
+}
+
+core::CodingScheme parse_scheme(const JsonValue& value) {
+    const std::string& name = value.as_string();
+    for (const auto& [scheme, spellings] :
+         {std::pair{core::CodingScheme::cs1, std::pair{"cs1", "CS-1"}},
+          std::pair{core::CodingScheme::cs2, std::pair{"cs2", "CS-2"}},
+          std::pair{core::CodingScheme::cs3, std::pair{"cs3", "CS-3"}},
+          std::pair{core::CodingScheme::cs4, std::pair{"cs4", "CS-4"}}}) {
+        if (name == spellings.first || name == spellings.second) {
+            return scheme;
+        }
+    }
+    throw SpecError("unknown coding scheme \"" + name + "\" (use \"cs1\"..\"cs4\")",
+                    value.line());
+}
+
+Method parse_method(const JsonValue& value) {
+    const std::string& name = value.as_string();
+    if (name == "erlang") return Method::erlang;
+    if (name == "ctmc") return Method::ctmc;
+    if (name == "des") return Method::des;
+    if (name == "both") return Method::both;
+    throw SpecError("unknown method \"" + name +
+                        "\" (use \"erlang\", \"ctmc\", \"des\" or \"both\")",
+                    value.line());
+}
+
+std::vector<double> parse_rates(const JsonValue& value) {
+    if (value.is_array()) {
+        return number_axis(value, "rates");
+    }
+    if (!value.is_object()) {
+        throw SpecError("\"rates\" must be an array or {\"first\",\"last\",\"count\"}",
+                        value.line());
+    }
+    double first = 0.0;
+    double last = 0.0;
+    int count = 0;
+    for (const JsonValue::Member& member : value.members()) {
+        const auto& [key, v] = member;
+        if (key == "first") {
+            first = v.as_number();
+        } else if (key == "last") {
+            last = v.as_number();
+        } else if (key == "count") {
+            count = require_int(v, key);
+        } else {
+            throw SpecError("unknown \"rates\" key \"" + key + "\"", v.line());
+        }
+    }
+    try {
+        return core::arrival_rate_grid(first, last, count);
+    } catch (const std::invalid_argument&) {
+        throw SpecError("\"rates\" needs count >= 2 and last >= first", value.line());
+    }
+}
+
+SolverSpec parse_solver(const JsonValue& value) {
+    SolverSpec solver;
+    for (const JsonValue::Member& member : value.members()) {
+        const auto& [key, v] = member;
+        if (key == "tolerance") {
+            solver.tolerance = v.as_number();
+        } else if (key == "warm_start") {
+            solver.warm_start = v.as_bool();
+        } else {
+            throw SpecError("unknown \"solver\" key \"" + key + "\"", v.line());
+        }
+    }
+    return solver;
+}
+
+SimulationSpec parse_simulation(const JsonValue& value) {
+    SimulationSpec simulation;
+    for (const JsonValue::Member& member : value.members()) {
+        const auto& [key, v] = member;
+        if (key == "replications") {
+            simulation.replications = require_int(v, key);
+        } else if (key == "seed") {
+            simulation.seed = require_seed(v, key);
+        } else if (key == "warmup") {
+            simulation.warmup_time = v.as_number();
+        } else if (key == "batch_count") {
+            simulation.batch_count = require_int(v, key);
+        } else if (key == "batch_duration") {
+            simulation.batch_duration = v.as_number();
+        } else if (key == "tcp") {
+            simulation.tcp = v.as_bool();
+        } else {
+            throw SpecError("unknown \"simulation\" key \"" + key + "\"", v.line());
+        }
+    }
+    return simulation;
+}
+
+}  // namespace
+
+const char* method_name(Method method) {
+    switch (method) {
+        case Method::erlang: return "erlang";
+        case Method::ctmc: return "ctmc";
+        case Method::des: return "des";
+        case Method::both: return "both";
+    }
+    return "unknown";
+}
+
+ScenarioSpec& ScenarioSpec::named(std::string value) {
+    name = std::move(value);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_method(Method value) {
+    method = value;
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::over_traffic_models(std::vector<int> values) {
+    traffic_models = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::over_reserved_pdch(std::vector<int> values) {
+    reserved_pdch = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::over_gprs_fractions(std::vector<double> values) {
+    gprs_fractions = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::over_coding_schemes(std::vector<core::CodingScheme> values) {
+    coding_schemes = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::over_session_limits(std::vector<int> values) {
+    max_gprs_sessions = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_rate_grid(double first, double last, int count) {
+    try {
+        rates = core::arrival_rate_grid(first, last, count);
+    } catch (const std::invalid_argument&) {
+        throw SpecError("with_rate_grid: need count >= 2 and last >= first", 0);
+    }
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_rates(std::vector<double> values) {
+    rates = std::move(values);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_tolerance(double value) {
+    solver.tolerance = value;
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_warm_start(bool value) {
+    solver.warm_start = value;
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_replications(int value) {
+    simulation.replications = value;
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t value) {
+    simulation.seed = value;
+    return *this;
+}
+
+std::size_t ScenarioSpec::variant_count() const {
+    return traffic_models.size() * reserved_pdch.size() * gprs_fractions.size() *
+           coding_schemes.size() * max_gprs_sessions.size();
+}
+
+void ScenarioSpec::validate() const {
+    if (name.empty()) {
+        throw SpecError("campaign needs a non-empty name", 0);
+    }
+    for (const char c : name) {
+        // The name is the only user-controlled string reaching the CSV/JSON
+        // sinks; control characters would corrupt their row/escape framing.
+        if (static_cast<unsigned char>(c) < 0x20) {
+            throw SpecError("campaign name must not contain control characters", 0);
+        }
+    }
+    if (traffic_models.empty() || reserved_pdch.empty() || gprs_fractions.empty() ||
+        coding_schemes.empty() || max_gprs_sessions.empty()) {
+        throw SpecError("every variant axis needs at least one value", 0);
+    }
+    for (const int model_id : traffic_models) {
+        preset_for_model(model_id, 0);  // throws on an unknown id
+    }
+    for (const double fraction : gprs_fractions) {
+        if (fraction <= 0.0 || fraction >= 1.0) {
+            throw SpecError("gprs_fraction must be in (0, 1), got " +
+                                std::to_string(fraction),
+                            0);
+        }
+    }
+    if (rates.empty()) {
+        throw SpecError("campaign needs a non-empty arrival-rate grid", 0);
+    }
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (rates[i] <= 0.0) {
+            throw SpecError("arrival rates must be positive", 0);
+        }
+        if (i > 0 && rates[i] <= rates[i - 1]) {
+            throw SpecError("arrival rates must be strictly ascending", 0);
+        }
+    }
+    if (solver.tolerance <= 0.0) {
+        throw SpecError("solver tolerance must be positive", 0);
+    }
+    const bool uses_des = method == Method::des || method == Method::both;
+    if (uses_des) {
+        if (simulation.replications < 1) {
+            throw SpecError("simulation needs at least one replication", 0);
+        }
+        if (simulation.batch_count < 2) {
+            throw SpecError("simulation needs at least two batches", 0);
+        }
+        if (simulation.warmup_time < 0.0 || simulation.batch_duration <= 0.0) {
+            throw SpecError("simulation warmup/batch_duration out of range", 0);
+        }
+    }
+}
+
+std::vector<Variant> ScenarioSpec::expand() const {
+    validate();
+    std::vector<Variant> variants;
+    variants.reserve(variant_count());
+    for (const int model_id : traffic_models) {
+        const traffic::TrafficModelPreset preset = preset_for_model(model_id, 0);
+        for (const int pdch : reserved_pdch) {
+            for (const double fraction : gprs_fractions) {
+                for (const core::CodingScheme scheme : coding_schemes) {
+                    for (const int sessions : max_gprs_sessions) {
+                        Variant variant;
+                        variant.traffic_model = model_id;
+                        variant.reserved_pdch = pdch;
+                        variant.gprs_fraction = fraction;
+                        variant.coding_scheme = scheme;
+                        variant.max_gprs_sessions = sessions;
+
+                        core::Parameters p = core::Parameters::with_traffic_model(preset);
+                        p.reserved_pdch = pdch;
+                        p.gprs_fraction = fraction;
+                        p.total_channels = total_channels;
+                        p.buffer_capacity = buffer_capacity;
+                        p.flow_control_threshold = flow_control_threshold;
+                        p.block_error_rate = block_error_rate;
+                        p = core::with_coding_scheme(std::move(p), scheme);
+                        if (sessions > 0) {
+                            p.max_gprs_sessions = sessions;
+                        }
+                        p.call_arrival_rate = rates.front();
+                        p.validate();  // std::invalid_argument names the field
+                        variant.parameters = p;
+
+                        char label[96];
+                        std::snprintf(label, sizeof(label),
+                                      "tm%d pdch=%d gprs=%g%% %s M=%d", model_id, pdch,
+                                      100.0 * fraction, core::coding_scheme_name(scheme),
+                                      p.max_gprs_sessions);
+                        variant.label = label;
+                        variants.push_back(std::move(variant));
+                    }
+                }
+            }
+        }
+    }
+    return variants;
+}
+
+namespace {
+
+ScenarioSpec interpret_spec(const JsonValue& root) {
+    if (!root.is_object()) {
+        throw SpecError("campaign spec must be a JSON object", root.line());
+    }
+
+    ScenarioSpec spec;
+    bool have_rates = false;
+    for (const JsonValue::Member& member : root.members()) {
+        const auto& [key, value] = member;
+        if (key == "name") {
+            spec.name = value.as_string();
+        } else if (key == "method") {
+            spec.method = parse_method(value);
+        } else if (key == "traffic_model") {
+            spec.traffic_models = int_axis(value, key);
+        } else if (key == "reserved_pdch") {
+            spec.reserved_pdch = int_axis(value, key);
+        } else if (key == "gprs_fraction") {
+            spec.gprs_fractions = number_axis(value, key);
+        } else if (key == "coding_scheme") {
+            spec.coding_schemes.clear();
+            if (value.is_array()) {
+                for (const JsonValue& item : value.items()) {
+                    spec.coding_schemes.push_back(parse_scheme(item));
+                }
+                if (spec.coding_schemes.empty()) {
+                    throw SpecError("\"coding_scheme\" must not be an empty array",
+                                    value.line());
+                }
+            } else {
+                spec.coding_schemes.push_back(parse_scheme(value));
+            }
+        } else if (key == "max_gprs_sessions") {
+            spec.max_gprs_sessions = int_axis(value, key);
+        } else if (key == "channels") {
+            spec.total_channels = require_int(value, key);
+        } else if (key == "buffer") {
+            spec.buffer_capacity = require_int(value, key);
+        } else if (key == "eta") {
+            spec.flow_control_threshold = value.as_number();
+        } else if (key == "bler") {
+            spec.block_error_rate = value.as_number();
+        } else if (key == "rates") {
+            spec.rates = parse_rates(value);
+            have_rates = true;
+        } else if (key == "solver") {
+            spec.solver = parse_solver(value);
+        } else if (key == "simulation") {
+            spec.simulation = parse_simulation(value);
+        } else {
+            throw SpecError("unknown campaign key \"" + key + "\"", value.line());
+        }
+    }
+    if (!have_rates) {
+        throw SpecError("campaign spec needs a \"rates\" key", root.line());
+    }
+    spec.validate();
+    return spec;
+}
+
+}  // namespace
+
+ScenarioSpec parse_spec(const std::string& text) {
+    // Both parse failures and typed-accessor mismatches during
+    // interpretation surface as JsonError; re-throw every one as SpecError
+    // so callers have a single line-carrying exception type.
+    try {
+        return interpret_spec(parse_json(text));
+    } catch (const JsonError& e) {
+        throw SpecError(e.what(), e.line(), /*annotate=*/false);
+    }
+}
+
+ScenarioSpec parse_spec_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw SpecError("cannot read campaign spec file: " + path, 0);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_spec(buffer.str());
+}
+
+}  // namespace gprsim::campaign

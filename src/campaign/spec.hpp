@@ -1,0 +1,160 @@
+// Declarative scenario campaigns (the batched front end of the paper's
+// evaluation): a ScenarioSpec names a cartesian product of cell
+// configurations — traffic model x reserved PDCHs x GPRS fraction x coding
+// scheme x session cap — crossed with an arrival-rate grid, and says how
+// each point is to be evaluated (Erlang closed forms, a chain solve, DES
+// replications, or chain + DES side by side). Specs come from a small
+// JSON-ish text format (parse_spec, with line-numbered errors) or from the
+// chainable builder methods; CampaignRunner (runner.hpp) expands and
+// executes them.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/coding_scheme.hpp"
+#include "core/parameters.hpp"
+
+namespace gprsim::campaign {
+
+/// How each (variant, arrival rate) point of the campaign is evaluated.
+enum class Method {
+    erlang,  ///< closed-form measures only (no chain solve, no simulation)
+    ctmc,    ///< stationary chain solve; full model measures
+    des,     ///< simulator replications with 95% CIs; no model columns
+    both,    ///< chain solve + replications, with per-point deltas
+};
+
+const char* method_name(Method method);
+
+/// Spec-level error (parse or validation) with the 1-based line of the
+/// offending construct; line() is 0 for programmatically built specs.
+class SpecError : public std::invalid_argument {
+public:
+    /// `annotate` appends " (line N)" to the message; pass false when the
+    /// message already carries its position (e.g. a rethrown JsonError).
+    SpecError(const std::string& message, int line, bool annotate = true)
+        : std::invalid_argument(annotate && line > 0
+                                    ? message + " (line " + std::to_string(line) + ")"
+                                    : message),
+          line_(line) {}
+
+    int line() const { return line_; }
+
+private:
+    int line_ = 0;
+};
+
+/// Chain-solve settings shared by every model point of the campaign.
+struct SolverSpec {
+    double tolerance = 1e-9;
+    /// Warm-start each point from its already-solved nearest grid neighbor
+    /// (runner.hpp describes the deterministic schedule). false = every
+    /// point starts cold from the product-form guess.
+    bool warm_start = true;
+};
+
+/// Replication-experiment settings shared by every DES point.
+struct SimulationSpec {
+    int replications = 4;
+    std::uint64_t seed = 1;
+    double warmup_time = 1500.0;
+    int batch_count = 10;
+    double batch_duration = 1500.0;  ///< [s]
+    bool tcp = true;                 ///< TCP Reno vs open-loop sources
+};
+
+/// One resolved cell configuration of the cartesian product. `parameters`
+/// is complete except for call_arrival_rate, which the runner sets per grid
+/// point.
+struct Variant {
+    std::string label;  ///< e.g. "tm3 pdch=1 gprs=5% CS-2"
+    int traffic_model = 1;
+    int reserved_pdch = 1;
+    double gprs_fraction = 0.05;
+    core::CodingScheme coding_scheme = core::CodingScheme::cs2;
+    int max_gprs_sessions = 0;  ///< 0 = the traffic-model preset's M
+    core::Parameters parameters;
+};
+
+struct ScenarioSpec {
+    std::string name = "campaign";
+    Method method = Method::ctmc;
+
+    // --- variant axes (cartesian product, outermost first) ---------------
+    std::vector<int> traffic_models{1};
+    std::vector<int> reserved_pdch{1};
+    std::vector<double> gprs_fractions{0.05};
+    std::vector<core::CodingScheme> coding_schemes{core::CodingScheme::cs2};
+    /// Session-cap axis; 0 keeps the preset M of the traffic model.
+    std::vector<int> max_gprs_sessions{0};
+
+    // --- scalar overrides shared by every variant ------------------------
+    int total_channels = 20;
+    int buffer_capacity = 100;
+    double flow_control_threshold = 0.7;
+    double block_error_rate = 0.0;
+
+    /// Arrival-rate grid (the x-axis); required, ascending.
+    std::vector<double> rates;
+
+    SolverSpec solver;
+    SimulationSpec simulation;
+
+    // --- chainable builders ----------------------------------------------
+    ScenarioSpec& named(std::string value);
+    ScenarioSpec& with_method(Method value);
+    ScenarioSpec& over_traffic_models(std::vector<int> values);
+    ScenarioSpec& over_reserved_pdch(std::vector<int> values);
+    ScenarioSpec& over_gprs_fractions(std::vector<double> values);
+    ScenarioSpec& over_coding_schemes(std::vector<core::CodingScheme> values);
+    ScenarioSpec& over_session_limits(std::vector<int> values);
+    /// Evenly spaced grid [first, last] with count >= 2 points.
+    ScenarioSpec& with_rate_grid(double first, double last, int count);
+    ScenarioSpec& with_rates(std::vector<double> values);
+    ScenarioSpec& with_tolerance(double value);
+    ScenarioSpec& with_warm_start(bool value);
+    ScenarioSpec& with_replications(int value);
+    ScenarioSpec& with_seed(std::uint64_t value);
+
+    /// Number of variants (product of the axis sizes) and grid points.
+    std::size_t variant_count() const;
+    std::size_t point_count() const { return variant_count() * rates.size(); }
+
+    /// Throws SpecError when the spec is inconsistent (empty axes, empty or
+    /// unsorted grid, bad ranges). Axis entries are validated individually;
+    /// the per-variant Parameters::validate runs during expand().
+    void validate() const;
+
+    /// Validates, then materializes the cartesian product in deterministic
+    /// order: traffic_models (outermost) > reserved_pdch > gprs_fractions >
+    /// coding_schemes > max_gprs_sessions (innermost). The runner's point
+    /// order, the sinks' row order, and the benches' table indexing all rely
+    /// on this order.
+    std::vector<Variant> expand() const;
+};
+
+/// Parses the JSON-ish spec format. Top-level keys:
+///   "name"               string
+///   "method"             "erlang" | "ctmc" | "des" | "both"
+///   "traffic_model"      1|2|3, or an array of them
+///   "reserved_pdch"      int or array
+///   "gprs_fraction"      number in (0,1) or array
+///   "coding_scheme"      "cs1".."cs4" (or "CS-1".."CS-4"), or an array
+///   "max_gprs_sessions"  int or array (0 = preset M)
+///   "channels"           int        "buffer"   int
+///   "eta"                number     "bler"     number
+///   "rates"              array of numbers, or {"first","last","count"}
+///   "solver"             {"tolerance", "warm_start"}
+///   "simulation"         {"replications","seed","warmup","batch_count",
+///                         "batch_duration","tcp"}
+/// Unknown keys are rejected. All errors — syntax and semantic alike — are
+/// thrown as SpecError carrying the offending 1-based line.
+ScenarioSpec parse_spec(const std::string& text);
+
+/// Reads and parses a spec file; throws SpecError when unreadable.
+ScenarioSpec parse_spec_file(const std::string& path);
+
+}  // namespace gprsim::campaign

@@ -20,20 +20,27 @@ const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options,
     if (solution_) {
         return *solution_;
     }
-    ctmc::SolveOptions effective = options;
-    if (effective.initial.empty()) {
-        // Warm-start from the closed-form product approximation; typically
-        // several times fewer sweeps than a uniform start.
-        effective.initial = product_form_initial(parameters_, balanced_, space());
-    }
-    ctmc::SolveResult result;
-    if (estimated_qt_bytes() <= memory_budget_) {
-        const ctmc::QtMatrix qt = generator_.to_qt_matrix();
-        result = engine.solve(qt, effective);
-        used_matrix_free_ = false;
-    } else {
-        result = engine.solve(generator_, effective);
+    const auto run = [&](const ctmc::SolveOptions& effective) {
+        if (estimated_qt_bytes() <= memory_budget_) {
+            const ctmc::QtMatrix qt = generator_.to_qt_matrix();
+            used_matrix_free_ = false;
+            return engine.solve(qt, effective);
+        }
         used_matrix_free_ = true;
+        return engine.solve(generator_, effective);
+    };
+    ctmc::SolveResult result;
+    if (options.initial.empty() && options.initial_candidates.empty()) {
+        // Warm-start from the closed-form product approximation; typically
+        // several times fewer sweeps than a uniform start. Callers supplying
+        // initial_candidates (the campaign runner) add it themselves — and
+        // those candidate vectors are state-space-sized, so the options are
+        // only copied on this branch.
+        ctmc::SolveOptions effective = options;
+        effective.initial = product_form_initial(parameters_, balanced_, space());
+        result = run(effective);
+    } else {
+        result = run(options);
     }
     if (!result.converged) {
         throw std::runtime_error(

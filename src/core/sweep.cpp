@@ -143,79 +143,6 @@ std::vector<ScenarioPoint> ScenarioSweep::sweep_scenarios(
     return points;
 }
 
-std::vector<ValidationPoint> ScenarioSweep::validate_call_arrival_rate(
-    const Parameters& base, std::span<const double> call_rates,
-    const ValidationOptions& options) {
-    const std::size_t count = call_rates.size();
-    std::vector<ValidationPoint> points(count);
-    if (count == 0) {
-        return points;
-    }
-    const int replications = options.experiment.replications;
-    if (replications < 1) {
-        throw std::invalid_argument(
-            "validate_call_arrival_rate: need at least one replication");
-    }
-
-    // Flat work list: point p contributes task p*(R+1) (its chain solve)
-    // and tasks p*(R+1)+1 .. p*(R+1)+R (its simulator replications). Every
-    // task is independent and deterministic, so dynamic claiming is free to
-    // interleave solves and replications without affecting any output.
-    std::vector<std::vector<sim::SimulationResults>> replication_results(count);
-    for (auto& per_point : replication_results) {
-        per_point.resize(static_cast<std::size_t>(replications));
-    }
-    const int tasks_per_point = replications + 1;
-    const std::size_t total_tasks = count * static_cast<std::size_t>(tasks_per_point);
-    const int width = std::min<int>(
-        common::ThreadPool::resolve_thread_count(options.num_threads),
-        static_cast<int>(total_tasks));
-
-    const auto run_task = [&](int task) {
-        const std::size_t point = static_cast<std::size_t>(task / tasks_per_point);
-        const int sub = task % tasks_per_point;
-        if (sub == 0) {
-            ctmc::SolveOptions solve = options.solve;
-            // Always solve single-threaded, even in the serial-width case:
-            // multi-threaded solves switch gauss_seidel to its red-black
-            // variant, which would break "identical output at every width".
-            solve.num_threads = 1;
-            const SweepPoint solved =
-                solve_point(base, call_rates[point], std::move(solve), engine_, nullptr);
-            ValidationPoint& out = points[point];
-            out.call_arrival_rate = solved.call_arrival_rate;
-            out.model = solved.measures;
-            out.iterations = solved.iterations;
-            out.residual = solved.residual;
-        } else {
-            const int r = sub - 1;
-            sim::ExperimentConfig experiment = options.experiment;
-            experiment.base.cell = base;
-            experiment.base.cell.call_arrival_rate = call_rates[point];
-            const std::uint64_t block =
-                static_cast<std::uint64_t>(point) * static_cast<std::uint64_t>(replications) +
-                static_cast<std::uint64_t>(r);
-            const sim::SimulationConfig config = sim::replication_config(experiment, block);
-            replication_results[point][static_cast<std::size_t>(r)] =
-                sim::NetworkSimulator(config).run();
-        }
-    };
-    if (width <= 1) {
-        for (std::size_t task = 0; task < total_tasks; ++task) {
-            run_task(static_cast<int>(task));
-        }
-    } else {
-        engine_.pool(width).run(static_cast<int>(total_tasks), run_task, width);
-    }
-
-    for (std::size_t point = 0; point < count; ++point) {
-        points[point].simulated =
-            sim::pool_replications(std::move(replication_results[point]));
-        points[point].simulated.threads_used = width;
-    }
-    return points;
-}
-
 std::vector<SweepPoint> sweep_call_arrival_rate(const Parameters& base,
                                                 std::span<const double> call_rates,
                                                 const SweepOptions& options) {

@@ -1,8 +1,13 @@
 // Parameter sweeps over the call arrival rate — the x-axis of every
-// performance figure in the paper — plus heterogeneous scenario batches
-// and model-vs-simulator validation sweeps, all routed through a shared
-// SolverEngine so independent work items (chain solves and simulator
-// replications alike) shard across one thread pool.
+// performance figure in the paper — plus heterogeneous scenario batches,
+// routed through a shared SolverEngine so independent chain solves shard
+// across one thread pool.
+//
+// These are the model-layer primitives; multi-axis workloads (variant
+// grids, warm-start-cached dense sweeps, model-vs-simulator validation,
+// spec files) belong one layer up in campaign::CampaignRunner
+// (campaign/runner.hpp), which the figure benches and gprsim_cli go
+// through.
 #pragma once
 
 #include <functional>
@@ -13,7 +18,6 @@
 #include "ctmc/solver.hpp"
 #include "core/measures.hpp"
 #include "core/parameters.hpp"
-#include "sim/experiment.hpp"
 
 namespace gprsim::core {
 
@@ -55,34 +59,6 @@ struct SweepOptions {
     std::function<void(std::size_t, const SweepPoint&)> progress;
 };
 
-/// One operating point of a model-vs-simulator validation sweep: the
-/// chain's exact measures next to the simulator's replication-level 95%
-/// confidence intervals (paper Section 5.2 / Fig. 6).
-struct ValidationPoint {
-    double call_arrival_rate = 0.0;
-    Measures model;                     ///< analytical (chain) measures
-    common::index_type iterations = 0;  ///< chain solve iterations
-    double residual = 0.0;
-    sim::ExperimentResults simulated;   ///< pooled replication estimates
-};
-
-struct ValidationOptions {
-    /// Per-point chain solves. solve.num_threads is overridden to 1: the
-    /// work items are the parallelism, and a multi-threaded solve would
-    /// switch methods (gauss_seidel -> red-black), breaking the identical-
-    /// output-at-every-width guarantee.
-    ctmc::SolveOptions solve;
-    /// Simulator template, replication count, and experiment seed. The
-    /// per-replication substream block also encodes the point index, so
-    /// every point draws from disjoint substreams of one experiment seed;
-    /// experiment.num_threads/progress are ignored here.
-    sim::ExperimentConfig experiment;
-    /// Execution width for sharding work items (model solves and
-    /// individual replications claimed from one pool): 0 = all hardware
-    /// threads, <= 1 = serial. Results are identical for every width.
-    int num_threads = 1;
-};
-
 /// One solved heterogeneous scenario from ScenarioSweep::sweep_scenarios.
 struct ScenarioPoint {
     Parameters parameters;
@@ -114,21 +90,11 @@ public:
     /// coding scheme, GPRS load, ...) concurrently: scenarios are claimed
     /// dynamically by the pool, one solve per scenario, each warm-started
     /// from its own product-form guess. Output order matches input order.
+    /// (Model-vs-simulator validation sweeps — a chain solve plus R
+    /// replications per point — live in campaign::CampaignRunner with
+    /// Method::both.)
     std::vector<ScenarioPoint> sweep_scenarios(std::span<const Parameters> scenarios,
                                                const SweepOptions& options = {});
-
-    /// Drives the paper's validation methodology as ONE pooled workload:
-    /// for every arrival rate, one chain solve plus
-    /// options.experiment.replications simulator replications, all claimed
-    /// dynamically from the engine's pool so chain solves and replications
-    /// interleave on the same workers. Replication r of point p runs on
-    /// substream block p * replications + r of the experiment seed and the
-    /// per-point pooling is a serial in-order reduction, so the output —
-    /// model measures and simulator CIs alike — is bitwise invariant to
-    /// num_threads.
-    std::vector<ValidationPoint> validate_call_arrival_rate(
-        const Parameters& base, std::span<const double> call_rates,
-        const ValidationOptions& options = {});
 
 private:
     ctmc::SolverEngine& engine_;

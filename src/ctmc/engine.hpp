@@ -82,6 +82,10 @@ SolveResult SolverEngine::solve(const Op& op, const SolveOptions& options) {
         static_cast<index_type>(options.initial.size()) != n) {
         throw std::invalid_argument("solve_steady_state: initial vector size mismatch");
     }
+    if (!options.initial_candidates.empty() && !options.initial.empty()) {
+        throw std::invalid_argument(
+            "solve_steady_state: initial and initial_candidates are mutually exclusive");
+    }
 
     const int threads = resolve_thread_count(options.num_threads);
     SolveMethod method = options.method;
@@ -99,21 +103,52 @@ SolveResult SolverEngine::solve(const Op& op, const SolveOptions& options) {
     SolveResult result;
     result.threads_used = exec.pool != nullptr ? threads : 1;
     result.method_used = method;
-    result.distribution.assign(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
-    if (!options.initial.empty()) {
-        result.distribution = options.initial;
-        for (double& v : result.distribution) {
+    const double lambda = detail::max_exit_rate(op, exec);
+
+    const auto prepared_initial = [&](const std::vector<double>& raw) {
+        std::vector<double> x = raw;
+        for (double& v : x) {
             v = std::max(v, 0.0);
         }
         if (parallel_family) {
-            detail::normalize_blocked(result.distribution, exec);
+            detail::normalize_blocked(x, exec);
         } else {
-            detail::normalize(result.distribution);
+            detail::normalize(x);
+        }
+        return x;
+    };
+    result.distribution.assign(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
+    if (!options.initial.empty()) {
+        result.distribution = prepared_initial(options.initial);
+    } else if (!options.initial_candidates.empty()) {
+        // Competitive warm starts: one residual evaluation per candidate
+        // (an O(nnz) pass, far cheaper than the sweeps a bad start costs),
+        // then iterate from the winner. A later candidate only displaces
+        // the incumbent when it undercuts margin * incumbent — see the
+        // candidate_margin documentation for why near-ties go to the
+        // earlier (preferred) candidate.
+        if (options.candidate_margin <= 0.0 || options.candidate_margin > 1.0) {
+            throw std::invalid_argument(
+                "solve_steady_state: candidate_margin must be in (0, 1]");
+        }
+        double incumbent_residual = 0.0;
+        for (std::size_t c = 0; c < options.initial_candidates.size(); ++c) {
+            const std::vector<double>& raw = options.initial_candidates[c];
+            if (static_cast<index_type>(raw.size()) != n) {
+                throw std::invalid_argument(
+                    "solve_steady_state: initial candidate size mismatch");
+            }
+            std::vector<double> x = prepared_initial(raw);
+            const double residual = detail::scaled_residual(op, x, lambda, exec);
+            if (result.initial_selected < 0 ||
+                residual < options.candidate_margin * incumbent_residual) {
+                incumbent_residual = residual;
+                result.initial_selected = static_cast<int>(c);
+                result.distribution = std::move(x);
+            }
         }
     }
     std::vector<double>& x = result.distribution;
-
-    const double lambda = detail::max_exit_rate(op, exec);
     const bool needs_old = method == SolveMethod::jacobi || method == SolveMethod::power;
     std::vector<double> old;
     if (needs_old) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and every *.md under docs/ for markdown links
+[text](target) and inline references to repo paths, and verifies that
+each relative target exists. External links (http/https/mailto) and
+pure in-page anchors (#...) are ignored; anchors on relative targets are
+stripped before the existence check.
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+Exit status 1 lists every dead link with file and line number.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}:{lineno}: dead link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        print(f"error: expected markdown files not found: {missing}", file=sys.stderr)
+        return 1
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, root))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{len(errors)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} files, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
