@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
     campaign::ScenarioSpec spec;
     spec.named("fig06_validation")
-        .with_method(campaign::Method::both)
+        .with_method("both")
         .over_traffic_models({3})
         .over_reserved_pdch({1})
         .over_gprs_fractions({0.02, 0.05, 0.10})

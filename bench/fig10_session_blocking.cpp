@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     // --- blocking probability: closed form, full resolution ----------------
     campaign::ScenarioSpec blocking_spec;
     blocking_spec.named("fig10_blocking")
-        .with_method(campaign::Method::erlang)
+        .with_method("erlang")
         .over_reserved_pdch({2})
         .over_session_limits({50, 100, 150})
         .with_rate_grid(0.05, 1.0, 20);

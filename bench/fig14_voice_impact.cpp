@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
     campaign::ScenarioSpec spec;
     spec.named("fig14_voice_impact")
-        .with_method(campaign::Method::erlang)
+        .with_method("erlang")
         .over_reserved_pdch({0, 1, 2, 4})
         .with_rate_grid(0.05, 1.0, args.grid(20, 20));
     const campaign::CampaignResult result =

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
     campaign::ScenarioSpec spec;
     spec.named("fig15_gprs_users")
-        .with_method(campaign::Method::erlang)
+        .with_method("erlang")
         .over_traffic_models({3})
         .over_gprs_fractions({0.02, 0.05, 0.10})
         .with_rate_grid(0.05, 1.0, args.grid(20, 20));

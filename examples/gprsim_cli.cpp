@@ -3,9 +3,13 @@
 //
 //   gprsim_cli analyze   [options]   — solve the Markov model, print measures
 //   gprsim_cli simulate  [options]   — run the network simulator (95% CIs)
+//   gprsim_cli eval      [options]   — one-shot ScenarioQuery through any
+//                                      registered backend (--backend=<name>)
 //   gprsim_cli dimension [options]   — recommend a PDCH reservation
 //   gprsim_cli campaign <spec.json> [options]
 //                                    — run a declarative scenario campaign
+//   gprsim_cli campaign --list-backends / eval --list-backends
+//                                    — print every registered eval backend
 //
 // Common options:
 //   --rate=<calls/s>      combined GSM+GPRS arrival rate   (default 0.5)
@@ -19,6 +23,9 @@
 //   --threads=<n>         solver threads; 0 = all cores    (default 1)
 // simulate:
 //   --seed=<n> --batches=<n> --batch-seconds=<s> --no-tcp
+// eval:
+//   --backend=<name>      registered backend (default ctmc)
+//   --replications=<n> --seed=<n> --tolerance=<t>
 // dimension:
 //   --max-plp=<p> --max-delay=<s> --max-voice-blocking=<p>
 // campaign:
@@ -38,6 +45,7 @@
 #include "campaign/sink.hpp"
 #include "core/adaptive.hpp"
 #include "core/model.hpp"
+#include "eval/registry.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/threegpp.hpp"
 
@@ -143,6 +151,62 @@ int cmd_simulate(int argc, char** argv) {
     return 0;
 }
 
+int list_backends() {
+    std::printf("registered eval backends:\n");
+    for (const eval::BackendInfo& info : eval::BackendRegistry::global().list()) {
+        std::printf("  %-12s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+    if (has_flag(argc, argv, "list-backends")) {
+        return list_backends();
+    }
+    const std::string backend_name = string_flag(argc, argv, "backend", "ctmc");
+    auto backend = eval::BackendRegistry::global().find(backend_name);
+    if (!backend.ok()) {
+        std::fprintf(stderr, "error: %s\n", backend.error().to_string().c_str());
+        return 1;
+    }
+
+    eval::ScenarioQuery query;
+    query.parameters = parameters_from_flags(argc, argv);
+    query.call_arrival_rate = query.parameters.call_arrival_rate;
+    query.solver.tolerance = flag(argc, argv, "tolerance", 1e-9);
+    query.simulation.replications =
+        static_cast<int>(flag(argc, argv, "replications", 4));
+    query.simulation.seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 1));
+
+    const common::Result<eval::PointEvaluation> evaluated =
+        backend.value()->evaluate(query);
+    if (!evaluated.ok()) {
+        std::fprintf(stderr, "error: %s\n", evaluated.error().to_string().c_str());
+        return 1;
+    }
+    const eval::PointEvaluation& point = evaluated.value();
+    const core::Measures& m = point.measures;
+    std::printf("backend %s @ rate %.3f calls/s\n", point.backend.c_str(),
+                point.call_arrival_rate);
+    std::printf("CDT %.4f PDCH | PLP %.3e | QD %.3f s | ATU %.3f kbit/s\n",
+                m.carried_data_traffic, m.packet_loss_probability, m.queueing_delay,
+                m.throughput_per_user_kbps);
+    std::printf("CVT %.4f | AGS %.4f | GSM blocking %.3e | GPRS blocking %.3e\n",
+                m.carried_voice_traffic, m.average_gprs_sessions, m.gsm_blocking,
+                m.gprs_blocking);
+    if (point.iterations > 0) {
+        std::printf("provenance: %lld sweeps, residual %.2e, %.2f s\n", point.iterations,
+                    point.residual, point.wall_seconds);
+    } else if (point.has_confidence) {
+        std::printf("provenance: %zu replications, CDT +- %.4f, %.2f s\n",
+                    point.sim.replications.size(), point.sim.carried_data_traffic.half_width,
+                    point.wall_seconds);
+    } else {
+        std::printf("provenance: closed form, %.4f s\n", point.wall_seconds);
+    }
+    return 0;
+}
+
 int cmd_dimension(int argc, char** argv) {
     core::QosTargets targets;
     targets.max_packet_loss = flag(argc, argv, "max-plp", 1e-2);
@@ -160,8 +224,13 @@ int cmd_dimension(int argc, char** argv) {
 }
 
 int cmd_campaign(int argc, char** argv) {
+    if (has_flag(argc, argv, "list-backends")) {
+        return list_backends();
+    }
     if (argc < 3 || argv[2][0] == '-') {
-        std::fprintf(stderr, "usage: gprsim_cli campaign <spec.json> [options]\n");
+        std::fprintf(stderr,
+                     "usage: gprsim_cli campaign <spec.json> [options]\n"
+                     "       gprsim_cli campaign --list-backends\n");
         return 1;
     }
     const std::string path = argv[2];
@@ -251,7 +320,8 @@ int cmd_campaign(int argc, char** argv) {
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: gprsim_cli <analyze|simulate|dimension|campaign> [options]\n");
+                     "usage: gprsim_cli <analyze|simulate|eval|dimension|campaign> "
+                     "[options]\n");
         return 1;
     }
     const std::string command = argv[1];
@@ -261,6 +331,9 @@ int main(int argc, char** argv) {
         }
         if (command == "simulate") {
             return cmd_simulate(argc, argv);
+        }
+        if (command == "eval") {
+            return cmd_eval(argc, argv);
         }
         if (command == "dimension") {
             return cmd_dimension(argc, argv);

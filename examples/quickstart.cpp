@@ -1,41 +1,55 @@
-// Quickstart: analyze one GPRS cell configuration end to end.
+// Quickstart: analyze one GPRS cell configuration end to end through the
+// unified eval API — the same code an out-of-tree consumer compiles against
+// the installed tree (find_package(gprsim) + #include <gprsim/gprsim.hpp>).
 //
-// Builds the paper's base cell (Table 2, traffic model 1), solves the Markov
-// chain, and prints every performance measure of Section 4.2.
+// Builds the paper's base cell (Table 2, traffic model 1), asks the "ctmc"
+// backend for the exact chain solution, cross-checks it against the cheap
+// "mm1k-approx" backend, and prints every performance measure of
+// Section 4.2. Errors come back as typed Results — no try/catch needed.
 //
 //   $ ./quickstart [call_arrival_rate] [reserved_pdch]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/model.hpp"
+#include "gprsim/gprsim.hpp"
 
 int main(int argc, char** argv) {
     using namespace gprsim;
 
-    core::Parameters params = core::Parameters::base();
-    params.call_arrival_rate = argc > 1 ? std::atof(argv[1]) : 0.5;
-    params.reserved_pdch = argc > 2 ? std::atoi(argv[2]) : 1;
-    params.validate();
+    eval::ScenarioQuery query;
+    query.parameters = core::Parameters::base();
+    query.call_arrival_rate = argc > 1 ? std::atof(argv[1]) : 0.5;
+    query.parameters.reserved_pdch = argc > 2 ? std::atoi(argv[2]) : 1;
+    query.solver.tolerance = 1e-10;  // plenty for every printed digit
 
     std::printf("GPRS cell analysis (Lindemann & Thuemmler model)\n");
     std::printf("  physical channels        : %d (%d reserved as PDCH)\n",
-                params.total_channels, params.reserved_pdch);
+                query.parameters.total_channels, query.parameters.reserved_pdch);
     std::printf("  call arrival rate        : %.3f calls/s (%.0f%% GPRS)\n",
-                params.call_arrival_rate, 100.0 * params.gprs_fraction);
+                query.call_arrival_rate, 100.0 * query.parameters.gprs_fraction);
     std::printf("  traffic model            : %.1f kbit/s WWW source, session %.1f s\n",
-                params.traffic.on_rate_kbps(), params.traffic.mean_session_duration());
+                query.parameters.traffic.on_rate_kbps(),
+                query.parameters.traffic.mean_session_duration());
 
-    core::GprsModel model(params);
-    std::printf("\nState space: %lld states", static_cast<long long>(model.space().size()));
-    std::printf(" (= 1/2 (M+1)(M+2) x (N_GSM+1) x (K+1))\n");
+    // Every analysis route is a named backend behind one interface; run
+    // `gprsim_cli campaign --list-backends` for the full set.
+    auto ctmc_backend = eval::BackendRegistry::global().find("ctmc");
+    if (!ctmc_backend.ok()) {
+        std::fprintf(stderr, "error: %s\n", ctmc_backend.error().to_string().c_str());
+        return 1;
+    }
+    common::Result<eval::PointEvaluation> evaluated =
+        ctmc_backend.value()->evaluate(query);
+    if (!evaluated.ok()) {
+        // Typed, not thrown: the message names the scenario that failed.
+        std::fprintf(stderr, "error: %s\n", evaluated.error().to_string().c_str());
+        return 1;
+    }
+    const eval::PointEvaluation& point = evaluated.value();
+    std::printf("\nSteady-state solve: %lld sweeps, residual %.2e, %.2f s\n",
+                point.iterations, point.residual, point.wall_seconds);
 
-    ctmc::SolveOptions options;
-    options.tolerance = 1e-10;  // plenty for every printed digit
-    const auto& solve = model.solve(options);
-    std::printf("Steady-state solve: %lld sweeps, residual %.2e, %.2f s\n",
-                static_cast<long long>(solve.iterations), solve.residual, solve.seconds);
-
-    const core::Measures m = model.measures();
+    const core::Measures& m = point.measures;
     std::printf("\nPerformance measures (paper Eq. 6-11):\n");
     std::printf("  carried data traffic  CDT : %8.4f PDCHs\n", m.carried_data_traffic);
     std::printf("  packet loss prob.     PLP : %8.2e\n", m.packet_loss_probability);
@@ -47,5 +61,19 @@ int main(int argc, char** argv) {
     std::printf("  GPRS session blocking     : %8.2e\n", m.gprs_blocking);
     std::printf("  mean queue length     MQL : %8.4f packets\n", m.mean_queue_length);
     std::printf("  aggregate data throughput : %8.3f kbit/s\n", m.data_throughput_kbps);
+
+    // Second opinion from the cheap queueing approximation — same query,
+    // different backend, microseconds instead of a chain solve.
+    auto approx = eval::BackendRegistry::global().find("mm1k-approx");
+    if (approx.ok()) {
+        if (auto cheap = approx.value()->evaluate(query); cheap.ok()) {
+            std::printf("\nmm1k-approx cross-check: CDT %.4f (exact %.4f), ATU %.3f "
+                        "(exact %.3f)\n",
+                        cheap.value().measures.carried_data_traffic,
+                        m.carried_data_traffic,
+                        cheap.value().measures.throughput_per_user_kbps,
+                        m.throughput_per_user_kbps);
+        }
+    }
     return 0;
 }

@@ -1,0 +1,50 @@
+// Umbrella header: the public surface of gprsim.
+//
+// Out-of-tree consumers use it as
+//
+//   find_package(gprsim REQUIRED)              # CMake
+//   target_link_libraries(app gprsim::gprsim)
+//
+//   #include <gprsim/gprsim.hpp>
+//
+//   gprsim::eval::ScenarioQuery query;
+//   query.parameters = gprsim::core::Parameters::base();
+//   auto backend = gprsim::eval::BackendRegistry::global().find("ctmc");
+//   auto point = backend.value()->evaluate(query);   // Result, not throw
+//
+// and can register their own evaluation backends with
+// gprsim::eval::register_backend(...) — campaign specs and the CLI pick
+// them up by name. The individual headers below remain includable on their
+// own (installed under <gprsim/...> with the same relative paths the
+// in-tree sources use).
+#pragma once
+
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+#include "ctmc/engine.hpp"
+#include "ctmc/solver_options.hpp"
+
+#include "core/adaptive.hpp"
+#include "core/measures.hpp"
+#include "core/model.hpp"
+#include "core/parameters.hpp"
+#include "core/sweep.hpp"
+
+#include "queueing/erlang.hpp"
+#include "queueing/handover.hpp"
+#include "queueing/mm1k.hpp"
+
+#include "traffic/threegpp.hpp"
+
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+
+#include "eval/backends.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/registry.hpp"
+
+#include "campaign/runner.hpp"
+#include "campaign/sink.hpp"
+#include "campaign/spec.hpp"

@@ -1,129 +1,46 @@
 #include "campaign/runner.hpp"
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <mutex>
-#include <numeric>
 #include <utility>
 
-#include "core/handover.hpp"
-#include "core/initial_guess.hpp"
-#include "core/model.hpp"
+#include "eval/registry.hpp"
 
 namespace gprsim::campaign {
 
 namespace {
 
-/// Deviation vectors (solved distribution / own product form, elementwise)
-/// awaiting their warm-start dependents, one slot per (variant, grid
-/// index). A slot is only populated when the schedule has at least one
-/// dependent for it, each dependent copies the vector exactly once
-/// (claim), and the claim that consumes the last reference frees the
-/// slot — so peak memory follows the bisection frontier, not the grid.
-/// Thread-safety: stores and claims of one slot never overlap (the wave
-/// barrier separates a point's solve from its children's solves); claims of
-/// one slot from several same-wave children only race on the atomic
-/// reference count, and every copy is sequenced before its own decrement.
-class WarmStartCache {
-public:
-    WarmStartCache(std::size_t variants, std::size_t grid, const std::vector<int>& parent)
-        : grid_(grid), slots_(variants * grid), remaining_(variants * grid) {
-        std::vector<int> children(grid, 0);
-        for (const int p : parent) {
-            if (p >= 0) {
-                ++children[static_cast<std::size_t>(p)];
-            }
+/// Legacy two-column view: the first non-stochastic backend fills the model
+/// columns, the first stochastic one the sim columns, and delta_* is model
+/// minus pooled simulator mean — the exact table the pre-registry campaigns
+/// produced, which keeps every sink and bench rendering unchanged.
+void synthesize_legacy_view(CampaignPoint& point) {
+    for (const eval::PointEvaluation& evaluation : point.evaluations) {
+        if (!evaluation.has_confidence && !point.has_model) {
+            point.has_model = true;
+            point.model = evaluation.measures;
+            point.iterations = evaluation.iterations;
+            point.residual = evaluation.residual;
+            point.solve_seconds = evaluation.wall_seconds;
+            point.warm_parent = evaluation.warm_parent;
+            point.warm_started = evaluation.warm_started;
         }
-        children_ = std::move(children);
-        for (std::size_t v = 0; v < variants; ++v) {
-            for (std::size_t i = 0; i < grid; ++i) {
-                remaining_[v * grid + i].store(children_[i], std::memory_order_relaxed);
-            }
+        if (evaluation.has_confidence && !point.has_sim) {
+            point.has_sim = true;
+            point.sim = evaluation.sim;
         }
     }
-
-    /// Whether the schedule has any dependent for this grid index (callers
-    /// skip building the deviation vector otherwise).
-    bool has_dependents(std::size_t index) const { return children_[index] > 0; }
-
-    /// Keeps the deviation vector iff some later point claims it.
-    void store(std::size_t variant, std::size_t index, std::vector<double> deviation) {
-        if (children_[index] > 0) {
-            slots_[variant * grid_ + index] = std::move(deviation);
-        }
+    if (point.has_model && point.has_sim) {
+        point.delta_cdt =
+            point.model.carried_data_traffic - point.sim.carried_data_traffic.mean;
+        point.delta_plp =
+            point.model.packet_loss_probability - point.sim.packet_loss_probability.mean;
+        point.delta_qd = point.model.queueing_delay - point.sim.queueing_delay.mean;
+        point.delta_atu = point.model.throughput_per_user_kbps -
+                          point.sim.throughput_per_user_kbps.mean;
     }
-
-    /// Returns the parent's deviation and releases one claim. A count of 1
-    /// means every other claimant has already decremented, so this claimant
-    /// owns the slot exclusively and can move the vector out instead of
-    /// copying (a ~2x peak-memory saving on multi-million-state chains).
-    std::vector<double> claim(std::size_t variant, std::size_t parent_index) {
-        const std::size_t slot = variant * grid_ + parent_index;
-        if (remaining_[slot].load(std::memory_order_acquire) == 1) {
-            std::vector<double> last = std::move(slots_[slot]);
-            remaining_[slot].store(0, std::memory_order_release);
-            return last;
-        }
-        std::vector<double> copy = slots_[slot];
-        if (remaining_[slot].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::vector<double>().swap(slots_[slot]);
-        }
-        return copy;
-    }
-
-private:
-    std::size_t grid_ = 0;
-    std::vector<int> children_;  ///< dependents per grid index (variant-agnostic)
-    std::vector<std::vector<double>> slots_;
-    std::vector<std::atomic<int>> remaining_;
-};
+}
 
 }  // namespace
-
-SolveSchedule bisection_schedule(std::size_t count, bool warm_start) {
-    SolveSchedule schedule;
-    schedule.parent.assign(count, -1);
-    if (count == 0) {
-        return schedule;
-    }
-    if (!warm_start) {
-        // Cold start: no dependencies, every point in one maximal wave.
-        std::vector<int> all(count);
-        std::iota(all.begin(), all.end(), 0);
-        schedule.levels.push_back(std::move(all));
-        return schedule;
-    }
-    schedule.levels.push_back({0});
-    if (count == 1) {
-        return schedule;
-    }
-    const int last = static_cast<int>(count) - 1;
-    schedule.parent[static_cast<std::size_t>(last)] = 0;
-    schedule.levels.push_back({last});
-    std::vector<std::pair<int, int>> segments{{0, last}};
-    while (!segments.empty()) {
-        std::vector<int> level;
-        std::vector<std::pair<int, int>> next;
-        for (const auto& [a, b] : segments) {
-            if (b - a <= 1) {
-                continue;
-            }
-            const int mid = a + (b - a) / 2;
-            // Nearest solved endpoint: the floor midpoint is never closer
-            // to b, so the lower endpoint always wins ("ties down").
-            schedule.parent[static_cast<std::size_t>(mid)] = a;
-            level.push_back(mid);
-            next.emplace_back(a, mid);
-            next.emplace_back(mid, b);
-        }
-        if (!level.empty()) {
-            schedule.levels.push_back(std::move(level));
-        }
-        segments = std::move(next);
-    }
-    return schedule;
-}
 
 CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptions& options) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -136,14 +53,11 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
     const std::size_t num_rates = rates.size();
     const std::size_t num_variants = variants.size();
     const std::size_t num_points = num_variants * num_rates;
-
-    const bool chain = effective.method == Method::ctmc || effective.method == Method::both;
-    const bool des = effective.method == Method::des || effective.method == Method::both;
-    const int replications = des ? effective.simulation.replications : 0;
+    const std::size_t num_methods = effective.methods.size();
 
     CampaignResult result;
     result.name = effective.name;
-    result.method = effective.method;
+    result.methods = effective.methods;
     result.rates = rates;
     result.points.resize(num_points);
     for (std::size_t v = 0; v < num_variants; ++v) {
@@ -152,202 +66,123 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
             point.variant = v;
             point.rate_index = r;
             point.call_arrival_rate = rates[r];
-        }
-    }
-
-    // Erlang-only campaigns never touch the pool: each point is one
-    // fixed-point handover balance plus closed forms, microseconds apiece.
-    if (effective.method == Method::erlang) {
-        for (CampaignPoint& point : result.points) {
-            core::Parameters p = variants[point.variant].parameters;
-            p.call_arrival_rate = point.call_arrival_rate;
-            point.model = core::closed_form_measures(p, core::balance_handover(p));
-            point.has_model = true;
-        }
-    }
-
-    const SolveSchedule schedule =
-        bisection_schedule(chain ? num_rates : 0, effective.solver.warm_start);
-    WarmStartCache cache(num_variants, chain ? num_rates : 0, schedule.parent);
-
-    // Flat task set, grouped into dependency waves: wave k holds every
-    // variant's level-k solves, and the independent DES replications are
-    // round-robined across ALL waves — they have no dependencies, so they
-    // fill the otherwise-narrow later solve waves instead of serializing
-    // every post-root solve behind the whole simulation batch. Wave
-    // assignment never affects any output (each task writes its own slot
-    // and pooling happens afterwards in point order).
-    struct Task {
-        bool is_replication = false;
-        std::size_t variant = 0;
-        std::size_t rate = 0;
-        int replication = 0;
-    };
-    std::vector<std::vector<Task>> waves;
-    if (chain) {
-        waves.resize(schedule.levels.size());
-        for (std::size_t level = 0; level < schedule.levels.size(); ++level) {
-            for (const int index : schedule.levels[level]) {
-                for (std::size_t v = 0; v < num_variants; ++v) {
-                    waves[level].push_back({false, v, static_cast<std::size_t>(index), 0});
-                }
-            }
-        }
-    }
-    std::vector<std::vector<sim::SimulationResults>> replication_results;
-    if (des) {
-        replication_results.assign(
-            num_points,
-            std::vector<sim::SimulationResults>(static_cast<std::size_t>(replications)));
-        if (waves.empty()) {
-            waves.resize(1);
-        }
-        std::size_t next_wave = 0;
-        for (std::size_t v = 0; v < num_variants; ++v) {
-            for (std::size_t r = 0; r < num_rates; ++r) {
-                for (int rep = 0; rep < replications; ++rep) {
-                    waves[next_wave].push_back({true, v, r, rep});
-                    next_wave = (next_wave + 1) % waves.size();
-                }
-            }
+            point.evaluations.resize(num_methods);
+            point.deltas.resize(num_methods);
         }
     }
 
     const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
-    std::mutex progress_mutex;
+    common::ThreadPool* pool = width > 1 ? &engine_.pool(width) : nullptr;
 
-    const auto run_task = [&](const Task& task) {
-        const std::size_t flat = task.variant * num_rates + task.rate;
-        if (task.is_replication) {
-            sim::ExperimentConfig experiment;
-            experiment.base.cell = variants[task.variant].parameters;
-            experiment.base.cell.call_arrival_rate = rates[task.rate];
-            experiment.base.warmup_time = effective.simulation.warmup_time;
-            experiment.base.batch_count = effective.simulation.batch_count;
-            experiment.base.batch_duration = effective.simulation.batch_duration;
-            experiment.base.tcp_enabled = effective.simulation.tcp;
-            experiment.replications = replications;
-            experiment.seed = effective.simulation.seed;
-            // Replication r of flat point p always draws from substream
-            // block p * R + r of the experiment seed: disjoint streams for
-            // every task, identical trajectories at every thread count.
-            const std::uint64_t block =
-                static_cast<std::uint64_t>(flat) * static_cast<std::uint64_t>(replications) +
-                static_cast<std::uint64_t>(task.replication);
-            const sim::SimulationConfig config = sim::replication_config(experiment, block);
-            replication_results[flat][static_cast<std::size_t>(task.replication)] =
-                sim::NetworkSimulator(config).run();
-            return;
+    // Registry dispatch: one evaluate_grid call per (backend, variant).
+    // Backends keep their batch internals — the ctmc backend's bisection
+    // warm-start transfer waves and the des backend's replication sharding
+    // both run on the engine's shared pool — and each call writes a
+    // disjoint slice of the point table, so output stays a pure function
+    // of the spec at every width.
+    for (std::size_t b = 0; b < num_methods; ++b) {
+        const std::string& method = effective.methods[b];
+        auto backend = eval::BackendRegistry::global().find(method);
+        if (!backend.ok()) {
+            // validate() checked membership; a vanished backend would be a
+            // registry mutation between then and now.
+            throw SpecError(backend.error().message, 0);
         }
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            eval::ScenarioQuery base;
+            base.parameters = variants[v].parameters;
+            base.solver.tolerance = effective.solver.tolerance;
+            base.simulation.replications = effective.simulation.replications;
+            base.simulation.seed = effective.simulation.seed;
+            base.simulation.warmup_time = effective.simulation.warmup_time;
+            base.simulation.batch_count = effective.simulation.batch_count;
+            base.simulation.batch_duration = effective.simulation.batch_duration;
+            base.simulation.tcp = effective.simulation.tcp;
 
-        core::Parameters p = variants[task.variant].parameters;
-        p.call_arrival_rate = rates[task.rate];
-        core::GprsModel model(p);
-        const std::vector<double> product =
-            core::product_form_initial(p, model.balanced(), model.space());
-        ctmc::SolveOptions solve;
-        solve.tolerance = effective.solver.tolerance;
-        solve.num_threads = 1;  // the points are the parallelism
-        const int parent = schedule.parent[task.rate];
-        if (parent >= 0) {
-            // Candidate 0 (preferred): the plain product form; candidate 1:
-            // the target's product form carrying the parent's deviation.
-            // The transfer must undercut half the product form's initial
-            // residual to be adopted — measured on the Fig. 6 cell, that
-            // margin separates every transfer that converges faster from
-            // the near-ties that plateau — so a poisoned transfer never
-            // costs iterations.
-            std::vector<double> transferred =
-                cache.claim(task.variant, static_cast<std::size_t>(parent));
-            for (std::size_t s = 0; s < transferred.size(); ++s) {
-                transferred[s] *= product[s];
+            eval::GridOptions grid;
+            grid.num_threads = width;
+            grid.pool = pool;
+            grid.warm_start = effective.solver.warm_start;
+            // Disjoint substream blocks across variants: grid point r of
+            // variant v is experiment block (v * num_rates + r) — the flat
+            // point index, so replication streams never overlap between
+            // variants sharing the spec's seed.
+            grid.grid_offset = static_cast<std::uint64_t>(v * num_rates);
+            if (options.solve_progress) {
+                grid.progress = [&options, v, num_rates](
+                                    std::size_t r,
+                                    const eval::PointEvaluation& evaluation) {
+                    CampaignPoint snapshot;
+                    snapshot.variant = v;
+                    snapshot.rate_index = r;
+                    snapshot.call_arrival_rate = evaluation.call_arrival_rate;
+                    snapshot.has_model = true;
+                    snapshot.model = evaluation.measures;
+                    snapshot.iterations = evaluation.iterations;
+                    snapshot.residual = evaluation.residual;
+                    snapshot.solve_seconds = evaluation.wall_seconds;
+                    snapshot.warm_parent = evaluation.warm_parent;
+                    snapshot.warm_started = evaluation.warm_started;
+                    options.solve_progress(v * num_rates + r, snapshot);
+                };
             }
-            solve.initial_candidates.push_back(product);
-            solve.initial_candidates.push_back(std::move(transferred));
-            solve.candidate_margin = 0.5;
-        }
-        const ctmc::SolveResult& solved = model.solve(solve, engine_);
-        if (cache.has_dependents(task.rate)) {
-            std::vector<double> deviation(solved.distribution.size());
-            for (std::size_t s = 0; s < deviation.size(); ++s) {
-                deviation[s] =
-                    product[s] > 0.0 ? solved.distribution[s] / product[s] : 0.0;
-            }
-            cache.store(task.variant, task.rate, std::move(deviation));
-        }
 
-        CampaignPoint& point = result.points[flat];
-        point.has_model = true;
-        point.model =
-            core::compute_measures(p, model.balanced(), model.space(), solved.distribution);
-        point.iterations = static_cast<long long>(solved.iterations);
-        point.residual = solved.residual;
-        point.solve_seconds = solved.seconds;
-        point.warm_parent = parent;
-        point.warm_started = solved.initial_selected == 1;
-        if (options.solve_progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            options.solve_progress(flat, point);
-        }
-    };
-
-    for (const std::vector<Task>& wave : waves) {
-        if (wave.empty()) {
-            continue;
-        }
-        const int wave_width = std::min<int>(width, static_cast<int>(wave.size()));
-        if (wave_width <= 1) {
-            for (const Task& task : wave) {
-                run_task(task);
+            auto evaluated = backend.value()->evaluate_grid(base, rates, grid);
+            if (!evaluated.ok()) {
+                throw std::runtime_error("campaign backend \"" + method +
+                                         "\": " + evaluated.error().to_string());
             }
-        } else {
-            engine_.pool(wave_width).run(
-                static_cast<int>(wave.size()),
-                [&](int t) { run_task(wave[static_cast<std::size_t>(t)]); }, wave_width);
+            std::vector<eval::PointEvaluation> evaluations = evaluated.take();
+            for (std::size_t r = 0; r < num_rates; ++r) {
+                result.points[v * num_rates + r].evaluations[b] =
+                    std::move(evaluations[r]);
+            }
         }
     }
 
-    // Serial, point-ordered post-processing: replication pooling, deltas,
-    // and summary totals are all independent of execution order.
-    for (std::size_t flat = 0; flat < num_points; ++flat) {
-        CampaignPoint& point = result.points[flat];
-        if (des) {
-            point.sim = sim::pool_replications(std::move(replication_results[flat]));
-            point.sim.threads_used = width;
-            point.has_sim = true;
+    // Serial, point-ordered post-processing: pairwise deltas against the
+    // first backend, the legacy model/sim view, and summary totals are all
+    // independent of execution order.
+    for (CampaignPoint& point : result.points) {
+        const core::Measures& reference = point.evaluations.front().measures;
+        for (std::size_t b = 1; b < num_methods; ++b) {
+            const core::Measures& other = point.evaluations[b].measures;
+            point.deltas[b] = {
+                reference.carried_data_traffic - other.carried_data_traffic,
+                reference.packet_loss_probability - other.packet_loss_probability,
+                reference.queueing_delay - other.queueing_delay,
+                reference.throughput_per_user_kbps - other.throughput_per_user_kbps,
+            };
         }
-        if (point.has_model && point.has_sim) {
-            point.delta_cdt = point.model.carried_data_traffic -
-                              point.sim.carried_data_traffic.mean;
-            point.delta_plp = point.model.packet_loss_probability -
-                              point.sim.packet_loss_probability.mean;
-            point.delta_qd = point.model.queueing_delay - point.sim.queueing_delay.mean;
-            point.delta_atu = point.model.throughput_per_user_kbps -
-                              point.sim.throughput_per_user_kbps.mean;
-        }
+        synthesize_legacy_view(point);
     }
 
     CampaignSummary& summary = result.summary;
     summary.variants = num_variants;
     summary.points = num_points;
-    summary.warm_start = chain && effective.solver.warm_start;
     summary.threads = width;
+    bool any_chain = false;
     for (const CampaignPoint& point : result.points) {
-        if (chain && point.has_model) {
-            ++summary.model_solves;
-            summary.total_iterations += point.iterations;
-            if (point.warm_parent >= 0) {
-                ++summary.warm_offered_solves;
+        for (const eval::PointEvaluation& evaluation : point.evaluations) {
+            if (evaluation.iterations > 0) {
+                any_chain = true;
+                ++summary.model_solves;
+                summary.total_iterations += evaluation.iterations;
+                if (evaluation.warm_parent >= 0) {
+                    ++summary.warm_offered_solves;
+                }
+                if (evaluation.warm_started) {
+                    ++summary.warm_started_solves;
+                }
             }
-            if (point.warm_started) {
-                ++summary.warm_started_solves;
+            if (evaluation.has_confidence) {
+                summary.sim_replications +=
+                    static_cast<long long>(evaluation.sim.replications.size());
+                summary.sim_events += evaluation.sim.events_executed;
             }
-        }
-        if (point.has_sim) {
-            summary.sim_replications += replications;
-            summary.sim_events += point.sim.events_executed;
         }
     }
+    summary.warm_start = any_chain && effective.solver.warm_start;
     result.variants = std::move(variants);
     summary.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -1,69 +1,78 @@
-// CampaignRunner: executes a ScenarioSpec as one flat task set on the
-// shared parallel runtime.
+// CampaignRunner: executes a ScenarioSpec by dispatching every (variant,
+// rate-grid) slice through the eval::BackendRegistry.
 //
 //   campaign layer   (this file + spec.hpp + sink.hpp)
-//        ^ expands variants x rate grid into solver tasks + DES replication
-//          tasks, dispatches them on one common::ThreadPool (the
-//          ctmc::SolverEngine's), pools and post-processes deterministically
+//        ^ expands variants x rate grid, resolves each spec method to a
+//          registered eval::Evaluator, and calls evaluate_grid per
+//          (backend, variant) with the engine's shared pool; pairwise
+//          deltas and summaries are post-processed deterministically
+//   eval layer       eval::Evaluator / BackendRegistry (eval/registry.hpp)
+//        ^ backends keep their batch internals: the ctmc backend runs the
+//          deterministic bisection warm-start transfer schedule (deviation
+//          from the product form, adopted only when it undercuts half the
+//          cold start's residual — see eval/backends.cpp), the des backend
+//          shards (point, replication) tasks on disjoint substream blocks
 //   model/sim layer  core::GprsModel, sim::NetworkSimulator/replication
-//   consumers        bench/fig*, examples/gprsim_cli ("campaign" command)
+//   consumers        bench/fig*, examples/gprsim_cli ("campaign" command),
+//                    out-of-tree code via find_package(gprsim)
 //
-// Warm-start cache. Chain solves across an arrival-rate grid are highly
-// redundant, so the runner transfers information between neighboring
-// points — but a raw neighbor distribution is a poor initial guess
-// whenever the solution moves faster along the grid than the model's
-// closed-form product approximation (on the paper's Fig. 6 cell it LOSES
-// to the plain product-form start everywhere). What does transfer well is
-// the neighbor's *deviation from its own product form*: the cache stores,
-// per solved point, the elementwise ratio solved/product, and each
-// dependent point offers the engine two candidate initials — the plain
-// product form, and the target's product form with the parent's deviation
-// grafted on. The engine evaluates one scaled residual per candidate (an
-// O(nnz) pass, no iterations) and adopts the transfer only when it
-// undercuts HALF the product form's residual (near-ties routinely
-// mispredict the iteration count, so they go to the product form), which
-// makes a poisoned transfer cost nothing while a good transfer cuts the
-// remaining sweeps severalfold (measured: 140 -> 40 on Fig. 6 high-load
-// points, 320 -> 190 across a 30%-GPRS cell).
+// Adding an analysis route no longer touches this file: register a backend
+// (eval::register_backend) and name it in the spec's "methods" list.
 //
-// To keep the output bitwise invariant to the thread count, the "nearest
-// solved neighbor" is NOT whatever happens to be finished first: each
-// variant's grid gets a deterministic bisection schedule fixed at
-// expansion time (first point from the product form alone, last point
-// offered the first's deviation, then recursively every segment midpoint
-// offered its nearest solved endpoint's). Every point's candidate set is
-// therefore a pure function of the spec, the schedule has O(log n) depth
-// (so up to n/2 points of one variant solve concurrently), and deviation
-// vectors are released as soon as the last dependent has claimed them,
-// keeping the cache at the O(active frontier) rather than O(grid).
-//
-// Determinism. Per-point solves run single-threaded (the points are the
-// parallelism), DES replication r of flat point p always draws from
-// substream block p * replications + r of the experiment seed, and every
-// reduction (replication pooling, summary totals) runs serially in point
-// order after the parallel phase — so campaign output is bitwise invariant
-// to CampaignOptions::num_threads, the same guarantee the two engines give.
+// Determinism. Backends inherit the engines' guarantees: per-point chain
+// solves run single-threaded (the points are the parallelism), DES
+// replication r of flat point p always draws from substream block p * R + r
+// of the experiment seed (GridOptions::grid_offset keeps variants on
+// disjoint blocks), and every reduction (replication pooling, deltas,
+// summary totals) runs serially in point order after the parallel phase —
+// so campaign output is bitwise invariant to CampaignOptions::num_threads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "campaign/spec.hpp"
 #include "core/measures.hpp"
 #include "ctmc/engine.hpp"
+#include "eval/backends.hpp"
 #include "sim/experiment.hpp"
 
 namespace gprsim::campaign {
 
+// Grid-schedule vocabulary re-exported from the eval layer (the bisection
+// warm-start schedule moved into the ctmc backend with PR 4).
+using eval::bisection_schedule;
+using eval::SolveSchedule;
+
+/// Measures of one backend minus the campaign's first backend (the delta
+/// reference); all zero for the first backend itself.
+struct MeasureDeltas {
+    double cdt = 0.0;
+    double plp = 0.0;
+    double qd = 0.0;
+    double atu = 0.0;
+};
+
 /// One (variant, arrival rate) cell of the campaign.
+///
+/// `evaluations` / `deltas` carry the full per-backend results, parallel to
+/// CampaignResult::methods. The scalar fields below them are the legacy
+/// two-column view the sinks and benches render: model columns come from
+/// the first non-stochastic backend, sim columns from the first stochastic
+/// one, and delta_* is model minus pooled simulator mean — exactly the
+/// table layout the pre-registry "erlang|ctmc|des|both" campaigns produced.
 struct CampaignPoint {
     std::size_t variant = 0;  ///< index into CampaignResult::variants
     std::size_t rate_index = 0;
     double call_arrival_rate = 0.0;
 
-    bool has_model = false;  ///< model columns valid (erlang/ctmc/both)
-    core::Measures model;    ///< closed-form only under Method::erlang
+    std::vector<eval::PointEvaluation> evaluations;
+    std::vector<MeasureDeltas> deltas;  ///< vs methods.front(), pairwise
+
+    bool has_model = false;  ///< model columns valid
+    core::Measures model;    ///< closed-form only under the erlang backend
     long long iterations = 0;
     double residual = 0.0;
     double solve_seconds = 0.0;
@@ -74,7 +83,7 @@ struct CampaignPoint {
     /// the engine's residual comparison (always false for roots).
     bool warm_started = false;
 
-    bool has_sim = false;  ///< sim columns valid (des/both)
+    bool has_sim = false;  ///< sim columns valid
     sim::ExperimentResults sim;
 
     /// Model minus pooled simulator mean; valid when has_model && has_sim.
@@ -116,7 +125,8 @@ struct CampaignSummary {
 
 struct CampaignResult {
     std::string name;
-    Method method = Method::ctmc;
+    /// Backend names in evaluation (and delta-reference) order.
+    std::vector<std::string> methods;
     std::vector<double> rates;
     std::vector<Variant> variants;
     /// Variant-major, rate-minor: points[v * rates.size() + r].
@@ -128,20 +138,9 @@ struct CampaignResult {
     }
 };
 
-/// Deterministic per-variant solve schedule (exposed for tests): parent[i]
-/// is the grid index point i warm-starts from (-1 = cold), and levels groups
-/// the indices into dependency waves — every parent of a level-k point sits
-/// in a level < k. warm_start = false yields a single all-cold level.
-struct SolveSchedule {
-    std::vector<int> parent;
-    std::vector<std::vector<int>> levels;
-};
-
-SolveSchedule bisection_schedule(std::size_t count, bool warm_start);
-
-/// Runs campaigns on a SolverEngine's pool; chain solves and simulator
-/// replications interleave on the same workers. Like the engines, one
-/// runner should live as long as the workload.
+/// Runs campaigns on a SolverEngine's pool; backends shard their grid tasks
+/// (chain solves, simulator replications) on the same workers. Like the
+/// engines, one runner should live as long as the workload.
 class CampaignRunner {
 public:
     explicit CampaignRunner(ctmc::SolverEngine& engine) : engine_(engine) {}
@@ -150,7 +149,9 @@ public:
     CampaignRunner& operator=(const CampaignRunner&) = delete;
 
     /// Expands and executes the spec. Throws SpecError on an invalid spec
-    /// and std::runtime_error when a chain solve fails to converge.
+    /// and std::runtime_error when a backend reports a typed evaluation
+    /// error (non-convergence, invalid query); the message carries the
+    /// backend name, error code, and scenario context.
     CampaignResult run(const ScenarioSpec& spec, const CampaignOptions& options = {});
 
 private:

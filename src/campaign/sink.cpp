@@ -151,8 +151,11 @@ bool write_campaign_csv(const CampaignResult& result, const std::string& path) {
 
 void write_campaign_json(const CampaignResult& result, std::ostream& out) {
     const CampaignSummary& s = result.summary;
-    out << "{\n  \"name\": " << json_string(result.name) << ",\n  \"method\": \""
-        << method_name(result.method) << "\",\n  \"summary\": {\"variants\": " << s.variants
+    out << "{\n  \"name\": " << json_string(result.name) << ",\n  \"methods\": [";
+    for (std::size_t m = 0; m < result.methods.size(); ++m) {
+        out << (m > 0 ? ", " : "") << json_string(result.methods[m]);
+    }
+    out << "],\n  \"summary\": {\"variants\": " << s.variants
         << ", \"points\": " << s.points << ", \"model_solves\": " << s.model_solves
         << ", \"warm_offered_solves\": " << s.warm_offered_solves
         << ", \"warm_started_solves\": " << s.warm_started_solves
@@ -257,9 +260,14 @@ CsvTable read_csv(std::istream& in) {
 
 void print_campaign_summary(const CampaignResult& result, std::FILE* out) {
     const CampaignSummary& s = result.summary;
+    std::string methods;
+    for (const std::string& method : result.methods) {
+        methods += methods.empty() ? "" : "+";
+        methods += method;
+    }
     std::fprintf(out, "\ncampaign '%s' (%s): %zu variants x %zu rates = %zu points\n",
-                 result.name.c_str(), method_name(result.method), s.variants,
-                 result.rates.size(), s.points);
+                 result.name.c_str(), methods.c_str(), s.variants, result.rates.size(),
+                 s.points);
     if (s.model_solves > 0) {
         std::fprintf(out,
                      "  chain solves: %zu (%zu of %zu offered transfers warm-started, "

@@ -15,10 +15,12 @@
 
 namespace gprsim::campaign {
 
-/// Column layout of write_campaign_csv, in order. Model columns are empty
-/// for Method::des points; sim and delta columns are empty when the method
-/// ran no simulator. Doubles are printed with max_digits10 precision, so
-/// reading a cell back with strtod reproduces the exact bits.
+/// Column layout of write_campaign_csv, in order — the legacy two-column
+/// view of CampaignPoint: model columns come from the first non-stochastic
+/// backend (empty when every method is stochastic), sim and delta columns
+/// are empty when no "des"-style backend ran. Doubles are printed with
+/// max_digits10 precision, so reading a cell back with strtod reproduces
+/// the exact bits.
 ///
 ///   scenario, variant, label, traffic_model, reserved_pdch, gprs_fraction,
 ///   coding_scheme, max_gprs_sessions, call_arrival_rate,
@@ -35,7 +37,7 @@ void write_campaign_csv(const CampaignResult& result, std::ostream& out);
 /// Writes to a file; returns false (with a message on stderr) on I/O error.
 bool write_campaign_csv(const CampaignResult& result, const std::string& path);
 
-/// JSON mirror of the CSV: {"name", "method", "summary": {...},
+/// JSON mirror of the CSV: {"name", "methods": [...], "summary": {...},
 /// "points": [...]} with the same per-point fields.
 void write_campaign_json(const CampaignResult& result, std::ostream& out);
 bool write_campaign_json(const CampaignResult& result, const std::string& path);

@@ -1,5 +1,6 @@
 #include "campaign/spec.hpp"
 
+#include <algorithm>
 #include <climits>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +10,7 @@
 
 #include "campaign/json.hpp"
 #include "core/sweep.hpp"
+#include "eval/registry.hpp"
 #include "traffic/threegpp.hpp"
 
 namespace gprsim::campaign {
@@ -93,15 +95,56 @@ core::CodingScheme parse_scheme(const JsonValue& value) {
                     value.line());
 }
 
-Method parse_method(const JsonValue& value) {
-    const std::string& name = value.as_string();
-    if (name == "erlang") return Method::erlang;
-    if (name == "ctmc") return Method::ctmc;
-    if (name == "des") return Method::des;
-    if (name == "both") return Method::both;
-    throw SpecError("unknown method \"" + name +
-                        "\" (use \"erlang\", \"ctmc\", \"des\" or \"both\")",
-                    value.line());
+/// Expands legacy aliases: a plain backend name stays itself, "both" (the
+/// pre-registry spelling of "model and simulator side by side") becomes
+/// {"ctmc", "des"}. Registry membership is checked afterwards so the error
+/// carries the key's line.
+std::vector<std::string> expand_method_aliases(const std::string& name) {
+    if (name == "both") {
+        return {"ctmc", "des"};
+    }
+    return {name};
+}
+
+/// Throws the line-carrying SpecError for names missing from the registry
+/// or duplicated in the list.
+void check_method_names(const std::vector<std::string>& methods, int line) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+        const std::string& name = methods[i];
+        if (!eval::BackendRegistry::global().contains(name)) {
+            std::string known;
+            for (const eval::BackendInfo& info : eval::BackendRegistry::global().list()) {
+                known += known.empty() ? "" : ", ";
+                known += "\"" + info.name + "\"";
+            }
+            throw SpecError("unknown method \"" + name + "\" (registered backends: " +
+                                known + "; \"both\" = ctmc + des)",
+                            line);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (methods[j] == name) {
+                throw SpecError("method \"" + name + "\" listed twice", line);
+            }
+        }
+    }
+}
+
+std::vector<std::string> parse_methods(const JsonValue& value) {
+    std::vector<std::string> methods;
+    if (value.is_array()) {
+        if (value.items().empty()) {
+            throw SpecError("\"methods\" must not be an empty array", value.line());
+        }
+        for (const JsonValue& item : value.items()) {
+            for (std::string& name : expand_method_aliases(item.as_string())) {
+                methods.push_back(std::move(name));
+            }
+        }
+    } else {
+        methods = expand_method_aliases(value.as_string());
+    }
+    check_method_names(methods, value.line());
+    return methods;
 }
 
 std::vector<double> parse_rates(const JsonValue& value) {
@@ -174,23 +217,18 @@ SimulationSpec parse_simulation(const JsonValue& value) {
 
 }  // namespace
 
-const char* method_name(Method method) {
-    switch (method) {
-        case Method::erlang: return "erlang";
-        case Method::ctmc: return "ctmc";
-        case Method::des: return "des";
-        case Method::both: return "both";
-    }
-    return "unknown";
-}
-
 ScenarioSpec& ScenarioSpec::named(std::string value) {
     name = std::move(value);
     return *this;
 }
 
-ScenarioSpec& ScenarioSpec::with_method(Method value) {
-    method = value;
+ScenarioSpec& ScenarioSpec::with_method(const std::string& value) {
+    methods = expand_method_aliases(value);
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_methods(std::vector<std::string> values) {
+    methods = std::move(values);
     return *this;
 }
 
@@ -258,10 +296,19 @@ std::size_t ScenarioSpec::variant_count() const {
            coding_schemes.size() * max_gprs_sessions.size();
 }
 
+bool ScenarioSpec::uses_backend(const std::string& backend) const {
+    return std::find(methods.begin(), methods.end(), backend) != methods.end();
+}
+
 void ScenarioSpec::validate() const {
     if (name.empty()) {
         throw SpecError("campaign needs a non-empty name", 0);
     }
+    if (methods.empty()) {
+        throw SpecError("campaign needs at least one method (a registered backend name)",
+                        0);
+    }
+    check_method_names(methods, 0);
     for (const char c : name) {
         // The name is the only user-controlled string reaching the CSV/JSON
         // sinks; control characters would corrupt their row/escape framing.
@@ -297,8 +344,7 @@ void ScenarioSpec::validate() const {
     if (solver.tolerance <= 0.0) {
         throw SpecError("solver tolerance must be positive", 0);
     }
-    const bool uses_des = method == Method::des || method == Method::both;
-    if (uses_des) {
+    if (uses_backend("des")) {
         if (simulation.replications < 1) {
             throw SpecError("simulation needs at least one replication", 0);
         }
@@ -371,8 +417,8 @@ ScenarioSpec interpret_spec(const JsonValue& root) {
         const auto& [key, value] = member;
         if (key == "name") {
             spec.name = value.as_string();
-        } else if (key == "method") {
-            spec.method = parse_method(value);
+        } else if (key == "method" || key == "methods") {
+            spec.methods = parse_methods(value);
         } else if (key == "traffic_model") {
             spec.traffic_models = int_axis(value, key);
         } else if (key == "reserved_pdch") {

@@ -1,12 +1,12 @@
 // Declarative scenario campaigns (the batched front end of the paper's
 // evaluation): a ScenarioSpec names a cartesian product of cell
 // configurations — traffic model x reserved PDCHs x GPRS fraction x coding
-// scheme x session cap — crossed with an arrival-rate grid, and says how
-// each point is to be evaluated (Erlang closed forms, a chain solve, DES
-// replications, or chain + DES side by side). Specs come from a small
-// JSON-ish text format (parse_spec, with line-numbered errors) or from the
-// chainable builder methods; CampaignRunner (runner.hpp) expands and
-// executes them.
+// scheme x session cap — crossed with an arrival-rate grid, and names the
+// eval backends each point runs through: any list of names registered in
+// eval::BackendRegistry ("erlang", "ctmc", "des", "mm1k-approx", or an
+// out-of-tree backend). Specs come from a small JSON-ish text format
+// (parse_spec, with line-numbered errors) or from the chainable builder
+// methods; CampaignRunner (runner.hpp) expands and executes them.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +18,6 @@
 #include "core/parameters.hpp"
 
 namespace gprsim::campaign {
-
-/// How each (variant, arrival rate) point of the campaign is evaluated.
-enum class Method {
-    erlang,  ///< closed-form measures only (no chain solve, no simulation)
-    ctmc,    ///< stationary chain solve; full model measures
-    des,     ///< simulator replications with 95% CIs; no model columns
-    both,    ///< chain solve + replications, with per-point deltas
-};
-
-const char* method_name(Method method);
 
 /// Spec-level error (parse or validation) with the 1-based line of the
 /// offending construct; line() is 0 for programmatically built specs.
@@ -81,7 +71,11 @@ struct Variant {
 
 struct ScenarioSpec {
     std::string name = "campaign";
-    Method method = Method::ctmc;
+    /// Registered backend names each point is evaluated with, in order.
+    /// The first backend is the delta reference (runner.hpp); duplicates
+    /// are rejected. Legacy single-method strings parse as one-element
+    /// lists and "both" expands to {"ctmc", "des"}.
+    std::vector<std::string> methods{"ctmc"};
 
     // --- variant axes (cartesian product, outermost first) ---------------
     std::vector<int> traffic_models{1};
@@ -105,7 +99,9 @@ struct ScenarioSpec {
 
     // --- chainable builders ----------------------------------------------
     ScenarioSpec& named(std::string value);
-    ScenarioSpec& with_method(Method value);
+    /// Single backend ("ctmc") or legacy alias ("both" -> ctmc + des).
+    ScenarioSpec& with_method(const std::string& value);
+    ScenarioSpec& with_methods(std::vector<std::string> values);
     ScenarioSpec& over_traffic_models(std::vector<int> values);
     ScenarioSpec& over_reserved_pdch(std::vector<int> values);
     ScenarioSpec& over_gprs_fractions(std::vector<double> values);
@@ -123,9 +119,13 @@ struct ScenarioSpec {
     std::size_t variant_count() const;
     std::size_t point_count() const { return variant_count() * rates.size(); }
 
+    /// Whether `backend` appears in `methods`.
+    bool uses_backend(const std::string& backend) const;
+
     /// Throws SpecError when the spec is inconsistent (empty axes, empty or
-    /// unsorted grid, bad ranges). Axis entries are validated individually;
-    /// the per-variant Parameters::validate runs during expand().
+    /// unsorted grid, bad ranges, a method name missing from the global
+    /// BackendRegistry). Axis entries are validated individually; the
+    /// per-variant Parameters::validate runs during expand().
     void validate() const;
 
     /// Validates, then materializes the cartesian product in deterministic
@@ -138,7 +138,10 @@ struct ScenarioSpec {
 
 /// Parses the JSON-ish spec format. Top-level keys:
 ///   "name"               string
-///   "method"             "erlang" | "ctmc" | "des" | "both"
+///   "methods"            array of registered backend names, e.g.
+///                        ["ctmc", "des", "mm1k-approx"]
+///   "method"             legacy single-string form: any backend name, or
+///                        the alias "both" (= ["ctmc", "des"])
 ///   "traffic_model"      1|2|3, or an array of them
 ///   "reserved_pdch"      int or array
 ///   "gprs_fraction"      number in (0,1) or array

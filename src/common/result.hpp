@@ -1,0 +1,108 @@
+// Expected-style result type and the typed evaluation error that crosses
+// the gprsim::eval API boundary instead of exceptions.
+//
+// The eval layer's contract is "no exception escapes evaluate() /
+// evaluate_grid()": backends translate every internal failure — a chain
+// solve that did not converge, an inconsistent Parameters set, an unknown
+// backend name — into an EvalError carrying a machine-checkable code plus a
+// human-readable message with the scenario's key parameters, and return it
+// inside a Result<T>. Consumers above the boundary (campaign, CLI, tests)
+// decide whether to rethrow, retry, or report.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gprsim::common {
+
+/// Machine-checkable failure class of an evaluation.
+enum class EvalErrorCode {
+    /// The ScenarioQuery itself is inconsistent (non-positive rate, knobs
+    /// out of range, Parameters::validate failure).
+    invalid_query,
+    /// The backend's iteration ran out of budget before reaching its
+    /// tolerance; the message carries residual/iterations and the scenario.
+    non_convergence,
+    /// No backend registered under the requested name.
+    unknown_backend,
+    /// register_backend collided with an existing name.
+    duplicate_backend,
+    /// The backend cannot evaluate this (otherwise valid) query.
+    unsupported,
+    /// Anything else a backend caught at the boundary (bad_alloc, logic
+    /// errors in third-party backends, ...).
+    internal,
+};
+
+inline const char* eval_error_code_name(EvalErrorCode code) {
+    switch (code) {
+        case EvalErrorCode::invalid_query: return "invalid_query";
+        case EvalErrorCode::non_convergence: return "non_convergence";
+        case EvalErrorCode::unknown_backend: return "unknown_backend";
+        case EvalErrorCode::duplicate_backend: return "duplicate_backend";
+        case EvalErrorCode::unsupported: return "unsupported";
+        case EvalErrorCode::internal: return "internal";
+    }
+    return "unknown";
+}
+
+/// Typed error crossing the eval API boundary. `message` is complete on its
+/// own (it embeds the scenario context); `code` lets callers branch without
+/// string matching.
+struct EvalError {
+    EvalErrorCode code = EvalErrorCode::internal;
+    std::string message;
+
+    /// "non_convergence: <message>" — the one-line form the CLI prints.
+    std::string to_string() const {
+        return std::string(eval_error_code_name(code)) + ": " + message;
+    }
+};
+
+/// Minimal expected-style carrier: either a T or an EvalError. (The repo
+/// targets C++20, so std::expected is not available.) value()/error() are
+/// checked with assert in debug builds; callers test ok() first.
+template <typename T>
+class [[nodiscard]] Result {
+public:
+    Result(T value) : storage_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+    Result(EvalError error) : storage_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+    bool ok() const { return std::holds_alternative<T>(storage_); }
+    explicit operator bool() const { return ok(); }
+
+    T& value() {
+        assert(ok());
+        return std::get<T>(storage_);
+    }
+    const T& value() const {
+        assert(ok());
+        return std::get<T>(storage_);
+    }
+    /// Moves the value out (for heavy payloads like per-point vectors).
+    T take() {
+        assert(ok());
+        return std::move(std::get<T>(storage_));
+    }
+
+    const EvalError& error() const {
+        assert(!ok());
+        return std::get<EvalError>(storage_);
+    }
+
+    T value_or(T fallback) const {
+        return ok() ? std::get<T>(storage_) : std::move(fallback);
+    }
+
+private:
+    std::variant<T, EvalError> storage_;
+};
+
+/// Result for operations with no payload (registration, validation).
+using Status = Result<std::monostate>;
+
+inline Status ok_status() { return Status(std::monostate{}); }
+
+}  // namespace gprsim::common

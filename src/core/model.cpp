@@ -17,8 +17,22 @@ const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options) {
 
 const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options,
                                           ctmc::SolverEngine& engine) {
+    auto result = try_solve(options, engine);
+    if (!result.ok()) {
+        throw std::runtime_error("GprsModel::solve: " + result.error().message);
+    }
+    return result.value().get();
+}
+
+common::Result<std::reference_wrapper<const ctmc::SolveResult>> GprsModel::try_solve(
+    const ctmc::SolveOptions& options) {
+    return try_solve(options, ctmc::default_engine());
+}
+
+common::Result<std::reference_wrapper<const ctmc::SolveResult>> GprsModel::try_solve(
+    const ctmc::SolveOptions& options, ctmc::SolverEngine& engine) {
     if (solution_) {
-        return *solution_;
+        return std::cref(*solution_);
     }
     const auto run = [&](const ctmc::SolveOptions& effective) {
         if (estimated_qt_bytes() <= memory_budget_) {
@@ -30,32 +44,42 @@ const ctmc::SolveResult& GprsModel::solve(const ctmc::SolveOptions& options,
         return engine.solve(generator_, effective);
     };
     ctmc::SolveResult result;
-    if (options.initial.empty() && options.initial_candidates.empty()) {
-        // Warm-start from the closed-form product approximation; typically
-        // several times fewer sweeps than a uniform start. Callers supplying
-        // initial_candidates (the campaign runner) add it themselves — and
-        // those candidate vectors are state-space-sized, so the options are
-        // only copied on this branch.
-        ctmc::SolveOptions effective = options;
-        effective.initial = product_form_initial(parameters_, balanced_, space());
-        result = run(effective);
-    } else {
-        result = run(options);
+    try {
+        if (options.initial.empty() && options.initial_candidates.empty()) {
+            // Warm-start from the closed-form product approximation;
+            // typically several times fewer sweeps than a uniform start.
+            // Callers supplying initial_candidates (the campaign runner) add
+            // it themselves — and those candidate vectors are
+            // state-space-sized, so the options are only copied here.
+            ctmc::SolveOptions effective = options;
+            effective.initial = product_form_initial(parameters_, balanced_, space());
+            result = run(effective);
+        } else {
+            result = run(options);
+        }
+    } catch (const std::exception& e) {
+        // Degenerate options/operator (engine throws invalid_argument).
+        return common::EvalError{common::EvalErrorCode::invalid_query,
+                                 std::string(e.what()) + " [" + parameters_.describe() +
+                                     "]"};
     }
     if (!result.converged) {
-        throw std::runtime_error(
-            "GprsModel::solve: steady-state iteration did not converge "
-            "(residual " +
-            std::to_string(result.residual) + " after " +
-            std::to_string(result.iterations) + " sweeps)");
+        return common::EvalError{
+            common::EvalErrorCode::non_convergence,
+            "steady-state iteration did not converge (residual " +
+                std::to_string(result.residual) + " after " +
+                std::to_string(result.iterations) + " sweeps, tolerance " +
+                std::to_string(options.tolerance) + ") [" + parameters_.describe() + "]"};
     }
     solution_ = std::move(result);
-    return *solution_;
+    return std::cref(*solution_);
 }
 
 const std::vector<double>& GprsModel::distribution() const {
     if (!solution_) {
-        throw std::logic_error("GprsModel::distribution: call solve() first");
+        throw std::logic_error(
+            "GprsModel::distribution: no converged solution yet — call solve() first [" +
+            parameters_.describe() + "]");
     }
     return solution_->distribution;
 }

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/result.hpp"
 #include "ctmc/engine.hpp"
 #include "ctmc/solver.hpp"
 #include "core/generator.hpp"
@@ -39,13 +41,24 @@ public:
 
     /// Solves for the stationary distribution (cached) on the process-wide
     /// default engine. Returns solver statistics; throws
-    /// std::runtime_error if the solve did not converge.
+    /// std::runtime_error — with the scenario's key parameters in the
+    /// message — if the solve did not converge.
     const ctmc::SolveResult& solve(const ctmc::SolveOptions& options = {});
 
     /// Same, but on a caller-managed engine — the route every sweep and
     /// bench takes so one thread pool is reused across all solves.
     const ctmc::SolveResult& solve(const ctmc::SolveOptions& options,
                                    ctmc::SolverEngine& engine);
+
+    /// Exception-free solve for the eval API boundary: a non-converged
+    /// iteration or invalid solver options come back as a typed
+    /// common::EvalError (non_convergence / invalid_query) whose message
+    /// carries residual, iterations, and Parameters::describe(). On
+    /// success the result is cached exactly like solve()'s.
+    common::Result<std::reference_wrapper<const ctmc::SolveResult>> try_solve(
+        const ctmc::SolveOptions& options = {});
+    common::Result<std::reference_wrapper<const ctmc::SolveResult>> try_solve(
+        const ctmc::SolveOptions& options, ctmc::SolverEngine& engine);
 
     bool solved() const { return solution_.has_value(); }
     /// Stationary distribution (requires a prior successful solve()).

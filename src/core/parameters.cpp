@@ -1,5 +1,6 @@
 #include "core/parameters.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace gprsim::core {
@@ -44,6 +45,16 @@ void Parameters::validate() const {
         throw std::invalid_argument("Parameters: flow-control threshold must be in (0, 1]");
     }
     traffic.validate();
+}
+
+std::string Parameters::describe() const {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "rate=%.6g calls/s, N=%d channels (%d PDCH reserved), M=%d, K=%d, "
+                  "gprs=%.4g%%",
+                  call_arrival_rate, total_channels, reserved_pdch, max_gprs_sessions,
+                  buffer_capacity, 100.0 * gprs_fraction);
+    return buffer;
 }
 
 Parameters Parameters::base() {

@@ -1,6 +1,8 @@
 // Model parameters of the GPRS cell (paper Table 2 + traffic model).
 #pragma once
 
+#include <string>
+
 #include "traffic/threegpp.hpp"
 
 namespace gprsim::core {
@@ -64,6 +66,11 @@ struct Parameters {
     /// Throws std::invalid_argument when the configuration is inconsistent
     /// (no channels, eta outside [0,1], non-positive rates, ...).
     void validate() const;
+
+    /// "rate=0.5 calls/s, N=20 channels (1 PDCH reserved), M=50, K=100,
+    /// gprs=5%" — the scenario context embedded in every solver and
+    /// evaluation error message so a failure names the point producing it.
+    std::string describe() const;
 
     /// Table 2 base setting with traffic model 1.
     static Parameters base();

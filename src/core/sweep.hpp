@@ -92,7 +92,7 @@ public:
     /// from its own product-form guess. Output order matches input order.
     /// (Model-vs-simulator validation sweeps — a chain solve plus R
     /// replications per point — live in campaign::CampaignRunner with
-    /// Method::both.)
+    /// methods {"ctmc", "des"}.)
     std::vector<ScenarioPoint> sweep_scenarios(std::span<const Parameters> scenarios,
                                                const SweepOptions& options = {});
 

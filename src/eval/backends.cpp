@@ -1,0 +1,617 @@
+#include "eval/backends.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "core/handover.hpp"
+#include "core/initial_guess.hpp"
+#include "core/model.hpp"
+#include "queueing/mm1k.hpp"
+#include "sim/experiment.hpp"
+
+namespace gprsim::eval {
+
+SolveSchedule bisection_schedule(std::size_t count, bool warm_start) {
+    SolveSchedule schedule;
+    schedule.parent.assign(count, -1);
+    if (count == 0) {
+        return schedule;
+    }
+    if (!warm_start) {
+        // Cold start: no dependencies, every point in one maximal wave.
+        std::vector<int> all(count);
+        std::iota(all.begin(), all.end(), 0);
+        schedule.levels.push_back(std::move(all));
+        return schedule;
+    }
+    schedule.levels.push_back({0});
+    if (count == 1) {
+        return schedule;
+    }
+    const int last = static_cast<int>(count) - 1;
+    schedule.parent[static_cast<std::size_t>(last)] = 0;
+    schedule.levels.push_back({last});
+    std::vector<std::pair<int, int>> segments{{0, last}};
+    while (!segments.empty()) {
+        std::vector<int> level;
+        std::vector<std::pair<int, int>> next;
+        for (const auto& [a, b] : segments) {
+            if (b - a <= 1) {
+                continue;
+            }
+            const int mid = a + (b - a) / 2;
+            // Nearest solved endpoint: the floor midpoint is never closer
+            // to b, so the lower endpoint always wins ("ties down").
+            schedule.parent[static_cast<std::size_t>(mid)] = a;
+            level.push_back(mid);
+            next.emplace_back(a, mid);
+            next.emplace_back(mid, b);
+        }
+        if (!level.empty()) {
+            schedule.levels.push_back(std::move(level));
+        }
+        segments = std::move(next);
+    }
+    return schedule;
+}
+
+namespace {
+
+using common::EvalError;
+using common::EvalErrorCode;
+
+/// Deviation vectors (solved distribution / own product form, elementwise)
+/// awaiting their warm-start dependents, one slot per grid index. A slot is
+/// only populated when the schedule has at least one dependent for it, each
+/// dependent copies the vector exactly once (claim), and the claim that
+/// consumes the last reference frees the slot — so peak memory follows the
+/// bisection frontier, not the grid. Thread-safety: stores and claims of
+/// one slot never overlap (the wave barrier separates a point's solve from
+/// its children's solves); claims of one slot from several same-wave
+/// children only race on the atomic reference count, and every copy is
+/// sequenced before its own decrement.
+class WarmStartCache {
+public:
+    WarmStartCache(std::size_t grid, const std::vector<int>& parent)
+        : slots_(grid), remaining_(grid), children_(grid, 0) {
+        for (const int p : parent) {
+            if (p >= 0) {
+                ++children_[static_cast<std::size_t>(p)];
+            }
+        }
+        for (std::size_t i = 0; i < grid; ++i) {
+            remaining_[i].store(children_[i], std::memory_order_relaxed);
+        }
+    }
+
+    /// Whether the schedule has any dependent for this grid index (callers
+    /// skip building the deviation vector otherwise).
+    bool has_dependents(std::size_t index) const { return children_[index] > 0; }
+
+    /// Keeps the deviation vector iff some later point claims it.
+    void store(std::size_t index, std::vector<double> deviation) {
+        if (children_[index] > 0) {
+            slots_[index] = std::move(deviation);
+        }
+    }
+
+    /// Returns the parent's deviation and releases one claim. A count of 1
+    /// means every other claimant has already decremented, so this claimant
+    /// owns the slot exclusively and can move the vector out instead of
+    /// copying (a ~2x peak-memory saving on multi-million-state chains).
+    std::vector<double> claim(std::size_t parent_index) {
+        if (remaining_[parent_index].load(std::memory_order_acquire) == 1) {
+            std::vector<double> last = std::move(slots_[parent_index]);
+            remaining_[parent_index].store(0, std::memory_order_release);
+            return last;
+        }
+        std::vector<double> copy = slots_[parent_index];
+        if (remaining_[parent_index].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::vector<double>().swap(slots_[parent_index]);
+        }
+        return copy;
+    }
+
+private:
+    std::vector<std::vector<double>> slots_;
+    std::vector<std::atomic<int>> remaining_;
+    std::vector<int> children_;  ///< dependents per grid index
+};
+
+/// Scope timer filling PointEvaluation::wall_seconds.
+class WallClock {
+public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Positive-and-ascending check shared by every grid entry point; grids
+/// come from campaign specs (already validated) and from raw API callers
+/// (not validated at all).
+common::Status check_grid(std::span<const double> rates) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!(rates[i] > 0.0)) {
+            return EvalError{EvalErrorCode::invalid_query,
+                             "grid rates must be positive"};
+        }
+        if (i > 0 && rates[i] <= rates[i - 1]) {
+            return EvalError{EvalErrorCode::invalid_query,
+                             "grid rates must be strictly ascending"};
+        }
+    }
+    return common::ok_status();
+}
+
+/// Uncaught-exception fence: every backend body runs inside this so the
+/// "no exception crosses the eval boundary" contract survives bugs in the
+/// layers below (and bad_alloc on huge chains).
+template <typename F>
+common::Result<PointEvaluation> guarded(const ScenarioQuery& query, F&& body) {
+    if (common::Status v = query.validated(); !v.ok()) {
+        return v.error();
+    }
+    try {
+        return body();
+    } catch (const std::exception& e) {
+        return EvalError{EvalErrorCode::internal,
+                         std::string(e.what()) + " [" +
+                             scenario_context(query.parameters, query.call_arrival_rate) +
+                             "]"};
+    }
+}
+
+// --- erlang ---------------------------------------------------------------
+
+class ErlangEvaluator final : public Evaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "erlang";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "closed-form Erlang populations and blocking (Eq. 2-7); no chain solve, "
+            "data-plane measures stay zero";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const WallClock clock;
+            const core::Parameters p = query.resolved_parameters();
+            PointEvaluation point;
+            point.backend = name();
+            point.call_arrival_rate = query.call_arrival_rate;
+            point.measures = core::closed_form_measures(p, core::balance_handover(p));
+            point.wall_seconds = clock.seconds();
+            return point;
+        });
+    }
+};
+
+// --- ctmc -----------------------------------------------------------------
+
+class CtmcEvaluator final : public Evaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "ctmc";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "stationary solve of the full Markov chain (Table 1) with product-form "
+            "warm starts; exact model measures";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const core::Parameters p = query.resolved_parameters();
+            core::GprsModel model(p);
+            ctmc::SolveOptions solve;
+            solve.tolerance = query.solver.tolerance;
+            solve.max_iterations = query.solver.max_iterations;
+            auto solved = model.try_solve(solve, ctmc::default_engine());
+            if (!solved.ok()) {
+                return solved.error();
+            }
+            const ctmc::SolveResult& result = solved.value().get();
+            PointEvaluation point;
+            point.backend = name();
+            point.call_arrival_rate = query.call_arrival_rate;
+            point.measures = core::compute_measures(p, model.balanced(), model.space(),
+                                                    result.distribution);
+            point.iterations = static_cast<long long>(result.iterations);
+            point.residual = result.residual;
+            point.wall_seconds = result.seconds;
+            return point;
+        });
+    }
+
+    /// Grid evaluation with the deterministic bisection warm-start
+    /// transfer: the solved/product-form deviation of each parent point is
+    /// grafted onto its dependents' product form and offered to the engine
+    /// as a competing initial (adopted only when it undercuts HALF the
+    /// product form's initial residual — near-ties mispredict the iteration
+    /// count). Per-point solves run single-threaded (the points are the
+    /// parallelism); waves shard on options.pool. Output is bitwise
+    /// invariant to num_threads.
+    common::Result<std::vector<PointEvaluation>> evaluate_grid(
+        const ScenarioQuery& base, std::span<const double> rates,
+        const GridOptions& options) override {
+        if (common::Status g = check_grid(rates); !g.ok()) {
+            return g.error();
+        }
+        if (rates.empty()) {
+            return std::vector<PointEvaluation>{};
+        }
+        ScenarioQuery probe = base;
+        probe.call_arrival_rate = rates.front();
+        if (common::Status v = probe.validated(); !v.ok()) {
+            return v.error();
+        }
+
+        const std::size_t n = rates.size();
+        const SolveSchedule schedule = bisection_schedule(n, options.warm_start);
+        WarmStartCache cache(n, schedule.parent);
+        std::vector<PointEvaluation> points(n);
+        std::vector<std::unique_ptr<EvalError>> errors(n);
+        std::mutex progress_mutex;
+
+        const auto solve_point = [&](int index) {
+            try {
+                core::Parameters p = base.parameters;
+                p.call_arrival_rate = rates[static_cast<std::size_t>(index)];
+                core::GprsModel model(p);
+                const std::vector<double> product =
+                    core::product_form_initial(p, model.balanced(), model.space());
+                ctmc::SolveOptions solve;
+                solve.tolerance = base.solver.tolerance;
+                solve.max_iterations = base.solver.max_iterations;
+                solve.num_threads = 1;  // the points are the parallelism
+                const int parent = schedule.parent[static_cast<std::size_t>(index)];
+                if (parent >= 0) {
+                    // Candidate 0 (preferred): the plain product form;
+                    // candidate 1: the target's product form carrying the
+                    // parent's deviation.
+                    std::vector<double> transferred =
+                        cache.claim(static_cast<std::size_t>(parent));
+                    for (std::size_t s = 0; s < transferred.size(); ++s) {
+                        transferred[s] *= product[s];
+                    }
+                    solve.initial_candidates.push_back(product);
+                    solve.initial_candidates.push_back(std::move(transferred));
+                    solve.candidate_margin = 0.5;
+                }
+                auto solved = model.try_solve(solve, ctmc::default_engine());
+                if (!solved.ok()) {
+                    errors[static_cast<std::size_t>(index)] =
+                        std::make_unique<EvalError>(solved.error());
+                    return;
+                }
+                const ctmc::SolveResult& result = solved.value().get();
+                if (cache.has_dependents(static_cast<std::size_t>(index))) {
+                    std::vector<double> deviation(result.distribution.size());
+                    for (std::size_t s = 0; s < deviation.size(); ++s) {
+                        deviation[s] = product[s] > 0.0
+                                           ? result.distribution[s] / product[s]
+                                           : 0.0;
+                    }
+                    cache.store(static_cast<std::size_t>(index), std::move(deviation));
+                }
+                PointEvaluation& point = points[static_cast<std::size_t>(index)];
+                point.backend = name();
+                point.call_arrival_rate = rates[static_cast<std::size_t>(index)];
+                point.measures = core::compute_measures(p, model.balanced(),
+                                                        model.space(),
+                                                        result.distribution);
+                point.iterations = static_cast<long long>(result.iterations);
+                point.residual = result.residual;
+                point.warm_parent = parent;
+                point.warm_started = result.initial_selected == 1;
+                point.wall_seconds = result.seconds;
+                if (options.progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    options.progress(static_cast<std::size_t>(index), point);
+                }
+            } catch (const std::exception& e) {
+                errors[static_cast<std::size_t>(index)] = std::make_unique<EvalError>(
+                    EvalError{EvalErrorCode::internal,
+                              std::string(e.what()) + " [" +
+                                  scenario_context(
+                                      base.parameters,
+                                      rates[static_cast<std::size_t>(index)]) +
+                                  "]"});
+            }
+        };
+
+        const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
+        for (const std::vector<int>& wave : schedule.levels) {
+            const int wave_width = std::min<int>(width, static_cast<int>(wave.size()));
+            if (wave_width <= 1 || options.pool == nullptr) {
+                for (const int index : wave) {
+                    solve_point(index);
+                }
+            } else {
+                options.pool->run(
+                    static_cast<int>(wave.size()),
+                    [&](int t) { solve_point(wave[static_cast<std::size_t>(t)]); },
+                    wave_width);
+            }
+            // First error in grid order — deterministic at every width, and
+            // dependents of a failed parent never run.
+            for (const auto& error : errors) {
+                if (error) {
+                    return *error;
+                }
+            }
+        }
+        return points;
+    }
+};
+
+// --- des ------------------------------------------------------------------
+
+/// Pooled simulator means mapped onto the model's measure vocabulary, so
+/// generic consumers can compare backends field by field.
+core::Measures measures_from_sim(const sim::ExperimentResults& r,
+                                 const core::Parameters& p) {
+    core::Measures m;
+    m.carried_data_traffic = r.carried_data_traffic.mean;
+    m.packet_loss_probability = r.packet_loss_probability.mean;
+    m.queueing_delay = r.queueing_delay.mean;
+    m.throughput_per_user_kbps = r.throughput_per_user_kbps.mean;
+    m.mean_queue_length = r.mean_queue_length.mean;
+    m.carried_voice_traffic = r.carried_voice_traffic.mean;
+    m.average_gprs_sessions = r.average_gprs_sessions.mean;
+    m.gsm_blocking = r.gsm_blocking.mean;
+    m.gprs_blocking = r.gprs_blocking.mean;
+    m.data_throughput_kbps =
+        m.carried_data_traffic * p.pdch_rate_kbps * (1.0 - p.block_error_rate);
+    return m;
+}
+
+class DesEvaluator final : public Evaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "des";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "replications of the detailed network simulator, pooled into 95% "
+            "confidence intervals (measures are replication means)";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const WallClock clock;
+            const sim::ExperimentConfig experiment = experiment_config(query);
+            const int replications = experiment.replications;
+            std::vector<sim::SimulationResults> runs(
+                static_cast<std::size_t>(replications));
+            for (int rep = 0; rep < replications; ++rep) {
+                const sim::SimulationConfig config = sim::replication_config(
+                    experiment, static_cast<std::uint64_t>(rep));
+                runs[static_cast<std::size_t>(rep)] = sim::NetworkSimulator(config).run();
+            }
+            PointEvaluation point =
+                pooled_point(query, std::move(runs), /*threads_used=*/1);
+            point.sim.wall_seconds = clock.seconds();
+            point.wall_seconds = clock.seconds();
+            return point;
+        });
+    }
+
+    /// Grid evaluation with the experiment engine's substream discipline:
+    /// replication r of grid point i always draws from substream block
+    /// (grid_offset + i) * R + r of the experiment seed (disjoint streams
+    /// for every task of every grid sharing one seed), tasks shard on
+    /// options.pool, and pooling runs serially in (point, replication)
+    /// order afterwards — so grid output is bitwise invariant to
+    /// num_threads.
+    common::Result<std::vector<PointEvaluation>> evaluate_grid(
+        const ScenarioQuery& base, std::span<const double> rates,
+        const GridOptions& options) override {
+        if (common::Status g = check_grid(rates); !g.ok()) {
+            return g.error();
+        }
+        if (rates.empty()) {
+            return std::vector<PointEvaluation>{};
+        }
+        ScenarioQuery probe = base;
+        probe.call_arrival_rate = rates.front();
+        if (common::Status v = probe.validated(); !v.ok()) {
+            return v.error();
+        }
+
+        const WallClock clock;
+        const std::size_t n = rates.size();
+        const int replications = base.simulation.replications;
+        std::vector<std::vector<sim::SimulationResults>> runs(
+            n, std::vector<sim::SimulationResults>(
+                   static_cast<std::size_t>(replications)));
+        std::vector<std::unique_ptr<EvalError>> errors(n);
+        // Unlike the ctmc grid (one task per index), several replications
+        // of one point can fail concurrently — their error slot is shared.
+        std::mutex error_mutex;
+
+        const int total = static_cast<int>(n) * replications;
+        const auto run_task = [&](int task) {
+            const std::size_t index = static_cast<std::size_t>(task / replications);
+            const int rep = task % replications;
+            try {
+                ScenarioQuery query = base;
+                query.call_arrival_rate = rates[index];
+                const sim::ExperimentConfig experiment = experiment_config(query);
+                const std::uint64_t block =
+                    (options.grid_offset + static_cast<std::uint64_t>(index)) *
+                        static_cast<std::uint64_t>(replications) +
+                    static_cast<std::uint64_t>(rep);
+                const sim::SimulationConfig config =
+                    sim::replication_config(experiment, block);
+                runs[index][static_cast<std::size_t>(rep)] =
+                    sim::NetworkSimulator(config).run();
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!errors[index]) {
+                    errors[index] = std::make_unique<EvalError>(
+                        EvalError{EvalErrorCode::internal,
+                                  std::string(e.what()) + " [" +
+                                      scenario_context(base.parameters, rates[index]) +
+                                      "]"});
+                }
+            }
+        };
+
+        const int width = std::min(
+            common::ThreadPool::resolve_thread_count(options.num_threads), total);
+        if (width <= 1 || options.pool == nullptr) {
+            for (int task = 0; task < total; ++task) {
+                run_task(task);
+            }
+        } else {
+            options.pool->run(total, run_task, width);
+        }
+        for (const auto& error : errors) {
+            if (error) {
+                return *error;
+            }
+        }
+
+        std::vector<PointEvaluation> points;
+        points.reserve(n);
+        for (std::size_t index = 0; index < n; ++index) {
+            ScenarioQuery query = base;
+            query.call_arrival_rate = rates[index];
+            points.push_back(pooled_point(query, std::move(runs[index]), width));
+        }
+        const double wall = clock.seconds();
+        for (PointEvaluation& point : points) {
+            point.wall_seconds = wall / static_cast<double>(n);
+        }
+        return points;
+    }
+
+private:
+    static sim::ExperimentConfig experiment_config(const ScenarioQuery& query) {
+        sim::ExperimentConfig experiment;
+        experiment.base.cell = query.resolved_parameters();
+        experiment.base.warmup_time = query.simulation.warmup_time;
+        experiment.base.batch_count = query.simulation.batch_count;
+        experiment.base.batch_duration = query.simulation.batch_duration;
+        experiment.base.tcp_enabled = query.simulation.tcp;
+        experiment.replications = query.simulation.replications;
+        experiment.seed = query.simulation.seed;
+        return experiment;
+    }
+
+    /// Pools per-replication results (replication order) into the point.
+    PointEvaluation pooled_point(const ScenarioQuery& query,
+                                 std::vector<sim::SimulationResults> runs,
+                                 int threads_used) {
+        PointEvaluation point;
+        point.backend = name();
+        point.call_arrival_rate = query.call_arrival_rate;
+        point.sim = sim::pool_replications(std::move(runs));
+        point.sim.threads_used = threads_used;
+        point.measures = measures_from_sim(point.sim, query.resolved_parameters());
+        point.has_confidence = true;
+        return point;
+    }
+};
+
+// --- mm1k-approx ----------------------------------------------------------
+
+class Mm1kApproxEvaluator final : public Evaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "mm1k-approx";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "cheap M/M/c/K approximation of the data plane over the Erlang "
+            "populations (c = mean free channels); milliseconds per point";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const WallClock clock;
+            const core::Parameters p = query.resolved_parameters();
+            const core::BalancedTraffic balanced = core::balance_handover(p);
+            core::Measures m = core::closed_form_measures(p, balanced);
+
+            // Data plane as M/M/c/K: c PDCHs on average remain after the
+            // Erlang-carried voice traffic claims its on-demand channels
+            // (never below the reservation, never above N); packets are
+            // offered by the mean ON-source population of the aggregated
+            // IPP. This decouples the three populations the chain couples
+            // exactly — the "cheapest possible" end of the accuracy axis.
+            const int servers = std::clamp(
+                static_cast<int>(std::lround(static_cast<double>(p.total_channels) -
+                                             m.carried_voice_traffic)),
+                std::max(p.reserved_pdch, 1), p.total_channels);
+            const double on_share = balanced.rates.on_admission_probability();
+            const double offered =
+                m.average_gprs_sessions * on_share * balanced.rates.packet_rate;
+            const double mu = balanced.rates.service_rate;
+            const int capacity = std::max(p.buffer_capacity, servers);
+            const queueing::FiniteQueueMetrics queue =
+                queueing::mmck(offered, mu, servers, capacity);
+
+            m.carried_data_traffic = queue.throughput / mu;
+            m.packet_loss_probability = queue.loss_probability;
+            m.mean_queue_length = queue.mean_queue_length;
+            m.queueing_delay = queue.mean_delay;
+            m.offered_packet_rate = offered;
+            m.data_throughput_kbps =
+                queue.throughput * p.traffic.packet_size_bits / 1000.0;
+            m.throughput_per_user_kbps =
+                m.average_gprs_sessions > 0.0
+                    ? m.data_throughput_kbps / m.average_gprs_sessions
+                    : 0.0;
+
+            PointEvaluation point;
+            point.backend = name();
+            point.call_arrival_rate = query.call_arrival_rate;
+            point.measures = m;
+            point.wall_seconds = clock.seconds();
+            return point;
+        });
+    }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_backends(BackendRegistry& registry) {
+    const auto add = [&](BackendRegistry::Factory make) {
+        const std::unique_ptr<Evaluator> instance = make();
+        // Built-in registration cannot collide (it runs once, first).
+        (void)registry.add(instance->name(), instance->description(), std::move(make));
+    };
+    add([] { return std::make_unique<ErlangEvaluator>(); });
+    add([] { return std::make_unique<CtmcEvaluator>(); });
+    add([] { return std::make_unique<DesEvaluator>(); });
+    add([] { return std::make_unique<Mm1kApproxEvaluator>(); });
+}
+
+}  // namespace detail
+
+}  // namespace gprsim::eval

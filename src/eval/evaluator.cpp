@@ -1,0 +1,61 @@
+#include "eval/evaluator.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::eval {
+
+std::string scenario_context(const core::Parameters& p, double rate) {
+    core::Parameters resolved = p;
+    resolved.call_arrival_rate = rate;
+    return resolved.describe();
+}
+
+common::Status ScenarioQuery::validated() const {
+    const auto fail = [&](const std::string& what) {
+        return common::Status(common::EvalError{
+            common::EvalErrorCode::invalid_query,
+            what + " [" + scenario_context(parameters, call_arrival_rate) + "]"});
+    };
+    if (!(call_arrival_rate > 0.0)) {
+        return fail("call_arrival_rate must be positive");
+    }
+    if (!(solver.tolerance > 0.0)) {
+        return fail("solver.tolerance must be positive");
+    }
+    if (solver.max_iterations < 1) {
+        return fail("solver.max_iterations must be at least 1");
+    }
+    if (simulation.replications < 1) {
+        return fail("simulation.replications must be at least 1");
+    }
+    if (simulation.batch_count < 2) {
+        return fail("simulation.batch_count must be at least 2");
+    }
+    if (simulation.warmup_time < 0.0 || !(simulation.batch_duration > 0.0)) {
+        return fail("simulation warmup/batch_duration out of range");
+    }
+    try {
+        resolved_parameters().validate();
+    } catch (const std::exception& e) {
+        return fail(e.what());
+    }
+    return common::ok_status();
+}
+
+common::Result<std::vector<PointEvaluation>> Evaluator::evaluate_grid(
+    const ScenarioQuery& base, std::span<const double> rates, const GridOptions&) {
+    std::vector<PointEvaluation> points;
+    points.reserve(rates.size());
+    for (const double rate : rates) {
+        ScenarioQuery query = base;
+        query.call_arrival_rate = rate;
+        common::Result<PointEvaluation> point = evaluate(query);
+        if (!point.ok()) {
+            return point.error();
+        }
+        points.push_back(point.take());
+    }
+    return points;
+}
+
+}  // namespace gprsim::eval

@@ -1,0 +1,161 @@
+// The unified evaluation API: one vocabulary for "evaluate this GPRS
+// scenario" regardless of how the answer is computed.
+//
+//   eval layer      (this file + registry.hpp + backends.hpp)
+//        ^ ScenarioQuery -> Evaluator::evaluate -> Result<PointEvaluation>
+//          string-keyed BackendRegistry; built-ins erlang / ctmc / des /
+//          mm1k-approx, out-of-tree backends register alongside them
+//   model/sim layer core::GprsModel, sim::ExperimentEngine, queueing::*
+//   consumers       campaign::CampaignRunner, gprsim_cli, benches, tests,
+//                   out-of-tree code via find_package(gprsim)
+//
+// The paper's contribution is comparing the SAME scenario across analysis
+// methods (closed-form Erlang bounds, the CTMC model, the validating
+// simulator); this layer makes "a way to evaluate a scenario" a first-class
+// object so new routes (queueing approximations, fluid or transient
+// backends) plug in without touching the campaign runner, spec parser, or
+// CLI. Contract: no exception crosses evaluate()/evaluate_grid() — every
+// failure surfaces as a typed common::EvalError inside a common::Result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "core/measures.hpp"
+#include "core/parameters.hpp"
+#include "sim/experiment.hpp"
+
+namespace gprsim::eval {
+
+/// Knobs consumed by iterative (chain-solving) backends.
+struct SolverKnobs {
+    double tolerance = 1e-9;
+    long long max_iterations = 200000;
+};
+
+/// Knobs consumed by stochastic (simulating) backends.
+struct SimulationKnobs {
+    int replications = 4;
+    std::uint64_t seed = 1;
+    double warmup_time = 1500.0;
+    int batch_count = 10;
+    double batch_duration = 1500.0;  ///< [s]
+    bool tcp = true;                 ///< TCP Reno vs open-loop sources
+};
+
+/// One evaluable scenario point: a complete cell configuration, the load to
+/// apply, and the per-backend knobs. Backends read the knob block they
+/// understand and ignore the rest, so the same query can be handed to every
+/// registered backend.
+struct ScenarioQuery {
+    /// Complete cell configuration; `parameters.call_arrival_rate` is
+    /// overwritten with `call_arrival_rate` before evaluation.
+    core::Parameters parameters;
+    /// Combined GSM+GPRS arrival rate [calls/s]; must be positive.
+    double call_arrival_rate = 0.5;
+
+    SolverKnobs solver;
+    SimulationKnobs simulation;
+
+    /// Checks the query without throwing: rate positive, knobs in range,
+    /// and Parameters::validate() clean. The error message names the
+    /// offending field and the scenario's key parameters.
+    common::Status validated() const;
+
+    /// The parameters with the query's arrival rate applied.
+    core::Parameters resolved_parameters() const {
+        core::Parameters p = parameters;
+        p.call_arrival_rate = call_arrival_rate;
+        return p;
+    }
+};
+
+/// One evaluated point with its provenance: which backend produced it and
+/// how hard it had to work. Iterative backends fill iterations/residual
+/// (and, under a grid's warm-start schedule, warm_parent/warm_started);
+/// stochastic backends set has_confidence and attach the full
+/// replication-pooled detail in `sim`.
+struct PointEvaluation {
+    std::string backend;
+    double call_arrival_rate = 0.0;
+    core::Measures measures;
+
+    // --- iterative provenance -------------------------------------------
+    long long iterations = 0;
+    double residual = 0.0;
+    /// Grid index whose warm-start information this point was offered;
+    /// -1 = cold (also for all non-grid evaluations).
+    int warm_parent = -1;
+    /// Whether the transferred candidate beat the cold start.
+    bool warm_started = false;
+
+    // --- stochastic provenance ------------------------------------------
+    /// True when `measures` are replication-pooled means and `sim` carries
+    /// the 95% CI detail.
+    bool has_confidence = false;
+    sim::ExperimentResults sim;
+
+    double wall_seconds = 0.0;
+};
+
+/// Batch-evaluation settings for Evaluator::evaluate_grid. Sharding never
+/// changes any output (the eval layer inherits the engines' bitwise
+/// thread-count invariance).
+struct GridOptions {
+    /// Execution width: 0 = all hardware threads, <= 1 = serial.
+    int num_threads = 1;
+    /// Pool to shard on; nullptr (or width <= 1) evaluates serially.
+    /// Not owned; must be at least num_threads wide.
+    common::ThreadPool* pool = nullptr;
+    /// Whether iterative backends may transfer information between grid
+    /// points (the ctmc backend's bisection warm-start schedule).
+    bool warm_start = true;
+    /// Offset added to each point's grid index when stochastic backends
+    /// derive per-task random substream blocks (the des backend uses block
+    /// (grid_offset + i) * replications + r). Callers evaluating several
+    /// grids under one experiment seed (the campaign runner's variants)
+    /// pass disjoint offsets so no two tasks share a substream.
+    std::uint64_t grid_offset = 0;
+    /// Invoked by iterative backends after each finished point (under a
+    /// lock, NOT in grid order): grid index and the finished evaluation.
+    std::function<void(std::size_t, const PointEvaluation&)> progress;
+};
+
+/// "rate=0.5 calls/s, N=20 channels (1 PDCH reserved), M=50, K=100, ..." —
+/// the scenario context every EvalError message embeds so a failure names
+/// the point that produced it.
+std::string scenario_context(const core::Parameters& parameters, double call_arrival_rate);
+
+/// A way to evaluate a GPRS scenario. Implementations must be safe to call
+/// concurrently from several threads (the built-ins are stateless between
+/// calls) and must not let any exception escape the two virtual entry
+/// points — failures are returned as typed EvalErrors.
+class Evaluator {
+public:
+    virtual ~Evaluator() = default;
+
+    /// Registry key, e.g. "ctmc".
+    virtual const std::string& name() const = 0;
+    /// One-line human description for --list-backends.
+    virtual const std::string& description() const = 0;
+
+    /// Evaluates a single scenario point.
+    virtual common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) = 0;
+
+    /// Evaluates the query at every arrival rate of an ascending grid.
+    /// Returns one PointEvaluation per rate, in grid order. The default
+    /// implementation loops over evaluate(); backends override it to keep
+    /// their batch internals (the ctmc backend's warm-start transfer
+    /// schedule, the des backend's replication sharding) without widening
+    /// the single-point API.
+    virtual common::Result<std::vector<PointEvaluation>> evaluate_grid(
+        const ScenarioQuery& base, std::span<const double> rates,
+        const GridOptions& options = {});
+};
+
+}  // namespace gprsim::eval

@@ -1,0 +1,93 @@
+#include "eval/registry.hpp"
+
+#include <algorithm>
+
+#include "eval/backends.hpp"
+
+namespace gprsim::eval {
+
+common::Status BackendRegistry::add(std::string name, std::string description,
+                                    Factory factory) {
+    if (name.empty()) {
+        return common::EvalError{common::EvalErrorCode::invalid_query,
+                                 "backend name must not be empty"};
+    }
+    if (!factory) {
+        return common::EvalError{common::EvalErrorCode::invalid_query,
+                                 "backend \"" + name + "\" needs a factory"};
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, entry] : entries_) {
+        (void)entry;
+        if (existing == name) {
+            return common::EvalError{
+                common::EvalErrorCode::duplicate_backend,
+                "backend \"" + name + "\" is already registered"};
+        }
+    }
+    entries_.emplace_back(std::move(name),
+                          Entry{std::move(description), std::move(factory), nullptr});
+    return common::ok_status();
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const auto& e) { return e.first == name; });
+}
+
+common::Result<Evaluator*> BackendRegistry::find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, entry] : entries_) {
+        if (key != name) {
+            continue;
+        }
+        if (!entry.instance) {
+            entry.instance = entry.factory();
+        }
+        return entry.instance.get();
+    }
+    std::string known;
+    for (const auto& [key, entry] : entries_) {
+        (void)entry;
+        known += known.empty() ? "" : ", ";
+        known += key;
+    }
+    return common::EvalError{common::EvalErrorCode::unknown_backend,
+                             "no backend named \"" + name + "\" (registered: " + known +
+                                 ")"};
+}
+
+std::vector<BackendInfo> BackendRegistry::list() const {
+    std::vector<BackendInfo> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(entries_.size());
+        for (const auto& [name, entry] : entries_) {
+            out.push_back({name, entry.description});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BackendInfo& a, const BackendInfo& b) { return a.name < b.name; });
+    return out;
+}
+
+BackendRegistry& BackendRegistry::global() {
+    // The built-ins are registered inside the same call_once that creates
+    // the registry: gprsim is a static library, so relying on unreferenced
+    // static registrar objects would let the linker drop backends.cpp —
+    // this explicit hook guarantees the four built-ins exist before any
+    // lookup, while out-of-tree backends use the same add() path.
+    static BackendRegistry registry;
+    static std::once_flag built_ins;
+    std::call_once(built_ins, [] { detail::register_builtin_backends(registry); });
+    return registry;
+}
+
+common::Status register_backend(std::string name, std::string description,
+                                BackendRegistry::Factory factory) {
+    return BackendRegistry::global().add(std::move(name), std::move(description),
+                                         std::move(factory));
+}
+
+}  // namespace gprsim::eval

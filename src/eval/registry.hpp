@@ -1,0 +1,71 @@
+// String-keyed registry of scenario evaluators.
+//
+// The built-ins (erlang, ctmc, des, mm1k-approx — see backends.hpp)
+// register themselves the first time the global registry is touched;
+// out-of-tree code registers additional backends through the same
+// register_backend() call, after which campaign specs, the CLI, and every
+// other consumer can dispatch to them by name — no enum to extend, no
+// runner/parser edits. Registration and lookup return typed Results
+// (duplicate_backend / unknown_backend) instead of throwing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "eval/evaluator.hpp"
+
+namespace gprsim::eval {
+
+/// Listing entry for --list-backends and docs.
+struct BackendInfo {
+    std::string name;
+    std::string description;
+};
+
+class BackendRegistry {
+public:
+    using Factory = std::function<std::unique_ptr<Evaluator>()>;
+
+    BackendRegistry() = default;
+    BackendRegistry(const BackendRegistry&) = delete;
+    BackendRegistry& operator=(const BackendRegistry&) = delete;
+
+    /// Registers a backend under `name`. The factory is invoked lazily on
+    /// first find(); the instance is cached for the registry's lifetime
+    /// (evaluators must be callable concurrently). Fails with
+    /// duplicate_backend when the name is taken.
+    common::Status add(std::string name, std::string description, Factory factory);
+
+    bool contains(const std::string& name) const;
+
+    /// The cached evaluator registered under `name` (created on first use).
+    /// Fails with unknown_backend, naming the known backends.
+    common::Result<Evaluator*> find(const std::string& name);
+
+    /// All registered backends, sorted by name.
+    std::vector<BackendInfo> list() const;
+
+    /// The process-wide registry with the built-ins pre-registered.
+    static BackendRegistry& global();
+
+private:
+    struct Entry {
+        std::string description;
+        Factory factory;
+        std::unique_ptr<Evaluator> instance;  ///< created on first find()
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
+};
+
+/// Registers `factory` under `name` in the global registry — the one-call
+/// extension point for out-of-tree backends.
+common::Status register_backend(std::string name, std::string description,
+                                BackendRegistry::Factory factory);
+
+}  // namespace gprsim::eval

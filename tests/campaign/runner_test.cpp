@@ -1,8 +1,9 @@
 // CampaignRunner: the bisection warm-start schedule, warm-vs-cold solve
 // agreement (within solver tolerance) with strictly fewer total iterations,
 // bitwise thread-count invariance of full campaign output, and model-vs-sim
-// deltas under Method::both. Cells are kept tiny (N = 5..6 channels, small
-// M and buffer) so a full campaign solves in well under a second.
+// deltas under the legacy "both" (= ctmc + des) method list. Cells are kept
+// tiny (N = 5..6 channels, small M and buffer) so a full campaign solves in
+// well under a second.
 #include "campaign/runner.hpp"
 
 #include <gtest/gtest.h>
@@ -23,7 +24,7 @@ namespace {
 ScenarioSpec tiny_ctmc_spec() {
     ScenarioSpec spec;
     spec.named("tiny")
-        .with_method(Method::ctmc)
+        .with_method("ctmc")
         .over_reserved_pdch({1, 2})
         .over_gprs_fractions({0.3})
         .with_rate_grid(0.6, 1.0, 9)
@@ -126,7 +127,7 @@ TEST(CampaignRunner, OutputBitwiseInvariantToThreadCount) {
     ctmc::SolverEngine engine;
     CampaignRunner runner(engine);
     ScenarioSpec spec = tiny_ctmc_spec();
-    spec.with_method(Method::both).over_reserved_pdch({1});
+    spec.with_method("both").over_reserved_pdch({1});
     spec.simulation.replications = 2;
     spec.simulation.warmup_time = 100.0;
     spec.simulation.batch_count = 3;
@@ -166,7 +167,7 @@ TEST(CampaignRunner, BothMethodFillsDeltasAndCis) {
     ctmc::SolverEngine engine;
     CampaignRunner runner(engine);
     ScenarioSpec spec = tiny_ctmc_spec();
-    spec.with_method(Method::both).over_reserved_pdch({1}).with_rate_grid(0.2, 0.4, 2);
+    spec.with_method("both").over_reserved_pdch({1}).with_rate_grid(0.2, 0.4, 2);
     spec.simulation.replications = 3;
     spec.simulation.warmup_time = 100.0;
     spec.simulation.batch_count = 3;
@@ -188,10 +189,77 @@ TEST(CampaignRunner, BothMethodFillsDeltasAndCis) {
     EXPECT_EQ(result.summary.sim_replications, 6);
 }
 
+TEST(CampaignRunner, MultiBackendListFillsEvaluationsAndPairwiseDeltas) {
+    ctmc::SolverEngine engine;
+    CampaignRunner runner(engine);
+    ScenarioSpec spec = tiny_ctmc_spec();
+    spec.with_methods({"ctmc", "mm1k-approx", "erlang"})
+        .over_reserved_pdch({1})
+        .with_rate_grid(0.6, 0.8, 3);
+
+    const CampaignResult result = runner.run(spec);
+    ASSERT_EQ(result.methods,
+              (std::vector<std::string>{"ctmc", "mm1k-approx", "erlang"}));
+    ASSERT_EQ(result.points.size(), 3u);
+    for (const CampaignPoint& point : result.points) {
+        ASSERT_EQ(point.evaluations.size(), 3u);
+        ASSERT_EQ(point.deltas.size(), 3u);
+        EXPECT_EQ(point.evaluations[0].backend, "ctmc");
+        EXPECT_EQ(point.evaluations[1].backend, "mm1k-approx");
+        EXPECT_GT(point.evaluations[0].iterations, 0);
+        EXPECT_EQ(point.evaluations[2].iterations, 0);
+        // Pairwise deltas reference the FIRST backend; index 0 is zero.
+        EXPECT_EQ(point.deltas[0].cdt, 0.0);
+        EXPECT_DOUBLE_EQ(point.deltas[1].cdt,
+                         point.evaluations[0].measures.carried_data_traffic -
+                             point.evaluations[1].measures.carried_data_traffic);
+        EXPECT_DOUBLE_EQ(point.deltas[2].qd,
+                         point.evaluations[0].measures.queueing_delay -
+                             point.evaluations[2].measures.queueing_delay);
+        // Legacy view: the model columns come from the first non-stochastic
+        // backend (ctmc here); no stochastic backend ran.
+        EXPECT_TRUE(point.has_model);
+        EXPECT_FALSE(point.has_sim);
+        EXPECT_DOUBLE_EQ(point.model.carried_data_traffic,
+                         point.evaluations[0].measures.carried_data_traffic);
+        // All three backends agree on the closed-form populations.
+        EXPECT_NEAR(point.evaluations[1].measures.carried_voice_traffic,
+                    point.evaluations[2].measures.carried_voice_traffic, 1e-12);
+    }
+    EXPECT_EQ(result.summary.model_solves, 3u);  // ctmc only
+}
+
+TEST(CampaignRunner, DesVariantsDrawFromDisjointSubstreams) {
+    // Two IDENTICAL variants (a duplicated axis value) under one seed: if
+    // the per-variant grids reused the same substream blocks, the two
+    // variants' replications would be bit-identical copies instead of
+    // independent draws.
+    ctmc::SolverEngine engine;
+    CampaignRunner runner(engine);
+    ScenarioSpec spec = tiny_ctmc_spec();
+    spec.with_method("des").over_reserved_pdch({1}).over_gprs_fractions({0.3, 0.3});
+    spec.with_rates({0.6});
+    spec.simulation.replications = 2;
+    spec.simulation.warmup_time = 50.0;
+    spec.simulation.batch_count = 3;
+    spec.simulation.batch_duration = 100.0;
+    spec.simulation.seed = 5;
+
+    const CampaignResult result = runner.run(spec);
+    ASSERT_EQ(result.points.size(), 2u);
+    const CampaignPoint& a = result.points[0];
+    const CampaignPoint& b = result.points[1];
+    ASSERT_TRUE(a.has_sim);
+    ASSERT_TRUE(b.has_sim);
+    EXPECT_NE(a.sim.carried_data_traffic.mean, b.sim.carried_data_traffic.mean);
+    EXPECT_NE(a.sim.replications[0].events_executed,
+              b.sim.replications[0].events_executed);
+}
+
 TEST(CampaignRunner, ErlangMethodNeedsNoSolves) {
     ScenarioSpec spec;
     spec.named("erlang")
-        .with_method(Method::erlang)
+        .with_method("erlang")
         .over_gprs_fractions({0.02, 0.10})
         .with_rate_grid(0.1, 1.0, 4);
     const CampaignResult result = run_campaign(spec);

@@ -17,7 +17,7 @@ namespace {
 CampaignResult sample_result() {
     ScenarioSpec spec;
     spec.named("sink sample, quoted")
-        .with_method(Method::erlang)
+        .with_method("erlang")
         .over_reserved_pdch({0, 2})
         .with_rate_grid(0.25, 0.75, 3);
     return run_campaign(spec);
@@ -86,7 +86,11 @@ TEST(CampaignJson, DocumentParsesWithOwnReader) {
     const JsonValue root = parse_json(out.str());
     ASSERT_TRUE(root.is_object());
     EXPECT_EQ(root.find("name")->as_string(), "sink sample, quoted");
-    EXPECT_EQ(root.find("method")->as_string(), "erlang");
+    const JsonValue* methods = root.find("methods");
+    ASSERT_NE(methods, nullptr);
+    ASSERT_TRUE(methods->is_array());
+    ASSERT_EQ(methods->items().size(), 1u);
+    EXPECT_EQ(methods->items().front().as_string(), "erlang");
     const JsonValue* summary = root.find("summary");
     ASSERT_NE(summary, nullptr);
     EXPECT_EQ(static_cast<std::size_t>(summary->find("points")->as_number()),

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "campaign/json.hpp"
+#include "eval/registry.hpp"
 
 namespace gprsim::campaign {
 namespace {
@@ -33,7 +35,7 @@ TEST(ParseSpec, FullDocumentRoundTrips) {
     })";
     const ScenarioSpec spec = parse_spec(text);
     EXPECT_EQ(spec.name, "fig06");
-    EXPECT_EQ(spec.method, Method::both);
+    EXPECT_EQ(spec.methods, (std::vector<std::string>{"ctmc", "des"}));
     EXPECT_EQ(spec.traffic_models, std::vector<int>{3});
     EXPECT_EQ(spec.reserved_pdch, (std::vector<int>{1, 2}));
     EXPECT_EQ(spec.gprs_fractions, (std::vector<double>{0.02, 0.05, 0.10}));
@@ -57,7 +59,7 @@ TEST(ParseSpec, BuilderMatchesParsedSpec) {
     })");
     ScenarioSpec built;
     built.named("grid")
-        .with_method(Method::ctmc)
+        .with_method("ctmc")
         .over_traffic_models({1, 2})
         .over_reserved_pdch({1, 4})
         .with_rates({0.2, 0.5, 0.8});
@@ -92,6 +94,68 @@ TEST(ParseSpec, ExpansionOrderIsDocumentedCartesianProduct) {
     EXPECT_NE(variants[3].label.find("pdch=2"), std::string::npos);
 }
 
+TEST(ParseSpec, MethodsListAcceptsAnyRegisteredBackends) {
+    const ScenarioSpec spec = parse_spec(R"({
+      "name": "multi",
+      "methods": ["ctmc", "des", "mm1k-approx"],
+      "rates": [0.5],
+    })");
+    EXPECT_EQ(spec.methods, (std::vector<std::string>{"ctmc", "des", "mm1k-approx"}));
+}
+
+TEST(ParseSpec, LegacyMethodAliasesStillParse) {
+    EXPECT_EQ(parse_spec(R"({"method": "erlang", "rates": [0.5]})").methods,
+              std::vector<std::string>{"erlang"});
+    EXPECT_EQ(parse_spec(R"({"method": "ctmc", "rates": [0.5]})").methods,
+              std::vector<std::string>{"ctmc"});
+    // "both" is the pre-registry spelling of "model and simulator".
+    EXPECT_EQ(parse_spec(R"({"method": "both", "rates": [0.5]})").methods,
+              (std::vector<std::string>{"ctmc", "des"}));
+    // The alias also expands inside a list.
+    EXPECT_EQ(parse_spec(R"({"methods": ["erlang", "both"], "rates": [0.5]})").methods,
+              (std::vector<std::string>{"erlang", "ctmc", "des"}));
+}
+
+TEST(ParseSpec, CustomRegisteredBackendAcceptedInMethods) {
+    // A backend registered by out-of-tree code is immediately valid in
+    // specs — the whole point of the registry dispatch.
+    static bool registered = false;
+    if (!registered) {
+        ASSERT_TRUE(eval::register_backend("spec-test-custom", "spec test stub", [] {
+                        class Stub final : public eval::Evaluator {
+                            const std::string& name() const override {
+                                static const std::string n = "spec-test-custom";
+                                return n;
+                            }
+                            const std::string& description() const override {
+                                static const std::string d = "stub";
+                                return d;
+                            }
+                            common::Result<eval::PointEvaluation> evaluate(
+                                const eval::ScenarioQuery& query) override {
+                                eval::PointEvaluation point;
+                                point.backend = name();
+                                point.call_arrival_rate = query.call_arrival_rate;
+                                return point;
+                            }
+                        };
+                        return std::make_unique<Stub>();
+                    }).ok());
+        registered = true;
+    }
+    const ScenarioSpec spec =
+        parse_spec(R"({"methods": ["spec-test-custom"], "rates": [0.5]})");
+    EXPECT_EQ(spec.methods, std::vector<std::string>{"spec-test-custom"});
+    spec.validate();  // does not throw
+}
+
+TEST(SpecValidate, EmptyMethodsRejected) {
+    ScenarioSpec spec;
+    spec.with_rates({0.5});
+    spec.methods.clear();
+    EXPECT_THROW(spec.validate(), SpecError);
+}
+
 TEST(ParseSpec, SessionLimitAxisOverridesPresetM) {
     ScenarioSpec spec;
     spec.over_session_limits({0, 10}).with_rates({0.5});
@@ -117,6 +181,25 @@ void expect_rejected_at_line(const std::string& text, int line,
 TEST(ParseSpecErrors, SyntaxErrorCarriesLineNumber) {
     expect_rejected_at_line("{\n  \"name\": \"x\",\n  \"rates\": [0.1,,\n}", 3,
                             "unexpected character");
+}
+
+TEST(ParseSpecErrors, UnknownMethodRejectedWithLineAndKnownBackends) {
+    expect_rejected_at_line(R"({
+      "rates": [0.5],
+      "methods": ["ctmc", "fluid"]
+    })",
+                            3, "registered backends");
+}
+
+TEST(ParseSpecErrors, DuplicateMethodRejected) {
+    expect_rejected_at_line(R"({
+      "rates": [0.5],
+      "methods": ["ctmc", "ctmc"]
+    })",
+                            3, "listed twice");
+    // The alias expansion is checked too: "both" already contains "des".
+    EXPECT_THROW(parse_spec(R"({"methods": ["des", "both"], "rates": [0.5]})"),
+                 SpecError);
 }
 
 TEST(ParseSpecErrors, UnknownKeyCarriesItsLine) {

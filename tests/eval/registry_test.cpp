@@ -1,0 +1,121 @@
+// BackendRegistry: built-in self-registration, duplicate/unknown-name
+// handling as typed Results (never exceptions), listing order, and
+// third-party registration through the same path out-of-tree code uses.
+#include "eval/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "eval/backends.hpp"
+
+namespace gprsim::eval {
+namespace {
+
+/// Minimal custom backend: returns canned measures without touching any
+/// engine, so registry behavior is tested in isolation.
+class StubEvaluator final : public Evaluator {
+public:
+    explicit StubEvaluator(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const override { return name_; }
+    const std::string& description() const override {
+        static const std::string d = "registry test stub";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        if (common::Status v = query.validated(); !v.ok()) {
+            return v.error();
+        }
+        PointEvaluation point;
+        point.backend = name_;
+        point.call_arrival_rate = query.call_arrival_rate;
+        point.measures.carried_data_traffic = 1.25;
+        return point;
+    }
+
+private:
+    std::string name_;
+};
+
+TEST(BackendRegistry, BuiltinsAreRegistered) {
+    BackendRegistry& registry = BackendRegistry::global();
+    for (const char* name : {"erlang", "ctmc", "des", "mm1k-approx"}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+    }
+    EXPECT_FALSE(registry.contains("no-such-backend"));
+}
+
+TEST(BackendRegistry, ListIsSortedWithDescriptions) {
+    const std::vector<BackendInfo> backends = BackendRegistry::global().list();
+    ASSERT_GE(backends.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(backends.begin(), backends.end(),
+                               [](const BackendInfo& a, const BackendInfo& b) {
+                                   return a.name < b.name;
+                               }));
+    for (const BackendInfo& info : backends) {
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_FALSE(info.description.empty()) << info.name;
+    }
+}
+
+TEST(BackendRegistry, UnknownNameIsTypedErrorListingKnownBackends) {
+    auto found = BackendRegistry::global().find("no-such-backend");
+    ASSERT_FALSE(found.ok());
+    EXPECT_EQ(found.error().code, common::EvalErrorCode::unknown_backend);
+    EXPECT_NE(found.error().message.find("no-such-backend"), std::string::npos);
+    EXPECT_NE(found.error().message.find("ctmc"), std::string::npos);
+}
+
+TEST(BackendRegistry, DuplicateRegistrationIsTypedError) {
+    common::Status first = register_backend(
+        "registry-test-dup", "stub",
+        [] { return std::make_unique<StubEvaluator>("registry-test-dup"); });
+    ASSERT_TRUE(first.ok());
+    common::Status second = register_backend(
+        "registry-test-dup", "stub again",
+        [] { return std::make_unique<StubEvaluator>("registry-test-dup"); });
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.error().code, common::EvalErrorCode::duplicate_backend);
+    EXPECT_NE(second.error().message.find("registry-test-dup"), std::string::npos);
+}
+
+TEST(BackendRegistry, EmptyNameAndMissingFactoryRejected) {
+    EXPECT_FALSE(register_backend("", "nameless", [] {
+                     return std::make_unique<StubEvaluator>("x");
+                 }).ok());
+    EXPECT_FALSE(
+        BackendRegistry::global().add("registry-test-nofactory", "no factory", {}).ok());
+}
+
+TEST(BackendRegistry, CustomBackendResolvesAndEvaluates) {
+    ASSERT_TRUE(register_backend("registry-test-custom", "stub", [] {
+                    return std::make_unique<StubEvaluator>("registry-test-custom");
+                }).ok());
+    auto backend = BackendRegistry::global().find("registry-test-custom");
+    ASSERT_TRUE(backend.ok());
+    // The cached instance is reused across lookups.
+    auto again = BackendRegistry::global().find("registry-test-custom");
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(backend.value(), again.value());
+
+    ScenarioQuery query;
+    query.parameters = core::Parameters::base();
+    query.call_arrival_rate = 0.4;
+    auto point = backend.value()->evaluate(query);
+    ASSERT_TRUE(point.ok());
+    EXPECT_EQ(point.value().backend, "registry-test-custom");
+    EXPECT_DOUBLE_EQ(point.value().measures.carried_data_traffic, 1.25);
+
+    // The default evaluate_grid loops the single-point path in grid order.
+    const std::vector<double> rates{0.2, 0.4, 0.6};
+    auto grid = backend.value()->evaluate_grid(query, rates);
+    ASSERT_TRUE(grid.ok());
+    ASSERT_EQ(grid.value().size(), 3u);
+    EXPECT_DOUBLE_EQ(grid.value()[2].call_arrival_rate, 0.6);
+}
+
+}  // namespace
+}  // namespace gprsim::eval

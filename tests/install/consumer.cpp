@@ -1,0 +1,118 @@
+// Out-of-tree smoke consumer: proves the installed tree is usable through
+// find_package(gprsim) alone — umbrella header, typed Results, and a
+// third-party backend registered into the same registry the campaign layer
+// dispatches through. Exits non-zero on the first failed check so CI fails
+// loudly.
+#include <gprsim/gprsim.hpp>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace {
+
+using namespace gprsim;
+
+/// A deliberately naive third-party backend: the cell as one M/M/1/K queue
+/// with all PDCHs aggregated into a single fat server. Nobody should use
+/// this for dimensioning — it exists to prove that registering a backend
+/// requires nothing beyond the installed public surface.
+class FatServerEvaluator final : public eval::Evaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "fat-server";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "out-of-tree demo: whole cell as one aggregated M/M/1/K server";
+        return d;
+    }
+
+    common::Result<eval::PointEvaluation> evaluate(
+        const eval::ScenarioQuery& query) override {
+        if (common::Status v = query.validated(); !v.ok()) {
+            return v.error();
+        }
+        const core::Parameters p = query.resolved_parameters();
+        const core::BalancedTraffic balanced = core::balance_handover(p);
+        core::Measures m = core::closed_form_measures(p, balanced);
+        const double offered = m.average_gprs_sessions *
+                               balanced.rates.on_admission_probability() *
+                               balanced.rates.packet_rate;
+        const double mu =
+            balanced.rates.service_rate * static_cast<double>(p.total_channels);
+        const queueing::FiniteQueueMetrics queue =
+            queueing::mm1k(offered, mu, p.buffer_capacity);
+        m.packet_loss_probability = queue.loss_probability;
+        m.queueing_delay = queue.mean_delay;
+        m.mean_queue_length = queue.mean_queue_length;
+        m.carried_data_traffic = queue.throughput / balanced.rates.service_rate;
+
+        eval::PointEvaluation point;
+        point.backend = name();
+        point.call_arrival_rate = query.call_arrival_rate;
+        point.measures = m;
+        return point;
+    }
+};
+
+bool check(bool condition, const char* what) {
+    std::printf("%-60s %s\n", what, condition ? "ok" : "FAIL");
+    return condition;
+}
+
+}  // namespace
+
+int main() {
+    bool ok = true;
+
+    // Built-ins are visible through the installed registry.
+    ok &= check(eval::BackendRegistry::global().contains("ctmc"),
+                "built-in ctmc backend registered");
+    ok &= check(eval::BackendRegistry::global().contains("mm1k-approx"),
+                "built-in mm1k-approx backend registered");
+
+    // A custom backend registers once; a second registration is a typed
+    // duplicate error, not an exception.
+    common::Status registered = eval::register_backend(
+        "fat-server", "out-of-tree demo backend",
+        [] { return std::make_unique<FatServerEvaluator>(); });
+    ok &= check(registered.ok(), "custom backend registration succeeds");
+    common::Status duplicate = eval::register_backend(
+        "fat-server", "dup", [] { return std::make_unique<FatServerEvaluator>(); });
+    ok &= check(!duplicate.ok() &&
+                    duplicate.error().code == common::EvalErrorCode::duplicate_backend,
+                "re-registration reports duplicate_backend");
+
+    // One ScenarioQuery through the custom backend.
+    eval::ScenarioQuery query;
+    query.parameters = core::Parameters::base();
+    query.call_arrival_rate = 0.5;
+    auto backend = eval::BackendRegistry::global().find("fat-server");
+    ok &= check(backend.ok(), "custom backend resolvable by name");
+    if (backend.ok()) {
+        auto point = backend.value()->evaluate(query);
+        ok &= check(point.ok(), "custom backend evaluates the base scenario");
+        if (point.ok()) {
+            const core::Measures& m = point.value().measures;
+            ok &= check(m.carried_voice_traffic > 0.0 && m.queueing_delay >= 0.0 &&
+                            std::isfinite(m.packet_loss_probability),
+                        "custom backend returns finite measures");
+        }
+    }
+
+    // Typed error paths work from out-of-tree code too.
+    auto missing = eval::BackendRegistry::global().find("no-such-backend");
+    ok &= check(!missing.ok() &&
+                    missing.error().code == common::EvalErrorCode::unknown_backend,
+                "unknown backend reports unknown_backend");
+    query.call_arrival_rate = -1.0;
+    auto invalid = eval::BackendRegistry::global().find("erlang").value()->evaluate(query);
+    ok &= check(!invalid.ok() &&
+                    invalid.error().code == common::EvalErrorCode::invalid_query,
+                "invalid query reports invalid_query");
+
+    std::printf("%s\n", ok ? "CONSUMER OK" : "CONSUMER FAILED");
+    return ok ? 0 : 1;
+}
