@@ -1,0 +1,19 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "gprsim::gprsim" for configuration "Release"
+set_property(TARGET gprsim::gprsim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(gprsim::gprsim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgprsim.a"
+  )
+
+list(APPEND _cmake_import_check_targets gprsim::gprsim )
+list(APPEND _cmake_import_check_files_for_gprsim::gprsim "${_IMPORT_PREFIX}/lib/libgprsim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

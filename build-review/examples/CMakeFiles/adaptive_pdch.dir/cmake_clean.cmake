@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pdch.dir/adaptive_pdch.cpp.o"
+  "CMakeFiles/adaptive_pdch.dir/adaptive_pdch.cpp.o.d"
+  "adaptive_pdch"
+  "adaptive_pdch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pdch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_cli.dir/gprsim_cli.cpp.o"
+  "CMakeFiles/gprsim_cli.dir/gprsim_cli.cpp.o.d"
+  "gprsim_cli"
+  "gprsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

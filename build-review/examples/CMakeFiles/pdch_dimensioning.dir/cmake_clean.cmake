@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdch_dimensioning.dir/pdch_dimensioning.cpp.o"
+  "CMakeFiles/pdch_dimensioning.dir/pdch_dimensioning.cpp.o.d"
+  "pdch_dimensioning"
+  "pdch_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdch_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

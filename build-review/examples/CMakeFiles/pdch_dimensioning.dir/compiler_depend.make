@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pdch_dimensioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_explorer.dir/traffic_explorer.cpp.o"
+  "CMakeFiles/traffic_explorer.dir/traffic_explorer.cpp.o.d"
+  "traffic_explorer"
+  "traffic_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_load_change.dir/transient_load_change.cpp.o"
+  "CMakeFiles/transient_load_change.dir/transient_load_change.cpp.o.d"
+  "transient_load_change"
+  "transient_load_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_load_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for transient_load_change.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/json.cpp" "src/CMakeFiles/gprsim.dir/campaign/json.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/campaign/json.cpp.o.d"
+  "/root/repo/src/campaign/runner.cpp" "src/CMakeFiles/gprsim.dir/campaign/runner.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/campaign/runner.cpp.o.d"
+  "/root/repo/src/campaign/sink.cpp" "src/CMakeFiles/gprsim.dir/campaign/sink.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/campaign/sink.cpp.o.d"
+  "/root/repo/src/campaign/spec.cpp" "src/CMakeFiles/gprsim.dir/campaign/spec.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/campaign/spec.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/gprsim.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/adaptive.cpp" "src/CMakeFiles/gprsim.dir/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/coding_scheme.cpp" "src/CMakeFiles/gprsim.dir/core/coding_scheme.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/coding_scheme.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/CMakeFiles/gprsim.dir/core/generator.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/generator.cpp.o.d"
+  "/root/repo/src/core/handover.cpp" "src/CMakeFiles/gprsim.dir/core/handover.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/handover.cpp.o.d"
+  "/root/repo/src/core/initial_guess.cpp" "src/CMakeFiles/gprsim.dir/core/initial_guess.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/initial_guess.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/CMakeFiles/gprsim.dir/core/measures.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/measures.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/CMakeFiles/gprsim.dir/core/model.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/model.cpp.o.d"
+  "/root/repo/src/core/parameters.cpp" "src/CMakeFiles/gprsim.dir/core/parameters.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/parameters.cpp.o.d"
+  "/root/repo/src/core/state_space.cpp" "src/CMakeFiles/gprsim.dir/core/state_space.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/state_space.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/gprsim.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/core/transitions.cpp" "src/CMakeFiles/gprsim.dir/core/transitions.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/core/transitions.cpp.o.d"
+  "/root/repo/src/ctmc/birth_death.cpp" "src/CMakeFiles/gprsim.dir/ctmc/birth_death.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/ctmc/birth_death.cpp.o.d"
+  "/root/repo/src/ctmc/engine.cpp" "src/CMakeFiles/gprsim.dir/ctmc/engine.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/ctmc/engine.cpp.o.d"
+  "/root/repo/src/ctmc/gth.cpp" "src/CMakeFiles/gprsim.dir/ctmc/gth.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/ctmc/gth.cpp.o.d"
+  "/root/repo/src/ctmc/sparse_matrix.cpp" "src/CMakeFiles/gprsim.dir/ctmc/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/ctmc/sparse_matrix.cpp.o.d"
+  "/root/repo/src/ctmc/uniformization.cpp" "src/CMakeFiles/gprsim.dir/ctmc/uniformization.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/ctmc/uniformization.cpp.o.d"
+  "/root/repo/src/des/random.cpp" "src/CMakeFiles/gprsim.dir/des/random.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/des/random.cpp.o.d"
+  "/root/repo/src/des/simulation.cpp" "src/CMakeFiles/gprsim.dir/des/simulation.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/des/simulation.cpp.o.d"
+  "/root/repo/src/des/statistics.cpp" "src/CMakeFiles/gprsim.dir/des/statistics.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/des/statistics.cpp.o.d"
+  "/root/repo/src/eval/backends.cpp" "src/CMakeFiles/gprsim.dir/eval/backends.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/eval/backends.cpp.o.d"
+  "/root/repo/src/eval/evaluator.cpp" "src/CMakeFiles/gprsim.dir/eval/evaluator.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/eval/evaluator.cpp.o.d"
+  "/root/repo/src/eval/registry.cpp" "src/CMakeFiles/gprsim.dir/eval/registry.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/eval/registry.cpp.o.d"
+  "/root/repo/src/queueing/erlang.cpp" "src/CMakeFiles/gprsim.dir/queueing/erlang.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/queueing/erlang.cpp.o.d"
+  "/root/repo/src/queueing/handover.cpp" "src/CMakeFiles/gprsim.dir/queueing/handover.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/queueing/handover.cpp.o.d"
+  "/root/repo/src/queueing/mm1k.cpp" "src/CMakeFiles/gprsim.dir/queueing/mm1k.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/queueing/mm1k.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/gprsim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gprsim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/CMakeFiles/gprsim.dir/sim/tcp.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/sim/tcp.cpp.o.d"
+  "/root/repo/src/traffic/fitting.cpp" "src/CMakeFiles/gprsim.dir/traffic/fitting.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/traffic/fitting.cpp.o.d"
+  "/root/repo/src/traffic/ipp.cpp" "src/CMakeFiles/gprsim.dir/traffic/ipp.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/traffic/ipp.cpp.o.d"
+  "/root/repo/src/traffic/mmpp.cpp" "src/CMakeFiles/gprsim.dir/traffic/mmpp.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/traffic/mmpp.cpp.o.d"
+  "/root/repo/src/traffic/threegpp.cpp" "src/CMakeFiles/gprsim.dir/traffic/threegpp.cpp.o" "gcc" "src/CMakeFiles/gprsim.dir/traffic/threegpp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/runner_test.cpp.o"
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/runner_test.cpp.o.d"
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/sink_test.cpp.o"
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/sink_test.cpp.o.d"
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/spec_test.cpp.o"
+  "CMakeFiles/gprsim_campaign_tests.dir/campaign/spec_test.cpp.o.d"
+  "gprsim_campaign_tests"
+  "gprsim_campaign_tests.pdb"
+  "gprsim_campaign_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_campaign_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_common_tests.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/gprsim_common_tests.dir/common/thread_pool_test.cpp.o.d"
+  "gprsim_common_tests"
+  "gprsim_common_tests.pdb"
+  "gprsim_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

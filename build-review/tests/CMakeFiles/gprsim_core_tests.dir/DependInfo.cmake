@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/block_error_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/block_error_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/block_error_test.cpp.o.d"
+  "/root/repo/tests/core/coding_scheme_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/coding_scheme_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/coding_scheme_test.cpp.o.d"
+  "/root/repo/tests/core/generator_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/generator_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/generator_test.cpp.o.d"
+  "/root/repo/tests/core/initial_guess_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/initial_guess_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/initial_guess_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/parameters_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/parameters_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/parameters_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/state_space_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/state_space_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/state_space_test.cpp.o.d"
+  "/root/repo/tests/core/sweep_parallel_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/sweep_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/sweep_parallel_test.cpp.o.d"
+  "/root/repo/tests/core/sweep_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/sweep_test.cpp.o.d"
+  "/root/repo/tests/core/transitions_property_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/transitions_property_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/transitions_property_test.cpp.o.d"
+  "/root/repo/tests/core/transitions_test.cpp" "tests/CMakeFiles/gprsim_core_tests.dir/core/transitions_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_core_tests.dir/core/transitions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gprsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_core_tests.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/block_error_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/block_error_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/coding_scheme_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/coding_scheme_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/generator_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/generator_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/initial_guess_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/initial_guess_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/model_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/model_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/parameters_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/parameters_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/properties_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/properties_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/state_space_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/state_space_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/sweep_parallel_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/sweep_parallel_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/transitions_property_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/transitions_property_test.cpp.o.d"
+  "CMakeFiles/gprsim_core_tests.dir/core/transitions_test.cpp.o"
+  "CMakeFiles/gprsim_core_tests.dir/core/transitions_test.cpp.o.d"
+  "gprsim_core_tests"
+  "gprsim_core_tests.pdb"
+  "gprsim_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ctmc/birth_death_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/birth_death_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/birth_death_test.cpp.o.d"
+  "/root/repo/tests/ctmc/engine_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/engine_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/engine_test.cpp.o.d"
+  "/root/repo/tests/ctmc/gth_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/gth_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/gth_test.cpp.o.d"
+  "/root/repo/tests/ctmc/solver_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/solver_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/solver_test.cpp.o.d"
+  "/root/repo/tests/ctmc/sparse_matrix_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/sparse_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/sparse_matrix_test.cpp.o.d"
+  "/root/repo/tests/ctmc/uniformization_test.cpp" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/uniformization_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_ctmc_tests.dir/ctmc/uniformization_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gprsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/birth_death_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/birth_death_test.cpp.o.d"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/engine_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/engine_test.cpp.o.d"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/gth_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/gth_test.cpp.o.d"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/solver_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/solver_test.cpp.o.d"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/sparse_matrix_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/sparse_matrix_test.cpp.o.d"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/uniformization_test.cpp.o"
+  "CMakeFiles/gprsim_ctmc_tests.dir/ctmc/uniformization_test.cpp.o.d"
+  "gprsim_ctmc_tests"
+  "gprsim_ctmc_tests.pdb"
+  "gprsim_ctmc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_ctmc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

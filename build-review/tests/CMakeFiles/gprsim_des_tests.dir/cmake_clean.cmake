@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_des_tests.dir/des/random_test.cpp.o"
+  "CMakeFiles/gprsim_des_tests.dir/des/random_test.cpp.o.d"
+  "CMakeFiles/gprsim_des_tests.dir/des/simulation_edge_test.cpp.o"
+  "CMakeFiles/gprsim_des_tests.dir/des/simulation_edge_test.cpp.o.d"
+  "CMakeFiles/gprsim_des_tests.dir/des/simulation_test.cpp.o"
+  "CMakeFiles/gprsim_des_tests.dir/des/simulation_test.cpp.o.d"
+  "CMakeFiles/gprsim_des_tests.dir/des/statistics_test.cpp.o"
+  "CMakeFiles/gprsim_des_tests.dir/des/statistics_test.cpp.o.d"
+  "gprsim_des_tests"
+  "gprsim_des_tests.pdb"
+  "gprsim_des_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_des_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_eval_tests.dir/eval/backends_test.cpp.o"
+  "CMakeFiles/gprsim_eval_tests.dir/eval/backends_test.cpp.o.d"
+  "CMakeFiles/gprsim_eval_tests.dir/eval/registry_test.cpp.o"
+  "CMakeFiles/gprsim_eval_tests.dir/eval/registry_test.cpp.o.d"
+  "gprsim_eval_tests"
+  "gprsim_eval_tests.pdb"
+  "gprsim_eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

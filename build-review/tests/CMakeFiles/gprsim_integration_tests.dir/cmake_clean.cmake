@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_integration_tests.dir/integration/matrix_free_path_test.cpp.o"
+  "CMakeFiles/gprsim_integration_tests.dir/integration/matrix_free_path_test.cpp.o.d"
+  "CMakeFiles/gprsim_integration_tests.dir/integration/model_vs_simulator_test.cpp.o"
+  "CMakeFiles/gprsim_integration_tests.dir/integration/model_vs_simulator_test.cpp.o.d"
+  "gprsim_integration_tests"
+  "gprsim_integration_tests.pdb"
+  "gprsim_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/erlang_test.cpp.o"
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/erlang_test.cpp.o.d"
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/handover_test.cpp.o"
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/handover_test.cpp.o.d"
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/mm1k_test.cpp.o"
+  "CMakeFiles/gprsim_queueing_tests.dir/queueing/mm1k_test.cpp.o.d"
+  "gprsim_queueing_tests"
+  "gprsim_queueing_tests.pdb"
+  "gprsim_queueing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_queueing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/failure_injection_test.cpp" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/tcp_test.cpp" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/gprsim_sim_tests.dir/sim/tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gprsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

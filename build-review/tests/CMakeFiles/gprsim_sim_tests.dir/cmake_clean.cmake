@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_sim_tests.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/failure_injection_test.cpp.o"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/failure_injection_test.cpp.o.d"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/tcp_test.cpp.o"
+  "CMakeFiles/gprsim_sim_tests.dir/sim/tcp_test.cpp.o.d"
+  "gprsim_sim_tests"
+  "gprsim_sim_tests.pdb"
+  "gprsim_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/fitting_test.cpp.o"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/fitting_test.cpp.o.d"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/ipp_test.cpp.o"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/ipp_test.cpp.o.d"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/mmpp_test.cpp.o"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/mmpp_test.cpp.o.d"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/threegpp_test.cpp.o"
+  "CMakeFiles/gprsim_traffic_tests.dir/traffic/threegpp_test.cpp.o.d"
+  "gprsim_traffic_tests"
+  "gprsim_traffic_tests.pdb"
+  "gprsim_traffic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gprsim_traffic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/gprsim_campaign_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_common_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_ctmc_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_eval_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_des_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_queueing_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_sim_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_traffic_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/gprsim_integration_tests[1]_include.cmake")
