@@ -10,7 +10,7 @@
 // the serial baseline. Records land in BENCH_solver.json (--json=PATH to
 // override) so later PRs can diff the perf trajectory.
 //
-//   micro_solver [--full] [--m=N] [--threads=N] [--json=PATH]
+//   micro_solver [--full] [--m=N] [--threads=N] [--json=PATH] [--no-campaign]
 //
 // --threads caps the widest configuration measured: the ladder is
 // {1, 2, 4, ..., cap}, so --threads=1 runs just the serial baseline and
@@ -18,7 +18,9 @@
 // min(8, 2 x hardware threads). The quick default solves M = 10 (~130k
 // states, finishes in seconds); --full solves the Fig. 10 mid-size
 // configuration M = 100 (~10 million states); --m=N picks any session cap
-// in between.
+// in between. The multi-variant campaign timing section (sequential vs
+// merged batched dispatch, a few seconds) runs by default; --no-campaign
+// skips it when iterating on the solver kernels alone.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -77,9 +79,12 @@ int main(int argc, char** argv) try {
     // only, N = ladder up to N. With no flag the ladder tops out at
     // min(8, 2*hw) so the table is informative on any machine.
     int m_sessions = args.full ? 100 : 10;
+    bool run_campaign = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--m=", 4) == 0) {
             m_sessions = std::atoi(argv[i] + 4);
+        } else if (std::strcmp(argv[i], "--no-campaign") == 0) {
+            run_campaign = false;
         }
     }
     const int max_threads = args.threads_given
@@ -163,6 +168,59 @@ int main(int argc, char** argv) try {
             }
         }
     }
+
+    // Multi-variant campaign: the merged cross-variant task set (every
+    // variant's bisection waves interleaved, DES replications backfilling
+    // idle solver threads) against the sequential per-(backend, variant)
+    // dispatch of the same spec. Output is bitwise identical either way;
+    // the record tracks wall time and the wave counts.
+    if (!run_campaign) {
+        json.write(args.json.empty() ? "BENCH_solver.json" : args.json);
+        return 0;
+    }
+    campaign::ScenarioSpec spec;
+    spec.named("micro_campaign")
+        .with_methods({"ctmc", "des"})
+        .over_reserved_pdch({1, 2, 3})
+        .over_gprs_fractions({0.3})
+        .with_rate_grid(0.6, 1.0, 9)
+        .with_tolerance(1e-10);
+    spec.total_channels = 8;
+    spec.buffer_capacity = 25;
+    spec.max_gprs_sessions = {10};
+    spec.simulation.replications = 2;
+    spec.simulation.warmup_time = 100.0;
+    spec.simulation.batch_count = 3;
+    spec.simulation.batch_duration = 150.0;
+
+    campaign::CampaignRunner campaign_runner(engine);
+    campaign::CampaignOptions sequential;
+    sequential.num_threads = max_threads;
+    sequential.sequential_dispatch = true;
+    bench::WallTimer campaign_timer;
+    const campaign::CampaignResult seq = campaign_runner.run(spec, sequential);
+    const double seq_seconds = campaign_timer.seconds();
+    campaign::CampaignOptions batched;
+    batched.num_threads = max_threads;
+    campaign_timer.reset();
+    const campaign::CampaignResult bat = campaign_runner.run(spec, batched);
+    const double bat_seconds = campaign_timer.seconds();
+
+    std::printf("\ncampaign: 3 variants x 9 rates x (ctmc + des, 2 replications), "
+                "%d threads\n", bat.summary.threads);
+    std::printf("  sequential dispatch: %.3f s (%zu waves)\n", seq_seconds,
+                bat.summary.sequential_waves);
+    std::printf("  merged batch:        %.3f s (%zu waves, %zu tasks)  "
+                "speedup %.2fx\n",
+                bat_seconds, bat.summary.batch_waves, bat.summary.batch_tasks,
+                bat_seconds > 0.0 ? seq_seconds / bat_seconds : 0.0);
+    json.add({"campaign_3var_ctmc_des", static_cast<long long>(bat.summary.points),
+              "campaign_sequential", bat.summary.threads, seq_seconds,
+              seq.summary.total_iterations, 0.0, 1.0});
+    json.add({"campaign_3var_ctmc_des", static_cast<long long>(bat.summary.points),
+              "campaign_batched", bat.summary.threads, bat_seconds,
+              bat.summary.total_iterations, 0.0,
+              bat_seconds > 0.0 ? seq_seconds / bat_seconds : 0.0});
 
     json.write(args.json.empty() ? "BENCH_solver.json" : args.json);
     return 0;

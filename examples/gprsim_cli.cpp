@@ -31,6 +31,11 @@
 // campaign:
 //   --threads=<n>         task-sharding width (output is identical at any)
 //   --cold                disable warm-start caching (baseline comparison)
+//   --sequential          dispatch one grid per (backend, variant) instead
+//                         of the merged batched task set (A/B baseline;
+//                         the point table / CSV is bitwise identical
+//                         either way — only the summary's wall clock and
+//                         batch-wave accounting differ)
 //   --replications=<n>    override the spec's replication count
 //   --csv=<path>          write the per-point table as CSV
 //   --out=<path>          write points + summary as JSON
@@ -249,6 +254,7 @@ int cmd_campaign(int argc, char** argv) {
     campaign::CampaignOptions options;
     options.num_threads = static_cast<int>(flag(argc, argv, "threads", 1));
     options.force_cold = has_flag(argc, argv, "cold");
+    options.sequential_dispatch = has_flag(argc, argv, "sequential");
     if (!has_flag(argc, argv, "quiet")) {
         options.solve_progress = [](std::size_t flat, const campaign::CampaignPoint& p) {
             std::fprintf(stderr, "  point %zu: rate %.3f, %lld sweeps%s\n", flat,

@@ -12,11 +12,17 @@
 //   auto backend = gprsim::eval::BackendRegistry::global().find("ctmc");
 //   auto point = backend.value()->evaluate(query);   // Result, not throw
 //
-// and can register their own evaluation backends with
-// gprsim::eval::register_backend(...) — campaign specs and the CLI pick
-// them up by name. The individual headers below remain includable on their
-// own (installed under <gprsim/...> with the same relative paths the
-// in-tree sources use).
+// Batches scale the same vocabulary up: evaluate_grid runs one scenario
+// over a rate grid, Evaluator::evaluate_grids runs MANY scenario variants
+// over one grid in a single batch, and gprsim::eval::evaluate_campaign
+// (eval/batch.hpp) merges several backends' batches into one flat
+// wave-ordered task set on a shared thread pool — all bitwise invariant
+// to the thread count. Consumers can register their own evaluation
+// backends with gprsim::eval::register_backend(...) — campaign specs and
+// the CLI pick them up by name, and a backend that overrides plan_grids
+// joins the merged task set with its own dependency waves. The individual
+// headers below remain includable on their own (installed under
+// <gprsim/...> with the same relative paths the in-tree sources use).
 #pragma once
 
 #include "common/result.hpp"
@@ -42,6 +48,7 @@
 #include "sim/simulator.hpp"
 
 #include "eval/backends.hpp"
+#include "eval/batch.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/registry.hpp"
 

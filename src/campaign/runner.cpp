@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "eval/batch.hpp"
 #include "eval/registry.hpp"
 
 namespace gprsim::campaign {
@@ -74,68 +75,111 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
     const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
     common::ThreadPool* pool = width > 1 ? &engine_.pool(width) : nullptr;
 
-    // Registry dispatch: one evaluate_grid call per (backend, variant).
-    // Backends keep their batch internals — the ctmc backend's bisection
-    // warm-start transfer waves and the des backend's replication sharding
-    // both run on the engine's shared pool — and each call writes a
-    // disjoint slice of the point table, so output stays a pure function
-    // of the spec at every width.
-    for (std::size_t b = 0; b < num_methods; ++b) {
-        const std::string& method = effective.methods[b];
-        auto backend = eval::BackendRegistry::global().find(method);
-        if (!backend.ok()) {
-            // validate() checked membership; a vanished backend would be a
-            // registry mutation between then and now.
-            throw SpecError(backend.error().message, 0);
+    // One ScenarioQuery per variant; every backend reads the knob block it
+    // understands from the same query list.
+    std::vector<eval::ScenarioQuery> queries(num_variants);
+    for (std::size_t v = 0; v < num_variants; ++v) {
+        eval::ScenarioQuery& base = queries[v];
+        base.parameters = variants[v].parameters;
+        base.solver.tolerance = effective.solver.tolerance;
+        base.simulation.replications = effective.simulation.replications;
+        base.simulation.seed = effective.simulation.seed;
+        base.simulation.warmup_time = effective.simulation.warmup_time;
+        base.simulation.batch_count = effective.simulation.batch_count;
+        base.simulation.batch_duration = effective.simulation.batch_duration;
+        base.simulation.tcp = effective.simulation.tcp;
+    }
+
+    eval::GridOptions grid;
+    grid.num_threads = width;
+    grid.pool = pool;
+    grid.warm_start = effective.solver.warm_start;
+    if (options.solve_progress) {
+        // Both dispatch modes report the flat batch index v * num_rates + r
+        // (the single-grid path adds the v offset below).
+        grid.progress = [&options, num_rates](std::size_t flat,
+                                              const eval::PointEvaluation& evaluation) {
+            CampaignPoint snapshot;
+            snapshot.variant = flat / num_rates;
+            snapshot.rate_index = flat % num_rates;
+            snapshot.call_arrival_rate = evaluation.call_arrival_rate;
+            snapshot.has_model = true;
+            snapshot.model = evaluation.measures;
+            snapshot.iterations = evaluation.iterations;
+            snapshot.residual = evaluation.residual;
+            snapshot.solve_seconds = evaluation.wall_seconds;
+            snapshot.warm_parent = evaluation.warm_parent;
+            snapshot.warm_started = evaluation.warm_started;
+            options.solve_progress(flat, snapshot);
+        };
+    }
+
+    const auto store_outcome = [&](std::size_t b, std::size_t v,
+                                   eval::GridOutcome outcome) {
+        if (!outcome.ok()) {
+            throw std::runtime_error("campaign backend \"" + effective.methods[b] +
+                                     "\": " + outcome.error().to_string());
         }
-        for (std::size_t v = 0; v < num_variants; ++v) {
-            eval::ScenarioQuery base;
-            base.parameters = variants[v].parameters;
-            base.solver.tolerance = effective.solver.tolerance;
-            base.simulation.replications = effective.simulation.replications;
-            base.simulation.seed = effective.simulation.seed;
-            base.simulation.warmup_time = effective.simulation.warmup_time;
-            base.simulation.batch_count = effective.simulation.batch_count;
-            base.simulation.batch_duration = effective.simulation.batch_duration;
-            base.simulation.tcp = effective.simulation.tcp;
+        std::vector<eval::PointEvaluation> evaluations = outcome.take();
+        for (std::size_t r = 0; r < num_rates; ++r) {
+            result.points[v * num_rates + r].evaluations[b] =
+                std::move(evaluations[r]);
+        }
+    };
 
-            eval::GridOptions grid;
-            grid.num_threads = width;
-            grid.pool = pool;
-            grid.warm_start = effective.solver.warm_start;
-            // Disjoint substream blocks across variants: grid point r of
-            // variant v is experiment block (v * num_rates + r) — the flat
-            // point index, so replication streams never overlap between
-            // variants sharing the spec's seed.
-            grid.grid_offset = static_cast<std::uint64_t>(v * num_rates);
-            if (options.solve_progress) {
-                grid.progress = [&options, v, num_rates](
-                                    std::size_t r,
-                                    const eval::PointEvaluation& evaluation) {
-                    CampaignPoint snapshot;
-                    snapshot.variant = v;
-                    snapshot.rate_index = r;
-                    snapshot.call_arrival_rate = evaluation.call_arrival_rate;
-                    snapshot.has_model = true;
-                    snapshot.model = evaluation.measures;
-                    snapshot.iterations = evaluation.iterations;
-                    snapshot.residual = evaluation.residual;
-                    snapshot.solve_seconds = evaluation.wall_seconds;
-                    snapshot.warm_parent = evaluation.warm_parent;
-                    snapshot.warm_started = evaluation.warm_started;
-                    options.solve_progress(v * num_rates + r, snapshot);
-                };
+    if (options.sequential_dispatch) {
+        // A/B baseline: one evaluate_grid per (backend, variant), grid
+        // after grid — no cross-variant or cross-backend overlap.
+        for (std::size_t b = 0; b < num_methods; ++b) {
+            auto backend = eval::BackendRegistry::global().find(effective.methods[b]);
+            if (!backend.ok()) {
+                // validate() checked membership; a vanished backend would
+                // be a registry mutation between then and now.
+                throw SpecError(backend.error().message, 0);
             }
-
-            auto evaluated = backend.value()->evaluate_grid(base, rates, grid);
-            if (!evaluated.ok()) {
-                throw std::runtime_error("campaign backend \"" + method +
-                                         "\": " + evaluated.error().to_string());
+            for (std::size_t v = 0; v < num_variants; ++v) {
+                eval::GridOptions per_grid = grid;
+                // Disjoint substream blocks across variants: grid point r
+                // of variant v is experiment block (v * num_rates + r) —
+                // the flat point index, so replication streams never
+                // overlap between variants sharing the spec's seed.
+                per_grid.grid_offset = static_cast<std::uint64_t>(v * num_rates);
+                if (grid.progress) {
+                    per_grid.progress = [&grid, v, num_rates](
+                                            std::size_t r,
+                                            const eval::PointEvaluation& evaluation) {
+                        grid.progress(v * num_rates + r, evaluation);
+                    };
+                }
+                store_outcome(b, v,
+                              backend.value()->evaluate_grid(queries[v], rates,
+                                                             per_grid));
             }
-            std::vector<eval::PointEvaluation> evaluations = evaluated.take();
-            for (std::size_t r = 0; r < num_rates; ++r) {
-                result.points[v * num_rates + r].evaluations[b] =
-                    std::move(evaluations[r]);
+        }
+    } else {
+        // Merged batch: every backend plans its (variant, rate[,
+        // replication]) work and eval::evaluate_campaign runs the union as
+        // one flat wave-ordered task set on the engine's pool — narrow
+        // warm-start waves of one variant interleave with other variants'
+        // wide waves and with DES replications. Each plan writes a
+        // disjoint slice of the point table, so output stays a pure
+        // function of the spec at every width and in both dispatch modes.
+        eval::CampaignRequest request;
+        request.backends = effective.methods;
+        request.queries = queries;
+        request.rates = rates;
+        auto evaluated =
+            eval::evaluate_campaign(eval::BackendRegistry::global(), request, grid);
+        if (!evaluated.ok()) {
+            throw SpecError(evaluated.error().message, 0);
+        }
+        eval::CampaignEvaluation evaluation = evaluated.take();
+        result.summary.batch_waves = evaluation.stats.waves;
+        result.summary.sequential_waves = evaluation.stats.sequential_waves;
+        result.summary.batch_tasks = evaluation.stats.tasks;
+        for (std::size_t b = 0; b < num_methods; ++b) {
+            for (std::size_t v = 0; v < num_variants; ++v) {
+                store_outcome(b, v, std::move(evaluation.outcomes[b][v]));
             }
         }
     }

@@ -1,17 +1,24 @@
-// CampaignRunner: executes a ScenarioSpec by dispatching every (variant,
-// rate-grid) slice through the eval::BackendRegistry.
+// CampaignRunner: executes a ScenarioSpec by batching every (backend,
+// variant, rate-grid) slice through the eval::BackendRegistry as ONE
+// merged task set.
 //
 //   campaign layer   (this file + spec.hpp + sink.hpp)
-//        ^ expands variants x rate grid, resolves each spec method to a
-//          registered eval::Evaluator, and calls evaluate_grid per
-//          (backend, variant) with the engine's shared pool; pairwise
-//          deltas and summaries are post-processed deterministically
-//   eval layer       eval::Evaluator / BackendRegistry (eval/registry.hpp)
-//        ^ backends keep their batch internals: the ctmc backend runs the
+//        ^ expands variants x rate grid into one eval::CampaignRequest and
+//          calls the registry-level eval::evaluate_campaign (batch.hpp):
+//          every backend plans its grids (plan_grids) and the merged
+//          wave-ordered task set runs on the engine's shared pool, so one
+//          variant's narrow warm-start waves interleave with the other
+//          variants' wide waves and DES replications backfill idle solver
+//          threads; pairwise deltas and summaries are post-processed
+//          deterministically. CampaignOptions::sequential_dispatch keeps
+//          the old one-evaluate_grid-per-(backend, variant) loop as the
+//          A/B baseline — output is bitwise identical either way.
+//   eval layer       eval::Evaluator / BackendRegistry / evaluate_campaign
+//        ^ backends keep their batch internals: the ctmc backend plans the
 //          deterministic bisection warm-start transfer schedule (deviation
 //          from the product form, adopted only when it undercuts half the
 //          cold start's residual — see eval/backends.cpp), the des backend
-//          shards (point, replication) tasks on disjoint substream blocks
+//          plans (point, replication) tasks on disjoint substream blocks
 //   model/sim layer  core::GprsModel, sim::NetworkSimulator/replication
 //   consumers        bench/fig*, examples/gprsim_cli ("campaign" command),
 //                    out-of-tree code via find_package(gprsim)
@@ -25,7 +32,8 @@
 // of the experiment seed (GridOptions::grid_offset keeps variants on
 // disjoint blocks), and every reduction (replication pooling, deltas,
 // summary totals) runs serially in point order after the parallel phase —
-// so campaign output is bitwise invariant to CampaignOptions::num_threads.
+// so campaign output is bitwise invariant to CampaignOptions::num_threads
+// AND to the dispatch mode (merged batch vs sequential grids).
 #pragma once
 
 #include <cstdint>
@@ -100,6 +108,13 @@ struct CampaignOptions {
     /// Overrides ScenarioSpec::SolverSpec::warm_start with false (the
     /// cold-start baseline the summary is compared against).
     bool force_cold = false;
+    /// Dispatches one evaluate_grid per (backend, variant) instead of the
+    /// merged cross-variant task set — the pre-batch behavior, kept as the
+    /// A/B baseline (and for out-of-tree backends whose evaluate_grid has
+    /// batch internals but no plan). Output is bitwise identical either
+    /// way; only the wave count (CampaignSummary::batch_waves) and the
+    /// wall clock change.
+    bool sequential_dispatch = false;
     /// Called after every finished chain solve (under a lock, NOT in point
     /// order): flat point index and the solved point.
     std::function<void(std::size_t, const CampaignPoint&)> solve_progress;
@@ -119,6 +134,17 @@ struct CampaignSummary {
     long long total_iterations = 0;
     long long sim_replications = 0;
     std::uint64_t sim_events = 0;
+    /// Merged-batch accounting (zero under sequential_dispatch): waves the
+    /// flat cross-(backend, variant) task set executed vs the waves the
+    /// same work needs dispatched one (backend, variant) grid at a time.
+    /// batch_waves < sequential_waves is the recovered cross-variant
+    /// interleaving the summary line reports.
+    std::size_t batch_waves = 0;
+    std::size_t sequential_waves = 0;
+    /// Tasks of the merged set (chain solves + simulator replications +
+    /// whole-grid closures of plain backends); zero under sequential
+    /// dispatch.
+    std::size_t batch_tasks = 0;
     double wall_seconds = 0.0;
     int threads = 1;
 };

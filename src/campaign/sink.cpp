@@ -162,7 +162,10 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
         << ", \"warm_start\": " << (s.warm_start ? "true" : "false")
         << ", \"total_iterations\": " << s.total_iterations
         << ", \"sim_replications\": " << s.sim_replications
-        << ", \"sim_events\": " << s.sim_events << ", \"wall_seconds\": "
+        << ", \"sim_events\": " << s.sim_events
+        << ", \"batch_tasks\": " << s.batch_tasks
+        << ", \"batch_waves\": " << s.batch_waves
+        << ", \"sequential_waves\": " << s.sequential_waves << ", \"wall_seconds\": "
         << number_cell(s.wall_seconds) << ", \"threads\": " << s.threads << "},\n"
         << "  \"points\": [\n";
     for (std::size_t i = 0; i < result.points.size(); ++i) {
@@ -278,6 +281,15 @@ void print_campaign_summary(const CampaignResult& result, std::FILE* out) {
     if (s.sim_replications > 0) {
         std::fprintf(out, "  simulator replications: %lld (%.2e events)\n",
                      s.sim_replications, static_cast<double>(s.sim_events));
+    }
+    if (s.batch_waves > 0) {
+        // Cross-variant interleaving: the merged task set runs every
+        // (backend, variant) grid's wave w together, so fewer waves than
+        // the per-grid sequential dispatch means more tasks per dispatch.
+        std::fprintf(out,
+                     "  task set: %zu tasks in %zu merged waves "
+                     "(sequential dispatch: %zu waves)\n",
+                     s.batch_tasks, s.batch_waves, s.sequential_waves);
     }
     std::fprintf(out, "  wall %.2f s on %d thread%s\n", s.wall_seconds, s.threads,
                  s.threads == 1 ? "" : "s");

@@ -11,6 +11,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -39,6 +40,14 @@ public:
     /// solve width therefore never over-parallelizes a narrower job.
     /// The first exception thrown by a task is rethrown here.
     void run(int num_tasks, const std::function<void(int)>& task, int max_width = 0);
+
+    /// Heterogeneous counterpart of run(): executes every closure of
+    /// `tasks` exactly once, blocking until all finished. This is the
+    /// dispatch shape of a merged batch wave (eval/batch.hpp), where one
+    /// flat task set mixes chain solves, simulator replications, and
+    /// whole-grid closures of different backends. Same claiming, width,
+    /// and error semantics as run().
+    void run_tasks(std::span<const std::function<void()>> tasks, int max_width = 0);
 
     /// Number of concurrent threads the hardware supports (>= 1).
     static int hardware_threads();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <climits>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "core/handover.hpp"
 #include "core/initial_guess.hpp"
 #include "core/model.hpp"
+#include "eval/batch.hpp"
 #include "queueing/mm1k.hpp"
 #include "sim/experiment.hpp"
 
@@ -154,6 +156,79 @@ common::Status check_grid(std::span<const double> rates) {
     return common::ok_status();
 }
 
+/// A plan whose every query slot reports the same batch-level error (bad
+/// rate grid): no tasks, constant collect.
+GridPlan failed_plan(std::size_t num_queries, EvalError error) {
+    GridPlan plan;
+    plan.collect = [num_queries, error = std::move(error)] {
+        std::vector<GridOutcome> outcomes;
+        outcomes.reserve(num_queries);
+        for (std::size_t q = 0; q < num_queries; ++q) {
+            outcomes.push_back(error);
+        }
+        return outcomes;
+    };
+    return plan;
+}
+
+/// Shared per-query scaffolding of the batch planners: sizes each query's
+/// error-slot vector to the grid and probe-validates the query against the
+/// grid's first rate. planned[q] says whether query q gets tasks; a
+/// failing probe's typed error lands in errors[q][0] and poisons nothing
+/// else.
+std::vector<bool> probe_queries(
+    std::span<const ScenarioQuery> queries, std::span<const double> rates,
+    std::vector<std::vector<std::unique_ptr<EvalError>>>& errors) {
+    std::vector<bool> planned(queries.size(), false);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        errors[q].resize(rates.size());
+        if (rates.empty()) {
+            continue;
+        }
+        ScenarioQuery probe = queries[q];
+        probe.call_arrival_rate = rates.front();
+        if (common::Status v = probe.validated(); !v.ok()) {
+            errors[q][0] = std::make_unique<EvalError>(v.error());
+            continue;
+        }
+        planned[q] = true;
+    }
+    return planned;
+}
+
+/// First recorded error of one query's grid, in grid order — the error its
+/// GridOutcome reports (nullptr = the grid succeeded). Keeping the
+/// selection in one place keeps the ordering contract identical across
+/// backends.
+const EvalError* first_error(const std::vector<std::unique_ptr<EvalError>>& errors) {
+    for (const auto& error : errors) {
+        if (error) {
+            return error.get();
+        }
+    }
+    return nullptr;
+}
+
+/// Lowers the "failure at wave w" marker; tasks of LATER waves skip (their
+/// warm-start parent chain is broken), same-wave tasks still run — so the
+/// set of recorded errors, and hence the error collect() reports, is
+/// identical at every thread count.
+void poison(std::atomic<long long>& poisoned_wave, long long wave) {
+    long long current = poisoned_wave.load(std::memory_order_relaxed);
+    while (wave < current &&
+           !poisoned_wave.compare_exchange_weak(current, wave,
+                                                std::memory_order_acq_rel)) {
+    }
+}
+
+/// Executes a single backend's plan on options.pool and collects it — the
+/// shape of the ctmc/des evaluate_grids overrides (the multi-backend merge
+/// lives in eval::evaluate_campaign).
+std::vector<GridOutcome> execute_single_plan(GridPlan plan, const GridOptions& options) {
+    execute_plans(std::span<GridPlan>(&plan, 1), options);
+    return plan.collect();
+}
+
 /// Uncaught-exception fence: every backend body runs inside this so the
 /// "no exception crosses the eval boundary" contract survives bugs in the
 /// layers below (and bad_alloc on huge chains).
@@ -240,40 +315,85 @@ public:
         });
     }
 
-    /// Grid evaluation with the deterministic bisection warm-start
-    /// transfer: the solved/product-form deviation of each parent point is
-    /// grafted onto its dependents' product form and offered to the engine
-    /// as a competing initial (adopted only when it undercuts HALF the
-    /// product form's initial residual — near-ties mispredict the iteration
-    /// count). Per-point solves run single-threaded (the points are the
-    /// parallelism); waves shard on options.pool. Output is bitwise
-    /// invariant to num_threads.
+    /// Single-grid evaluation is the one-query batch: same schedule, same
+    /// candidates, same first-error-in-grid-order result.
     common::Result<std::vector<PointEvaluation>> evaluate_grid(
         const ScenarioQuery& base, std::span<const double> rates,
         const GridOptions& options) override {
+        std::vector<GridOutcome> outcomes =
+            evaluate_grids(std::span<const ScenarioQuery>(&base, 1), rates, options);
+        return std::move(outcomes.front());
+    }
+
+    std::vector<GridOutcome> evaluate_grids(std::span<const ScenarioQuery> queries,
+                                            std::span<const double> rates,
+                                            const GridOptions& options) override {
+        return execute_single_plan(plan_grids(queries, rates, options), options);
+    }
+
+    /// Grid planning with the deterministic bisection warm-start transfer:
+    /// the solved/product-form deviation of each parent point is grafted
+    /// onto its dependents' product form and offered to the engine as a
+    /// competing initial (adopted only when it undercuts HALF the product
+    /// form's initial residual — near-ties mispredict the iteration
+    /// count). Per-point solves run single-threaded (the points are the
+    /// parallelism); every query shares one wave structure (the schedule
+    /// depends only on the grid size), so level-L points of ALL queries
+    /// carry wave L and solve concurrently under the executor. Output is
+    /// bitwise invariant to num_threads and to merging.
+    GridPlan plan_grids(std::span<const ScenarioQuery> queries,
+                        std::span<const double> rates,
+                        const GridOptions& options) override {
         if (common::Status g = check_grid(rates); !g.ok()) {
-            return g.error();
-        }
-        if (rates.empty()) {
-            return std::vector<PointEvaluation>{};
-        }
-        ScenarioQuery probe = base;
-        probe.call_arrival_rate = rates.front();
-        if (common::Status v = probe.validated(); !v.ok()) {
-            return v.error();
+            return failed_plan(queries.size(), g.error());
         }
 
+        struct State {
+            std::vector<ScenarioQuery> base;                     ///< per query
+            std::vector<std::vector<PointEvaluation>> points;    ///< [q][i]
+            std::vector<std::vector<std::unique_ptr<EvalError>>> errors;
+            std::vector<std::unique_ptr<WarmStartCache>> caches;
+            /// Wave of query q's first failure; later-wave tasks of q skip.
+            std::vector<std::atomic<long long>> poisoned;
+            std::vector<double> rates;
+            SolveSchedule schedule;
+            std::mutex progress_mutex;
+        };
+        const std::size_t nq = queries.size();
         const std::size_t n = rates.size();
-        const SolveSchedule schedule = bisection_schedule(n, options.warm_start);
-        WarmStartCache cache(n, schedule.parent);
-        std::vector<PointEvaluation> points(n);
-        std::vector<std::unique_ptr<EvalError>> errors(n);
-        std::mutex progress_mutex;
+        auto state = std::make_shared<State>();
+        state->base.assign(queries.begin(), queries.end());
+        state->points.assign(nq, std::vector<PointEvaluation>(n));
+        state->errors.resize(nq);
+        state->rates.assign(rates.begin(), rates.end());
+        state->schedule = bisection_schedule(n, options.warm_start);
+        std::vector<std::atomic<long long>> poisoned(nq);
+        state->poisoned = std::move(poisoned);
+        for (std::size_t q = 0; q < nq; ++q) {
+            state->poisoned[q].store(LLONG_MAX, std::memory_order_relaxed);
+        }
+        // A failing probe only disables ITS query; no tasks are emitted
+        // for it and the other slots plan normally.
+        const std::vector<bool> planned = probe_queries(queries, rates, state->errors);
+        state->caches.resize(nq);
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (planned[q]) {
+                state->caches[q] =
+                    std::make_unique<WarmStartCache>(n, state->schedule.parent);
+            }
+        }
 
-        const auto solve_point = [&](int index) {
+        const auto solve_point = [this, state, progress = options.progress](
+                                     std::size_t q, int index, std::size_t wave) {
+            if (state->poisoned[q].load(std::memory_order_acquire) <
+                static_cast<long long>(wave)) {
+                return;  // a parent wave of this query already failed
+            }
+            const ScenarioQuery& base = state->base[q];
+            WarmStartCache& cache = *state->caches[q];
             try {
                 core::Parameters p = base.parameters;
-                p.call_arrival_rate = rates[static_cast<std::size_t>(index)];
+                p.call_arrival_rate = state->rates[static_cast<std::size_t>(index)];
                 core::GprsModel model(p);
                 const std::vector<double> product =
                     core::product_form_initial(p, model.balanced(), model.space());
@@ -281,7 +401,8 @@ public:
                 solve.tolerance = base.solver.tolerance;
                 solve.max_iterations = base.solver.max_iterations;
                 solve.num_threads = 1;  // the points are the parallelism
-                const int parent = schedule.parent[static_cast<std::size_t>(index)];
+                const int parent =
+                    state->schedule.parent[static_cast<std::size_t>(index)];
                 if (parent >= 0) {
                     // Candidate 0 (preferred): the plain product form;
                     // candidate 1: the target's product form carrying the
@@ -297,8 +418,9 @@ public:
                 }
                 auto solved = model.try_solve(solve, ctmc::default_engine());
                 if (!solved.ok()) {
-                    errors[static_cast<std::size_t>(index)] =
+                    state->errors[q][static_cast<std::size_t>(index)] =
                         std::make_unique<EvalError>(solved.error());
+                    poison(state->poisoned[q], static_cast<long long>(wave));
                     return;
                 }
                 const ctmc::SolveResult& result = solved.value().get();
@@ -311,9 +433,11 @@ public:
                     }
                     cache.store(static_cast<std::size_t>(index), std::move(deviation));
                 }
-                PointEvaluation& point = points[static_cast<std::size_t>(index)];
+                PointEvaluation& point =
+                    state->points[q][static_cast<std::size_t>(index)];
                 point.backend = name();
-                point.call_arrival_rate = rates[static_cast<std::size_t>(index)];
+                point.call_arrival_rate =
+                    state->rates[static_cast<std::size_t>(index)];
                 point.measures = core::compute_measures(p, model.balanced(),
                                                         model.space(),
                                                         result.distribution);
@@ -322,43 +446,56 @@ public:
                 point.warm_parent = parent;
                 point.warm_started = result.initial_selected == 1;
                 point.wall_seconds = result.seconds;
-                if (options.progress) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    options.progress(static_cast<std::size_t>(index), point);
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(state->progress_mutex);
+                    progress(q * state->rates.size() +
+                                 static_cast<std::size_t>(index),
+                             point);
                 }
             } catch (const std::exception& e) {
-                errors[static_cast<std::size_t>(index)] = std::make_unique<EvalError>(
-                    EvalError{EvalErrorCode::internal,
-                              std::string(e.what()) + " [" +
-                                  scenario_context(
-                                      base.parameters,
-                                      rates[static_cast<std::size_t>(index)]) +
-                                  "]"});
+                state->errors[q][static_cast<std::size_t>(index)] =
+                    std::make_unique<EvalError>(EvalError{
+                        EvalErrorCode::internal,
+                        std::string(e.what()) + " [" +
+                            scenario_context(
+                                base.parameters,
+                                state->rates[static_cast<std::size_t>(index)]) +
+                            "]"});
+                poison(state->poisoned[q], static_cast<long long>(wave));
             }
         };
 
-        const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
-        for (const std::vector<int>& wave : schedule.levels) {
-            const int wave_width = std::min<int>(width, static_cast<int>(wave.size()));
-            if (wave_width <= 1 || options.pool == nullptr) {
-                for (const int index : wave) {
-                    solve_point(index);
+        GridPlan plan;
+        for (std::size_t level = 0; level < state->schedule.levels.size(); ++level) {
+            for (std::size_t q = 0; q < nq; ++q) {
+                if (!planned[q]) {
+                    continue;
                 }
-            } else {
-                options.pool->run(
-                    static_cast<int>(wave.size()),
-                    [&](int t) { solve_point(wave[static_cast<std::size_t>(t)]); },
-                    wave_width);
-            }
-            // First error in grid order — deterministic at every width, and
-            // dependents of a failed parent never run.
-            for (const auto& error : errors) {
-                if (error) {
-                    return *error;
+                for (const int index : state->schedule.levels[level]) {
+                    plan.tasks.push_back(
+                        {level, [solve_point, q, index, level] {
+                             solve_point(q, index, level);
+                         }});
                 }
             }
         }
-        return points;
+        plan.collect = [state, nq] {
+            std::vector<GridOutcome> outcomes;
+            outcomes.reserve(nq);
+            for (std::size_t q = 0; q < nq; ++q) {
+                if (const EvalError* failed = first_error(state->errors[q])) {
+                    outcomes.push_back(*failed);
+                } else {
+                    outcomes.push_back(std::move(state->points[q]));
+                }
+            }
+            return outcomes;
+        };
+        plan.waves = plan.tasks.empty() ? 0 : state->schedule.levels.size();
+        plan.sequential_waves = state->schedule.levels.size() *
+                                static_cast<std::size_t>(
+                                    std::count(planned.begin(), planned.end(), true));
+        return plan;
     }
 };
 
@@ -416,94 +553,160 @@ public:
         });
     }
 
-    /// Grid evaluation with the experiment engine's substream discipline:
-    /// replication r of grid point i always draws from substream block
-    /// (grid_offset + i) * R + r of the experiment seed (disjoint streams
-    /// for every task of every grid sharing one seed), tasks shard on
-    /// options.pool, and pooling runs serially in (point, replication)
-    /// order afterwards — so grid output is bitwise invariant to
-    /// num_threads.
+    /// Single-grid evaluation is the one-query batch.
     common::Result<std::vector<PointEvaluation>> evaluate_grid(
         const ScenarioQuery& base, std::span<const double> rates,
         const GridOptions& options) override {
+        std::vector<GridOutcome> outcomes =
+            evaluate_grids(std::span<const ScenarioQuery>(&base, 1), rates, options);
+        return std::move(outcomes.front());
+    }
+
+    std::vector<GridOutcome> evaluate_grids(std::span<const ScenarioQuery> queries,
+                                            std::span<const double> rates,
+                                            const GridOptions& options) override {
+        return execute_single_plan(plan_grids(queries, rates, options), options);
+    }
+
+    /// Grid planning with the experiment engine's substream discipline:
+    /// replication r of query q's grid point i always draws from substream
+    /// block (grid_offset + q * rates.size() + i) * stride + r of that
+    /// query's experiment seed, where stride is the LARGEST replication
+    /// count in the batch — so streams stay disjoint even when queries
+    /// sharing one seed ask for different replication budgets (with a
+    /// uniform budget the stride equals R and blocks match the historic
+    /// single-grid formula exactly). Every (query, point, replication) is
+    /// its own wave-0 task — replications have no dependencies, so under a
+    /// merged campaign they backfill whatever solver threads the iterative
+    /// backends' narrow waves leave idle. Pooling runs serially in (query,
+    /// point, replication) order inside collect, so output is bitwise
+    /// invariant to num_threads and to merging.
+    GridPlan plan_grids(std::span<const ScenarioQuery> queries,
+                        std::span<const double> rates,
+                        const GridOptions& options) override {
         if (common::Status g = check_grid(rates); !g.ok()) {
-            return g.error();
-        }
-        if (rates.empty()) {
-            return std::vector<PointEvaluation>{};
-        }
-        ScenarioQuery probe = base;
-        probe.call_arrival_rate = rates.front();
-        if (common::Status v = probe.validated(); !v.ok()) {
-            return v.error();
+            return failed_plan(queries.size(), g.error());
         }
 
-        const WallClock clock;
+        struct State {
+            std::vector<ScenarioQuery> base;  ///< per query
+            /// runs[q][i][rep], written by disjoint tasks.
+            std::vector<std::vector<std::vector<sim::SimulationResults>>> runs;
+            /// First error of each (q, i); several replications of one
+            /// point can fail concurrently, so the slot is mutex-guarded.
+            std::vector<std::vector<std::unique_ptr<EvalError>>> errors;
+            std::mutex error_mutex;
+            std::vector<double> rates;
+        };
+        const std::size_t nq = queries.size();
         const std::size_t n = rates.size();
-        const int replications = base.simulation.replications;
-        std::vector<std::vector<sim::SimulationResults>> runs(
-            n, std::vector<sim::SimulationResults>(
-                   static_cast<std::size_t>(replications)));
-        std::vector<std::unique_ptr<EvalError>> errors(n);
-        // Unlike the ctmc grid (one task per index), several replications
-        // of one point can fail concurrently — their error slot is shared.
-        std::mutex error_mutex;
+        auto state = std::make_shared<State>();
+        state->base.assign(queries.begin(), queries.end());
+        state->runs.resize(nq);
+        state->errors.resize(nq);
+        state->rates.assign(rates.begin(), rates.end());
 
-        const int total = static_cast<int>(n) * replications;
-        const auto run_task = [&](int task) {
-            const std::size_t index = static_cast<std::size_t>(task / replications);
-            const int rep = task % replications;
+        // One plan task: replication `rep` of query q's point `index` on
+        // substream block `block`. Never throws.
+        const auto run_replication = [this, state](std::size_t q, std::size_t index,
+                                                   int rep, std::uint64_t block) {
             try {
-                ScenarioQuery query = base;
-                query.call_arrival_rate = rates[index];
+                ScenarioQuery query = state->base[q];
+                query.call_arrival_rate = state->rates[index];
                 const sim::ExperimentConfig experiment = experiment_config(query);
-                const std::uint64_t block =
-                    (options.grid_offset + static_cast<std::uint64_t>(index)) *
-                        static_cast<std::uint64_t>(replications) +
-                    static_cast<std::uint64_t>(rep);
                 const sim::SimulationConfig config =
                     sim::replication_config(experiment, block);
-                runs[index][static_cast<std::size_t>(rep)] =
+                state->runs[q][index][static_cast<std::size_t>(rep)] =
                     sim::NetworkSimulator(config).run();
             } catch (const std::exception& e) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!errors[index]) {
-                    errors[index] = std::make_unique<EvalError>(
-                        EvalError{EvalErrorCode::internal,
-                                  std::string(e.what()) + " [" +
-                                      scenario_context(base.parameters, rates[index]) +
-                                      "]"});
+                std::lock_guard<std::mutex> lock(state->error_mutex);
+                if (!state->errors[q][index]) {
+                    state->errors[q][index] = std::make_unique<EvalError>(EvalError{
+                        EvalErrorCode::internal,
+                        std::string(e.what()) + " [" +
+                            scenario_context(state->base[q].parameters,
+                                             state->rates[index]) +
+                            "]"});
                 }
             }
         };
 
-        const int width = std::min(
-            common::ThreadPool::resolve_thread_count(options.num_threads), total);
-        if (width <= 1 || options.pool == nullptr) {
-            for (int task = 0; task < total; ++task) {
-                run_task(task);
-            }
-        } else {
-            options.pool->run(total, run_task, width);
+        GridPlan plan;
+        const std::vector<bool> planned = probe_queries(queries, rates, state->errors);
+        // Substream stride: the batch's largest replication budget, so
+        // blocks of different queries never collide even with unequal
+        // budgets (uniform budgets reproduce the historic R stride).
+        // Computed over EVERY query — valid or not, clamped at 1 for
+        // nonsense budgets — so a query's random draws never depend on
+        // whether an unrelated sibling passed validation.
+        std::uint64_t stride = 1;
+        for (const ScenarioQuery& query : queries) {
+            stride = std::max(stride, static_cast<std::uint64_t>(std::max(
+                                          1, query.simulation.replications)));
         }
-        for (const auto& error : errors) {
-            if (error) {
-                return *error;
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (!planned[q]) {
+                continue;
+            }
+            const int replications = queries[q].simulation.replications;
+            state->runs[q].assign(n, std::vector<sim::SimulationResults>(
+                                         static_cast<std::size_t>(replications)));
+            for (std::size_t index = 0; index < n; ++index) {
+                for (int rep = 0; rep < replications; ++rep) {
+                    const std::uint64_t block =
+                        (options.grid_offset +
+                         static_cast<std::uint64_t>(q * n + index)) *
+                            stride +
+                        static_cast<std::uint64_t>(rep);
+                    plan.tasks.push_back({0, [run_replication, q, index, rep, block] {
+                                              run_replication(q, index, rep, block);
+                                          }});
+                }
             }
         }
 
-        std::vector<PointEvaluation> points;
-        points.reserve(n);
-        for (std::size_t index = 0; index < n; ++index) {
-            ScenarioQuery query = base;
-            query.call_arrival_rate = rates[index];
-            points.push_back(pooled_point(query, std::move(runs[index]), width));
-        }
-        const double wall = clock.seconds();
-        for (PointEvaluation& point : points) {
-            point.wall_seconds = wall / static_cast<double>(n);
-        }
-        return points;
+        // threads_used provenance follows the single-grid formula (capped
+        // at that query's own task count), so a merged run reports
+        // bit-identical points to a sequential per-grid one.
+        const int resolved = common::ThreadPool::resolve_thread_count(options.num_threads);
+        plan.collect = [this, state, nq, n, resolved] {
+            std::vector<GridOutcome> outcomes;
+            outcomes.reserve(nq);
+            for (std::size_t q = 0; q < nq; ++q) {
+                if (const EvalError* failed = first_error(state->errors[q])) {
+                    outcomes.push_back(*failed);
+                    continue;
+                }
+                const int width = std::min<int>(
+                    resolved,
+                    static_cast<int>(n) * state->base[q].simulation.replications);
+                // This query's own simulation cost (a merged batch has no
+                // meaningful per-backend wall clock), spread evenly over
+                // its points like the historic grid/N attribution.
+                double query_wall = 0.0;
+                for (const auto& point_runs : state->runs[q]) {
+                    for (const sim::SimulationResults& run : point_runs) {
+                        query_wall += run.wall_seconds;
+                    }
+                }
+                std::vector<PointEvaluation> points;
+                points.reserve(n);
+                for (std::size_t index = 0; index < n; ++index) {
+                    ScenarioQuery query = state->base[q];
+                    query.call_arrival_rate = state->rates[index];
+                    points.push_back(
+                        pooled_point(query, std::move(state->runs[q][index]), width));
+                    points.back().wall_seconds =
+                        query_wall / static_cast<double>(std::max<std::size_t>(1, n));
+                }
+                outcomes.push_back(std::move(points));
+            }
+            return outcomes;
+        };
+        plan.waves = plan.tasks.empty() ? 0 : 1;
+        plan.sequential_waves =
+            static_cast<std::size_t>(std::count(planned.begin(), planned.end(), true));
+        return plan;
     }
 
 private:

@@ -4,18 +4,24 @@
 //   erlang       closed-form Erlang populations and blocking (Eq. 2-7);
 //                microseconds per point, no chain state
 //   ctmc         stationary solve of the full Markov chain (Table 1);
-//                evaluate_grid keeps the deterministic bisection warm-start
-//                transfer schedule that used to live in the campaign runner
+//                plan_grids/evaluate_grid(s) keep the deterministic
+//                bisection warm-start transfer schedule that used to live
+//                in the campaign runner, with every variant of a batch
+//                sharing one wave structure so level-L points of ALL
+//                variants solve concurrently
 //   des          replications of the detailed network simulator, pooled
-//                into 95% CIs; evaluate_grid shards (point, replication)
-//                tasks with the same substream-block discipline as
-//                sim::ExperimentEngine
+//                into 95% CIs; plan_grids/evaluate_grid(s) emit one task
+//                per (variant, point, replication) with the same
+//                substream-block discipline as sim::ExperimentEngine, all
+//                dependency-free so they backfill idle solver threads in a
+//                merged campaign
 //   mm1k-approx  cheap M/M/c/K fixed-point approximation of the data plane
 //                over the Erlang populations — the proof that a third-party
 //                approximation plugs into the registry without touching the
 //                campaign runner, spec parser, or CLI
 //
-// All four return Results; no exception crosses evaluate()/evaluate_grid().
+// All four return Results; no exception crosses evaluate() /
+// evaluate_grid() / evaluate_grids() / a plan's tasks.
 #pragma once
 
 #include <cstddef>

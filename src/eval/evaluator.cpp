@@ -1,6 +1,10 @@
 #include "eval/evaluator.hpp"
 
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 namespace gprsim::eval {
 
@@ -56,6 +60,105 @@ common::Result<std::vector<PointEvaluation>> Evaluator::evaluate_grid(
         points.push_back(point.take());
     }
     return points;
+}
+
+namespace {
+
+/// Per-query GridOptions of a multi-grid batch: query q's grid starts at
+/// flat batch index q * rates.size(), so its substream offset and progress
+/// indices shift by that much. `serial` strips the pool for plan tasks
+/// (they already run ON the executor's pool and must not re-enter it).
+GridOptions query_options(const GridOptions& options, std::size_t query,
+                          std::size_t grid_size, bool serial,
+                          std::mutex* progress_mutex) {
+    GridOptions adjusted = options;
+    adjusted.grid_offset = options.grid_offset + query * grid_size;
+    if (serial) {
+        adjusted.pool = nullptr;
+        adjusted.num_threads = 1;
+    }
+    if (options.progress) {
+        const std::size_t base = query * grid_size;
+        const auto inner = options.progress;
+        adjusted.progress = [inner, base, progress_mutex](
+                                std::size_t index, const PointEvaluation& point) {
+            if (progress_mutex != nullptr) {
+                // Backends lock only within one grid call; concurrent plan
+                // tasks of different queries need a batch-wide lock.
+                std::lock_guard<std::mutex> lock(*progress_mutex);
+                inner(base + index, point);
+            } else {
+                inner(base + index, point);
+            }
+        };
+    }
+    return adjusted;
+}
+
+}  // namespace
+
+std::vector<GridOutcome> Evaluator::evaluate_grids(
+    std::span<const ScenarioQuery> queries, std::span<const double> rates,
+    const GridOptions& options) {
+    std::vector<GridOutcome> outcomes;
+    outcomes.reserve(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        outcomes.push_back(evaluate_grid(
+            queries[q], rates,
+            query_options(options, q, rates.size(), /*serial=*/false, nullptr)));
+    }
+    return outcomes;
+}
+
+GridPlan Evaluator::plan_grids(std::span<const ScenarioQuery> queries,
+                               std::span<const double> rates,
+                               const GridOptions& options) {
+    // Shared by the tasks and the collect closure; the executor guarantees
+    // collect runs after every task, so slot writes never race with reads.
+    // Queries and rates are copied in (plan execution may outlive the
+    // caller's buffers).
+    struct State {
+        std::vector<std::optional<GridOutcome>> outcomes;
+        std::vector<ScenarioQuery> queries;
+        std::vector<double> rates;
+        std::mutex progress_mutex;
+    };
+    auto state = std::make_shared<State>();
+    state->outcomes.resize(queries.size());
+    state->queries.assign(queries.begin(), queries.end());
+    state->rates.assign(rates.begin(), rates.end());
+
+    GridPlan plan;
+    plan.tasks.reserve(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const GridOptions adjusted = query_options(options, q, rates.size(),
+                                                   /*serial=*/true,
+                                                   &state->progress_mutex);
+        plan.tasks.push_back(
+            {0, [this, state, q, adjusted] {
+                 // evaluate_grid's contract is "no exception escapes", so
+                 // this task body needs no fence of its own.
+                 state->outcomes[q].emplace(
+                     evaluate_grid(state->queries[q], state->rates, adjusted));
+             }});
+    }
+    plan.collect = [state, queries_size = queries.size()] {
+        std::vector<GridOutcome> outcomes;
+        outcomes.reserve(queries_size);
+        for (std::optional<GridOutcome>& slot : state->outcomes) {
+            if (slot.has_value()) {
+                outcomes.push_back(std::move(*slot));
+            } else {
+                outcomes.push_back(common::EvalError{
+                    common::EvalErrorCode::internal,
+                    "batch executor dropped a grid task before it ran"});
+            }
+        }
+        return outcomes;
+    };
+    plan.waves = plan.tasks.empty() ? 0 : 1;
+    plan.sequential_waves = plan.tasks.size();
+    return plan;
 }
 
 }  // namespace gprsim::eval

@@ -1,8 +1,10 @@
 // The unified evaluation API: one vocabulary for "evaluate this GPRS
 // scenario" regardless of how the answer is computed.
 //
-//   eval layer      (this file + registry.hpp + backends.hpp)
+//   eval layer      (this file + registry.hpp + backends.hpp + batch.hpp)
 //        ^ ScenarioQuery -> Evaluator::evaluate -> Result<PointEvaluation>
+//          multi-grid batches: Evaluator::evaluate_grids / plan_grids,
+//          merged across backends by eval::evaluate_campaign (batch.hpp);
 //          string-keyed BackendRegistry; built-ins erlang / ctmc / des /
 //          mm1k-approx, out-of-tree backends register alongside them
 //   model/sim layer core::GprsModel, sim::ExperimentEngine, queueing::*
@@ -14,8 +16,9 @@
 // simulator); this layer makes "a way to evaluate a scenario" a first-class
 // object so new routes (queueing approximations, fluid or transient
 // backends) plug in without touching the campaign runner, spec parser, or
-// CLI. Contract: no exception crosses evaluate()/evaluate_grid() — every
-// failure surfaces as a typed common::EvalError inside a common::Result.
+// CLI. Contract: no exception crosses evaluate() / evaluate_grid() /
+// evaluate_grids() / the tasks of a plan_grids() plan — every failure
+// surfaces as a typed common::EvalError inside a common::Result.
 #pragma once
 
 #include <cstdint>
@@ -116,14 +119,60 @@ struct GridOptions {
     /// points (the ctmc backend's bisection warm-start schedule).
     bool warm_start = true;
     /// Offset added to each point's grid index when stochastic backends
-    /// derive per-task random substream blocks (the des backend uses block
-    /// (grid_offset + i) * replications + r). Callers evaluating several
-    /// grids under one experiment seed (the campaign runner's variants)
-    /// pass disjoint offsets so no two tasks share a substream.
+    /// derive per-task random substream blocks: the des backend uses block
+    /// (grid_offset + i) * stride + r, where the stride is the batch's
+    /// largest replication budget (equal to the query's own R whenever the
+    /// batch shares one budget — every single-grid call and every campaign
+    /// does). Callers evaluating several grids under one experiment seed
+    /// (the campaign runner's variants) pass disjoint offsets so no two
+    /// tasks share a substream. Multi-grid entry points (evaluate_grids /
+    /// plan_grids) advance the offset by rates.size() per query
+    /// themselves, so query q's point i sits on block
+    /// (grid_offset + q * rates.size() + i) * stride + r.
     std::uint64_t grid_offset = 0;
     /// Invoked by iterative backends after each finished point (under a
     /// lock, NOT in grid order): grid index and the finished evaluation.
+    /// Multi-grid entry points report the flat batch index
+    /// q * rates.size() + i for point i of query q.
     std::function<void(std::size_t, const PointEvaluation&)> progress;
+};
+
+/// Per-query outcome of a multi-grid batch: the query's full rate grid (one
+/// PointEvaluation per rate, grid order) or the typed error that stopped
+/// that query. One query's failure never poisons the others' slots.
+using GridOutcome = common::Result<std::vector<PointEvaluation>>;
+
+/// One unit of a backend's batched work, contributed to a merged task set.
+/// Tasks carrying the same wave may run concurrently (with any same-wave
+/// task of any backend); a task may assume every task of every earlier
+/// wave has finished. `run` must not throw — failures are recorded in the
+/// plan's shared state and surface from GridPlan::collect.
+struct BatchTask {
+    std::size_t wave = 0;
+    std::function<void()> run;
+};
+
+/// A backend's contribution to a (possibly multi-backend) batch, produced
+/// by Evaluator::plan_grids: wave-tagged tasks plus a serial collect step.
+/// The executor (eval/batch.hpp) runs the merged task set wave by wave on
+/// one pool, so the narrow early waves of one grid's dependency schedule
+/// interleave with other grids' wide waves, then invokes each plan's
+/// collect serially. Tasks only write plan-private state captured in their
+/// closures; all cross-plan coordination is the executor's wave barrier.
+struct GridPlan {
+    std::vector<BatchTask> tasks;
+    /// Assembles the per-query outcomes. Called exactly once, serially,
+    /// after every task of every merged plan has finished; performs the
+    /// order-sensitive reductions (replication pooling, first-error-in-
+    /// grid-order selection) so results stay thread-count-invariant.
+    std::function<std::vector<GridOutcome>()> collect;
+    /// Dependency depth of this plan: 1 + the largest task wave (0 when
+    /// the plan has no tasks).
+    std::size_t waves = 0;
+    /// Waves the same work would occupy dispatched one query at a time —
+    /// the number merged execution is measured against (batch.hpp's
+    /// BatchStats reports both).
+    std::size_t sequential_waves = 0;
 };
 
 /// "rate=0.5 calls/s, N=20 channels (1 PDCH reserved), M=50, K=100, ..." —
@@ -133,8 +182,8 @@ std::string scenario_context(const core::Parameters& parameters, double call_arr
 
 /// A way to evaluate a GPRS scenario. Implementations must be safe to call
 /// concurrently from several threads (the built-ins are stateless between
-/// calls) and must not let any exception escape the two virtual entry
-/// points — failures are returned as typed EvalErrors.
+/// calls) and must not let any exception escape the virtual entry points —
+/// failures are returned as typed EvalErrors.
 class Evaluator {
 public:
     virtual ~Evaluator() = default;
@@ -156,6 +205,40 @@ public:
     virtual common::Result<std::vector<PointEvaluation>> evaluate_grid(
         const ScenarioQuery& base, std::span<const double> rates,
         const GridOptions& options = {});
+
+    /// Evaluates SEVERAL scenario variants over one shared rate grid in a
+    /// single batch, returning one GridOutcome per query (query order).
+    /// The default implementation loops over evaluate_grid, isolating each
+    /// query's error in its own slot; the ctmc and des backends override
+    /// it to execute their plan_grids task set, so one variant's narrow
+    /// warm-start waves overlap with the other variants' wide waves (and
+    /// DES replications backfill idle solver threads) instead of running
+    /// grid after grid. Results are invariant to the thread count, and —
+    /// for batches whose queries share one replication budget (a
+    /// campaign's always do) — bitwise identical to the looped path; with
+    /// unequal budgets the des backend widens its substream stride to the
+    /// batch maximum to keep streams disjoint, which legitimately changes
+    /// the draws versus separate evaluate_grid calls.
+    virtual std::vector<GridOutcome> evaluate_grids(
+        std::span<const ScenarioQuery> queries, std::span<const double> rates,
+        const GridOptions& options = {});
+
+    /// Plans the same work as evaluate_grids without executing it, as
+    /// wave-tagged tasks for a merged multi-backend task set (the
+    /// registry-level eval::evaluate_campaign in batch.hpp). The default
+    /// implementation emits one wave-0 task per query that runs that
+    /// query's whole evaluate_grid serially — correct for any backend, and
+    /// already cross-query parallel; backends with internal dependency
+    /// structure (ctmc) or finer task grain (des) override it to expose
+    /// per-point / per-replication tasks. Implementations copy queries
+    /// and rates into the plan's shared state, so the caller's buffers
+    /// only need to outlive this call, not the plan's execution.
+    /// GridOptions::pool is ignored at
+    /// planning time: tasks run wherever the executor schedules them and
+    /// must therefore never touch a pool themselves.
+    virtual GridPlan plan_grids(std::span<const ScenarioQuery> queries,
+                                std::span<const double> rates,
+                                const GridOptions& options = {});
 };
 
 }  // namespace gprsim::eval

@@ -6,7 +6,10 @@
 // register_backend() call, after which campaign specs, the CLI, and every
 // other consumer can dispatch to them by name — no enum to extend, no
 // runner/parser edits. Registration and lookup return typed Results
-// (duplicate_backend / unknown_backend) instead of throwing.
+// (duplicate_backend / unknown_backend) instead of throwing. The
+// registry-level batch entry point — eval::evaluate_campaign, which merges
+// every named backend's plan_grids task set into one flat wave-ordered
+// pool dispatch — lives in eval/batch.hpp.
 #pragma once
 
 #include <functional>

@@ -277,6 +277,82 @@ TEST(CampaignRunner, ErlangMethodNeedsNoSolves) {
     EXPECT_GT(result.at(1, 3).model.gprs_blocking, result.at(1, 0).model.gprs_blocking);
 }
 
+/// Field-by-field bitwise comparison of two campaign points (memcmp on the
+/// doubles, not EXPECT_DOUBLE_EQ) shared by the dispatch-mode tests.
+void expect_points_bitwise_equal(const CampaignPoint& pa, const CampaignPoint& pb,
+                                 std::size_t i) {
+    EXPECT_EQ(std::memcmp(&pa.model.carried_data_traffic,
+                          &pb.model.carried_data_traffic, sizeof(double)), 0) << i;
+    EXPECT_EQ(std::memcmp(&pa.model.packet_loss_probability,
+                          &pb.model.packet_loss_probability, sizeof(double)), 0) << i;
+    EXPECT_EQ(std::memcmp(&pa.model.queueing_delay, &pb.model.queueing_delay,
+                          sizeof(double)), 0) << i;
+    EXPECT_EQ(pa.iterations, pb.iterations) << i;
+    EXPECT_EQ(pa.warm_parent, pb.warm_parent) << i;
+    EXPECT_EQ(pa.warm_started, pb.warm_started) << i;
+    EXPECT_EQ(pa.has_sim, pb.has_sim) << i;
+    if (pa.has_sim && pb.has_sim) {
+        EXPECT_EQ(std::memcmp(&pa.sim.carried_data_traffic.mean,
+                              &pb.sim.carried_data_traffic.mean, sizeof(double)), 0)
+            << i;
+        EXPECT_EQ(std::memcmp(&pa.sim.queueing_delay.half_width,
+                              &pb.sim.queueing_delay.half_width, sizeof(double)), 0)
+            << i;
+        EXPECT_EQ(pa.sim.events_executed, pb.sim.events_executed) << i;
+        EXPECT_EQ(std::memcmp(&pa.delta_cdt, &pb.delta_cdt, sizeof(double)), 0) << i;
+    }
+}
+
+TEST(CampaignRunner, BatchedDispatchMatchesSequentialBitwiseAtEveryWidth) {
+    // The headline acceptance of the batched path: a 3-variant,
+    // 2-backend campaign produces bitwise-identical output through the
+    // merged task set at 1 and 4 threads AND through the per-(backend,
+    // variant) sequential dispatch — while the merged task set needs
+    // fewer waves than the grids dispatched one at a time.
+    ctmc::SolverEngine engine;
+    CampaignRunner runner(engine);
+    ScenarioSpec spec = tiny_ctmc_spec();
+    spec.with_methods({"ctmc", "des"}).over_reserved_pdch({1, 2, 3});
+    spec.simulation.replications = 2;
+    spec.simulation.warmup_time = 100.0;
+    spec.simulation.batch_count = 3;
+    spec.simulation.batch_duration = 150.0;
+    spec.simulation.seed = 7;
+
+    CampaignOptions sequential;
+    sequential.sequential_dispatch = true;
+    CampaignOptions batched1;
+    CampaignOptions batched4;
+    batched4.num_threads = 4;
+    const CampaignResult reference = runner.run(spec, sequential);
+    const CampaignResult serial = runner.run(spec, batched1);
+    const CampaignResult wide = runner.run(spec, batched4);
+
+    ASSERT_EQ(reference.points.size(), 27u);  // 3 variants x 9 rates
+    for (const CampaignResult* other : {&serial, &wide}) {
+        ASSERT_EQ(other->points.size(), reference.points.size());
+        for (std::size_t i = 0; i < reference.points.size(); ++i) {
+            expect_points_bitwise_equal(reference.points[i], other->points[i], i);
+        }
+        EXPECT_EQ(other->summary.total_iterations, reference.summary.total_iterations);
+        EXPECT_EQ(other->summary.sim_events, reference.summary.sim_events);
+        EXPECT_EQ(other->summary.warm_started_solves,
+                  reference.summary.warm_started_solves);
+    }
+
+    // Cross-variant interleaving: the merged task set's wave count is the
+    // DEEPEST plan (ctmc's bisection schedule), far below the sum over
+    // every (backend, variant) grid run on its own.
+    EXPECT_EQ(reference.summary.batch_waves, 0u);  // sequential: not batched
+    EXPECT_GT(wide.summary.batch_waves, 0u);
+    EXPECT_LT(wide.summary.batch_waves, wide.summary.sequential_waves);
+    const std::size_t ctmc_depth = bisection_schedule(9, true).levels.size();
+    EXPECT_EQ(wide.summary.batch_waves, ctmc_depth);
+    EXPECT_EQ(wide.summary.sequential_waves, 3 * ctmc_depth + 3);  // + 3 des grids
+    // 27 solves + 27 points x 2 replications of simulator tasks.
+    EXPECT_EQ(wide.summary.batch_tasks, 27u + 54u);
+}
+
 TEST(CampaignRunner, ProgressCallbackSeesEverySolve) {
     ctmc::SolverEngine engine;
     CampaignRunner runner(engine);
