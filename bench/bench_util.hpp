@@ -200,29 +200,52 @@ struct SimulatorRecord {
     long long events = 0;   ///< events executed, summed over replications
     double sim_seconds = 0.0;  ///< simulated time, summed over replications
     double seconds = 0.0;      ///< wall clock for the whole experiment
-    double speedup = 0.0;   ///< vs the serial baseline of the same case (0 = n/a)
 };
 
-/// SimulatorRecord counterpart of BenchJsonWriter.
+/// SimulatorRecord counterpart of BenchJsonWriter. Records are kept
+/// structured and speedups are derived at write() time by pairing each
+/// record with the threads == 1 record of the *same name*: a case measured
+/// only at one width (or never serially) gets "speedup": null instead of a
+/// bogus cross-case ratio.
 class SimJsonWriter {
 public:
-    void add(const SimulatorRecord& r) {
-        char line[512];
-        std::snprintf(line, sizeof(line),
-                      "{\"name\": \"%s\", \"threads\": %d, \"replications\": %d, "
-                      "\"events\": %lld, \"sim_seconds\": %.1f, \"seconds\": %.6f, "
-                      "\"events_per_second\": %.0f, \"speedup\": %.3f}",
-                      r.name.c_str(), r.threads, r.replications, r.events, r.sim_seconds,
-                      r.seconds,
-                      r.seconds > 0.0 ? static_cast<double>(r.events) / r.seconds : 0.0,
-                      r.speedup);
-        records_.emplace_back(line);
+    void add(const SimulatorRecord& r) { records_.push_back(r); }
+
+    bool write(const std::string& path) const {
+        std::vector<std::string> lines;
+        lines.reserve(records_.size());
+        for (const SimulatorRecord& r : records_) {
+            const SimulatorRecord* base = nullptr;
+            for (const SimulatorRecord& candidate : records_) {
+                if (candidate.threads == 1 && candidate.name == r.name) {
+                    base = &candidate;
+                    break;
+                }
+            }
+            char speedup[32];
+            if (base != nullptr && base->seconds > 0.0 && r.seconds > 0.0) {
+                std::snprintf(speedup, sizeof(speedup), "%.3f",
+                              base->seconds / r.seconds);
+            } else {
+                std::snprintf(speedup, sizeof(speedup), "null");
+            }
+            char line[512];
+            std::snprintf(line, sizeof(line),
+                          "{\"name\": \"%s\", \"threads\": %d, \"replications\": %d, "
+                          "\"events\": %lld, \"sim_seconds\": %.1f, \"seconds\": %.6f, "
+                          "\"events_per_second\": %.0f, \"speedup\": %s}",
+                          r.name.c_str(), r.threads, r.replications, r.events,
+                          r.sim_seconds, r.seconds,
+                          r.seconds > 0.0 ? static_cast<double>(r.events) / r.seconds
+                                          : 0.0,
+                          speedup);
+            lines.emplace_back(line);
+        }
+        return write_json_records(path, lines);
     }
 
-    bool write(const std::string& path) const { return write_json_records(path, records_); }
-
 private:
-    std::vector<std::string> records_;
+    std::vector<SimulatorRecord> records_;
 };
 
 }  // namespace gprsim::bench

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     bench::SimJsonWriter json;
     json.add({"fig06_campaign", args.threads, spec.simulation.replications,
               static_cast<long long>(result.summary.sim_events), sim_seconds,
-              timer.seconds(), 0.0});
+              timer.seconds()});
     json.write(args.json.empty() ? "BENCH_simulator.json" : args.json);
     return 0;
 }

@@ -1,0 +1,420 @@
+// Calendar queue: the event calendar behind des::Simulation.
+//
+// A Brown-style calendar queue (R. Brown, CACM 1988) replaces the binary
+// heap: time is quantized into fixed-width *virtual buckets* (vb =
+// floor(time / width)), and a power-of-two array of physical buckets holds
+// the events of one "year" (num_buckets consecutive virtual buckets),
+// wrapping modulo the array size. Dequeue scans forward from the current
+// virtual bucket and pops the earliest event whose vb matches it; enqueue
+// is an O(1) push into the target bucket. With the width adapted so that
+// buckets hold O(1) events, both operations are amortized O(1) — against
+// O(log n) heap sifts over 40+-byte entries.
+//
+//   * Events beyond the current year go to a sorted *overflow list*
+//     (descending, so the earliest events sit at the back); they migrate
+//     into the bucket array when the year advances. The sort is lazy: the
+//     list absorbs appends unordered and sorts once per migration.
+//   * The bucket width and array size adapt to the live event population:
+//     the queue rebuilds when the size outgrows (or undershoots) the
+//     bucket count, re-estimating the width from the median inter-event
+//     gap of a sample — robust against the bursty/skewed schedule-time
+//     distributions a GPRS cell produces (20 ms frame ticks next to
+//     hour-scale dwell timers).
+//   * When the current year is sparse (a full revolution finds nothing),
+//     the queue falls back to a direct minimum search and jumps the
+//     cursor straight to the next event instead of ticking through empty
+//     years.
+//
+// Ordering contract: pop order is EXACTLY ascending (time, sequence) — the
+// same stable FIFO tie-break the heap provided. Bucket geometry, width
+// re-estimation, and the overflow threshold affect only *where* an event
+// is stored, never the order it pops in: the quantization vb(t) is
+// monotone in t, the per-bucket scan takes the (time, sequence)-minimum
+// among entries of the current virtual bucket, and equal times always
+// share a virtual bucket. Rebuilds therefore cannot perturb simulation
+// trajectories.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gprsim::des {
+
+/// One calendar entry: the schedule time, the global FIFO sequence number,
+/// and the arena slot holding the callback.
+struct CalendarEvent {
+    double time;
+    std::uint64_t sequence;
+    std::uint32_t slot;
+    /// Virtual bucket = floor(time * inv_width) under the width the queue
+    /// had when this entry was (re)placed; recomputed on rebuild.
+    std::int64_t vbucket;
+};
+
+class CalendarQueue {
+public:
+    CalendarQueue() { buckets_.resize(kMinBuckets); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Enqueues an event. `time` must be >= the time of the last popped
+    /// event (the simulation clock never schedules into the past); equal
+    /// times are ordered by `sequence`.
+    void insert(double time, std::uint64_t sequence, std::uint32_t slot) {
+        CalendarEvent ev{time, sequence, slot, vbucket_of(time)};
+        place(ev);
+        ++size_;
+        if (size_ > (num_buckets() << 1) && num_buckets() < kMaxBuckets) {
+            rebuild();
+        }
+    }
+
+    /// Removes the earliest event (ascending (time, sequence)) into `out`
+    /// and returns true — unless the queue is empty or the earliest event
+    /// is later than `horizon` (inclusive bound: time == horizon pops).
+    bool pop_until(double horizon, CalendarEvent& out) {
+        if (size_ == 0) {
+            return false;
+        }
+        std::size_t misses = 0;
+        std::size_t work = 0;
+        for (;;) {
+            std::vector<CalendarEvent>& bucket = buckets_[bucket_index(cursor_vb_)];
+            std::size_t best = bucket.size();
+            for (std::size_t i = 0; i < bucket.size(); ++i) {
+                if (bucket[i].vbucket == cursor_vb_ &&
+                    (best == bucket.size() || earlier(bucket[i], bucket[best]))) {
+                    best = i;
+                }
+            }
+            work += bucket.size();
+            if (best != bucket.size()) {
+                if (bucket[best].time > horizon) {
+                    return false;  // cursor stays; insert() may rewind it
+                }
+                out = bucket[best];
+                bucket[best] = bucket.back();
+                bucket.pop_back();
+                --size_;
+                note_pop(out.time, work + misses);
+                if (size_ < (num_buckets() >> 3) && num_buckets() > kMinBuckets) {
+                    rebuild();
+                }
+                return true;
+            }
+            ++cursor_vb_;
+            if (cursor_vb_ == overflow_limit_vb_) {
+                // Crossed into the next year: slide the overflow window.
+                overflow_limit_vb_ += static_cast<std::int64_t>(num_buckets());
+                migrate_overflow();
+            }
+            if (++misses > num_buckets()) {
+                jump_to_minimum();  // sparse year: skip the empty buckets
+                misses = 0;
+            }
+        }
+    }
+
+    /// Diagnostics for benches/tests: current bucket count and overflow
+    /// population (events parked beyond the current year).
+    std::size_t bucket_count() const { return num_buckets(); }
+    std::size_t overflow_size() const { return overflow_.size(); }
+    double bucket_width() const { return width_; }
+
+private:
+    static constexpr std::size_t kMinBuckets = 64;
+    static constexpr std::size_t kMaxBuckets = std::size_t{1} << 21;
+    /// Quantization cap: times so far out that time/width overflows the
+    /// virtual-bucket range all share the last bucket (ordering within it
+    /// is still exact via (time, sequence)).
+    static constexpr std::int64_t kMaxVb = std::int64_t{1} << 62;
+
+    static bool earlier(const CalendarEvent& a, const CalendarEvent& b) {
+        if (a.time != b.time) {
+            return a.time < b.time;
+        }
+        return a.sequence < b.sequence;
+    }
+
+    /// Records the inter-pop time delta (the *dequeue-side* event density —
+    /// what actually determines scan cost) and the scan work this pop paid.
+    /// When the rolling work average degrades, rebuilds with a width
+    /// re-estimated from the recorded deltas. A population-gap estimate
+    /// alone goes pathological here: the pending set is dominated by sparse
+    /// far-future timers (dwell, TCP retransmission), so its median gap is
+    /// orders of magnitude wider than the dense head (frame ticks, transit
+    /// delays), and the head collapses into one bucket with quadratic pops.
+    void note_pop(double time, std::size_t work) {
+        const double delta = time - last_pop_time_;
+        last_pop_time_ = time;
+        if (delta > 0.0) {
+            pop_deltas_[delta_pos_] = delta;
+            delta_pos_ = (delta_pos_ + 1) & (kDeltaWindow - 1);
+            if (delta_count_ < kDeltaWindow) {
+                ++delta_count_;
+            }
+        }
+        adapt_work_ += work;
+        if (++adapt_pops_ >= kAdaptInterval) {
+            // Average > ~6 entries touched per pop means the geometry may
+            // no longer match the head density — but only rebuild if the
+            // re-estimated width would actually change materially. High
+            // scan work can also come from simultaneous events (a frame
+            // grid), which no bucket width can separate: rebuilding on
+            // those would thrash O(n) rebuilds every interval.
+            if (adapt_work_ > kAdaptInterval * 6 && delta_count_ == kDeltaWindow &&
+                size_ >= 2) {
+                std::array<double, kDeltaWindow> deltas = pop_deltas_;
+                std::nth_element(deltas.begin(), deltas.begin() + kDeltaWindow / 2,
+                                 deltas.end());
+                const double candidate = 2.0 * deltas[kDeltaWindow / 2];
+                if (candidate > 0.0 && candidate < 1e300 &&
+                    (candidate < 0.5 * width_ || candidate > 2.0 * width_)) {
+                    rebuild();
+                }
+            }
+            adapt_pops_ = 0;
+            adapt_work_ = 0;
+        }
+    }
+
+    std::size_t num_buckets() const { return buckets_.size(); }
+    std::size_t bucket_index(std::int64_t vb) const {
+        return static_cast<std::size_t>(vb) & (buckets_.size() - 1);
+    }
+
+    std::int64_t vbucket_of(double time) const {
+        const double q = time * inv_width_;
+        if (q >= static_cast<double>(kMaxVb)) {
+            return kMaxVb;
+        }
+        if (q < 0.0) {
+            return 0;
+        }
+        return static_cast<std::int64_t>(q);
+    }
+
+    void place(const CalendarEvent& ev) {
+        if (ev.vbucket >= overflow_limit_vb_) {
+            overflow_.push_back(ev);  // beyond the sorted prefix; sorted lazily
+            return;
+        }
+        if (ev.vbucket < cursor_vb_) {
+            // run_until() may leave the cursor parked at a future event;
+            // a later schedule before that event rewinds the scan. Extra
+            // empty buckets get scanned — ordering is unaffected.
+            cursor_vb_ = ev.vbucket;
+        }
+        buckets_[bucket_index(ev.vbucket)].push_back(ev);
+    }
+
+    void sort_overflow() {
+        // Descending (time, sequence): the earliest events end up at the
+        // back, so migration pops them without shifting. Incremental: only
+        // the appends since the last sort get sorted, then merged into the
+        // sorted prefix — O(a log a + F) per year instead of O(F log F).
+        if (overflow_sorted_ < overflow_.size()) {
+            const auto desc = [](const CalendarEvent& a, const CalendarEvent& b) {
+                return earlier(b, a);
+            };
+            const auto mid = overflow_.begin() +
+                             static_cast<std::ptrdiff_t>(overflow_sorted_);
+            std::sort(mid, overflow_.end(), desc);
+            std::inplace_merge(overflow_.begin(), mid, overflow_.end(), desc);
+            overflow_sorted_ = overflow_.size();
+        }
+    }
+
+    /// Moves overflow events that now fall before the overflow limit into
+    /// the bucket array.
+    void migrate_overflow() {
+        if (overflow_.empty()) {
+            return;
+        }
+        sort_overflow();
+        while (!overflow_.empty() && overflow_.back().vbucket < overflow_limit_vb_) {
+            CalendarEvent ev = overflow_.back();
+            overflow_.pop_back();
+            if (ev.vbucket < cursor_vb_) {
+                cursor_vb_ = ev.vbucket;
+            }
+            buckets_[bucket_index(ev.vbucket)].push_back(ev);
+        }
+        overflow_sorted_ = overflow_.size();
+    }
+
+    /// Direct minimum search across buckets and overflow; jumps the cursor
+    /// (and the year window) to the earliest event. Called when a full
+    /// revolution found nothing — size_ > 0 guarantees a minimum exists.
+    void jump_to_minimum() {
+        const CalendarEvent* min_ev = nullptr;
+        for (const std::vector<CalendarEvent>& bucket : buckets_) {
+            for (const CalendarEvent& ev : bucket) {
+                if (min_ev == nullptr || earlier(ev, *min_ev)) {
+                    min_ev = &ev;
+                }
+            }
+        }
+        std::int64_t target_vb;
+        if (min_ev != nullptr) {
+            target_vb = min_ev->vbucket;
+            if (!overflow_.empty()) {
+                sort_overflow();
+                if (earlier(overflow_.back(), *min_ev)) {
+                    target_vb = overflow_.back().vbucket;
+                }
+            }
+        } else {
+            sort_overflow();
+            target_vb = overflow_.back().vbucket;
+        }
+        cursor_vb_ = target_vb;
+        const auto n = static_cast<std::int64_t>(num_buckets());
+        overflow_limit_vb_ = (target_vb / n + 1) * n;
+        migrate_overflow();
+    }
+
+    /// Resizes the bucket array to ~one event per bucket and re-estimates
+    /// the width from the median inter-event gap of a strided sample (the
+    /// median keeps one heavy tail — dwell timers hours out — from
+    /// stretching every bucket; Brown's mean-gap rule would).
+    void rebuild() {
+        std::vector<CalendarEvent> all;
+        all.reserve(size_);
+        for (std::vector<CalendarEvent>& bucket : buckets_) {
+            all.insert(all.end(), bucket.begin(), bucket.end());
+            bucket.clear();
+        }
+        all.insert(all.end(), overflow_.begin(), overflow_.end());
+        overflow_.clear();
+        overflow_sorted_ = 0;
+
+        std::size_t n = kMinBuckets;
+        while (n < all.size() && n < kMaxBuckets) {
+            n <<= 1;
+        }
+        // resize (not assign) keeps the surviving buckets' capacities, so
+        // steady-state adapt-rebuilds do no per-bucket reallocation.
+        buckets_.resize(n);
+
+        width_ = estimate_width(all);
+        inv_width_ = 1.0 / width_;
+
+        std::int64_t min_vb = kMaxVb;
+        for (CalendarEvent& ev : all) {
+            ev.vbucket = vbucket_of(ev.time);
+            min_vb = std::min(min_vb, ev.vbucket);
+        }
+        cursor_vb_ = all.empty() ? 0 : min_vb;
+        overflow_limit_vb_ =
+            (cursor_vb_ / static_cast<std::int64_t>(n) + 1) * static_cast<std::int64_t>(n);
+        for (const CalendarEvent& ev : all) {
+            place(ev);
+        }
+    }
+
+    double estimate_width(const std::vector<CalendarEvent>& all) const {
+        // Two estimators, take the narrower:
+        //   * median of recent nonzero inter-pop deltas — samples the
+        //     *head* of the schedule, exactly the density the bucket width
+        //     must match. The pending population mixes in sparse far-future
+        //     timers (dwell, TCP retransmission) whose gaps would stretch
+        //     the width by orders of magnitude and collapse the dense head
+        //     into one quadratic bucket.
+        //   * median population gap (strided sample) — covers cold starts
+        //     and drains, where the remaining population *is* the future
+        //     and recent pop deltas lag it.
+        // Too-narrow merely walks empty buckets (bounded by the
+        // jump-to-minimum fallback); too-wide is the quadratic failure, so
+        // min() errs the survivable way.
+        double delta_est = 0.0;
+        if (delta_count_ == kDeltaWindow) {
+            std::array<double, kDeltaWindow> deltas = pop_deltas_;
+            std::nth_element(deltas.begin(), deltas.begin() + kDeltaWindow / 2,
+                             deltas.end());
+            const double gap = deltas[kDeltaWindow / 2];
+            if (gap > 0.0 && gap < 1e300) {
+                delta_est = 2.0 * gap;
+            }
+        }
+        const double pop_est = estimate_population_width(all);
+        if (delta_est > 0.0 && pop_est > 0.0) {
+            return std::min(delta_est, pop_est);
+        }
+        if (delta_est > 0.0) {
+            return delta_est;
+        }
+        return pop_est > 0.0 ? pop_est : width_;
+    }
+
+    double estimate_population_width(const std::vector<CalendarEvent>& all) const {
+        if (all.size() < 2) {
+            return 0.0;  // no data; caller keeps the current width
+        }
+        constexpr std::size_t kSample = 1024;
+        std::vector<double> times;
+        times.reserve(std::min(all.size(), kSample));
+        const std::size_t stride = std::max<std::size_t>(1, all.size() / kSample);
+        for (std::size_t i = 0; i < all.size(); i += stride) {
+            times.push_back(all[i].time);
+        }
+        std::sort(times.begin(), times.end());
+        std::vector<double> gaps;
+        gaps.reserve(times.size());
+        for (std::size_t i = 1; i < times.size(); ++i) {
+            gaps.push_back(times[i] - times[i - 1]);
+        }
+        if (gaps.empty()) {
+            return 0.0;
+        }
+        // A sampled gap spans ~`stride` population events, so the
+        // population-level inter-event gap is the sampled gap / stride.
+        std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+        double gap = gaps[gaps.size() / 2] / static_cast<double>(stride);
+        if (gap <= 0.0) {
+            // Median tie (many simultaneous events): fall back to the mean
+            // gap over the sampled span.
+            gap = (times.back() - times.front()) /
+                  static_cast<double>(all.size() - 1);
+        }
+        if (gap <= 0.0 || !(gap < 1e300)) {
+            return 0.0;  // all-equal times or degenerate span
+        }
+        // A couple of events per virtual bucket keeps the dequeue scan at
+        // O(1) without making years so short that everything overflows.
+        return 2.0 * gap;
+    }
+
+    std::vector<std::vector<CalendarEvent>> buckets_;
+    std::vector<CalendarEvent> overflow_;  ///< events beyond the current year
+    /// Length of the sorted prefix of overflow_; appends past it are merged
+    /// in lazily by sort_overflow().
+    std::size_t overflow_sorted_ = 0;
+    std::size_t size_ = 0;
+    double width_ = 1.0;
+    double inv_width_ = 1.0;
+    /// Next virtual bucket the dequeue scan will inspect; between pops it
+    /// equals the vbucket of the last popped event (or earlier).
+    std::int64_t cursor_vb_ = 0;
+    /// Events with vbucket >= this go to the overflow list; always the end
+    /// of the year (bucket-array span) containing the cursor.
+    std::int64_t overflow_limit_vb_ = static_cast<std::int64_t>(kMinBuckets);
+
+    /// Rolling window of nonzero inter-pop time deltas (head density) that
+    /// feeds estimate_width(), plus the scan-work counters that trigger an
+    /// adaptive rebuild when pops degrade.
+    static constexpr std::size_t kDeltaWindow = 64;  // power of two
+    static constexpr std::size_t kAdaptInterval = 1024;
+    std::array<double, kDeltaWindow> pop_deltas_{};
+    std::size_t delta_pos_ = 0;
+    std::size_t delta_count_ = 0;
+    double last_pop_time_ = 0.0;
+    std::size_t adapt_pops_ = 0;
+    std::size_t adapt_work_ = 0;
+};
+
+}  // namespace gprsim::des

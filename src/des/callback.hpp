@@ -1,0 +1,131 @@
+// Small-buffer event callback: the std::function replacement for the event
+// core's hot path.
+//
+// Every callback the simulator schedules captures at most a `this` pointer
+// plus a couple of ids (see sim/simulator.cpp), yet std::function pays a
+// heap allocation as soon as the capture list outgrows its tiny SSO buffer
+// (16 bytes on libstdc++) — one malloc/free pair per scheduled event at
+// millions of events per second. EventCallback stores the callable inline
+// in a fixed-capacity buffer instead and refuses, at compile time, any
+// callable that does not fit: there is deliberately NO heap fallback, so a
+// capture list that grows past kCapacity is a build error pointing at the
+// offending schedule() call, not a silent performance regression.
+//
+// Trivially copyable callables (all of the simulator's lambdas) relocate
+// with a memcpy and destroy as a no-op; non-trivial ones (a std::function
+// passed through, a shared_ptr capture) go through a per-type ops table.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gprsim::des {
+
+class EventCallback {
+public:
+    /// Inline storage for the callable. Sized for the largest capture the
+    /// simulator actually schedules (`this` + two 64-bit ids = 24 bytes)
+    /// with headroom for a full std::function<void()> (32 bytes) so test
+    /// code can still pass one through.
+    static constexpr std::size_t kCapacity = 48;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCapacity,
+                      "EventCallback: capture list exceeds the inline capacity; "
+                      "shrink the captures (ids, not objects) or raise kCapacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "EventCallback: over-aligned callable");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "EventCallback: callable must be nothrow move constructible "
+                      "(arena slots relocate callbacks without exception paths)");
+        ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+        invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            ops_ = nullptr;  // memcpy relocation, no destructor call
+        } else {
+            ops_ = &kOpsFor<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback&& other) noexcept { move_from(other); }
+
+    EventCallback& operator=(EventCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback&) = delete;
+    EventCallback& operator=(const EventCallback&) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /// True when a callable is stored (empty callbacks are rejected by
+    /// Simulation::schedule, mirroring the std::function-based contract).
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /// Invokes the stored callable; must not be called on an empty
+    /// EventCallback (the event core only dispatches non-empty slots).
+    void operator()() { invoke_(storage_); }
+
+private:
+    struct Ops {
+        void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+        void (*destroy)(void* s);
+    };
+
+    template <typename Fn>
+    static void relocate_impl(void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+    }
+
+    template <typename Fn>
+    static void destroy_impl(void* s) {
+        static_cast<Fn*>(s)->~Fn();
+    }
+
+    template <typename Fn>
+    static constexpr Ops kOpsFor{&relocate_impl<Fn>, &destroy_impl<Fn>};
+
+    void move_from(EventCallback& other) noexcept {
+        invoke_ = other.invoke_;
+        ops_ = other.ops_;
+        if (invoke_ != nullptr) {
+            if (ops_ != nullptr) {
+                ops_->relocate(storage_, other.storage_);
+            } else {
+                std::memcpy(storage_, other.storage_, kCapacity);
+            }
+            other.invoke_ = nullptr;
+            other.ops_ = nullptr;
+        }
+    }
+
+    void reset() noexcept {
+        if (invoke_ != nullptr && ops_ != nullptr) {
+            ops_->destroy(storage_);
+        }
+        invoke_ = nullptr;
+        ops_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kCapacity];
+    void (*invoke_)(void*) = nullptr;
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace gprsim::des

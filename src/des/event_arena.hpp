@@ -1,0 +1,120 @@
+// Pool-allocated event slots with generation-counted handles.
+//
+// The arena owns every scheduled-but-not-yet-fired callback. A slot is
+// addressed by a 32-bit index; each slot carries a generation counter that
+// is bumped when the slot is released, so an (index, generation) handle
+// held by model code goes stale the moment its event fires or its
+// cancelled calendar entry is reclaimed. That makes cancellation O(1) —
+// flag the slot, no search, no hash probe — and makes cancel() of a fired
+// or already-cancelled handle a *detectable* no-op: the generation (or the
+// pending flag) no longer matches, so a recycled slot's new occupant can
+// never be cancelled through an old handle. This replaces the previous
+// design's two per-event unordered_set probes (pending-id tracking plus a
+// lazy-deletion set) with plain array indexing.
+//
+// Slots are recycled through a LIFO free list, so a steady-state simulation
+// reaches its high-water mark of concurrently pending events once and then
+// performs no allocation at all in the schedule/fire loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/callback.hpp"
+
+namespace gprsim::des {
+
+class EventArena {
+public:
+    struct Slot {
+        EventCallback callback;
+        /// Matches the handle generation while the slot is live; bumped on
+        /// release. Never 0 (0 marks an invalid/default handle). A stale
+        /// handle could only alias a reused slot after ~2^32 reuses of that
+        /// one slot between the handle's creation and the cancel — far
+        /// beyond any replication horizon.
+        std::uint32_t generation = 1;
+        /// Scheduled and not yet fired or cancelled.
+        bool pending = false;
+        /// Cancelled; the calendar entry still exists and releases the slot
+        /// when it surfaces.
+        bool cancelled = false;
+    };
+
+    /// Stores `callback` in a recycled (or new) slot and returns its index;
+    /// `generation_out` receives the slot's current generation for the
+    /// handle. The slot starts pending.
+    std::uint32_t acquire(EventCallback callback, std::uint32_t& generation_out) {
+        std::uint32_t index;
+        if (!free_.empty()) {
+            index = free_.back();
+            free_.pop_back();
+        } else {
+            index = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        Slot& slot = slots_[index];
+        slot.callback = std::move(callback);
+        slot.pending = true;
+        slot.cancelled = false;
+        generation_out = slot.generation;
+        return index;
+    }
+
+    /// O(1) cancellation: succeeds only when (index, generation) names the
+    /// slot's *current* pending occupant. The callback is destroyed
+    /// immediately (dropping captured resources); the slot itself is
+    /// reclaimed when its calendar entry surfaces.
+    bool cancel(std::uint32_t index, std::uint32_t generation) {
+        if (index >= slots_.size()) {
+            return false;
+        }
+        Slot& slot = slots_[index];
+        if (slot.generation != generation || !slot.pending) {
+            return false;
+        }
+        slot.pending = false;
+        slot.cancelled = true;
+        slot.callback = EventCallback();
+        return true;
+    }
+
+    /// True when the slot's occupant was cancelled and awaits reclamation.
+    bool is_cancelled(std::uint32_t index) const { return slots_[index].cancelled; }
+
+    /// Moves the callback out for dispatch (the slot stays allocated until
+    /// release()).
+    EventCallback take_callback(std::uint32_t index) {
+        Slot& slot = slots_[index];
+        slot.pending = false;
+        return std::move(slot.callback);
+    }
+
+    /// Returns the slot to the free list and bumps its generation, staling
+    /// every outstanding handle to it.
+    void release(std::uint32_t index) {
+        Slot& slot = slots_[index];
+        slot.callback = EventCallback();
+        slot.pending = false;
+        slot.cancelled = false;
+        if (++slot.generation == 0) {
+            slot.generation = 1;
+        }
+        free_.push_back(index);
+    }
+
+    /// Total slots ever allocated — the high-water mark of concurrently
+    /// scheduled (incl. cancelled-unreclaimed) events. Exposed so tests and
+    /// benches can assert that slot recycling actually bounds the pool.
+    std::size_t slot_count() const { return slots_.size(); }
+
+    /// Slots currently free for reuse.
+    std::size_t free_count() const { return free_.size(); }
+
+private:
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+};
+
+}  // namespace gprsim::des

@@ -17,6 +17,17 @@ std::uint64_t splitmix64(std::uint64_t& state) {
     return z ^ (z >> 31);
 }
 
+/// UniformRandomBitGenerator over a stream's prefetched block: hands
+/// std::uniform_int_distribution the same word sequence the bare engine
+/// would, so batching cannot change uniform_int results.
+struct BlockEngineRef {
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return std::mt19937_64::min(); }
+    static constexpr result_type max() { return std::mt19937_64::max(); }
+    result_type operator()() { return stream->next_u64(); }
+    RandomStream* stream;
+};
+
 }  // namespace
 
 RandomStream::RandomStream(std::uint64_t seed, std::uint64_t stream_id) {
@@ -32,18 +43,20 @@ RandomStream::RandomStream(std::uint64_t seed, std::uint64_t stream_id) {
     engine_.seed(seq);
 }
 
-double RandomStream::uniform() {
-    // 53-bit mantissa in (0, 1): offset by half an ulp to exclude 0.
-    const std::uint64_t bits = engine_() >> 11;
-    return (static_cast<double>(bits) + 0.5) * 0x1.0p-53;
+void RandomStream::refill() {
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        block_[i] = engine_();
+    }
+    pos_ = 0;
 }
 
 int RandomStream::uniform_int(int lo, int hi) {
     if (lo > hi) {
         throw std::invalid_argument("RandomStream::uniform_int: empty range");
     }
+    BlockEngineRef ref{this};
     std::uniform_int_distribution<int> dist(lo, hi);
-    return dist(engine_);
+    return dist(ref);
 }
 
 double RandomStream::exponential(double mean) {

@@ -20,42 +20,43 @@ EventHandle Simulation::schedule_at(double time, EventCallback callback) {
     if (!callback) {
         throw std::invalid_argument("Simulation::schedule_at: empty callback");
     }
-    const std::uint64_t id = next_id_++;
-    heap_.push(Entry{time, next_sequence_++, id, std::move(callback)});
-    pending_.insert(id);
-    return EventHandle(id);
+    std::uint32_t generation = 0;
+    const std::uint32_t slot = arena_.acquire(std::move(callback), generation);
+    calendar_.insert(time, next_sequence_++, slot);
+    ++pending_;
+    return EventHandle(slot, generation);
 }
 
 bool Simulation::cancel(EventHandle handle) {
-    if (!handle.valid() || pending_.erase(handle.id_) == 0) {
-        // Invalid, already fired, or already cancelled: a stale id must not
-        // enter the lazy-deletion set, where it would never be popped and
-        // would corrupt the pending count forever.
+    if (!handle.valid() || !arena_.cancel(handle.index_, handle.generation_)) {
+        // Invalid, already fired, already cancelled, or the slot has been
+        // recycled for a newer event: the generation check makes every
+        // stale cancel a detectable no-op — it can never hit the slot's
+        // current occupant. The calendar entry of a genuine cancel stays
+        // queued (flagged in the arena) and is reclaimed when it surfaces.
         return false;
     }
-    // Lazy deletion: remember the pending id; its entry is dropped when it
-    // reaches the top of the heap.
-    cancelled_.insert(handle.id_);
+    --pending_;
     return true;
 }
 
 bool Simulation::dispatch_next(double horizon) {
-    while (!heap_.empty()) {
-        const Entry& top = heap_.top();
-        if (top.time > horizon) {
-            return false;
-        }
-        if (cancelled_.erase(top.id) > 0) {
-            heap_.pop();
+    CalendarEvent ev;
+    while (calendar_.pop_until(horizon, ev)) {
+        if (arena_.is_cancelled(ev.slot)) {
+            arena_.release(ev.slot);  // reclaim a lazily deleted entry
             continue;
         }
-        Entry entry = std::move(const_cast<Entry&>(top));
-        heap_.pop();
-        now_ = entry.time;
-        // Un-track before the callback so a self-cancel observes "fired".
-        pending_.erase(entry.id);
+        now_ = ev.time;
+        // Move the callback out and release the slot BEFORE invoking: the
+        // firing event's own handle goes stale (a self-cancel observes
+        // "fired"), and the slot is immediately reusable by whatever the
+        // callback schedules.
+        EventCallback callback = arena_.take_callback(ev.slot);
+        arena_.release(ev.slot);
+        --pending_;
         ++executed_;
-        entry.callback();
+        callback();
         return true;
     }
     return false;

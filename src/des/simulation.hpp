@@ -5,29 +5,44 @@
 // scheduled at absolute or relative times and executed in time order;
 // simultaneous events fire in scheduling order (stable FIFO tie-break).
 // Handles permit O(1) cancellation (dwell timers, TCP retransmission timers).
+//
+// Event core (see calendar_queue.hpp / event_arena.hpp / callback.hpp):
+//   * the calendar is a width-adaptive calendar queue (amortized O(1)
+//     schedule/fire against the former binary heap's O(log n) sifts),
+//   * callbacks live in pool-allocated arena slots addressed by index —
+//     no per-event heap traffic — and EventHandle carries the slot's
+//     generation, so cancellation is an O(1) slot flag and a stale handle
+//     (fired, cancelled, or recycled slot) is a detectable no-op,
+//   * callbacks are fixed-capacity inline EventCallbacks, not heap-backed
+//     std::functions.
+// Determinism contract: the pop order is exactly ascending (time, global
+// schedule sequence) — identical to the previous heap implementation, so
+// simulation trajectories are unchanged.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+
+#include "des/calendar_queue.hpp"
+#include "des/callback.hpp"
+#include "des/event_arena.hpp"
 
 namespace gprsim::des {
 
-using EventCallback = std::function<void()>;
-
 /// Token identifying a scheduled event; default-constructed handles are
-/// invalid. Cancelling an already-fired handle is a harmless no-op.
+/// invalid. Cancelling an already-fired handle is a harmless no-op: the
+/// handle names (slot, generation), and the generation went stale when the
+/// event fired, was cancelled, or its slot was recycled.
 class EventHandle {
 public:
     EventHandle() = default;
-    bool valid() const { return id_ != 0; }
+    bool valid() const { return generation_ != 0; }
 
 private:
     friend class Simulation;
-    explicit EventHandle(std::uint64_t id) : id_(id) {}
-    std::uint64_t id_ = 0;
+    EventHandle(std::uint32_t index, std::uint32_t generation)
+        : index_(index), generation_(generation) {}
+    std::uint32_t index_ = 0;
+    std::uint32_t generation_ = 0;
 };
 
 class Simulation {
@@ -42,8 +57,9 @@ public:
 
     /// Cancels a pending event. Returns true when the event was pending;
     /// cancelling an invalid, already-fired, or already-cancelled handle —
-    /// including from inside a running callback — is a no-op that returns
-    /// false and leaves the calendar intact.
+    /// including from inside a running callback, and including a handle
+    /// whose slot has since been recycled for a newer event — is a no-op
+    /// that returns false and leaves the calendar intact.
     bool cancel(EventHandle handle);
 
     /// Runs until the calendar is empty or stop() is called.
@@ -55,39 +71,26 @@ public:
     void stop() { stopped_ = true; }
 
     std::uint64_t events_executed() const { return executed_; }
-    std::size_t events_pending() const { return pending_.size(); }
+    std::size_t events_pending() const { return pending_; }
+
+    /// Arena slot high-water mark (concurrently scheduled events, incl.
+    /// cancelled entries awaiting reclamation); tests/benches use it to
+    /// verify that slot recycling bounds the pool.
+    std::size_t arena_slots() const { return arena_.slot_count(); }
+    /// Calendar diagnostics: current bucket count of the calendar queue.
+    std::size_t calendar_buckets() const { return calendar_.bucket_count(); }
 
 private:
-    struct Entry {
-        double time;
-        std::uint64_t sequence;  // FIFO tie-break for equal times
-        std::uint64_t id;
-        EventCallback callback;
-
-        bool operator>(const Entry& other) const {
-            if (time != other.time) {
-                return time > other.time;
-            }
-            return sequence > other.sequence;
-        }
-    };
-
-    /// Pops and runs the next event; assumes the heap is non-empty after
-    /// cancelled entries are skipped. Returns false if nothing runnable.
+    /// Pops and runs the next event with time <= horizon, reclaiming any
+    /// cancelled entries it surfaces first. Returns false if nothing ran.
     bool dispatch_next(double horizon);
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    /// Ids scheduled but not yet fired or cancelled. Membership is what
-    /// makes cancel() of a stale handle a detectable no-op instead of
-    /// poisoning the lazy-deletion set with an id that never pops.
-    std::unordered_set<std::uint64_t> pending_;
-    /// Pending ids whose heap entries must be dropped when popped (lazy
-    /// deletion); always a subset of ids still in the heap.
-    std::unordered_set<std::uint64_t> cancelled_;
+    EventArena arena_;
+    CalendarQueue calendar_;
     double now_ = 0.0;
-    std::uint64_t next_sequence_ = 0;
-    std::uint64_t next_id_ = 1;
+    std::uint64_t next_sequence_ = 0;  ///< global FIFO tie-break counter
     std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;  ///< scheduled, not yet fired or cancelled
     bool stopped_ = false;
 };
 

@@ -86,6 +86,9 @@ struct NetworkSimulator::Impl {
     std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions;
     std::unordered_map<std::uint64_t, GsmCall> gsm_calls;
     std::uint64_t next_entity_id = 1;
+    /// frame_tick() scratch (indices of packets completed this frame);
+    /// member so the per-frame hot path never allocates.
+    std::vector<std::size_t> finished_scratch;
 
     des::RandomStream gsm_arrival_rng;
     des::RandomStream gprs_arrival_rng;
@@ -287,15 +290,12 @@ struct NetworkSimulator::Impl {
     }
 
     void schedule_next_packet(Session& session) {
-        const std::uint64_t id = session.id;
+        // Capturing the Session pointer is safe: end_session() cancels
+        // generator_event before the session is destroyed, so this event
+        // can never fire on a dead session (map nodes are pointer-stable).
         session.generator_event =
             sim.schedule(traffic_rng.exponential(p().traffic.mean_packet_interarrival),
-                         [this, id] {
-                             const auto it = sessions.find(id);
-                             if (it != sessions.end()) {
-                                 generate_packet(*it->second);
-                             }
-                         });
+                         [this, s = &session] { generate_packet(*s); });
     }
 
     void generate_packet(Session& session) {
@@ -314,16 +314,11 @@ struct NetworkSimulator::Impl {
         }
         --session.packet_calls_remaining;
         if (session.packet_calls_remaining > 0) {
-            // Reading time, then the next packet call.
-            const std::uint64_t id = session.id;
+            // Reading time, then the next packet call. Pointer capture is
+            // safe for the same reason as in schedule_next_packet().
             session.generator_event =
                 sim.schedule(traffic_rng.exponential(p().traffic.mean_reading_time),
-                             [this, id] {
-                                 const auto it = sessions.find(id);
-                                 if (it != sessions.end()) {
-                                     begin_packet_call(*it->second);
-                                 }
-                             });
+                             [this, s = &session] { begin_packet_call(*s); });
             return;
         }
         session.generation_done = true;
@@ -471,7 +466,8 @@ struct NetworkSimulator::Impl {
             // packets, at most 8 slots per packet (multislot class limit).
             const int base = available / head_count;
             const int extra = available % head_count;
-            std::vector<std::size_t> finished;
+            std::vector<std::size_t>& finished = finished_scratch;
+            finished.clear();  // Impl-owned scratch: no per-tick allocation
             for (int i = 0; i < head_count; ++i) {
                 const int share = std::min(8, base + (i < extra ? 1 : 0));
                 if (share == 0) {

@@ -1,0 +1,234 @@
+// Event-core regression tests for the calendar-queue + arena engine:
+// stale-handle safety across slot reuse, FIFO tie-break through bucket
+// overflow, cursor rewind after run_until(), arena recycling bounds, and a
+// randomized schedule/cancel/fire stress cross-checked event-for-event
+// against a std::multimap oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace gprsim::des {
+namespace {
+
+TEST(EventCore, StaleHandleAfterSlotReuseDoesNotCancelNewOccupant) {
+    // A fires and its arena slot is recycled for B. The stale handle to A
+    // names (slot, old generation): cancelling it must return false and
+    // leave B untouched.
+    Simulation sim;
+    bool a_fired = false;
+    bool b_fired = false;
+    EventHandle a = sim.schedule(1.0, [&] { a_fired = true; });
+    EventHandle b;
+    sim.schedule(2.0, [&] {
+        // A fired at t=1; with LIFO slot reuse B lands in A's slot.
+        b = sim.schedule(2.0, [&] { b_fired = true; });
+        EXPECT_FALSE(sim.cancel(a));  // stale: must not hit B
+    });
+    sim.run();
+    EXPECT_TRUE(a_fired);
+    EXPECT_TRUE(b_fired);
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(EventCore, StaleHandleAfterManyReuseCyclesStaysStale) {
+    // Drive one slot through many generations; every retired handle must
+    // stay a detectable no-op, never cancelling the current occupant.
+    Simulation sim;
+    std::vector<EventHandle> retired;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        for (const EventHandle& h : retired) {
+            EXPECT_FALSE(sim.cancel(h));
+        }
+        if (fired < 50) {
+            retired.push_back(sim.schedule(1.0, chain));
+        }
+    };
+    retired.push_back(sim.schedule(1.0, chain));
+    sim.run();
+    EXPECT_EQ(fired, 50);
+    // One live event at a time: the arena must have recycled instead of
+    // growing a slot per event.
+    EXPECT_LE(sim.arena_slots(), 4u);
+}
+
+TEST(EventCore, FifoTieBreakThroughBucketOverflow) {
+    // Many events at the same far-future time are parked in the calendar's
+    // overflow list (their virtual bucket is beyond the current year) and
+    // migrate into buckets later; scheduling order must still win ties.
+    Simulation sim;
+    // Establish a fine bucket width first: a dense burst of near events.
+    for (int i = 0; i < 200; ++i) {
+        sim.schedule(1e-4 * (i + 1), [] {});
+    }
+    std::vector<int> order;
+    constexpr int kTies = 300;
+    for (int i = 0; i < kTies; ++i) {
+        sim.schedule_at(5000.0, [&order, i] { order.push_back(i); });
+        // Interleave distinct times around the tied one; they must sort in
+        // between without disturbing the tie-break.
+        sim.schedule_at(5000.0 + (i + 1) * 1e-3, [] {});
+    }
+    sim.run();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kTies));
+    for (int i = 0; i < kTies; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i) << "FIFO violated at " << i;
+    }
+}
+
+TEST(EventCore, ScheduleEarlierEventAfterRunUntilRewindsCursor) {
+    // run_until() can leave the calendar cursor parked at a future event;
+    // a later schedule before that event must rewind the scan so pops stay
+    // globally ordered.
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_at(10.0, [&] { order.push_back(10); });
+    sim.run_until(2.0);
+    sim.schedule_at(3.0, [&] { order.push_back(3); });
+    sim.schedule_at(2.5, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 10}));
+}
+
+TEST(EventCore, ArenaRecyclingBoundsSlotCount) {
+    // A long self-rescheduling chain plus cancelled side events: the arena
+    // high-water mark must track the *concurrent* population, not the
+    // total event count.
+    Simulation sim;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        if (++fired >= 10000) {
+            return;
+        }
+        EventHandle doomed = sim.schedule(0.5, [] { FAIL() << "cancelled event fired"; });
+        sim.schedule(1.0, tick);
+        EXPECT_TRUE(sim.cancel(doomed));
+    };
+    sim.schedule(1.0, tick);
+    sim.run();
+    EXPECT_EQ(fired, 10000);
+    EXPECT_LE(sim.arena_slots(), 16u) << "slot recycling failed to bound the pool";
+}
+
+TEST(EventCore, RandomizedStressMatchesMultimapOracle) {
+    // Random mix of schedule / cancel / fire against a std::multimap keyed
+    // by (time, sequence) — the reference total order. Every fired event,
+    // its firing time, and every cancel() return value must match.
+    Simulation sim;
+    std::mt19937_64 rng(20010414);  // ICDCS 2001 vintage
+
+    struct Oracle {
+        std::multimap<std::pair<double, std::uint64_t>, std::uint64_t> queue;
+        std::uint64_t next_seq = 0;
+        double now = 0.0;
+    } oracle;
+
+    std::vector<std::uint64_t> fired_sim;
+    std::vector<std::uint64_t> fired_oracle;
+    std::vector<double> fired_times;
+
+    struct Live {
+        EventHandle handle;
+        std::pair<double, std::uint64_t> key;  // oracle key, for erase
+        std::uint64_t id;
+    };
+    std::vector<Live> live;
+
+    std::uint64_t next_id = 0;
+    std::function<void(double)> do_schedule = [&](double horizon) {
+        std::uniform_real_distribution<double> delay(0.0, horizon);
+        const double t = oracle.now + delay(rng);
+        const std::uint64_t id = next_id++;
+        const auto key = std::make_pair(t, oracle.next_seq++);
+        EventHandle h = sim.schedule_at(t, [&, id] { fired_sim.push_back(id); });
+        oracle.queue.emplace(key, id);
+        live.push_back(Live{h, key, id});
+    };
+
+    // Three phases with different time scales exercise width re-estimation
+    // and the overflow list: dense, sparse/far, then dense again.
+    const double horizons[] = {0.01, 1000.0, 0.05};
+    for (double horizon : horizons) {
+        for (int step = 0; step < 3000; ++step) {
+            const int action = static_cast<int>(rng() % 100);
+            if (action < 55 || oracle.queue.empty()) {
+                do_schedule(horizon);
+            } else if (action < 75 && !live.empty()) {
+                // Cancel a random handle (may already be fired/cancelled).
+                const std::size_t pick = rng() % live.size();
+                const bool was_pending = oracle.queue.count(live[pick].key) > 0 &&
+                                         oracle.queue.find(live[pick].key)->second ==
+                                             live[pick].id;
+                EXPECT_EQ(sim.cancel(live[pick].handle), was_pending);
+                if (was_pending) {
+                    oracle.queue.erase(live[pick].key);
+                }
+                live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+            } else {
+                // Fire the earliest event in both worlds.
+                const auto it = oracle.queue.begin();
+                oracle.now = it->first.first;
+                fired_oracle.push_back(it->second);
+                oracle.queue.erase(it);
+                const std::size_t before = fired_sim.size();
+                ASSERT_TRUE(sim.run_until(oracle.now));
+                ASSERT_EQ(fired_sim.size(), before + 1)
+                    << "expected exactly one event at t=" << oracle.now;
+                fired_times.push_back(sim.now());
+            }
+        }
+    }
+    // Drain: remaining events must pop in exactly oracle order.
+    while (!oracle.queue.empty()) {
+        fired_oracle.push_back(oracle.queue.begin()->second);
+        oracle.queue.erase(oracle.queue.begin());
+    }
+    sim.run();
+    ASSERT_EQ(fired_sim.size(), fired_oracle.size());
+    for (std::size_t i = 0; i < fired_sim.size(); ++i) {
+        ASSERT_EQ(fired_sim[i], fired_oracle[i]) << "divergence at event " << i;
+    }
+    EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(EventCore, CancellationHeavyChurnKeepsCalendarConsistent) {
+    // Schedule/cancel churn where most events never fire: lazily reclaimed
+    // calendar entries must not disturb ordering or leak slots.
+    Simulation sim;
+    std::mt19937_64 rng(7);
+    std::vector<EventHandle> pending;
+    int fired = 0;
+    for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < 50; ++i) {
+            pending.push_back(sim.schedule(
+                1.0 + static_cast<double>(rng() % 1000) / 100.0, [&] { ++fired; }));
+        }
+        // Cancel 80% of what we just scheduled.
+        for (int i = 0; i < 40; ++i) {
+            const std::size_t pick = rng() % pending.size();
+            EXPECT_TRUE(sim.cancel(pending[pick]));
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        // Drain the round: firing + surfacing the cancelled entries
+        // reclaims their slots, so the arena stays round-sized.
+        sim.run_until(sim.now() + 20.0);
+        pending.clear();  // everything fired or was cancelled
+    }
+    EXPECT_EQ(fired, 200 * 10);
+    EXPECT_EQ(sim.events_pending(), 0u);
+    // 10000 events scheduled overall, but at most 50 live at once: slot
+    // recycling must keep the pool at round size, not total size.
+    EXPECT_LE(sim.arena_slots(), 256u);
+}
+
+}  // namespace
+}  // namespace gprsim::des
