@@ -157,37 +157,85 @@ inline bool write_json_records(const std::string& path,
     return true;
 }
 
-/// One machine-readable solver perf record.
+/// One machine-readable solver perf record. Two kinds share the struct:
+/// chain-solve records (dispatch empty; method is the iteration scheme the
+/// engine ran, or "auto" for a cost-model-selected solve) and campaign
+/// dispatch-mode records (dispatch = "sequential" / "batched"; these time a
+/// whole campaign run, not a solver method, and are keyed accordingly in
+/// the JSON so tooling never mistakes a dispatch mode for an iteration
+/// scheme).
 struct SolverRecord {
-    std::string name;    ///< bench/case identifier
-    long long states = 0;
-    std::string method;  ///< solver method actually used
+    std::string name;      ///< bench/case identifier
+    long long states = 0;  ///< chain states (solver) / campaign points (dispatch)
+    std::string method;    ///< iteration scheme; solver records only
+    std::string dispatch;  ///< non-empty marks a campaign dispatch record
     int threads = 1;
     double seconds = 0.0;
     long long iterations = 0;
-    double residual = 0.0;
-    double speedup = 0.0;  ///< vs the serial baseline of the same case (0 = n/a)
+    double residual = 0.0;               ///< solver records only
+    long long residual_evaluations = 0;  ///< solver records only
 };
 
-/// Collects SolverRecords and writes them as a JSON array. The format is
-/// deliberately flat so downstream tooling can diff perf across PRs.
+/// Collects SolverRecords and writes them as a flat JSON array so
+/// downstream tooling can diff perf across PRs. Records are kept
+/// structured; speedups are derived at write() time by pairing each record
+/// with its baseline in the SAME batch — the threads == 1 "gauss_seidel"
+/// record of the same case for solver records, the "sequential" record of
+/// the same case for dispatch records. A record with no such baseline gets
+/// "speedup": null instead of a bogus caller-supplied ratio.
 class BenchJsonWriter {
 public:
-    void add(const SolverRecord& r) {
-        char line[512];
-        std::snprintf(line, sizeof(line),
-                      "{\"name\": \"%s\", \"states\": %lld, \"method\": \"%s\", "
-                      "\"threads\": %d, \"seconds\": %.6f, \"iterations\": %lld, "
-                      "\"residual\": %.3e, \"speedup\": %.3f}",
-                      r.name.c_str(), r.states, r.method.c_str(), r.threads, r.seconds,
-                      r.iterations, r.residual, r.speedup);
-        records_.emplace_back(line);
+    void add(const SolverRecord& r) { records_.push_back(r); }
+
+    bool write(const std::string& path) const {
+        std::vector<std::string> lines;
+        lines.reserve(records_.size());
+        for (const SolverRecord& r : records_) {
+            const SolverRecord* base = nullptr;
+            for (const SolverRecord& c : records_) {
+                const bool match =
+                    r.dispatch.empty()
+                        ? (c.dispatch.empty() && c.name == r.name && c.threads == 1 &&
+                           c.method == "gauss_seidel")
+                        : (c.name == r.name && c.dispatch == "sequential");
+                if (match) {
+                    base = &c;
+                    break;
+                }
+            }
+            char speedup[32];
+            if (base != nullptr && base->seconds > 0.0 && r.seconds > 0.0) {
+                std::snprintf(speedup, sizeof(speedup), "%.3f",
+                              base->seconds / r.seconds);
+            } else {
+                std::snprintf(speedup, sizeof(speedup), "null");
+            }
+            char line[512];
+            if (r.dispatch.empty()) {
+                std::snprintf(line, sizeof(line),
+                              "{\"name\": \"%s\", \"states\": %lld, \"method\": \"%s\", "
+                              "\"threads\": %d, \"seconds\": %.6f, "
+                              "\"iterations\": %lld, \"residual\": %.3e, "
+                              "\"residual_evaluations\": %lld, \"speedup\": %s}",
+                              r.name.c_str(), r.states, r.method.c_str(), r.threads,
+                              r.seconds, r.iterations, r.residual,
+                              r.residual_evaluations, speedup);
+            } else {
+                std::snprintf(line, sizeof(line),
+                              "{\"name\": \"%s\", \"points\": %lld, "
+                              "\"dispatch\": \"%s\", \"threads\": %d, "
+                              "\"seconds\": %.6f, \"iterations\": %lld, "
+                              "\"speedup\": %s}",
+                              r.name.c_str(), r.states, r.dispatch.c_str(), r.threads,
+                              r.seconds, r.iterations, speedup);
+            }
+            lines.emplace_back(line);
+        }
+        return write_json_records(path, lines);
     }
 
-    bool write(const std::string& path) const { return write_json_records(path, records_); }
-
 private:
-    std::vector<std::string> records_;
+    std::vector<SolverRecord> records_;
 };
 
 /// One machine-readable simulator perf record (BENCH_simulator.json):

@@ -4,10 +4,12 @@
 // measuring how far the thread-sharded kernels push that claim.
 //
 // For each case the harness solves the chain once with the serial seed path
-// (Gauss-Seidel, num_threads = 1) as the baseline, then with the parallel
-// methods (red-black Gauss-Seidel, Jacobi) across thread counts, reporting
-// wall time, speedup, and the max-norm distance of each distribution from
-// the serial baseline. Records land in BENCH_solver.json (--json=PATH to
+// (Gauss-Seidel, num_threads = 1) as the baseline, once through the auto
+// cost model (which at one thread must reproduce the baseline bitwise —
+// the record doubles as a dispatch check), then with the parallel methods
+// (red-black Gauss-Seidel, Jacobi) across thread counts, reporting wall
+// time, speedup, and the max-norm distance of each distribution from the
+// serial baseline. Records land in BENCH_solver.json (--json=PATH to
 // override) so later PRs can diff the perf trajectory.
 //
 //   micro_solver [--full] [--m=N] [--threads=N] [--json=PATH] [--no-campaign]
@@ -39,18 +41,6 @@
 namespace {
 
 using namespace gprsim;
-
-const char* method_name(ctmc::SolveMethod m) {
-    switch (m) {
-        case ctmc::SolveMethod::gauss_seidel: return "gauss_seidel";
-        case ctmc::SolveMethod::symmetric_gauss_seidel: return "symmetric_gauss_seidel";
-        case ctmc::SolveMethod::sor: return "sor";
-        case ctmc::SolveMethod::jacobi: return "jacobi";
-        case ctmc::SolveMethod::power: return "power";
-        case ctmc::SolveMethod::red_black_gauss_seidel: return "red_black_gauss_seidel";
-    }
-    return "unknown";
-}
 
 core::Parameters fig10_parameters(int max_sessions) {
     // Fig. 10 operating point: traffic model 1, 2 reserved PDCHs, 5% GPRS.
@@ -109,7 +99,11 @@ int main(int argc, char** argv) try {
                 static_cast<long long>(qt.off_diagonal().nonzeros()),
                 build_timer.seconds());
 
-    ctmc::SolverEngine engine(max_threads);
+    // No prewarm: the pool spawns on the first parallel solve, so the
+    // serial baseline (and the auto record below) are never timed against
+    // spinning pool workers — on a 1-core CI box that contention inflates
+    // the serial wall time by ~25%.
+    ctmc::SolverEngine engine;
     bench::BenchJsonWriter json;
     const std::string case_name =
         "fig10_M" + std::to_string(m_sessions);
@@ -128,12 +122,49 @@ int main(int argc, char** argv) try {
     const ctmc::SolveResult baseline = engine.solve(qt, serial);
     std::printf("\n%-26s %7s %9s %10s %12s %12s\n", "method", "threads", "sweeps",
                 "seconds", "speedup", "maxdiff");
-    std::printf("%-26s %7d %9lld %10.3f %12s %12s\n", method_name(baseline.method_used),
-                baseline.threads_used, static_cast<long long>(baseline.iterations),
-                baseline.seconds, "1.00x", "-");
-    json.add({case_name, static_cast<long long>(qt.size()),
-              method_name(baseline.method_used), baseline.threads_used, baseline.seconds,
-              static_cast<long long>(baseline.iterations), baseline.residual, 1.0});
+    std::printf("%-26s %7d %9lld %10.3f %12s %12s\n",
+                ctmc::method_name(baseline.method_used), baseline.threads_used,
+                static_cast<long long>(baseline.iterations), baseline.seconds, "1.00x",
+                "-");
+    json.add({.name = case_name,
+              .states = static_cast<long long>(qt.size()),
+              .method = ctmc::method_name(baseline.method_used),
+              .threads = baseline.threads_used,
+              .seconds = baseline.seconds,
+              .iterations = static_cast<long long>(baseline.iterations),
+              .residual = baseline.residual,
+              .residual_evaluations =
+                  static_cast<long long>(baseline.residual_evaluations)});
+
+    // Cost-model record: same point solved with method = auto. At one
+    // thread the model must pick the serial Gauss-Seidel path, making this
+    // run bitwise identical to the baseline — any maxdiff is a bug.
+    ctmc::SolveOptions auto_opts = base;
+    auto_opts.method = ctmc::SolveMethod::auto_select;
+    auto_opts.num_threads = 1;
+    const ctmc::SolveResult auto_run = engine.solve(qt, auto_opts);
+    const double auto_diff =
+        max_norm_distance(auto_run.distribution, baseline.distribution);
+    std::printf("%-26s %7d %9lld %10.3f %11.2fx %12.2e\n", "auto",
+                auto_run.threads_used, static_cast<long long>(auto_run.iterations),
+                auto_run.seconds, baseline.seconds / auto_run.seconds, auto_diff);
+    std::printf("  auto -> %s (%s)\n", ctmc::method_name(auto_run.method_used),
+                auto_run.reason.c_str());
+    if (auto_diff != 0.0) {
+        std::fprintf(stderr,
+                     "WARNING: auto @ 1 thread must be bitwise identical to the serial "
+                     "baseline (maxdiff %.2e)\n",
+                     auto_diff);
+    }
+    json.add({.name = case_name,
+              .states = static_cast<long long>(qt.size()),
+              .method = "auto",
+              .threads = auto_run.threads_used,
+              .seconds = auto_run.seconds,
+              .iterations = static_cast<long long>(auto_run.iterations),
+              .residual = auto_run.residual,
+              .residual_evaluations =
+                  static_cast<long long>(auto_run.residual_evaluations)});
 
     std::vector<int> ladder;
     for (int t = 1; t <= max_threads; t *= 2) {
@@ -153,18 +184,23 @@ int main(int argc, char** argv) try {
             const ctmc::SolveResult r = engine.solve(qt, options);
             const double diff = max_norm_distance(r.distribution, baseline.distribution);
             std::printf("%-26s %7d %9lld %10.3f %11.2fx %12.2e\n",
-                        method_name(r.method_used), r.threads_used,
+                        ctmc::method_name(r.method_used), r.threads_used,
                         static_cast<long long>(r.iterations), r.seconds,
                         baseline.seconds / r.seconds, diff);
-            json.add({case_name, static_cast<long long>(qt.size()),
-                      method_name(r.method_used), r.threads_used, r.seconds,
-                      static_cast<long long>(r.iterations), r.residual,
-                      baseline.seconds / r.seconds});
+            json.add({.name = case_name,
+                      .states = static_cast<long long>(qt.size()),
+                      .method = ctmc::method_name(r.method_used),
+                      .threads = r.threads_used,
+                      .seconds = r.seconds,
+                      .iterations = static_cast<long long>(r.iterations),
+                      .residual = r.residual,
+                      .residual_evaluations =
+                          static_cast<long long>(r.residual_evaluations)});
             if (diff > 1e-10) {
                 std::fprintf(stderr,
                              "WARNING: %s @ %d threads drifted %.2e from the serial "
                              "baseline (budget 1e-10)\n",
-                             method_name(r.method_used), threads, diff);
+                             ctmc::method_name(r.method_used), threads, diff);
             }
         }
     }
@@ -214,13 +250,18 @@ int main(int argc, char** argv) try {
                 "speedup %.2fx\n",
                 bat_seconds, bat.summary.batch_waves, bat.summary.batch_tasks,
                 bat_seconds > 0.0 ? seq_seconds / bat_seconds : 0.0);
-    json.add({"campaign_3var_ctmc_des", static_cast<long long>(bat.summary.points),
-              "campaign_sequential", bat.summary.threads, seq_seconds,
-              seq.summary.total_iterations, 0.0, 1.0});
-    json.add({"campaign_3var_ctmc_des", static_cast<long long>(bat.summary.points),
-              "campaign_batched", bat.summary.threads, bat_seconds,
-              bat.summary.total_iterations, 0.0,
-              bat_seconds > 0.0 ? seq_seconds / bat_seconds : 0.0});
+    json.add({.name = "campaign_3var_ctmc_des",
+              .states = static_cast<long long>(bat.summary.points),
+              .dispatch = "sequential",
+              .threads = bat.summary.threads,
+              .seconds = seq_seconds,
+              .iterations = seq.summary.total_iterations});
+    json.add({.name = "campaign_3var_ctmc_des",
+              .states = static_cast<long long>(bat.summary.points),
+              .dispatch = "batched",
+              .threads = bat.summary.threads,
+              .seconds = bat_seconds,
+              .iterations = bat.summary.total_iterations});
 
     json.write(args.json.empty() ? "BENCH_solver.json" : args.json);
     return 0;

@@ -37,6 +37,9 @@
 //                         either way — only the summary's wall clock and
 //                         batch-wave accounting differ)
 //   --replications=<n>    override the spec's replication count
+//   --solver-method=<m>   override the spec's chain-solve iteration scheme
+//                         (gauss_seidel, red_black_gauss_seidel, jacobi,
+//                         ..., or auto for the engine's cost model)
 //   --csv=<path>          write the per-point table as CSV
 //   --out=<path>          write points + summary as JSON
 //   --quiet               suppress per-solve progress on stderr
@@ -255,6 +258,7 @@ int cmd_campaign(int argc, char** argv) {
     options.num_threads = static_cast<int>(flag(argc, argv, "threads", 1));
     options.force_cold = has_flag(argc, argv, "cold");
     options.sequential_dispatch = has_flag(argc, argv, "sequential");
+    options.solver_method_override = string_flag(argc, argv, "solver-method");
     if (!has_flag(argc, argv, "quiet")) {
         options.solve_progress = [](std::size_t flat, const campaign::CampaignPoint& p) {
             std::fprintf(stderr, "  point %zu: rate %.3f, %lld sweeps%s\n", flat,

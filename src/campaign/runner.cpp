@@ -49,6 +49,9 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
     if (options.force_cold) {
         effective.solver.warm_start = false;
     }
+    if (!options.solver_method_override.empty()) {
+        effective.solver.method = options.solver_method_override;
+    }
     std::vector<Variant> variants = effective.expand();  // validates the spec
     const std::vector<double>& rates = effective.rates;
     const std::size_t num_rates = rates.size();
@@ -82,6 +85,7 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         eval::ScenarioQuery& base = queries[v];
         base.parameters = variants[v].parameters;
         base.solver.tolerance = effective.solver.tolerance;
+        base.solver.method = effective.solver.method;
         base.simulation.replications = effective.simulation.replications;
         base.simulation.seed = effective.simulation.seed;
         base.simulation.warmup_time = effective.simulation.warmup_time;

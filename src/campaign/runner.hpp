@@ -108,6 +108,11 @@ struct CampaignOptions {
     /// Overrides ScenarioSpec::SolverSpec::warm_start with false (the
     /// cold-start baseline the summary is compared against).
     bool force_cold = false;
+    /// Non-empty: overrides ScenarioSpec::SolverSpec::method for every
+    /// chain solve of the run (canonical ctmc::method_name spelling, or
+    /// "auto"). The A/B knob behind the CLI's --solver-method flag; an
+    /// unknown spelling surfaces as each point's invalid_query error.
+    std::string solver_method_override;
     /// Dispatches one evaluate_grid per (backend, variant) instead of the
     /// merged cross-variant task set — the pre-batch behavior, kept as the
     /// A/B baseline (and for out-of-tree backends whose evaluate_grid has

@@ -185,6 +185,8 @@ SolverSpec parse_solver(const JsonValue& value) {
             solver.tolerance = v.as_number();
         } else if (key == "warm_start") {
             solver.warm_start = v.as_bool();
+        } else if (key == "method") {
+            solver.method = v.as_string();
         } else {
             throw SpecError("unknown \"solver\" key \"" + key + "\"", v.line());
         }
@@ -278,6 +280,11 @@ ScenarioSpec& ScenarioSpec::with_tolerance(double value) {
 
 ScenarioSpec& ScenarioSpec::with_warm_start(bool value) {
     solver.warm_start = value;
+    return *this;
+}
+
+ScenarioSpec& ScenarioSpec::with_solver_method(std::string value) {
+    solver.method = std::move(value);
     return *this;
 }
 

@@ -44,6 +44,13 @@ struct SolverSpec {
     /// (runner.hpp describes the deterministic schedule). false = every
     /// point starts cold from the product-form guess.
     bool warm_start = true;
+    /// Iteration scheme for the chain solves, by canonical
+    /// ctmc::method_name spelling; "auto" (the default) lets the engine's
+    /// cost model decide per point. NOTE this selects the iteration scheme
+    /// of each solve — dispatch modes (sequential vs merged batch) are a
+    /// runner concern (CampaignOptions::sequential_dispatch), not a solver
+    /// method.
+    std::string method = "auto";
 };
 
 /// Replication-experiment settings shared by every DES point.
@@ -112,6 +119,8 @@ struct ScenarioSpec {
     ScenarioSpec& with_rates(std::vector<double> values);
     ScenarioSpec& with_tolerance(double value);
     ScenarioSpec& with_warm_start(bool value);
+    /// Iteration scheme (SolverSpec::method); "auto" = engine cost model.
+    ScenarioSpec& with_solver_method(std::string value);
     ScenarioSpec& with_replications(int value);
     ScenarioSpec& with_seed(std::uint64_t value);
 
@@ -150,7 +159,7 @@ struct ScenarioSpec {
 ///   "channels"           int        "buffer"   int
 ///   "eta"                number     "bler"     number
 ///   "rates"              array of numbers, or {"first","last","count"}
-///   "solver"             {"tolerance", "warm_start"}
+///   "solver"             {"tolerance", "warm_start", "method"}
 ///   "simulation"         {"replications","seed","warmup","batch_count",
 ///                         "batch_duration","tcp"}
 /// Unknown keys are rejected. All errors — syntax and semantic alike — are

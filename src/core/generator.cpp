@@ -23,7 +23,7 @@ ctmc::QtMatrix GprsGenerator::to_qt_matrix() const {
     // which the per-row sort below would otherwise have to merge.
     std::vector<common::index_type> row_ptr;
     row_ptr.reserve(static_cast<std::size_t>(n) + 1);
-    std::vector<common::index_type> cols;
+    std::vector<ctmc::col_type> cols;
     std::vector<double> values;
     cols.reserve(static_cast<std::size_t>(n) * 10);
     values.reserve(static_cast<std::size_t>(n) * 10);
@@ -39,7 +39,7 @@ ctmc::QtMatrix GprsGenerator::to_qt_matrix() const {
                                 });
         std::sort(row.begin(), row.end());
         for (const auto& [col, rate] : row) {
-            cols.push_back(col);
+            cols.push_back(static_cast<ctmc::col_type>(col));
             values.push_back(rate);
         }
         row_ptr.push_back(static_cast<common::index_type>(cols.size()));

@@ -38,6 +38,15 @@ common::Result<std::reference_wrapper<const ctmc::SolveResult>> GprsModel::try_s
         if (estimated_qt_bytes() <= memory_budget_) {
             const ctmc::QtMatrix qt = generator_.to_qt_matrix();
             used_matrix_free_ = false;
+            if (effective.permutation.empty()) {
+                // QBD level grouping (identity for this codec — detected
+                // and skipped by the engine, but stated here so a codec
+                // change automatically reorders the solve). Only explicit
+                // matrices can be reindexed, hence CSR branch only.
+                ctmc::SolveOptions ordered = effective;
+                ordered.permutation = qbd_level_ordering(space());
+                return engine.solve(qt, ordered);
+            }
             return engine.solve(qt, effective);
         }
         used_matrix_free_ = true;

@@ -13,7 +13,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -62,6 +65,8 @@ public:
     }
 
     const SparseMatrix& off_diagonal() const { return off_diag_; }
+    /// Contiguous diagonal array (size() entries) for the raw sweep kernels.
+    const double* diagonal_data() const { return diag_.data(); }
     std::size_t memory_bytes() const {
         return off_diag_.memory_bytes() + diag_.capacity() * sizeof(double);
     }
@@ -114,7 +119,51 @@ enum class SolveMethod {
     /// over row shards and the result is bitwise independent of the thread
     /// count. Converges between Jacobi and serial Gauss-Seidel.
     red_black_gauss_seidel,
+    /// Let the engine pick between serial Gauss-Seidel, red-black and
+    /// Jacobi from the state count and thread budget via the measured cost
+    /// model in engine.cpp (auto_select_method). The decision and its
+    /// reasoning land in SolveResult::method_used / SolveResult::reason.
+    /// Note an auto-selected gauss_seidel runs SERIALLY even when
+    /// num_threads > 1 — choosing the serial pipelined kernel over the
+    /// parallel methods is precisely the decision the cost model makes for
+    /// small chains and narrow thread budgets.
+    auto_select,
 };
+
+/// Canonical spelling of a method, as used by the eval/campaign layers and
+/// the benches ("gauss_seidel", "auto", ...).
+inline const char* method_name(SolveMethod method) {
+    switch (method) {
+        case SolveMethod::gauss_seidel:
+            return "gauss_seidel";
+        case SolveMethod::symmetric_gauss_seidel:
+            return "symmetric_gauss_seidel";
+        case SolveMethod::sor:
+            return "sor";
+        case SolveMethod::jacobi:
+            return "jacobi";
+        case SolveMethod::power:
+            return "power";
+        case SolveMethod::red_black_gauss_seidel:
+            return "red_black_gauss_seidel";
+        case SolveMethod::auto_select:
+            return "auto";
+    }
+    return "unknown";
+}
+
+/// Inverse of method_name; nullopt for unrecognized spellings (callers turn
+/// that into their own typed error).
+inline std::optional<SolveMethod> method_from_name(std::string_view name) {
+    if (name == "gauss_seidel") return SolveMethod::gauss_seidel;
+    if (name == "symmetric_gauss_seidel") return SolveMethod::symmetric_gauss_seidel;
+    if (name == "sor") return SolveMethod::sor;
+    if (name == "jacobi") return SolveMethod::jacobi;
+    if (name == "power") return SolveMethod::power;
+    if (name == "red_black_gauss_seidel") return SolveMethod::red_black_gauss_seidel;
+    if (name == "auto") return SolveMethod::auto_select;
+    return std::nullopt;
+}
 
 struct SolveOptions {
     SolveMethod method = SolveMethod::gauss_seidel;
@@ -124,8 +173,33 @@ struct SolveOptions {
     index_type max_iterations = 200000;
     /// Relaxation factor for SolveMethod::sor (1 < omega < 2 accelerates).
     double relaxation = 1.2;
-    /// Residual is evaluated every `check_interval` sweeps.
+    /// Normalization interval in sweeps. The iterate is renormalized at
+    /// every multiple of `check_interval` (a fixed schedule — the division
+    /// changes the iterate, so it must not depend on anything adaptive for
+    /// results to stay reproducible); the residual is evaluated there too,
+    /// unless adaptive_checks thins the residual schedule.
     index_type check_interval = 10;
+    /// Derive the residual-evaluation interval from the observed
+    /// convergence rate: once two residuals have been seen, checks are
+    /// scheduled at conservative multiples of check_interval (at most half
+    /// the predicted remaining sweeps, capped at 16 intervals), skipping
+    /// the O(nnz) residual passes a long solve would otherwise burn every
+    /// interval. Normalization stays on the fixed every-interval schedule,
+    /// so the iterate trajectory — and the converged distribution — is
+    /// bitwise identical to adaptive_checks = false; only
+    /// SolveResult::residual_evaluations (and the progress callback
+    /// cadence) changes. Disable to force a residual at every interval.
+    bool adaptive_checks = true;
+    /// Row ordering applied to the solve (order[new] = old; empty = keep
+    /// the operator's ordering). Only supported for explicit QtMatrix
+    /// operators: the engine permutes the matrix and the initial vectors,
+    /// sweeps the reordered system, and inverse-applies the permutation to
+    /// the returned distribution, so callers never see internal indices.
+    /// An identity permutation is detected and skipped (the GPRS
+    /// generator's QBD level grouping — core::qbd_level_ordering — is the
+    /// identity because the state codec already stores the buffer level
+    /// outermost).
+    std::vector<index_type> permutation;
     /// Execution width. 1 (default) runs serially; 0 means "all hardware
     /// threads". For the parallel methods (jacobi, power,
     /// red_black_gauss_seidel) results are bitwise identical for every
@@ -172,6 +246,24 @@ struct SolveResult {
     /// Index of the winning SolveOptions::initial_candidates entry;
     /// -1 when no candidate list was supplied.
     int initial_selected = -1;
+    /// Number of scaled-residual evaluations the solve performed (each is
+    /// an O(nnz) pass; adaptive_checks exists to shrink this).
+    index_type residual_evaluations = 0;
+    /// Why method_used was chosen: the cost-model explanation for
+    /// SolveMethod::auto_select, the upgrade note when gauss_seidel was
+    /// promoted to red-black for a parallel run, empty when the caller's
+    /// explicit choice ran as-is.
+    std::string reason;
 };
+
+/// The auto_select decision for a chain of `n` states under a budget of
+/// `threads` (already resolved; >= 1): the method to run and the
+/// cost-model reasoning behind it. Deterministic in (n, threads) — the
+/// eval layer relies on per-point decisions being reproducible.
+struct AutoSelection {
+    SolveMethod method = SolveMethod::gauss_seidel;
+    std::string reason;
+};
+AutoSelection auto_select_method(index_type n, int threads);
 
 }  // namespace gprsim::ctmc

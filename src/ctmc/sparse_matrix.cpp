@@ -2,15 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace gprsim::ctmc {
+
+namespace {
+
+void check_col_capacity(index_type cols) {
+    if (cols > static_cast<index_type>(std::numeric_limits<col_type>::max())) {
+        throw std::invalid_argument(
+            "SparseMatrix: column count exceeds 32-bit column storage");
+    }
+}
+
+}  // namespace
+
+void SparseMatrix::compute_bandwidth() {
+    index_type w = 0;
+    for (index_type i = 0; i < rows_; ++i) {
+        const index_type begin = row_ptr_[static_cast<std::size_t>(i)];
+        const index_type end = row_ptr_[static_cast<std::size_t>(i) + 1];
+        if (begin == end) {
+            continue;
+        }
+        // Columns are sorted, so only the row's extremes can set the max.
+        const index_type lo = cols_idx_[static_cast<std::size_t>(begin)];
+        const index_type hi = cols_idx_[static_cast<std::size_t>(end) - 1];
+        w = std::max(w, i > lo ? i - lo : lo - i);
+        w = std::max(w, i > hi ? i - hi : hi - i);
+    }
+    bandwidth_ = w;
+}
 
 SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
                                          std::vector<Triplet> triplets) {
     if (rows < 0 || cols < 0) {
         throw std::invalid_argument("SparseMatrix: negative dimensions");
     }
+    check_col_capacity(cols);
     for (const Triplet& t : triplets) {
         if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
             throw std::out_of_range("SparseMatrix: triplet outside matrix bounds");
@@ -35,7 +65,7 @@ SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
         std::vector<index_type> next(m.row_ptr_.begin(), m.row_ptr_.end() - 1);
         for (const Triplet& t : triplets) {
             const index_type pos = next[static_cast<std::size_t>(t.row)]++;
-            m.cols_idx_[static_cast<std::size_t>(pos)] = t.col;
+            m.cols_idx_[static_cast<std::size_t>(pos)] = static_cast<col_type>(t.col);
             m.values_[static_cast<std::size_t>(pos)] = t.value;
         }
     }
@@ -43,7 +73,7 @@ SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
     // Sort each row by column and merge duplicates in place.
     std::vector<index_type> new_row_ptr(m.row_ptr_.size(), 0);
     index_type write = 0;
-    std::vector<std::pair<index_type, double>> row_buf;
+    std::vector<std::pair<col_type, double>> row_buf;
     for (index_type i = 0; i < rows; ++i) {
         const index_type begin = m.row_ptr_[static_cast<std::size_t>(i)];
         const index_type end = m.row_ptr_[static_cast<std::size_t>(i) + 1];
@@ -56,7 +86,7 @@ SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
                   [](const auto& a, const auto& b) { return a.first < b.first; });
         new_row_ptr[static_cast<std::size_t>(i)] = write;
         for (std::size_t p = 0; p < row_buf.size();) {
-            const index_type col = row_buf[p].first;
+            const col_type col = row_buf[p].first;
             double sum = 0.0;
             while (p < row_buf.size() && row_buf[p].first == col) {
                 sum += row_buf[p].second;
@@ -73,16 +103,18 @@ SparseMatrix SparseMatrix::from_triplets(index_type rows, index_type cols,
     m.cols_idx_.shrink_to_fit();
     m.values_.resize(static_cast<std::size_t>(write));
     m.values_.shrink_to_fit();
+    m.compute_bandwidth();
     return m;
 }
 
 SparseMatrix SparseMatrix::from_csr(index_type rows, index_type cols,
                                     std::vector<index_type> row_ptr,
-                                    std::vector<index_type> cols_idx,
+                                    std::vector<col_type> cols_idx,
                                     std::vector<double> values) {
     if (rows < 0 || cols < 0) {
         throw std::invalid_argument("SparseMatrix::from_csr: negative dimensions");
     }
+    check_col_capacity(cols);
     if (row_ptr.size() != static_cast<std::size_t>(rows) + 1 || row_ptr.front() != 0 ||
         row_ptr.back() != static_cast<index_type>(cols_idx.size()) ||
         cols_idx.size() != values.size()) {
@@ -95,8 +127,8 @@ SparseMatrix SparseMatrix::from_csr(index_type rows, index_type cols,
             throw std::invalid_argument("SparseMatrix::from_csr: row pointers not monotone");
         }
         for (index_type p = begin; p < end; ++p) {
-            const index_type c = cols_idx[static_cast<std::size_t>(p)];
-            if (c < 0 || c >= cols) {
+            const col_type c = cols_idx[static_cast<std::size_t>(p)];
+            if (c < 0 || static_cast<index_type>(c) >= cols) {
                 throw std::invalid_argument("SparseMatrix::from_csr: column out of range");
             }
             if (p > begin && cols_idx[static_cast<std::size_t>(p) - 1] >= c) {
@@ -111,6 +143,7 @@ SparseMatrix SparseMatrix::from_csr(index_type rows, index_type cols,
     m.row_ptr_ = std::move(row_ptr);
     m.cols_idx_ = std::move(cols_idx);
     m.values_ = std::move(values);
+    m.compute_bandwidth();
     return m;
 }
 
@@ -119,8 +152,8 @@ double SparseMatrix::at(index_type i, index_type j) const {
         throw std::out_of_range("SparseMatrix::at: index outside matrix");
     }
     const auto cols = row_cols(i);
-    const auto it = std::lower_bound(cols.begin(), cols.end(), j);
-    if (it == cols.end() || *it != j) {
+    const auto it = std::lower_bound(cols.begin(), cols.end(), static_cast<col_type>(j));
+    if (it == cols.end() || *it != static_cast<col_type>(j)) {
         return 0.0;
     }
     return row_values(i)[static_cast<std::size_t>(it - cols.begin())];
@@ -166,15 +199,62 @@ SparseMatrix SparseMatrix::transpose() const {
         const auto cols = row_cols(i);
         const auto values = row_values(i);
         for (std::size_t p = 0; p < cols.size(); ++p) {
-            triplets.push_back({cols[p], i, values[p]});
+            triplets.push_back({static_cast<index_type>(cols[p]), i, values[p]});
         }
     }
     return from_triplets(cols_, rows_, std::move(triplets));
 }
 
+SparseMatrix SparseMatrix::permuted(std::span<const index_type> order) const {
+    if (rows_ != cols_) {
+        throw std::invalid_argument("SparseMatrix::permuted: matrix must be square");
+    }
+    if (static_cast<index_type>(order.size()) != rows_) {
+        throw std::invalid_argument("SparseMatrix::permuted: permutation size mismatch");
+    }
+    // inverse[old] = new, validating that `order` is a bijection.
+    std::vector<index_type> inverse(static_cast<std::size_t>(rows_), -1);
+    for (index_type p = 0; p < rows_; ++p) {
+        const index_type old = order[static_cast<std::size_t>(p)];
+        if (old < 0 || old >= rows_ || inverse[static_cast<std::size_t>(old)] != -1) {
+            throw std::invalid_argument(
+                "SparseMatrix::permuted: order is not a permutation of [0, rows)");
+        }
+        inverse[static_cast<std::size_t>(old)] = p;
+    }
+
+    std::vector<index_type> row_ptr;
+    row_ptr.reserve(static_cast<std::size_t>(rows_) + 1);
+    std::vector<col_type> cols;
+    cols.reserve(values_.size());
+    std::vector<double> values;
+    values.reserve(values_.size());
+    std::vector<std::pair<col_type, double>> row;
+    row_ptr.push_back(0);
+    for (index_type p = 0; p < rows_; ++p) {
+        const index_type old = order[static_cast<std::size_t>(p)];
+        const auto old_cols = row_cols(old);
+        const auto old_values = row_values(old);
+        row.clear();
+        for (std::size_t e = 0; e < old_cols.size(); ++e) {
+            row.emplace_back(
+                static_cast<col_type>(inverse[static_cast<std::size_t>(old_cols[e])]),
+                old_values[e]);
+        }
+        std::sort(row.begin(), row.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [c, v] : row) {
+            cols.push_back(c);
+            values.push_back(v);
+        }
+        row_ptr.push_back(static_cast<index_type>(cols.size()));
+    }
+    return from_csr(rows_, cols_, std::move(row_ptr), std::move(cols), std::move(values));
+}
+
 std::size_t SparseMatrix::memory_bytes() const {
     return row_ptr_.capacity() * sizeof(index_type) +
-           cols_idx_.capacity() * sizeof(index_type) + values_.capacity() * sizeof(double);
+           cols_idx_.capacity() * sizeof(col_type) + values_.capacity() * sizeof(double);
 }
 
 }  // namespace gprsim::ctmc

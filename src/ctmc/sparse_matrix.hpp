@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,12 @@ namespace gprsim::ctmc {
 /// unqualified `index_type` spelled the same throughout the CTMC layer.
 using common::index_type;
 
+/// Column storage type. Columns are kept as 32-bit integers: the largest
+/// chain the paper's configurations produce (~22 million states) is far
+/// below 2^31, and halving the column array doubles the useful L2 reach of
+/// the sweep kernels. Row pointers and nonzero counts stay 64-bit.
+using col_type = std::int32_t;
+
 /// One (row, col, value) entry used while assembling a sparse matrix.
 struct Triplet {
     index_type row = 0;
@@ -23,7 +30,9 @@ struct Triplet {
 /// Immutable CSR sparse matrix with double precision values.
 ///
 /// Rows are stored contiguously; duplicate (row, col) triplets are summed
-/// during assembly. Column indices within a row are sorted.
+/// during assembly. Column indices within a row are sorted. Assembly also
+/// records the bandwidth (max |i - j| over stored entries), which the
+/// pipelined Gauss-Seidel kernel needs to pick a safe wavefront distance.
 class SparseMatrix {
 public:
     SparseMatrix() = default;
@@ -39,7 +48,7 @@ public:
     /// largest GPRS chain has ~240 million nonzeros).
     static SparseMatrix from_csr(index_type rows, index_type cols,
                                  std::vector<index_type> row_ptr,
-                                 std::vector<index_type> cols_idx,
+                                 std::vector<col_type> cols_idx,
                                  std::vector<double> values);
 
     index_type rows() const { return rows_; }
@@ -47,7 +56,7 @@ public:
     index_type nonzeros() const { return static_cast<index_type>(values_.size()); }
 
     /// Column indices of row i (sorted ascending).
-    std::span<const index_type> row_cols(index_type i) const {
+    std::span<const col_type> row_cols(index_type i) const {
         return {cols_idx_.data() + row_ptr_[i],
                 static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
     }
@@ -56,6 +65,16 @@ public:
         return {values_.data() + row_ptr_[i],
                 static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
     }
+
+    // --- raw contiguous views (sweep kernels) ----------------------------
+    const index_type* row_ptr_data() const { return row_ptr_.data(); }
+    const col_type* col_data() const { return cols_idx_.data(); }
+    const double* value_data() const { return values_.data(); }
+
+    /// max |i - j| over stored entries (0 for an empty matrix). For the
+    /// GPRS generator this is one QBD buffer level: (N_gsm + 1) times the
+    /// (m, r) pair count.
+    index_type bandwidth() const { return bandwidth_; }
 
     /// Value at (i, j); zero when the entry is not stored.
     double at(index_type i, index_type j) const;
@@ -68,14 +87,23 @@ public:
 
     SparseMatrix transpose() const;
 
+    /// The matrix reindexed by `order` (order[new] = old, a permutation of
+    /// [0, rows)): result(i, j) = (*this)(order[i], order[j]). Requires a
+    /// square matrix; columns are remapped through the inverse permutation
+    /// and re-sorted per row. Used by the solver's QBD row-ordering path.
+    SparseMatrix permuted(std::span<const index_type> order) const;
+
     /// Approximate heap footprint, used to pick CSR vs matrix-free solves.
     std::size_t memory_bytes() const;
 
 private:
+    void compute_bandwidth();
+
     index_type rows_ = 0;
     index_type cols_ = 0;
+    index_type bandwidth_ = 0;
     std::vector<index_type> row_ptr_;
-    std::vector<index_type> cols_idx_;
+    std::vector<col_type> cols_idx_;
     std::vector<double> values_;
 };
 

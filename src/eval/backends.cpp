@@ -298,6 +298,8 @@ public:
             ctmc::SolveOptions solve;
             solve.tolerance = query.solver.tolerance;
             solve.max_iterations = query.solver.max_iterations;
+            // validated() (via guarded) already vetted the spelling.
+            solve.method = *ctmc::method_from_name(query.solver.method);
             auto solved = model.try_solve(solve, ctmc::default_engine());
             if (!solved.ok()) {
                 return solved.error();
@@ -310,6 +312,8 @@ public:
                                                     result.distribution);
             point.iterations = static_cast<long long>(result.iterations);
             point.residual = result.residual;
+            point.solver_method = ctmc::method_name(result.method_used);
+            point.solver_reason = result.reason;
             point.wall_seconds = result.seconds;
             return point;
         });
@@ -400,6 +404,10 @@ public:
                 ctmc::SolveOptions solve;
                 solve.tolerance = base.solver.tolerance;
                 solve.max_iterations = base.solver.max_iterations;
+                // Probed by validated(); "auto" resolves per point, and at
+                // width 1 the decision depends only on the state count, so
+                // provenance is identical at every executor thread count.
+                solve.method = *ctmc::method_from_name(base.solver.method);
                 solve.num_threads = 1;  // the points are the parallelism
                 const int parent =
                     state->schedule.parent[static_cast<std::size_t>(index)];
@@ -443,6 +451,8 @@ public:
                                                         result.distribution);
                 point.iterations = static_cast<long long>(result.iterations);
                 point.residual = result.residual;
+                point.solver_method = ctmc::method_name(result.method_used);
+                point.solver_reason = result.reason;
                 point.warm_parent = parent;
                 point.warm_started = result.initial_selected == 1;
                 point.wall_seconds = result.seconds;

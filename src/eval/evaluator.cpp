@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ctmc/solver_options.hpp"
+
 namespace gprsim::eval {
 
 std::string scenario_context(const core::Parameters& p, double rate) {
@@ -28,6 +30,10 @@ common::Status ScenarioQuery::validated() const {
     }
     if (solver.max_iterations < 1) {
         return fail("solver.max_iterations must be at least 1");
+    }
+    if (!ctmc::method_from_name(solver.method)) {
+        return fail("solver.method \"" + solver.method +
+                    "\" is not a known iteration scheme");
     }
     if (simulation.replications < 1) {
         return fail("simulation.replications must be at least 1");

@@ -238,6 +238,107 @@ TEST(SolverEngine, InitialCandidatesPickTheLowestResidualStart) {
     EXPECT_THROW(engine.solve(qt, missized), std::invalid_argument);
 }
 
+TEST(AutoSelect, SerialBudgetAlwaysPicksGaussSeidel) {
+    for (index_type n : {100, 50000, 10000000}) {
+        const AutoSelection pick = auto_select_method(n, 1);
+        EXPECT_EQ(pick.method, SolveMethod::gauss_seidel) << n << " states";
+        EXPECT_FALSE(pick.reason.empty());
+    }
+}
+
+TEST(AutoSelect, SmallChainsStaySerialWhateverTheBudget) {
+    for (int threads : {2, 4, 8, 64}) {
+        const AutoSelection pick = auto_select_method(20000, threads);
+        EXPECT_EQ(pick.method, SolveMethod::gauss_seidel) << threads << " threads";
+    }
+}
+
+TEST(AutoSelect, WideBudgetOnLargeChainsPicksRedBlack) {
+    // The cost model's crossover: the red-black per-sweep cost and its
+    // sweep-count penalty amortize over the pool only past ~9 threads.
+    EXPECT_EQ(auto_select_method(200000, 16).method,
+              SolveMethod::red_black_gauss_seidel);
+    EXPECT_EQ(auto_select_method(200000, 8).method, SolveMethod::gauss_seidel);
+}
+
+TEST(AutoSelect, JacobiNeverWinsTheCostModel) {
+    // Jacobi's sweep-count penalty dominates at every width the model
+    // considers; it exists for A/B experiments, not for auto dispatch.
+    for (index_type n : {20000, 60000, 200000, 2000000}) {
+        for (int threads : {1, 2, 8, 16, 64}) {
+            EXPECT_NE(auto_select_method(n, threads).method, SolveMethod::jacobi)
+                << n << " states, " << threads << " threads";
+        }
+    }
+}
+
+TEST(AutoSelect, DecisionAndReasonAreDeterministic) {
+    for (int threads : {1, 8, 16}) {
+        const AutoSelection a = auto_select_method(200000, threads);
+        const AutoSelection b = auto_select_method(200000, threads);
+        EXPECT_EQ(a.method, b.method);
+        EXPECT_EQ(a.reason, b.reason);
+    }
+}
+
+TEST(AutoSelect, SolveRecordsTheDecisionAndMatchesExplicitSerialBitwise) {
+    SolverEngine engine;
+    const index_type n = 120;
+    const QtMatrix qt = qt_from_triplets(n, random_chain(n, 9));
+
+    SolveOptions explicit_gs;
+    explicit_gs.tolerance = 1e-12;
+    explicit_gs.method = SolveMethod::gauss_seidel;
+    explicit_gs.num_threads = 1;
+    const SolveResult reference = engine.solve(qt, explicit_gs);
+    ASSERT_TRUE(reference.converged);
+    EXPECT_TRUE(reference.reason.empty());
+
+    SolveOptions auto_opts = explicit_gs;
+    auto_opts.method = SolveMethod::auto_select;
+    const SolveResult picked = engine.solve(qt, auto_opts);
+    ASSERT_TRUE(picked.converged);
+    EXPECT_EQ(picked.method_used, SolveMethod::gauss_seidel);
+    EXPECT_FALSE(picked.reason.empty());
+    EXPECT_EQ(picked.iterations, reference.iterations);
+    EXPECT_EQ(picked.distribution, reference.distribution);
+}
+
+TEST(AutoSelect, AutoPickedSerialStaysSerialOnAWideEngine) {
+    // auto_select's serial choice is deliberate: unlike an explicit
+    // gauss_seidel request, it must NOT be upgraded to red-black when the
+    // caller offers more threads (a small chain solves faster serially).
+    SolverEngine engine;
+    const index_type n = 90;
+    const QtMatrix qt = qt_from_triplets(n, random_chain(n, 13));
+    SolveOptions options;
+    options.tolerance = 1e-12;
+    options.method = SolveMethod::auto_select;
+    options.num_threads = 4;
+    const SolveResult result = engine.solve(qt, options);
+    ASSERT_TRUE(result.converged);
+    EXPECT_EQ(result.method_used, SolveMethod::gauss_seidel);
+    EXPECT_EQ(result.threads_used, 1);
+
+    options.method = SolveMethod::gauss_seidel;
+    const SolveResult upgraded = engine.solve(qt, options);
+    EXPECT_EQ(upgraded.method_used, SolveMethod::red_black_gauss_seidel);
+}
+
+TEST(MethodNames, RoundTripThroughTheStringMapping) {
+    for (SolveMethod m :
+         {SolveMethod::gauss_seidel, SolveMethod::symmetric_gauss_seidel,
+          SolveMethod::sor, SolveMethod::jacobi, SolveMethod::power,
+          SolveMethod::red_black_gauss_seidel, SolveMethod::auto_select}) {
+        const auto parsed = method_from_name(method_name(m));
+        ASSERT_TRUE(parsed.has_value()) << method_name(m);
+        EXPECT_EQ(*parsed, m);
+    }
+    EXPECT_EQ(method_name(SolveMethod::auto_select), std::string("auto"));
+    EXPECT_FALSE(method_from_name("bogus").has_value());
+    EXPECT_FALSE(method_from_name("").has_value());
+}
+
 TEST(SolverEngine, ConvergedResultSkipsRedundantRecomputation) {
     // After a converged check the residual must describe the returned
     // distribution: recomputing it from scratch gives the same value.

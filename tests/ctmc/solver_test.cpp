@@ -80,24 +80,9 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, SolverMethods,
                                            SolveMethod::symmetric_gauss_seidel,
                                            SolveMethod::sor, SolveMethod::jacobi,
                                            SolveMethod::power,
-                                           SolveMethod::red_black_gauss_seidel),
-                         [](const auto& info) {
-                             switch (info.param) {
-                                 case SolveMethod::gauss_seidel:
-                                     return "gauss_seidel";
-                                 case SolveMethod::symmetric_gauss_seidel:
-                                     return "symmetric_gauss_seidel";
-                                 case SolveMethod::sor:
-                                     return "sor";
-                                 case SolveMethod::jacobi:
-                                     return "jacobi";
-                                 case SolveMethod::power:
-                                     return "power";
-                                 case SolveMethod::red_black_gauss_seidel:
-                                     return "red_black_gauss_seidel";
-                             }
-                             return "unknown";
-                         });
+                                           SolveMethod::red_black_gauss_seidel,
+                                           SolveMethod::auto_select),
+                         [](const auto& info) { return method_name(info.param); });
 
 TEST(Solver, TwoStateChainExact) {
     const QtMatrix qt = build_qt_matrix(2, [](index_type i, auto&& emit) {

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
 #include "core/model.hpp"
 #include "eval/registry.hpp"
 
@@ -194,6 +195,68 @@ TEST(CtmcBackend, WarmGridReportsTransfersAndAgreesWithCold) {
     }
     EXPECT_EQ(offered, static_cast<int>(rates.size()) - 1);  // all but the root
     EXPECT_LT(warm_iterations, cold_iterations);
+}
+
+TEST(CtmcBackend, AutoMethodProvenanceIsRecordedAndThreadStable) {
+    // The default solver.method is "auto". Campaign/grid points always solve
+    // at width 1 (the points are the parallelism), so the cost model sees
+    // only the state count and the recorded decision must not depend on the
+    // grid's thread budget.
+    const ScenarioQuery query = tiny_query();
+    auto point = backend("ctmc").evaluate(query);
+    ASSERT_TRUE(point.ok());
+    EXPECT_EQ(point.value().solver_method, "gauss_seidel");
+    EXPECT_FALSE(point.value().solver_reason.empty());
+
+    const std::vector<double> rates{0.3, 0.5, 0.7};
+    GridOptions narrow;
+    narrow.num_threads = 1;
+    common::ThreadPool pool(4);
+    GridOptions wide;
+    wide.num_threads = 4;
+    wide.pool = &pool;
+    auto serial = backend("ctmc").evaluate_grid(query, rates, narrow);
+    auto sharded = backend("ctmc").evaluate_grid(query, rates, wide);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(sharded.ok());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_EQ(serial.value()[i].solver_method, "gauss_seidel") << i;
+        EXPECT_EQ(sharded.value()[i].solver_method, serial.value()[i].solver_method)
+            << i;
+        EXPECT_EQ(sharded.value()[i].solver_reason, serial.value()[i].solver_reason)
+            << i;
+        EXPECT_EQ(sharded.value()[i].measures.carried_data_traffic,
+                  serial.value()[i].measures.carried_data_traffic)
+            << i;
+    }
+}
+
+TEST(CtmcBackend, ExplicitMethodIsHonoredAndRecorded) {
+    ScenarioQuery query = tiny_query();
+    query.solver.method = "gauss_seidel";
+    auto explicit_gs = backend("ctmc").evaluate(query);
+    ASSERT_TRUE(explicit_gs.ok());
+    EXPECT_EQ(explicit_gs.value().solver_method, "gauss_seidel");
+    // An explicit method carries no cost-model rationale.
+    EXPECT_TRUE(explicit_gs.value().solver_reason.empty());
+
+    // auto resolves to the same serial solve on this cell: bitwise equal.
+    ScenarioQuery auto_query = tiny_query();
+    auto_query.solver.method = "auto";
+    auto picked = backend("ctmc").evaluate(auto_query);
+    ASSERT_TRUE(picked.ok());
+    EXPECT_EQ(picked.value().measures.carried_data_traffic,
+              explicit_gs.value().measures.carried_data_traffic);
+    EXPECT_EQ(picked.value().iterations, explicit_gs.value().iterations);
+}
+
+TEST(CtmcBackend, UnknownSolverMethodIsTypedInvalidQuery) {
+    ScenarioQuery query = tiny_query();
+    query.solver.method = "bogus_scheme";
+    auto point = backend("ctmc").evaluate(query);
+    ASSERT_FALSE(point.ok());
+    EXPECT_EQ(point.error().code, common::EvalErrorCode::invalid_query);
+    EXPECT_NE(point.error().message.find("bogus_scheme"), std::string::npos);
 }
 
 TEST(DesBackend, ProvenanceCarriesReplicationsAndCis) {
