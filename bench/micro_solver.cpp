@@ -32,6 +32,8 @@
 
 #include "bench/bench_util.hpp"
 #include "common/thread_pool.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/registry.hpp"
 #include "core/handover.hpp"
 #include "core/initial_guess.hpp"
 #include "core/model.hpp"
@@ -202,6 +204,61 @@ int main(int argc, char** argv) try {
                              "baseline (budget 1e-10)\n",
                              ctmc::method_name(r.method_used), threads, diff);
             }
+        }
+    }
+
+    // Large-population approximations: one point of the
+    // campaigns/large_population.json cell (4096 channels, 1000 reserved
+    // PDCHs, K = 1000, M = 10^6 sessions) per approximate backend, where
+    // the exact chain is out of reach by orders of magnitude. `states`
+    // records the nominal exact-chain size as the (K+1) x (N+1) x (M+1)
+    // product bound over the queue/voice/session dimensions — the number
+    // the milliseconds-per-point wall times should be read against.
+    {
+        eval::ScenarioQuery query;
+        query.parameters =
+            core::Parameters::with_traffic_model(traffic::traffic_model_1());
+        query.parameters.total_channels = 4096;
+        query.parameters.reserved_pdch = 1000;
+        query.parameters.buffer_capacity = 1000;
+        query.parameters.max_gprs_sessions = 1000000;
+        query.parameters.gprs_fraction = 0.999;
+        query.parameters.flow_control_threshold = 0.7;
+        query.call_arrival_rate = 400.0;
+        const long long nominal_states =
+            static_cast<long long>(query.parameters.buffer_capacity + 1) *
+            static_cast<long long>(query.parameters.total_channels + 1) *
+            static_cast<long long>(query.parameters.max_gprs_sessions + 1);
+        std::printf("\nlarge-population cell: N = %d, PDCH = %d, K = %d, M = %d "
+                    "(~%.1e nominal exact states)\n",
+                    query.parameters.total_channels, query.parameters.reserved_pdch,
+                    query.parameters.buffer_capacity,
+                    query.parameters.max_gprs_sessions,
+                    static_cast<double>(nominal_states));
+        for (const char* backend_name : {"fixed-point", "fluid"}) {
+            auto found = eval::BackendRegistry::global().find(backend_name);
+            if (!found.ok()) {
+                std::fprintf(stderr, "WARNING: backend %s not registered\n",
+                             backend_name);
+                continue;
+            }
+            bench::WallTimer approx_timer;
+            auto point = found.value()->evaluate(query);
+            const double seconds = approx_timer.seconds();
+            if (!point.ok()) {
+                std::fprintf(stderr, "WARNING: %s failed on the large cell: %s\n",
+                             backend_name, point.error().to_string().c_str());
+                continue;
+            }
+            std::printf("%-26s %7d %9lld %10.3f %12s %12s\n", backend_name, 1,
+                        point.value().iterations, seconds, "-", "-");
+            json.add({.name = "large_population_M1e6",
+                      .states = nominal_states,
+                      .method = backend_name,
+                      .threads = 1,
+                      .seconds = seconds,
+                      .iterations = point.value().iterations,
+                      .residual = point.value().residual});
         }
     }
 

@@ -18,6 +18,7 @@
 //   --traffic=<1|2|3>     Table 3 traffic model            (default 1)
 //   --channels=<n>        physical channels N              (default 20)
 //   --buffer=<k>          BSC buffer K                     (default 100)
+//   --m=<n>               GPRS session cap M               (traffic-model default)
 //   --eta=<0..1>          flow-control threshold           (default 0.7)
 //   --bler=<0..1>         RLC block error rate             (default 0)
 //   --threads=<n>         solver threads; 0 = all cores    (default 1)
@@ -26,6 +27,10 @@
 // eval:
 //   --backend=<name>      registered backend (default ctmc)
 //   --replications=<n> --seed=<n> --tolerance=<t>
+//   --fp-tolerance=<t> --fp-damping=<0..1] --fp-max-iterations=<n>
+//                         fixed-point backend knobs
+//   --ode-rtol=<t> --ode-atol=<t> --ode-max-steps=<n>
+//                         fluid backend knobs
 // dimension:
 //   --max-plp=<p> --max-delay=<s> --max-voice-blocking=<p>
 // campaign:
@@ -106,6 +111,8 @@ core::Parameters parameters_from_flags(int argc, char** argv) {
     p.reserved_pdch = static_cast<int>(flag(argc, argv, "pdch", 1));
     p.total_channels = static_cast<int>(flag(argc, argv, "channels", 20));
     p.buffer_capacity = static_cast<int>(flag(argc, argv, "buffer", 100));
+    p.max_gprs_sessions = static_cast<int>(
+        flag(argc, argv, "m", static_cast<double>(p.max_gprs_sessions)));
     p.flow_control_threshold = flag(argc, argv, "eta", 0.7);
     p.block_error_rate = flag(argc, argv, "bler", 0.0);
     p.validate();
@@ -185,6 +192,16 @@ int cmd_eval(int argc, char** argv) {
     query.simulation.replications =
         static_cast<int>(flag(argc, argv, "replications", 4));
     query.simulation.seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 1));
+    query.approx.fp_tolerance =
+        flag(argc, argv, "fp-tolerance", query.approx.fp_tolerance);
+    query.approx.fp_damping = flag(argc, argv, "fp-damping", query.approx.fp_damping);
+    query.approx.fp_max_iterations = static_cast<int>(flag(
+        argc, argv, "fp-max-iterations",
+        static_cast<double>(query.approx.fp_max_iterations)));
+    query.approx.ode_rel_tol = flag(argc, argv, "ode-rtol", query.approx.ode_rel_tol);
+    query.approx.ode_abs_tol = flag(argc, argv, "ode-atol", query.approx.ode_abs_tol);
+    query.approx.ode_max_steps = static_cast<long long>(flag(
+        argc, argv, "ode-max-steps", static_cast<double>(query.approx.ode_max_steps)));
 
     const common::Result<eval::PointEvaluation> evaluated =
         backend.value()->evaluate(query);
@@ -205,6 +222,10 @@ int cmd_eval(int argc, char** argv) {
     if (point.iterations > 0) {
         std::printf("provenance: %lld sweeps, residual %.2e, %.2f s\n", point.iterations,
                     point.residual, point.wall_seconds);
+        if (!point.solver_method.empty()) {
+            std::printf("  method %s: %s\n", point.solver_method.c_str(),
+                        point.solver_reason.c_str());
+        }
     } else if (point.has_confidence) {
         std::printf("provenance: %zu replications, CDT +- %.4f, %.2f s\n",
                     point.sim.replications.size(), point.sim.carried_data_traffic.half_width,

@@ -92,6 +92,13 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         base.simulation.batch_count = effective.simulation.batch_count;
         base.simulation.batch_duration = effective.simulation.batch_duration;
         base.simulation.tcp = effective.simulation.tcp;
+        base.approx.fp_tolerance = effective.approx.fp_tolerance;
+        base.approx.fp_damping = effective.approx.fp_damping;
+        base.approx.fp_max_iterations = effective.approx.fp_max_iterations;
+        base.approx.ode_rel_tol = effective.approx.ode_rel_tol;
+        base.approx.ode_abs_tol = effective.approx.ode_abs_tol;
+        base.approx.ode_max_steps = effective.approx.ode_max_steps;
+        base.approx.ode_stationary_rate = effective.approx.ode_stationary_rate;
     }
 
     eval::GridOptions grid;

@@ -54,8 +54,8 @@ namespace gprsim::campaign {
 using eval::bisection_schedule;
 using eval::SolveSchedule;
 
-/// Measures of one backend minus the campaign's first backend (the delta
-/// reference); all zero for the first backend itself.
+/// Measures of the campaign's first backend (the delta reference) minus
+/// one other backend; all zero for the first backend itself.
 struct MeasureDeltas {
     double cdt = 0.0;
     double plp = 0.0;

@@ -64,6 +64,23 @@ const char* const kCsvColumns[] = {
     "delta_cdt", "delta_plp", "delta_qd", "delta_atu",
 };
 
+/// Column list of one result: the fixed legacy layout, plus — only for
+/// multi-method campaigns — four pairwise-delta columns per non-reference
+/// backend, "delta_<measure>:<method>" = methods.front() minus <method>.
+/// Single-method campaigns keep the exact 42-column legacy table.
+std::vector<std::string> csv_columns(const CampaignResult& result) {
+    std::vector<std::string> columns(std::begin(kCsvColumns), std::end(kCsvColumns));
+    if (result.methods.size() > 1) {
+        for (std::size_t b = 1; b < result.methods.size(); ++b) {
+            for (const char* prefix :
+                 {"delta_cdt:", "delta_plp:", "delta_qd:", "delta_atu:"}) {
+                columns.push_back(prefix + result.methods[b]);
+            }
+        }
+    }
+    return columns;
+}
+
 std::vector<std::string> point_cells(const CampaignResult& result,
                                      const CampaignPoint& point) {
     const Variant& variant = result.variants[point.variant];
@@ -120,14 +137,26 @@ std::vector<std::string> point_cells(const CampaignResult& result,
     } else {
         cells.insert(cells.end(), 4, std::string());
     }
+    for (std::size_t b = 1; b < result.methods.size(); ++b) {
+        if (b < point.deltas.size()) {
+            const MeasureDeltas& d = point.deltas[b];
+            cells.push_back(number_cell(d.cdt));
+            cells.push_back(number_cell(d.plp));
+            cells.push_back(number_cell(d.qd));
+            cells.push_back(number_cell(d.atu));
+        } else {
+            cells.insert(cells.end(), 4, std::string());
+        }
+    }
     return cells;
 }
 
 }  // namespace
 
 void write_campaign_csv(const CampaignResult& result, std::ostream& out) {
-    for (std::size_t c = 0; c < std::size(kCsvColumns); ++c) {
-        out << (c > 0 ? "," : "") << kCsvColumns[c];
+    const std::vector<std::string> columns = csv_columns(result);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        out << (c > 0 ? "," : "") << columns[c];
     }
     out << '\n';
     for (const CampaignPoint& point : result.points) {
@@ -168,6 +197,7 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
         << ", \"sequential_waves\": " << s.sequential_waves << ", \"wall_seconds\": "
         << number_cell(s.wall_seconds) << ", \"threads\": " << s.threads << "},\n"
         << "  \"points\": [\n";
+    const std::vector<std::string> columns = csv_columns(result);
     for (std::size_t i = 0; i < result.points.size(); ++i) {
         const std::vector<std::string> cells = point_cells(result, result.points[i]);
         out << "    {";
@@ -178,7 +208,7 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
             }
             // Numeric columns are emitted bare; the three string columns
             // (scenario, label, coding_scheme) are quoted.
-            const std::string& name = kCsvColumns[c];
+            const std::string& name = columns[c];
             const bool is_string =
                 name == "scenario" || name == "label" || name == "coding_scheme";
             out << (first ? "" : ", ") << '"' << name << "\": "

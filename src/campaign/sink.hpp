@@ -32,6 +32,12 @@ namespace gprsim::campaign {
 ///   sim_gsm_blocking_hw, sim_gprs_blocking, sim_gprs_blocking_hw,
 ///   sim_replications, sim_events,
 ///   delta_cdt, delta_plp, delta_qd, delta_atu
+///
+/// Multi-method campaigns append four pairwise-delta columns per
+/// non-reference backend — delta_cdt:<method>, delta_plp:<method>,
+/// delta_qd:<method>, delta_atu:<method> — holding methods.front() minus
+/// that backend (CampaignPoint::deltas). Single-method campaigns keep the
+/// exact legacy column set above.
 void write_campaign_csv(const CampaignResult& result, std::ostream& out);
 
 /// Writes to a file; returns false (with a message on stderr) on I/O error.

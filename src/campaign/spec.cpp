@@ -217,6 +217,31 @@ SimulationSpec parse_simulation(const JsonValue& value) {
     return simulation;
 }
 
+ApproxSpec parse_approx(const JsonValue& value) {
+    ApproxSpec approx;
+    for (const JsonValue::Member& member : value.members()) {
+        const auto& [key, v] = member;
+        if (key == "fp_tolerance") {
+            approx.fp_tolerance = v.as_number();
+        } else if (key == "fp_damping") {
+            approx.fp_damping = v.as_number();
+        } else if (key == "fp_max_iterations") {
+            approx.fp_max_iterations = require_int(v, key);
+        } else if (key == "ode_rel_tol") {
+            approx.ode_rel_tol = v.as_number();
+        } else if (key == "ode_abs_tol") {
+            approx.ode_abs_tol = v.as_number();
+        } else if (key == "ode_max_steps") {
+            approx.ode_max_steps = require_int(v, key);
+        } else if (key == "ode_stationary_rate") {
+            approx.ode_stationary_rate = v.as_number();
+        } else {
+            throw SpecError("unknown \"approx\" key \"" + key + "\"", v.line());
+        }
+    }
+    return approx;
+}
+
 }  // namespace
 
 ScenarioSpec& ScenarioSpec::named(std::string value) {
@@ -298,6 +323,11 @@ ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t value) {
     return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_approx(ApproxSpec value) {
+    approx = value;
+    return *this;
+}
+
 std::size_t ScenarioSpec::variant_count() const {
     return traffic_models.size() * reserved_pdch.size() * gprs_fractions.size() *
            coding_schemes.size() * max_gprs_sessions.size();
@@ -350,6 +380,24 @@ void ScenarioSpec::validate() const {
     }
     if (solver.tolerance <= 0.0) {
         throw SpecError("solver tolerance must be positive", 0);
+    }
+    if (approx.fp_tolerance <= 0.0) {
+        throw SpecError("approx fp_tolerance must be positive", 0);
+    }
+    if (approx.fp_damping <= 0.0 || approx.fp_damping > 1.0) {
+        throw SpecError("approx fp_damping must be in (0, 1]", 0);
+    }
+    if (approx.fp_max_iterations < 1) {
+        throw SpecError("approx fp_max_iterations must be at least 1", 0);
+    }
+    if (approx.ode_rel_tol <= 0.0 || approx.ode_abs_tol <= 0.0) {
+        throw SpecError("approx ode_rel_tol/ode_abs_tol must be positive", 0);
+    }
+    if (approx.ode_max_steps < 1) {
+        throw SpecError("approx ode_max_steps must be at least 1", 0);
+    }
+    if (approx.ode_stationary_rate <= 0.0) {
+        throw SpecError("approx ode_stationary_rate must be positive", 0);
     }
     if (uses_backend("des")) {
         if (simulation.replications < 1) {
@@ -462,6 +510,8 @@ ScenarioSpec interpret_spec(const JsonValue& root) {
             spec.solver = parse_solver(value);
         } else if (key == "simulation") {
             spec.simulation = parse_simulation(value);
+        } else if (key == "approx") {
+            spec.approx = parse_approx(value);
         } else {
             throw SpecError("unknown campaign key \"" + key + "\"", value.line());
         }

@@ -63,6 +63,19 @@ struct SimulationSpec {
     bool tcp = true;                 ///< TCP Reno vs open-loop sources
 };
 
+/// Approximation-backend knobs (the "fixed-point" and "fluid" evaluators)
+/// shared by every point; mirrors eval::ApproxKnobs. Backends that do not
+/// approximate ignore the block.
+struct ApproxSpec {
+    double fp_tolerance = 1e-10;    ///< fixed-point residual target
+    double fp_damping = 1.0;        ///< iterate step fraction in (0, 1]
+    int fp_max_iterations = 5000;
+    double ode_rel_tol = 1e-8;      ///< fluid RK4(5) relative tolerance
+    double ode_abs_tol = 1e-10;
+    long long ode_max_steps = 200000;
+    double ode_stationary_rate = 1e-9;  ///< drift-norm stationarity bound [1/s]
+};
+
 /// One resolved cell configuration of the cartesian product. `parameters`
 /// is complete except for call_arrival_rate, which the runner sets per grid
 /// point.
@@ -103,6 +116,7 @@ struct ScenarioSpec {
 
     SolverSpec solver;
     SimulationSpec simulation;
+    ApproxSpec approx;
 
     // --- chainable builders ----------------------------------------------
     ScenarioSpec& named(std::string value);
@@ -123,6 +137,8 @@ struct ScenarioSpec {
     ScenarioSpec& with_solver_method(std::string value);
     ScenarioSpec& with_replications(int value);
     ScenarioSpec& with_seed(std::uint64_t value);
+    /// Approximation-backend knob block (fixed-point / fluid).
+    ScenarioSpec& with_approx(ApproxSpec value);
 
     /// Number of variants (product of the axis sizes) and grid points.
     std::size_t variant_count() const;
@@ -162,6 +178,9 @@ struct ScenarioSpec {
 ///   "solver"             {"tolerance", "warm_start", "method"}
 ///   "simulation"         {"replications","seed","warmup","batch_count",
 ///                         "batch_duration","tcp"}
+///   "approx"             {"fp_tolerance","fp_damping","fp_max_iterations",
+///                         "ode_rel_tol","ode_abs_tol","ode_max_steps",
+///                         "ode_stationary_rate"}
 /// Unknown keys are rejected. All errors — syntax and semantic alike — are
 /// thrown as SpecError carrying the offending 1-based line.
 ScenarioSpec parse_spec(const std::string& text);

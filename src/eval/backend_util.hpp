@@ -1,0 +1,143 @@
+// Shared scaffolding of the built-in backend implementations: the guarded
+// evaluate fence, grid validation, the per-query probe/error-slot protocol
+// of the batch planners, and the wave-poisoning marker. Internal to
+// src/eval/ — the public surface is evaluator.hpp/backends.hpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/batch.hpp"
+#include "eval/evaluator.hpp"
+
+namespace gprsim::eval::detail {
+
+/// Scope timer filling PointEvaluation::wall_seconds.
+class WallClock {
+public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+    double seconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Positive-and-ascending check shared by every grid entry point; grids
+/// come from campaign specs (already validated) and from raw API callers
+/// (not validated at all).
+inline common::Status check_grid(std::span<const double> rates) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!(rates[i] > 0.0)) {
+            return common::EvalError{common::EvalErrorCode::invalid_query,
+                                     "grid rates must be positive"};
+        }
+        if (i > 0 && rates[i] <= rates[i - 1]) {
+            return common::EvalError{common::EvalErrorCode::invalid_query,
+                                     "grid rates must be strictly ascending"};
+        }
+    }
+    return common::ok_status();
+}
+
+/// A plan whose every query slot reports the same batch-level error (bad
+/// rate grid): no tasks, constant collect.
+inline GridPlan failed_plan(std::size_t num_queries, common::EvalError error) {
+    GridPlan plan;
+    plan.collect = [num_queries, error = std::move(error)] {
+        std::vector<GridOutcome> outcomes;
+        outcomes.reserve(num_queries);
+        for (std::size_t q = 0; q < num_queries; ++q) {
+            outcomes.push_back(error);
+        }
+        return outcomes;
+    };
+    return plan;
+}
+
+/// Shared per-query scaffolding of the batch planners: sizes each query's
+/// error-slot vector to the grid and probe-validates the query against the
+/// grid's first rate. planned[q] says whether query q gets tasks; a
+/// failing probe's typed error lands in errors[q][0] and poisons nothing
+/// else.
+inline std::vector<bool> probe_queries(
+    std::span<const ScenarioQuery> queries, std::span<const double> rates,
+    std::vector<std::vector<std::unique_ptr<common::EvalError>>>& errors) {
+    std::vector<bool> planned(queries.size(), false);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        errors[q].resize(rates.size());
+        if (rates.empty()) {
+            continue;
+        }
+        ScenarioQuery probe = queries[q];
+        probe.call_arrival_rate = rates.front();
+        if (common::Status v = probe.validated(); !v.ok()) {
+            errors[q][0] = std::make_unique<common::EvalError>(v.error());
+            continue;
+        }
+        planned[q] = true;
+    }
+    return planned;
+}
+
+/// First recorded error of one query's grid, in grid order — the error its
+/// GridOutcome reports (nullptr = the grid succeeded). Keeping the
+/// selection in one place keeps the ordering contract identical across
+/// backends.
+inline const common::EvalError* first_error(
+    const std::vector<std::unique_ptr<common::EvalError>>& errors) {
+    for (const auto& error : errors) {
+        if (error) {
+            return error.get();
+        }
+    }
+    return nullptr;
+}
+
+/// Lowers the "failure at wave w" marker; tasks of LATER waves skip (their
+/// warm-start parent chain is broken), same-wave tasks still run — so the
+/// set of recorded errors, and hence the error collect() reports, is
+/// identical at every thread count.
+inline void poison(std::atomic<long long>& poisoned_wave, long long wave) {
+    long long current = poisoned_wave.load(std::memory_order_relaxed);
+    while (wave < current &&
+           !poisoned_wave.compare_exchange_weak(current, wave,
+                                                std::memory_order_acq_rel)) {
+    }
+}
+
+/// Executes a single backend's plan on options.pool and collects it — the
+/// shape of the single-backend evaluate_grids overrides (the multi-backend
+/// merge lives in eval::evaluate_campaign).
+inline std::vector<GridOutcome> execute_single_plan(GridPlan plan,
+                                                    const GridOptions& options) {
+    execute_plans(std::span<GridPlan>(&plan, 1), options);
+    return plan.collect();
+}
+
+/// Uncaught-exception fence: every backend body runs inside this so the
+/// "no exception crosses the eval boundary" contract survives bugs in the
+/// layers below (and bad_alloc on huge chains).
+template <typename F>
+common::Result<PointEvaluation> guarded(const ScenarioQuery& query, F&& body) {
+    if (common::Status v = query.validated(); !v.ok()) {
+        return v.error();
+    }
+    try {
+        return body();
+    } catch (const std::exception& e) {
+        return common::EvalError{
+            common::EvalErrorCode::internal,
+            std::string(e.what()) + " [" +
+                scenario_context(query.parameters, query.call_arrival_rate) + "]"};
+    }
+}
+
+}  // namespace gprsim::eval::detail

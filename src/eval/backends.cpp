@@ -13,6 +13,7 @@
 #include "core/handover.hpp"
 #include "core/initial_guess.hpp"
 #include "core/model.hpp"
+#include "eval/backend_util.hpp"
 #include "eval/batch.hpp"
 #include "queueing/mm1k.hpp"
 #include "sim/experiment.hpp"
@@ -67,6 +68,16 @@ namespace {
 
 using common::EvalError;
 using common::EvalErrorCode;
+// Grid scaffolding shared with the large-population backends
+// (eval/backend_util.hpp); only the warm-start cache stays local.
+using detail::WallClock;
+using detail::check_grid;
+using detail::execute_single_plan;
+using detail::failed_plan;
+using detail::first_error;
+using detail::guarded;
+using detail::poison;
+using detail::probe_queries;
 
 /// Deviation vectors (solved distribution / own product form, elementwise)
 /// awaiting their warm-start dependents, one slot per grid index. A slot is
@@ -125,127 +136,6 @@ private:
     std::vector<std::atomic<int>> remaining_;
     std::vector<int> children_;  ///< dependents per grid index
 };
-
-/// Scope timer filling PointEvaluation::wall_seconds.
-class WallClock {
-public:
-    WallClock() : start_(std::chrono::steady_clock::now()) {}
-    double seconds() const {
-        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-            .count();
-    }
-
-private:
-    std::chrono::steady_clock::time_point start_;
-};
-
-/// Positive-and-ascending check shared by every grid entry point; grids
-/// come from campaign specs (already validated) and from raw API callers
-/// (not validated at all).
-common::Status check_grid(std::span<const double> rates) {
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        if (!(rates[i] > 0.0)) {
-            return EvalError{EvalErrorCode::invalid_query,
-                             "grid rates must be positive"};
-        }
-        if (i > 0 && rates[i] <= rates[i - 1]) {
-            return EvalError{EvalErrorCode::invalid_query,
-                             "grid rates must be strictly ascending"};
-        }
-    }
-    return common::ok_status();
-}
-
-/// A plan whose every query slot reports the same batch-level error (bad
-/// rate grid): no tasks, constant collect.
-GridPlan failed_plan(std::size_t num_queries, EvalError error) {
-    GridPlan plan;
-    plan.collect = [num_queries, error = std::move(error)] {
-        std::vector<GridOutcome> outcomes;
-        outcomes.reserve(num_queries);
-        for (std::size_t q = 0; q < num_queries; ++q) {
-            outcomes.push_back(error);
-        }
-        return outcomes;
-    };
-    return plan;
-}
-
-/// Shared per-query scaffolding of the batch planners: sizes each query's
-/// error-slot vector to the grid and probe-validates the query against the
-/// grid's first rate. planned[q] says whether query q gets tasks; a
-/// failing probe's typed error lands in errors[q][0] and poisons nothing
-/// else.
-std::vector<bool> probe_queries(
-    std::span<const ScenarioQuery> queries, std::span<const double> rates,
-    std::vector<std::vector<std::unique_ptr<EvalError>>>& errors) {
-    std::vector<bool> planned(queries.size(), false);
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-        errors[q].resize(rates.size());
-        if (rates.empty()) {
-            continue;
-        }
-        ScenarioQuery probe = queries[q];
-        probe.call_arrival_rate = rates.front();
-        if (common::Status v = probe.validated(); !v.ok()) {
-            errors[q][0] = std::make_unique<EvalError>(v.error());
-            continue;
-        }
-        planned[q] = true;
-    }
-    return planned;
-}
-
-/// First recorded error of one query's grid, in grid order — the error its
-/// GridOutcome reports (nullptr = the grid succeeded). Keeping the
-/// selection in one place keeps the ordering contract identical across
-/// backends.
-const EvalError* first_error(const std::vector<std::unique_ptr<EvalError>>& errors) {
-    for (const auto& error : errors) {
-        if (error) {
-            return error.get();
-        }
-    }
-    return nullptr;
-}
-
-/// Lowers the "failure at wave w" marker; tasks of LATER waves skip (their
-/// warm-start parent chain is broken), same-wave tasks still run — so the
-/// set of recorded errors, and hence the error collect() reports, is
-/// identical at every thread count.
-void poison(std::atomic<long long>& poisoned_wave, long long wave) {
-    long long current = poisoned_wave.load(std::memory_order_relaxed);
-    while (wave < current &&
-           !poisoned_wave.compare_exchange_weak(current, wave,
-                                                std::memory_order_acq_rel)) {
-    }
-}
-
-/// Executes a single backend's plan on options.pool and collects it — the
-/// shape of the ctmc/des evaluate_grids overrides (the multi-backend merge
-/// lives in eval::evaluate_campaign).
-std::vector<GridOutcome> execute_single_plan(GridPlan plan, const GridOptions& options) {
-    execute_plans(std::span<GridPlan>(&plan, 1), options);
-    return plan.collect();
-}
-
-/// Uncaught-exception fence: every backend body runs inside this so the
-/// "no exception crosses the eval boundary" contract survives bugs in the
-/// layers below (and bad_alloc on huge chains).
-template <typename F>
-common::Result<PointEvaluation> guarded(const ScenarioQuery& query, F&& body) {
-    if (common::Status v = query.validated(); !v.ok()) {
-        return v.error();
-    }
-    try {
-        return body();
-    } catch (const std::exception& e) {
-        return EvalError{EvalErrorCode::internal,
-                         std::string(e.what()) + " [" +
-                             scenario_context(query.parameters, query.call_arrival_rate) +
-                             "]"};
-    }
-}
 
 // --- erlang ---------------------------------------------------------------
 
@@ -823,6 +713,7 @@ void register_builtin_backends(BackendRegistry& registry) {
     add([] { return std::make_unique<CtmcEvaluator>(); });
     add([] { return std::make_unique<DesEvaluator>(); });
     add([] { return std::make_unique<Mm1kApproxEvaluator>(); });
+    register_large_population_backends(registry);
 }
 
 }  // namespace detail

@@ -1,5 +1,5 @@
 // Built-in evaluation backends and the grid-scheduling vocabulary they
-// share. Four backends self-register in BackendRegistry::global():
+// share. Six backends self-register in BackendRegistry::global():
 //
 //   erlang       closed-form Erlang populations and blocking (Eq. 2-7);
 //                microseconds per point, no chain state
@@ -19,8 +19,17 @@
 //                over the Erlang populations — the proof that a third-party
 //                approximation plugs into the registry without touching the
 //                campaign runner, spec parser, or CLI
+//   fixed-point  damped fixed-point decomposition over the (voice, session,
+//                queue) dimensions: exact Erlang marginals coupled to a
+//                level-dependent birth-death queue with mean-rate closure;
+//                handles 10^6-session populations in milliseconds
+//                (src/eval/large_population.cpp)
+//   fluid        mean-field / fluid-limit ODE over the scaled occupancies,
+//                integrated with an adaptive Cash-Karp RK4(5) stepper;
+//                exact in the N -> infinity scaling
+//                (src/eval/large_population.cpp)
 //
-// All four return Results; no exception crosses evaluate() /
+// All six return Results; no exception crosses evaluate() /
 // evaluate_grid() / evaluate_grids() / a plan's tasks.
 #pragma once
 
@@ -51,11 +60,16 @@ SolveSchedule bisection_schedule(std::size_t count, bool warm_start);
 
 namespace detail {
 
-/// Registers the four built-ins into `registry`. Called exactly once from
+/// Registers the six built-ins into `registry`. Called exactly once from
 /// BackendRegistry::global(); explicit (rather than static-initializer
 /// magic) because gprsim is a static library and the linker may drop
 /// translation units nobody references.
 void register_builtin_backends(BackendRegistry& registry);
+
+/// Registers the large-population approximations (fixed-point, fluid);
+/// called from register_builtin_backends, defined in
+/// src/eval/large_population.cpp.
+void register_large_population_backends(BackendRegistry& registry);
 
 }  // namespace detail
 

@@ -44,6 +44,24 @@ common::Status ScenarioQuery::validated() const {
     if (simulation.warmup_time < 0.0 || !(simulation.batch_duration > 0.0)) {
         return fail("simulation warmup/batch_duration out of range");
     }
+    if (!(approx.fp_tolerance > 0.0)) {
+        return fail("approx.fp_tolerance must be positive");
+    }
+    if (!(approx.fp_damping > 0.0) || approx.fp_damping > 1.0) {
+        return fail("approx.fp_damping must be in (0, 1]");
+    }
+    if (approx.fp_max_iterations < 1) {
+        return fail("approx.fp_max_iterations must be at least 1");
+    }
+    if (!(approx.ode_rel_tol > 0.0) || !(approx.ode_abs_tol > 0.0)) {
+        return fail("approx.ode_rel_tol/ode_abs_tol must be positive");
+    }
+    if (approx.ode_max_steps < 1) {
+        return fail("approx.ode_max_steps must be at least 1");
+    }
+    if (!(approx.ode_stationary_rate > 0.0)) {
+        return fail("approx.ode_stationary_rate must be positive");
+    }
     try {
         resolved_parameters().validate();
     } catch (const std::exception& e) {

@@ -6,7 +6,8 @@
 //          multi-grid batches: Evaluator::evaluate_grids / plan_grids,
 //          merged across backends by eval::evaluate_campaign (batch.hpp);
 //          string-keyed BackendRegistry; built-ins erlang / ctmc / des /
-//          mm1k-approx, out-of-tree backends register alongside them
+//          mm1k-approx / fixed-point / fluid, out-of-tree backends
+//          register alongside them
 //   model/sim layer core::GprsModel, sim::ExperimentEngine, queueing::*
 //   consumers       campaign::CampaignRunner, gprsim_cli, benches, tests,
 //                   out-of-tree code via find_package(gprsim)
@@ -61,6 +62,23 @@ struct SimulationKnobs {
     bool tcp = true;                 ///< TCP Reno vs open-loop sources
 };
 
+/// Knobs consumed by the large-population approximation backends
+/// (fixed-point, fluid). Tolerances trade accuracy against per-point cost;
+/// both backends report how hard they worked in PointEvaluation
+/// iterations/residual.
+struct ApproxKnobs {
+    // fixed-point decomposition
+    double fp_tolerance = 1e-10;  ///< max relative change of the iterate
+    double fp_damping = 1.0;      ///< step fraction in (0, 1]
+    int fp_max_iterations = 5000;
+    // fluid ODE integrator
+    double ode_rel_tol = 1e-8;
+    double ode_abs_tol = 1e-10;
+    long long ode_max_steps = 200000;
+    /// Stationarity threshold on the scaled drift norm [1/s].
+    double ode_stationary_rate = 1e-9;
+};
+
 /// One evaluable scenario point: a complete cell configuration, the load to
 /// apply, and the per-backend knobs. Backends read the knob block they
 /// understand and ignore the rest, so the same query can be handed to every
@@ -74,6 +92,7 @@ struct ScenarioQuery {
 
     SolverKnobs solver;
     SimulationKnobs simulation;
+    ApproxKnobs approx;
 
     /// Checks the query without throwing: rate positive, knobs in range,
     /// and Parameters::validate() clean. The error message names the

@@ -1,0 +1,250 @@
+// The large-population approximation backends: `fixed-point` (damped
+// decomposition over the voice/session/queue dimensions,
+// queueing/fixed_point.hpp) and `fluid` (mean-field ODE limit,
+// queueing/fluid.hpp). Both are analytic and cheap per point, so their
+// batch plans are pointwise: one dependency-free wave-0 task per (query,
+// point) that a merged campaign freely interleaves with other backends'
+// waves. Every task computes pure serial double arithmetic with no shared
+// mutable state, so grid output is bitwise invariant to thread count,
+// dispatch mode, and repetition by construction.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "eval/backend_util.hpp"
+#include "eval/backends.hpp"
+#include "queueing/fixed_point.hpp"
+#include "queueing/fluid.hpp"
+
+namespace gprsim::eval {
+
+namespace {
+
+using common::EvalError;
+using common::EvalErrorCode;
+
+/// Pointwise plan shared by both backends: per-(query, point) wave-0 tasks
+/// calling self.evaluate (which never throws), first-error-in-grid-order
+/// collection, progress reported under the batch-wide lock at the flat
+/// index q * rates.size() + i.
+GridPlan pointwise_plan(Evaluator& self, std::span<const ScenarioQuery> queries,
+                        std::span<const double> rates, const GridOptions& options) {
+    if (common::Status g = detail::check_grid(rates); !g.ok()) {
+        return detail::failed_plan(queries.size(), g.error());
+    }
+
+    struct State {
+        std::vector<ScenarioQuery> base;
+        std::vector<std::vector<PointEvaluation>> points;  ///< [q][i]
+        std::vector<std::vector<std::unique_ptr<EvalError>>> errors;
+        std::vector<double> rates;
+        std::mutex progress_mutex;
+    };
+    const std::size_t nq = queries.size();
+    const std::size_t n = rates.size();
+    auto state = std::make_shared<State>();
+    state->base.assign(queries.begin(), queries.end());
+    state->points.assign(nq, std::vector<PointEvaluation>(n));
+    state->errors.resize(nq);
+    state->rates.assign(rates.begin(), rates.end());
+    const std::vector<bool> planned = detail::probe_queries(queries, rates, state->errors);
+
+    GridPlan plan;
+    for (std::size_t q = 0; q < nq; ++q) {
+        if (!planned[q]) {
+            continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            plan.tasks.push_back(
+                {0, [&self, state, q, i, progress = options.progress] {
+                     ScenarioQuery query = state->base[q];
+                     query.call_arrival_rate = state->rates[i];
+                     common::Result<PointEvaluation> point = self.evaluate(query);
+                     if (!point.ok()) {
+                         state->errors[q][i] =
+                             std::make_unique<EvalError>(point.error());
+                         return;
+                     }
+                     state->points[q][i] = point.take();
+                     if (progress) {
+                         std::lock_guard<std::mutex> lock(state->progress_mutex);
+                         progress(q * state->rates.size() + i, state->points[q][i]);
+                     }
+                 }});
+        }
+    }
+    plan.collect = [state, nq] {
+        std::vector<GridOutcome> outcomes;
+        outcomes.reserve(nq);
+        for (std::size_t q = 0; q < nq; ++q) {
+            if (const EvalError* failed = detail::first_error(state->errors[q])) {
+                outcomes.push_back(*failed);
+            } else {
+                outcomes.push_back(std::move(state->points[q]));
+            }
+        }
+        return outcomes;
+    };
+    plan.waves = plan.tasks.empty() ? 0 : 1;
+    plan.sequential_waves =
+        static_cast<std::size_t>(std::count(planned.begin(), planned.end(), true));
+    return plan;
+}
+
+/// Grid entry points shared by both backends (the single-grid call is the
+/// one-query batch; the batch executes the pointwise plan).
+class LargePopulationEvaluator : public Evaluator {
+public:
+    common::Result<std::vector<PointEvaluation>> evaluate_grid(
+        const ScenarioQuery& base, std::span<const double> rates,
+        const GridOptions& options) override {
+        std::vector<GridOutcome> outcomes =
+            evaluate_grids(std::span<const ScenarioQuery>(&base, 1), rates, options);
+        return std::move(outcomes.front());
+    }
+
+    std::vector<GridOutcome> evaluate_grids(std::span<const ScenarioQuery> queries,
+                                            std::span<const double> rates,
+                                            const GridOptions& options) override {
+        return detail::execute_single_plan(plan_grids(queries, rates, options), options);
+    }
+
+    GridPlan plan_grids(std::span<const ScenarioQuery> queries,
+                        std::span<const double> rates,
+                        const GridOptions& options) override {
+        return pointwise_plan(*this, queries, rates, options);
+    }
+};
+
+// --- fixed-point ----------------------------------------------------------
+
+class FixedPointEvaluator final : public LargePopulationEvaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "fixed-point";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "damped fixed-point decomposition (voice/session/queue marginals with "
+            "mean-rate closure); milliseconds per point at any population size";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return detail::guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const detail::WallClock clock;
+            const core::Parameters p = query.resolved_parameters();
+            queueing::FixedPointOptions options;
+            options.tolerance = query.approx.fp_tolerance;
+            options.damping = query.approx.fp_damping;
+            options.max_iterations = query.approx.fp_max_iterations;
+            const queueing::FixedPointResult r = queueing::solve_fixed_point(p, options);
+            if (!r.converged) {
+                char what[160];
+                std::snprintf(what, sizeof(what),
+                              "fixed-point decomposition did not converge: residual "
+                              "%.3e after %d sweeps (tolerance %.1e, damping %g)",
+                              r.residual, r.iterations, options.tolerance,
+                              options.damping);
+                return EvalError{EvalErrorCode::non_convergence,
+                                 std::string(what) + " [" +
+                                     scenario_context(query.parameters,
+                                                      query.call_arrival_rate) +
+                                     "]"};
+            }
+            PointEvaluation point;
+            point.backend = name();
+            point.call_arrival_rate = query.call_arrival_rate;
+            point.measures = r.measures;
+            point.iterations = r.iterations;
+            point.residual = r.residual;
+            point.solver_method = "fixed-point";
+            char reason[128];
+            std::snprintf(reason, sizeof(reason),
+                          "decomposition sweeps (damping %g, %s ON-count marginal)",
+                          options.damping,
+                          r.normal_on_count ? "discretized-normal" : "exact binomial");
+            point.solver_reason = reason;
+            point.wall_seconds = clock.seconds();
+            return point;
+        });
+    }
+};
+
+// --- fluid ----------------------------------------------------------------
+
+class FluidEvaluator final : public LargePopulationEvaluator {
+public:
+    const std::string& name() const override {
+        static const std::string n = "fluid";
+        return n;
+    }
+    const std::string& description() const override {
+        static const std::string d =
+            "mean-field fluid-limit ODE (adaptive Cash-Karp RK4(5) to "
+            "stationarity); exact as the cell scales to infinity";
+        return d;
+    }
+
+    common::Result<PointEvaluation> evaluate(const ScenarioQuery& query) override {
+        return detail::guarded(query, [&]() -> common::Result<PointEvaluation> {
+            const detail::WallClock clock;
+            const core::Parameters p = query.resolved_parameters();
+            queueing::FluidOptions options;
+            options.rel_tol = query.approx.ode_rel_tol;
+            options.abs_tol = query.approx.ode_abs_tol;
+            options.max_steps = query.approx.ode_max_steps;
+            options.stationary_rate = query.approx.ode_stationary_rate;
+            const queueing::FluidResult r = queueing::solve_fluid(p, options);
+            if (!r.converged) {
+                char what[200];
+                std::snprintf(what, sizeof(what),
+                              "fluid ODE did not reach stationarity: drift norm %.3e "
+                              "at t=%.3g s after %lld accepted / %lld rejected steps",
+                              r.drift_norm, r.end_time, r.steps_accepted,
+                              r.steps_rejected);
+                return EvalError{EvalErrorCode::non_convergence,
+                                 std::string(what) + " [" +
+                                     scenario_context(query.parameters,
+                                                      query.call_arrival_rate) +
+                                     "]"};
+            }
+            PointEvaluation point;
+            point.backend = name();
+            point.call_arrival_rate = query.call_arrival_rate;
+            point.measures = r.measures;
+            point.iterations = r.steps_accepted;
+            point.residual = r.drift_norm;
+            point.solver_method = "fluid-rk45";
+            char reason[160];
+            std::snprintf(reason, sizeof(reason),
+                          "Cash-Karp RK4(5) steps (rel_tol %.1e, %lld rejected, "
+                          "stationary at t=%.3g s)",
+                          options.rel_tol, r.steps_rejected, r.end_time);
+            point.solver_reason = reason;
+            point.wall_seconds = clock.seconds();
+            return point;
+        });
+    }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_large_population_backends(BackendRegistry& registry) {
+    const auto add = [&](BackendRegistry::Factory make) {
+        const std::unique_ptr<Evaluator> instance = make();
+        // Built-in registration cannot collide (it runs once, first).
+        (void)registry.add(instance->name(), instance->description(), std::move(make));
+    };
+    add([] { return std::make_unique<FixedPointEvaluator>(); });
+    add([] { return std::make_unique<FluidEvaluator>(); });
+}
+
+}  // namespace detail
+
+}  // namespace gprsim::eval

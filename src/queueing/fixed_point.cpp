@@ -1,0 +1,349 @@
+#include "queueing/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "queueing/erlang.hpp"
+
+namespace gprsim::queueing {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Marginal pmf of the ON-source count J = m - r on an integer support
+/// [lo, lo + pmf.size()), with cumulative sums for O(1) capped-expectation
+/// queries: cum0[i] = P(J <= lo + i), cum1[i] = E[J 1{J <= lo + i}].
+struct OnCountPmf {
+    int lo = 0;
+    std::vector<double> pmf;
+    std::vector<double> cum0;
+    std::vector<double> cum1;
+    double mean = 0.0;
+
+    void finalize() {
+        cum0.resize(pmf.size());
+        cum1.resize(pmf.size());
+        double c0 = 0.0;
+        double c1 = 0.0;
+        for (std::size_t i = 0; i < pmf.size(); ++i) {
+            c0 += pmf[i];
+            c1 += pmf[i] * static_cast<double>(lo + static_cast<int>(i));
+            cum0[i] = c0;
+            cum1[i] = c1;
+        }
+        mean = c1;
+    }
+
+    /// E[min(J * lambda_p, cap)] — the throttled offer against a service
+    /// ceiling `cap` [packets/s].
+    double capped_offer(double lambda_p, double cap) const {
+        if (pmf.empty()) {
+            return 0.0;
+        }
+        // J * lambda_p <= cap  <=>  J <= cap / lambda_p.
+        const double threshold = cap / lambda_p;
+        const int hi = lo + static_cast<int>(pmf.size()) - 1;
+        if (threshold >= static_cast<double>(hi)) {
+            return lambda_p * mean;
+        }
+        const int jt = static_cast<int>(std::floor(threshold));
+        if (jt < lo) {
+            return cap;
+        }
+        const std::size_t i = static_cast<std::size_t>(jt - lo);
+        return lambda_p * cum1[i] + cap * (1.0 - cum0[i]);
+    }
+};
+
+/// Exact mixture: J | m ~ Binomial(m, p_on) over the Erlang session pmf.
+/// Each binomial row is built by two-sided recurrence from its mode so no
+/// row underflows to all-zero even for extreme p_on. O(M^2).
+OnCountPmf exact_on_count(const std::vector<double>& session_pmf, double p_on) {
+    OnCountPmf result;
+    const int cap = static_cast<int>(session_pmf.size()) - 1;
+    result.lo = 0;
+    result.pmf.assign(static_cast<std::size_t>(cap) + 1, 0.0);
+    std::vector<double> row(static_cast<std::size_t>(cap) + 1);
+    for (int m = 0; m <= cap; ++m) {
+        const double weight = session_pmf[static_cast<std::size_t>(m)];
+        if (weight <= 0.0) {
+            continue;
+        }
+        const int mode = std::clamp(
+            static_cast<int>(static_cast<double>(m + 1) * p_on), 0, m);
+        row[static_cast<std::size_t>(mode)] = 1.0;
+        for (int j = mode; j < m; ++j) {
+            row[static_cast<std::size_t>(j) + 1] =
+                row[static_cast<std::size_t>(j)] *
+                (static_cast<double>(m - j) * p_on) /
+                (static_cast<double>(j + 1) * (1.0 - p_on));
+        }
+        for (int j = mode; j > 0; --j) {
+            row[static_cast<std::size_t>(j) - 1] =
+                row[static_cast<std::size_t>(j)] *
+                (static_cast<double>(j) * (1.0 - p_on)) /
+                (static_cast<double>(m - j + 1) * p_on);
+        }
+        double sum = 0.0;
+        for (int j = 0; j <= m; ++j) {
+            sum += row[static_cast<std::size_t>(j)];
+        }
+        for (int j = 0; j <= m; ++j) {
+            result.pmf[static_cast<std::size_t>(j)] +=
+                weight * row[static_cast<std::size_t>(j)] / sum;
+            row[static_cast<std::size_t>(j)] = 0.0;
+        }
+    }
+    result.finalize();
+    return result;
+}
+
+/// Large-cap path: J is a binomial mixed over the Erlang session pmf, so
+/// match its first two moments (E[J] = p E[m], Var[J] = p(1-p) E[m] +
+/// p^2 Var[m]) with a normal discretized on the integer grid mean +- 8
+/// sigma. Takes the session moments directly — the Erlang-loss pmf has
+/// closed-form moments (see the caller), so this path never materializes
+/// the O(M) session distribution. O(sigma).
+OnCountPmf normal_on_count(double e1, double e2, int cap, double p_on) {
+    const double mean = p_on * e1;
+    const double variance =
+        p_on * (1.0 - p_on) * e1 + p_on * p_on * std::max(0.0, e2 - e1 * e1);
+    const double sigma = std::sqrt(std::max(variance, 0.0));
+
+    OnCountPmf result;
+    if (!(sigma > 0.0)) {
+        result.lo = std::clamp(static_cast<int>(std::lround(mean)), 0, cap);
+        result.pmf.assign(1, 1.0);
+        result.finalize();
+        return result;
+    }
+    const int lo = std::clamp(static_cast<int>(std::floor(mean - 8.0 * sigma)), 0, cap);
+    const int hi = std::clamp(static_cast<int>(std::ceil(mean + 8.0 * sigma)), lo, cap);
+    result.lo = lo;
+    result.pmf.resize(static_cast<std::size_t>(hi - lo) + 1);
+    const double inv = 1.0 / (sigma * std::sqrt(2.0));
+    // Continuity-corrected cell masses Phi(j + 1/2) - Phi(j - 1/2),
+    // renormalized over the truncated support.
+    double total = 0.0;
+    double prev = std::erf((static_cast<double>(lo) - 0.5 - mean) * inv);
+    for (int j = lo; j <= hi; ++j) {
+        const double next = std::erf((static_cast<double>(j) + 0.5 - mean) * inv);
+        const double mass = 0.5 * (next - prev);
+        result.pmf[static_cast<std::size_t>(j - lo)] = mass;
+        total += mass;
+        prev = next;
+    }
+    for (double& mass : result.pmf) {
+        mass /= total;
+    }
+    result.finalize();
+    return result;
+}
+
+double relative_change(double next, double current) {
+    const double scale = std::max({std::fabs(next), std::fabs(current), 1e-12});
+    return std::fabs(next - current) / scale;
+}
+
+}  // namespace
+
+FixedPointResult solve_fixed_point(const core::Parameters& p,
+                                   const FixedPointOptions& options) {
+    p.validate();
+    const int channels = p.total_channels;
+    const int voice_servers = p.gsm_channels();
+    const int session_cap = p.max_gprs_sessions;
+    const int capacity = p.buffer_capacity;
+    const int onset = p.flow_control_onset();
+    const traffic::Ipp ipp = p.traffic.ipp();
+    const double p_on = ipp.off_to_on_rate / (ipp.on_to_off_rate + ipp.off_to_on_rate);
+    const double lambda_p = ipp.on_packet_rate;
+    const double mu_srv = p.packet_service_rate();
+
+    const double lambda_v = p.gsm_arrival_rate();
+    const double mu_v = p.gsm_completion_rate();
+    const double mu_h_v = p.gsm_handover_rate();
+    const double lambda_s = p.gprs_arrival_rate();
+    const double mu_s = p.gprs_completion_rate();
+    const double mu_h_s = p.gprs_handover_rate();
+
+    FixedPointResult result;
+    result.normal_on_count = session_cap > kExactOnCountLimit;
+
+    // The iterate: both handover flows (paper Eq. 4-5, initialized at the
+    // fresh rates like queueing::balance_handover_flow) plus the queue
+    // throughput that closes the loop through the data plane.
+    double lh_v = lambda_v;
+    double lh_s = lambda_s;
+    double throughput = 0.0;
+
+    double rho_v = 0.0;
+    double rho_s = 0.0;
+    std::vector<double> pi(static_cast<std::size_t>(capacity) + 1, 0.0);
+    std::vector<double> served(static_cast<std::size_t>(capacity) + 1, 0.0);
+    std::vector<double> offered(static_cast<std::size_t>(capacity) + 1, 0.0);
+    std::vector<double> log_pi(static_cast<std::size_t>(capacity) + 1);
+    std::vector<double> avail_p(static_cast<std::size_t>(channels) + 1);
+    std::vector<double> g(static_cast<std::size_t>(channels) + 1);
+    std::vector<double> cum_p(static_cast<std::size_t>(channels) + 1);
+    std::vector<double> cum_pa(static_cast<std::size_t>(channels) + 1);
+    std::vector<double> cum_pg(static_cast<std::size_t>(channels) + 1);
+
+    const double theta = options.damping;
+    for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+        result.iterations = iteration;
+        rho_v = (lambda_v + lh_v) / (mu_v + mu_h_v);
+        rho_s = (lambda_s + lh_s) / (mu_s + mu_h_s);
+
+        // (a) voice sub-model: Erlang update of the GSM handover flow.
+        const std::vector<double> voice = mmcc_distribution(rho_v, voice_servers);
+        const double carried_v = mmcc_carried_load(rho_v, voice_servers);
+        const double lh_v_next = mu_h_v * carried_v;
+
+        // (b) session sub-model: same update over the session cap. The
+        // ON-count marginal for the queue rides along: either the exact
+        // binomial-Erlang mixture from the full session pmf, or (above the
+        // exact-path cap) a moment-matched normal from the closed-form
+        // Erlang-loss moments E[m] = rho (1 - B) and
+        // E[m^2] = rho (E[m] + (1 - B) - M B), which keeps every sweep
+        // O(sigma) instead of O(M) at million-session populations.
+        OnCountPmf on_count;
+        double carried_s = 0.0;
+        if (result.normal_on_count) {
+            // 40 sigma past the offered load the Erlang-B recursion
+            // underflows to exactly 0.0 anyway; skip its O(M) pass so
+            // lightly-loaded sweeps over million-session caps stay O(sigma).
+            const bool no_blocking =
+                static_cast<double>(session_cap) >
+                rho_s + 40.0 * std::sqrt(rho_s) + 100.0;
+            const double blocking_s =
+                no_blocking ? 0.0 : erlang_b(rho_s, session_cap);
+            carried_s = rho_s * (1.0 - blocking_s);
+            const double e2 =
+                rho_s * (carried_s + (1.0 - blocking_s) -
+                         static_cast<double>(session_cap) * blocking_s);
+            on_count = normal_on_count(carried_s, e2, session_cap, p_on);
+        } else {
+            const std::vector<double> sessions =
+                mmcc_distribution(rho_s, session_cap);
+            carried_s = mmcc_carried_load(rho_s, session_cap);
+            on_count = exact_on_count(sessions, p_on);
+        }
+        const double lh_s_next = mu_h_s * carried_s;
+
+        // (c) queue sub-model: level-dependent birth-death over the buffer
+        // with mean-rate closure against the current marginals.
+        const double full_rate = lambda_p * on_count.mean;
+
+        // Available-channel pmf: A = N - n over the voice marginal, plus
+        // prefix sums in a so E[min(A, c)] and E[g(min(A, c))] are O(1).
+        std::fill(avail_p.begin(), avail_p.end(), 0.0);
+        for (int n = 0; n <= voice_servers; ++n) {
+            avail_p[static_cast<std::size_t>(channels - n)] =
+                voice[static_cast<std::size_t>(n)];
+        }
+        for (int c = 0; c <= channels; ++c) {
+            g[static_cast<std::size_t>(c)] =
+                on_count.capped_offer(lambda_p, static_cast<double>(c) * mu_srv);
+        }
+        double c0 = 0.0;
+        double ca = 0.0;
+        double cg = 0.0;
+        for (int a = 0; a <= channels; ++a) {
+            const double w = avail_p[static_cast<std::size_t>(a)];
+            c0 += w;
+            ca += w * static_cast<double>(a);
+            cg += w * g[static_cast<std::size_t>(a)];
+            cum_p[static_cast<std::size_t>(a)] = c0;
+            cum_pa[static_cast<std::size_t>(a)] = ca;
+            cum_pg[static_cast<std::size_t>(a)] = cg;
+        }
+
+        for (int k = 0; k <= capacity; ++k) {
+            const std::size_t cap =
+                static_cast<std::size_t>(std::min(8LL * k, static_cast<long long>(channels)));
+            // E[min(A, 8k)] — mean PDCHs serving at level k.
+            served[static_cast<std::size_t>(k)] =
+                cum_pa[cap] + static_cast<double>(cap) * (1.0 - cum_p[cap]);
+            // Offered rate at level k: full below the flow-control onset,
+            // E[min(J lambda_p, min(A, 8k) mu_srv)] above it (Table 1).
+            offered[static_cast<std::size_t>(k)] =
+                k <= onset ? full_rate
+                           : cum_pg[cap] + g[cap] * (1.0 - cum_p[cap]);
+        }
+
+        log_pi[0] = 0.0;
+        for (int k = 0; k < capacity; ++k) {
+            const double birth = offered[static_cast<std::size_t>(k)];
+            const double death = mu_srv * served[static_cast<std::size_t>(k) + 1];
+            log_pi[static_cast<std::size_t>(k) + 1] =
+                (birth > 0.0 && death > 0.0)
+                    ? log_pi[static_cast<std::size_t>(k)] + std::log(birth) -
+                          std::log(death)
+                    : kNegInf;
+        }
+        const double peak = *std::max_element(log_pi.begin(), log_pi.end());
+        double norm = 0.0;
+        for (int k = 0; k <= capacity; ++k) {
+            pi[static_cast<std::size_t>(k)] =
+                std::exp(log_pi[static_cast<std::size_t>(k)] - peak);
+            norm += pi[static_cast<std::size_t>(k)];
+        }
+        for (double& mass : pi) {
+            mass /= norm;
+        }
+        double carried_data = 0.0;
+        for (int k = 1; k <= capacity; ++k) {
+            carried_data +=
+                pi[static_cast<std::size_t>(k)] * served[static_cast<std::size_t>(k)];
+        }
+        const double throughput_next = mu_srv * carried_data;
+
+        result.residual = std::max({relative_change(lh_v_next, lh_v),
+                                    relative_change(lh_s_next, lh_s),
+                                    relative_change(throughput_next, throughput)});
+        lh_v += theta * (lh_v_next - lh_v);
+        lh_s += theta * (lh_s_next - lh_s);
+        throughput += theta * (throughput_next - throughput);
+        if (result.residual <= options.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    // Measures from the last sweep's marginals and queue distribution (the
+    // queue was solved against exactly these, so the set is consistent).
+    core::Measures& m = result.measures;
+    m.carried_voice_traffic = mmcc_carried_load(rho_v, voice_servers);
+    m.average_gprs_sessions = mmcc_carried_load(rho_s, session_cap);
+    m.gsm_blocking = erlang_b(rho_v, voice_servers);
+    m.gprs_blocking = erlang_b(rho_s, session_cap);
+    double carried_data = 0.0;
+    double queue_length = 0.0;
+    double offered_rate = 0.0;
+    for (int k = 0; k <= capacity; ++k) {
+        const double w = pi[static_cast<std::size_t>(k)];
+        carried_data += w * served[static_cast<std::size_t>(k)];
+        queue_length += w * static_cast<double>(k);
+        offered_rate += w * offered[static_cast<std::size_t>(k)];
+    }
+    m.carried_data_traffic = carried_data;
+    m.mean_queue_length = queue_length;
+    m.offered_packet_rate = offered_rate;
+    const double packet_throughput = carried_data * mu_srv;
+    m.data_throughput_kbps = packet_throughput * p.traffic.packet_size_bits / 1000.0;
+    m.packet_loss_probability =
+        offered_rate > 0.0
+            ? std::clamp(1.0 - packet_throughput / offered_rate, 0.0, 1.0)
+            : 0.0;
+    m.queueing_delay = packet_throughput > 0.0 ? queue_length / packet_throughput : 0.0;
+    m.throughput_per_user_kbps = m.average_gprs_sessions > 0.0
+                                     ? m.data_throughput_kbps / m.average_gprs_sessions
+                                     : 0.0;
+    return result;
+}
+
+}  // namespace gprsim::queueing

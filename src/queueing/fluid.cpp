@@ -1,0 +1,308 @@
+#include "queueing/fluid.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace gprsim::queueing {
+
+namespace {
+
+using Vec = std::array<double, 4>;  // (v, s, w, q)
+
+/// C^1 smoothstep on [0, 1] — the regularization of the flow-control and
+/// buffer-full kinks (a discontinuous drift makes the embedded error
+/// estimator collapse the step to the tolerance scale at the crossing).
+double ramp(double x) {
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    if (x >= 1.0) {
+        return 1.0;
+    }
+    return x * x * (3.0 - 2.0 * x);
+}
+
+/// The fluid drift and everything the measures need from one state.
+struct FluidModel {
+    // populations
+    double lambda_v = 0.0, dep_v = 0.0, mu_h_v = 0.0, voice_cap = 0.0;
+    double lambda_s = 0.0, dep_s = 0.0, mu_h_s = 0.0, session_cap = 0.0;
+    double a = 0.0, b = 0.0, p_on = 0.0;
+    // data plane
+    double channels = 0.0, lambda_p = 0.0, mu_srv = 0.0;
+    double buffer_cap = 0.0, onset = 0.0;
+    bool flow_control = false;
+    double onset_width = 0.0, loss_width = 0.0;
+
+    explicit FluidModel(const core::Parameters& p) {
+        lambda_v = p.gsm_arrival_rate();
+        dep_v = p.gsm_completion_rate() + p.gsm_handover_rate();
+        mu_h_v = p.gsm_handover_rate();
+        voice_cap = static_cast<double>(p.gsm_channels());
+        lambda_s = p.gprs_arrival_rate();
+        dep_s = p.gprs_completion_rate() + p.gprs_handover_rate();
+        mu_h_s = p.gprs_handover_rate();
+        session_cap = static_cast<double>(p.max_gprs_sessions);
+        const traffic::Ipp ipp = p.traffic.ipp();
+        a = ipp.on_to_off_rate;
+        b = ipp.off_to_on_rate;
+        p_on = b / (a + b);
+        channels = static_cast<double>(p.total_channels);
+        lambda_p = ipp.on_packet_rate;
+        mu_srv = p.packet_service_rate();
+        buffer_cap = static_cast<double>(p.buffer_capacity);
+        onset = static_cast<double>(p.flow_control_onset());
+        flow_control = onset < buffer_cap;
+        onset_width = flow_control
+                          ? std::min(1.0, 0.5 * (buffer_cap - onset))
+                          : 0.0;
+        loss_width = std::min(1.0, 0.5 * std::max(buffer_cap, 1e-300));
+    }
+
+    /// Handover inflow mirrors the cell's own outflow (every cell is its
+    /// own neighbor in the mean-field limit), so it appears on both sides.
+    double voice_arrivals(double v) const { return lambda_v + mu_h_v * std::min(v, voice_cap); }
+    double session_arrivals(double s) const {
+        return lambda_s + mu_h_s * std::min(s, session_cap);
+    }
+    double admitted_voice(double v) const {
+        const double arr = voice_arrivals(v);
+        return v < voice_cap ? arr : std::min(arr, dep_v * voice_cap);
+    }
+    double admitted_sessions(double s) const {
+        const double arr = session_arrivals(s);
+        return s < session_cap ? arr : std::min(arr, dep_s * session_cap);
+    }
+
+    double service_rate(double v, double q) const {
+        return std::min(channels - std::min(v, voice_cap), 8.0 * q) * mu_srv;
+    }
+    /// Offered packet rate with the flow-control throttle ramped in over
+    /// onset_width packets above floor(eta K).
+    double offered_rate_at(double w, double v, double q) const {
+        const double full = w * lambda_p;
+        if (!flow_control) {
+            return full;
+        }
+        const double serve = service_rate(v, q);
+        const double throttled = std::min(full, serve);
+        return full - (full - throttled) * ramp((q - onset) / onset_width);
+    }
+    /// Accepted rate: the loss ramp pins dq/dt <= 0 at the buffer boundary.
+    double accepted_rate_at(double w, double v, double q) const {
+        const double offered = offered_rate_at(w, v, q);
+        const double serve = service_rate(v, q);
+        const double capped = std::min(offered, serve);
+        return offered -
+               (offered - capped) * ramp((q - (buffer_cap - loss_width)) / loss_width);
+    }
+
+    Vec drift(const Vec& y) const {
+        const double v = y[0];
+        const double s = y[1];
+        const double w = y[2];
+        const double q = y[3];
+        Vec f;
+        f[0] = admitted_voice(v) - dep_v * std::min(v, voice_cap);
+        const double admitted_s = admitted_sessions(s);
+        f[1] = admitted_s - dep_s * std::min(s, session_cap);
+        f[2] = p_on * admitted_s + b * (std::min(s, session_cap) - w) - (a + dep_s) * w;
+        f[3] = accepted_rate_at(w, v, q) - service_rate(v, q);
+        return f;
+    }
+
+    void clamp(Vec& y) const {
+        y[0] = std::clamp(y[0], 0.0, voice_cap);
+        y[1] = std::clamp(y[1], 0.0, session_cap);
+        y[2] = std::clamp(y[2], 0.0, y[1]);
+        y[3] = std::clamp(y[3], 0.0, buffer_cap);
+    }
+
+    /// Algebraic equilibrium of the slow population variables; only the
+    /// queue transient is left for the integrator (starting the populations
+    /// cold would make the system stiff: their 10^2-10^3 s timescales vs
+    /// the queue's ~10^-2 s).
+    Vec initial_state() const {
+        Vec y;
+        y[0] = std::min(lambda_v / (dep_v - mu_h_v), voice_cap);
+        y[1] = std::min(lambda_s / (dep_s - mu_h_s), session_cap);
+        y[2] = p_on * y[1];
+        y[3] = 0.0;
+        return y;
+    }
+};
+
+double scaled_drift_norm(const Vec& y, const Vec& f) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        worst = std::max(worst, std::fabs(f[i]) / std::max(1.0, std::fabs(y[i])));
+    }
+    return worst;
+}
+
+}  // namespace
+
+FluidResult solve_fluid(const core::Parameters& p, const FluidOptions& options) {
+    p.validate();
+    const FluidModel model(p);
+    FluidResult result;
+
+    Vec y = model.initial_state();
+    model.clamp(y);
+    double t = 0.0;
+    double h = 1e-3;
+    Vec k1 = model.drift(y);
+    result.drift_norm = scaled_drift_norm(y, k1);
+    result.converged = result.drift_norm <= options.stationary_rate;
+
+    // Cash-Karp embedded RK4(5) tableau.
+    static constexpr double a21 = 1.0 / 5.0;
+    static constexpr double a31 = 3.0 / 40.0, a32 = 9.0 / 40.0;
+    static constexpr double a41 = 3.0 / 10.0, a42 = -9.0 / 10.0, a43 = 6.0 / 5.0;
+    static constexpr double a51 = -11.0 / 54.0, a52 = 5.0 / 2.0, a53 = -70.0 / 27.0,
+                            a54 = 35.0 / 27.0;
+    static constexpr double a61 = 1631.0 / 55296.0, a62 = 175.0 / 512.0,
+                            a63 = 575.0 / 13824.0, a64 = 44275.0 / 110592.0,
+                            a65 = 253.0 / 4096.0;
+    static constexpr double b1 = 37.0 / 378.0, b3 = 250.0 / 621.0, b4 = 125.0 / 594.0,
+                            b6 = 512.0 / 1771.0;
+    static constexpr double d1 = 2825.0 / 27648.0, d3 = 18575.0 / 48384.0,
+                            d4 = 13525.0 / 55296.0, d5 = 277.0 / 14336.0,
+                            d6 = 1.0 / 4.0;
+
+    // Stall detection: an explicit stepper can only hold the drift at the
+    // tolerance noise floor near a fast-relaxing equilibrium (the step
+    // controller rides the stability boundary and the state chatters by
+    // ~abs_tol + rel_tol*|y| per step), so once the drift norm stops
+    // improving the integration has done all it can and the endgame is
+    // finished algebraically below.
+    double best_drift = result.drift_norm;
+    long long stalled = 0;
+    constexpr long long kStallLimit = 64;
+
+    while (!result.converged && stalled < kStallLimit && t < options.max_time &&
+           result.steps_accepted + result.steps_rejected < options.max_steps) {
+        h = std::min(h, options.max_time - t);
+        Vec y2, y3, y4, y5, y6;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y2[i] = y[i] + h * a21 * k1[i];
+        }
+        const Vec k2 = model.drift(y2);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y3[i] = y[i] + h * (a31 * k1[i] + a32 * k2[i]);
+        }
+        const Vec k3 = model.drift(y3);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y4[i] = y[i] + h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+        }
+        const Vec k4 = model.drift(y4);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y5[i] = y[i] + h * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+        }
+        const Vec k5 = model.drift(y5);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            y6[i] = y[i] + h * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] +
+                                a64 * k4[i] + a65 * k5[i]);
+        }
+        const Vec k6 = model.drift(y6);
+
+        Vec next;
+        double err = 0.0;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            const double high =
+                y[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b6 * k6[i]);
+            const double low = y[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] +
+                                           d5 * k5[i] + d6 * k6[i]);
+            next[i] = high;
+            const double scale =
+                options.abs_tol +
+                options.rel_tol * std::max(std::fabs(y[i]), std::fabs(high));
+            err = std::max(err, std::fabs(high - low) / scale);
+        }
+
+        const double factor =
+            err > 0.0 ? std::clamp(0.9 * std::pow(err, -0.2), 0.2, 5.0) : 5.0;
+        if (err <= 1.0) {
+            t += h;
+            y = next;
+            model.clamp(y);
+            ++result.steps_accepted;
+            k1 = model.drift(y);
+            result.drift_norm = scaled_drift_norm(y, k1);
+            result.converged = result.drift_norm <= options.stationary_rate;
+            if (result.drift_norm < 0.9 * best_drift) {
+                best_drift = result.drift_norm;
+                stalled = 0;
+            } else {
+                ++stalled;
+            }
+        } else {
+            ++result.steps_rejected;
+        }
+        h = std::min(factor * h, 1e5);
+    }
+    result.end_time = t;
+
+    // Endgame polish: the population variables start at (and stay on) their
+    // algebraic equilibria, so once the integration stalls the only live
+    // residual is the queue equation. Pin q* by bisection on the scalar
+    // accepted(q) - served(q) = 0 (non-increasing in q: service grows with
+    // q while the throttle/loss ramps only shrink acceptance), which the
+    // chattering explicit stepper cannot do below its tolerance noise
+    // floor. On a flow-control plateau (accepted == served identically)
+    // the bracket converges to the plateau's left edge — the equilibrium a
+    // trajectory from below reaches first.
+    if (!result.converged) {
+        const auto imbalance = [&](double qq) {
+            return model.accepted_rate_at(y[2], y[0], qq) - model.service_rate(y[0], qq);
+        };
+        if (imbalance(0.0) <= 0.0) {
+            y[3] = 0.0;
+        } else {
+            double lo = 0.0;
+            double hi = model.buffer_cap;
+            for (int i = 0; i < 200 && hi - lo > 0.0; ++i) {
+                const double mid = 0.5 * (lo + hi);
+                (imbalance(mid) > 0.0 ? lo : hi) = mid;
+            }
+            y[3] = 0.5 * (lo + hi);
+        }
+        model.clamp(y);
+        k1 = model.drift(y);
+        result.drift_norm = scaled_drift_norm(y, k1);
+        result.converged = result.drift_norm <= options.stationary_rate;
+    }
+
+    // Measures at the (near-)equilibrium state.
+    const double v = std::min(y[0], model.voice_cap);
+    const double s = std::min(y[1], model.session_cap);
+    const double w = y[2];
+    const double q = y[3];
+    core::Measures& m = result.measures;
+    m.carried_voice_traffic = v;
+    m.average_gprs_sessions = s;
+    const double voice_arr = model.voice_arrivals(v);
+    m.gsm_blocking =
+        voice_arr > 0.0
+            ? std::clamp(1.0 - model.admitted_voice(v) / voice_arr, 0.0, 1.0)
+            : 0.0;
+    const double session_arr = model.session_arrivals(s);
+    m.gprs_blocking =
+        session_arr > 0.0
+            ? std::clamp(1.0 - model.admitted_sessions(s) / session_arr, 0.0, 1.0)
+            : 0.0;
+    const double serve = model.service_rate(v, q);
+    const double offered = model.offered_rate_at(w, v, q);
+    m.carried_data_traffic = serve / model.mu_srv;
+    m.mean_queue_length = q;
+    m.offered_packet_rate = offered;
+    m.data_throughput_kbps = serve * p.traffic.packet_size_bits / 1000.0;
+    m.packet_loss_probability =
+        offered > 0.0 ? std::clamp(1.0 - serve / offered, 0.0, 1.0) : 0.0;
+    m.queueing_delay = serve > 0.0 ? q / serve : 0.0;
+    m.throughput_per_user_kbps = s > 0.0 ? m.data_throughput_kbps / s : 0.0;
+    return result;
+}
+
+}  // namespace gprsim::queueing

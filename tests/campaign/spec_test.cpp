@@ -186,7 +186,7 @@ TEST(ParseSpecErrors, SyntaxErrorCarriesLineNumber) {
 TEST(ParseSpecErrors, UnknownMethodRejectedWithLineAndKnownBackends) {
     expect_rejected_at_line(R"({
       "rates": [0.5],
-      "methods": ["ctmc", "fluid"]
+      "methods": ["ctmc", "diffusion"]
     })",
                             3, "registered backends");
 }

@@ -1,0 +1,154 @@
+// Structural properties of the large-population approximations, beyond
+// point agreement: the fixed point is a property of the map, not of the
+// damping schedule used to reach it; the fluid limit is exact in the
+// scaled N -> infinity sense, so its error against the exact chain must
+// fall as the whole cell is scaled up; and both backends are pure serial
+// double arithmetic per point, so grids are bitwise identical across
+// repeat calls, thread counts, and dispatch entry points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/measures.hpp"
+#include "core/parameters.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/registry.hpp"
+
+namespace gprsim::eval {
+namespace {
+
+Evaluator& backend(const char* name) {
+    auto found = BackendRegistry::global().find(name);
+    EXPECT_TRUE(found.ok()) << name;
+    return *found.value();
+}
+
+/// Mid-size cell, light-to-moderate load (queue below the flow-control
+/// onset, sessions uncapped).
+ScenarioQuery mid_query() {
+    ScenarioQuery query;
+    query.parameters = core::Parameters::base();
+    query.parameters.total_channels = 12;
+    query.parameters.reserved_pdch = 3;
+    query.parameters.buffer_capacity = 20;
+    query.parameters.max_gprs_sessions = 10;
+    query.parameters.gprs_fraction = 0.05;
+    query.call_arrival_rate = 0.03;
+    return query;
+}
+
+TEST(FixedPointProperties, ResultInvariantToDamping) {
+    // Any damping factor in (0, 1] walks to the same fixed point; only the
+    // sweep count changes. The iterate converges to fp_tolerance, so the
+    // measures derived from it agree far tighter than any model error.
+    std::vector<core::Measures> results;
+    std::vector<long long> sweeps;
+    for (const double damping : {0.4, 0.7, 1.0}) {
+        ScenarioQuery query = mid_query();
+        query.approx.fp_damping = damping;
+        auto point = backend("fixed-point").evaluate(query);
+        ASSERT_TRUE(point.ok()) << "damping " << damping;
+        results.push_back(point.value().measures);
+        sweeps.push_back(point.value().iterations);
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const auto near = [&](double a, double b, const char* what) {
+            EXPECT_NEAR(a, b, 1e-6 * std::max({std::fabs(a), std::fabs(b), 1.0}))
+                << what << " at damping index " << i;
+        };
+        near(results[i].carried_data_traffic, results[0].carried_data_traffic, "cdt");
+        near(results[i].throughput_per_user_kbps,
+             results[0].throughput_per_user_kbps, "atu");
+        near(results[i].carried_voice_traffic, results[0].carried_voice_traffic,
+             "cvt");
+        near(results[i].average_gprs_sessions, results[0].average_gprs_sessions,
+             "ags");
+        near(results[i].mean_queue_length, results[0].mean_queue_length, "mql");
+    }
+    // Heavier damping takes more sweeps — the schedules genuinely differed.
+    EXPECT_GT(sweeps[0], sweeps[2]);
+}
+
+TEST(FluidProperties, ErrorShrinksUpTheScalingLadder) {
+    // Scale every extensive quantity of the cell by c (channels, reserved
+    // PDCHs, buffer, session cap, arrival rate): the CTMC converges to the
+    // fluid limit, so the fluid backend's relative CDT error against the
+    // exact chain must be strictly decreasing in c. Rates stay light so
+    // the non-scaling flow-control onset floor(eta K) never engages.
+    std::vector<double> errors;
+    for (const int c : {1, 2, 3}) {
+        ScenarioQuery query;
+        query.parameters = core::Parameters::base();
+        query.parameters.total_channels = 5 * c;
+        query.parameters.reserved_pdch = 2 * c;
+        query.parameters.buffer_capacity = 8 * c;
+        query.parameters.max_gprs_sessions = 4 * c;
+        query.parameters.gprs_fraction = 0.05;
+        query.call_arrival_rate = 0.008 * c;
+        query.solver.tolerance = 1e-10;
+
+        auto exact = backend("ctmc").evaluate(query);
+        auto fluid = backend("fluid").evaluate(query);
+        ASSERT_TRUE(exact.ok()) << "c=" << c << ": " << exact.error().to_string();
+        ASSERT_TRUE(fluid.ok()) << "c=" << c << ": " << fluid.error().to_string();
+        const double reference = exact.value().measures.carried_data_traffic;
+        ASSERT_GT(reference, 0.0) << "c=" << c;
+        errors.push_back(
+            std::fabs(fluid.value().measures.carried_data_traffic - reference) /
+            reference);
+    }
+    for (std::size_t i = 1; i < errors.size(); ++i) {
+        EXPECT_LT(errors[i], errors[i - 1])
+            << "fluid CDT error not decreasing at ladder step " << i << " ("
+            << errors[i - 1] << " -> " << errors[i] << ")";
+    }
+}
+
+void expect_bitwise_equal(const core::Measures& a, const core::Measures& b,
+                          const char* what) {
+    EXPECT_EQ(a.carried_data_traffic, b.carried_data_traffic) << what;
+    EXPECT_EQ(a.packet_loss_probability, b.packet_loss_probability) << what;
+    EXPECT_EQ(a.queueing_delay, b.queueing_delay) << what;
+    EXPECT_EQ(a.throughput_per_user_kbps, b.throughput_per_user_kbps) << what;
+    EXPECT_EQ(a.mean_queue_length, b.mean_queue_length) << what;
+    EXPECT_EQ(a.carried_voice_traffic, b.carried_voice_traffic) << what;
+    EXPECT_EQ(a.average_gprs_sessions, b.average_gprs_sessions) << what;
+    EXPECT_EQ(a.gsm_blocking, b.gsm_blocking) << what;
+    EXPECT_EQ(a.gprs_blocking, b.gprs_blocking) << what;
+}
+
+TEST(ApproxDeterminism, BitwiseStableAcrossRepeatsAndThreadCounts) {
+    const std::vector<double> rates{0.02, 0.03, 0.04};
+    const ScenarioQuery base = mid_query();
+    common::ThreadPool pool(4);
+    for (const char* name : {"fixed-point", "fluid"}) {
+        // Serial single-grid reference, evaluated twice: repeat-stable.
+        auto first = backend(name).evaluate_grid(base, rates, {});
+        auto second = backend(name).evaluate_grid(base, rates, {});
+        ASSERT_TRUE(first.ok()) << name;
+        ASSERT_TRUE(second.ok()) << name;
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            expect_bitwise_equal(first.value()[i].measures,
+                                 second.value()[i].measures, name);
+        }
+        // Batched dispatch at 1 and 4 threads: thread-count-stable.
+        for (const int threads : {1, 4}) {
+            GridOptions options;
+            options.num_threads = threads;
+            options.pool = threads > 1 ? &pool : nullptr;
+            auto batch = backend(name).evaluate_grids(
+                std::span<const ScenarioQuery>(&base, 1), rates, options);
+            ASSERT_EQ(batch.size(), 1u) << name;
+            ASSERT_TRUE(batch.front().ok()) << name << " threads=" << threads;
+            for (std::size_t i = 0; i < rates.size(); ++i) {
+                expect_bitwise_equal(batch.front().value()[i].measures,
+                                     first.value()[i].measures, name);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gprsim::eval

@@ -1,0 +1,141 @@
+// Cross-validation of the analytic backends against each other: every pair
+// of {erlang, ctmc, mm1k-approx, fixed-point, fluid} is swept over a small
+// overlap grid — a 12-channel cell whose exact chain solves in
+// milliseconds — and every measure the pair shares must agree within the
+// sum of the two backends' per-measure tolerances. The exact chain carries
+// tolerance zero, so each approximation's row in the table is its measured
+// error bound against ground truth (the ISSUE-level acceptance pin is the
+// 2% CDT/ATU entry of the fixed-point and fluid rows), and approximation
+// pairs inherit the triangle-inequality bound. Failure messages print the
+// full scenario via Parameters::describe().
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "core/parameters.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/registry.hpp"
+
+namespace gprsim::eval {
+namespace {
+
+/// The overlap cell: light-to-moderate load where every backend is inside
+/// its validity envelope (sessions uncapped, mild voice blocking, queue
+/// below the flow-control onset), so the comparison measures model error,
+/// not regime mismatch.
+ScenarioQuery overlap_query() {
+    ScenarioQuery query;
+    query.parameters = core::Parameters::base();
+    query.parameters.total_channels = 12;
+    query.parameters.reserved_pdch = 3;
+    query.parameters.buffer_capacity = 20;
+    query.parameters.max_gprs_sessions = 10;
+    query.parameters.gprs_fraction = 0.05;
+    query.call_arrival_rate = 0.02;
+    query.solver.tolerance = 1e-10;
+    return query;
+}
+
+const std::vector<double> kOverlapRates{0.02, 0.03};
+
+/// How a measure is compared: relative against max(|a|, |b|, floor), or
+/// absolutely (probabilities near zero).
+enum class Compare { relative, absolute };
+
+struct MeasureSpec {
+    const char* name;
+    double core::Measures::* field;
+    Compare compare;
+    double floor;  ///< relative-mode scale floor
+};
+
+const MeasureSpec kMeasures[] = {
+    {"cdt", &core::Measures::carried_data_traffic, Compare::relative, 1e-3},
+    {"plp", &core::Measures::packet_loss_probability, Compare::absolute, 0.0},
+    {"qd", &core::Measures::queueing_delay, Compare::relative, 1e-3},
+    {"atu", &core::Measures::throughput_per_user_kbps, Compare::relative, 1e-3},
+    {"mql", &core::Measures::mean_queue_length, Compare::relative, 1e-2},
+    {"cvt", &core::Measures::carried_voice_traffic, Compare::relative, 1e-3},
+    {"ags", &core::Measures::average_gprs_sessions, Compare::relative, 1e-3},
+    {"gsm_blocking", &core::Measures::gsm_blocking, Compare::absolute, 0.0},
+    {"gprs_blocking", &core::Measures::gprs_blocking, Compare::absolute, 0.0},
+};
+
+/// Per-backend tolerance against the exact chain, in kMeasures order;
+/// a negative entry marks a measure the backend does not produce (erlang
+/// leaves the data plane at zero; mm1k-approx models the queue without the
+/// PDCH/session correlation, so its delay-side columns are unsupported).
+struct BackendTolerances {
+    const char* name;
+    double tolerance[std::size(kMeasures)];
+};
+
+const BackendTolerances kBackends[] = {
+    // The exact reference.
+    {"ctmc", {0, 0, 0, 0, 0, 0, 0, 0, 0}},
+    // Closed-form populations only.
+    {"erlang", {-1, -1, -1, -1, -1, 5e-3, 5e-3, 1e-3, 1e-3}},
+    // Decoupled M/M/c/K data plane over the closed-form populations.
+    {"mm1k-approx", {2e-2, 1e-3, -1, 2e-2, -1, 5e-3, 5e-3, 1e-3, 1e-3}},
+    // The acceptance pin: CDT and ATU within 2% of the exact chain.
+    {"fixed-point", {2e-2, 1e-3, 0.5, 2e-2, 0.5, 5e-3, 5e-3, 1e-3, 1e-3}},
+    {"fluid", {2e-2, 1e-3, 0.5, 2e-2, 0.5, 5e-2, 5e-2, 2e-2, 2e-2}},
+};
+
+TEST(CrossValidation, AnalyticBackendPairsAgreeWithinToleranceTables) {
+    // Evaluate every backend once per grid point, then compare all pairs.
+    std::vector<std::vector<core::Measures>> results(std::size(kBackends));
+    for (std::size_t b = 0; b < std::size(kBackends); ++b) {
+        Evaluator* backend = nullptr;
+        {
+            auto found = BackendRegistry::global().find(kBackends[b].name);
+            ASSERT_TRUE(found.ok()) << kBackends[b].name;
+            backend = found.value();
+        }
+        for (const double rate : kOverlapRates) {
+            ScenarioQuery query = overlap_query();
+            query.call_arrival_rate = rate;
+            auto point = backend->evaluate(query);
+            ASSERT_TRUE(point.ok())
+                << kBackends[b].name << ": " << point.error().to_string();
+            results[b].push_back(point.value().measures);
+        }
+    }
+
+    for (std::size_t a = 0; a < std::size(kBackends); ++a) {
+        for (std::size_t b = a + 1; b < std::size(kBackends); ++b) {
+            for (std::size_t r = 0; r < kOverlapRates.size(); ++r) {
+                core::Parameters scenario = overlap_query().parameters;
+                scenario.call_arrival_rate = kOverlapRates[r];
+                for (std::size_t m = 0; m < std::size(kMeasures); ++m) {
+                    const double tol_a = kBackends[a].tolerance[m];
+                    const double tol_b = kBackends[b].tolerance[m];
+                    if (tol_a < 0.0 || tol_b < 0.0) {
+                        continue;  // unsupported by one side
+                    }
+                    const MeasureSpec& spec = kMeasures[m];
+                    const double va = results[a][r].*spec.field;
+                    const double vb = results[b][r].*spec.field;
+                    const double allowed = tol_a + tol_b;
+                    const double delta = std::fabs(va - vb);
+                    const double bound =
+                        spec.compare == Compare::absolute
+                            ? allowed
+                            : allowed * std::max({std::fabs(va), std::fabs(vb),
+                                                  spec.floor});
+                    EXPECT_LE(delta, bound)
+                        << spec.name << ": " << kBackends[a].name << "=" << va
+                        << " vs " << kBackends[b].name << "=" << vb
+                        << " (|delta| " << delta << " > " << bound << ") at ["
+                        << scenario.describe() << "]";
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gprsim::eval
