@@ -320,6 +320,59 @@ int main(int argc, char** argv) try {
               .seconds = bat_seconds,
               .iterations = bat.summary.total_iterations});
 
+    // Network scaling: the campaigns/network_scaling.json study rebuilt
+    // programmatically (1 -> 16 cells x 3 mobility speeds through the
+    // analytic network fixed point, ctmc inner solves), timed at both
+    // dispatch widths. Every lattice's inner solves land on the shared
+    // pool as one flat wave-ordered task set, so this record tracks how
+    // the cross-cell merge scales as lattices grow.
+    campaign::ScenarioSpec net_spec;
+    net_spec.named("network_scaling")
+        .with_methods({"network-fp"})
+        .over_reserved_pdch({1})
+        .over_gprs_fractions({0.1})
+        .with_rate_grid(0.3, 0.9, 4)
+        .with_tolerance(1e-10);
+    net_spec.total_channels = 8;
+    net_spec.buffer_capacity = 15;
+    net_spec.max_gprs_sessions = {10};
+    campaign::NetworkSpec net;
+    net.cell_counts = {1, 2, 4, 8, 16};
+    net.speeds_kmh = {3.0, 30.0, 120.0};
+    net.ra_block = 1;
+    net.outer_tolerance = 1e-12;
+    net.outer_max_iterations = 100;
+    net_spec.with_network(net);
+
+    campaign_timer.reset();
+    const campaign::CampaignResult net_seq = campaign_runner.run(net_spec, sequential);
+    const double net_seq_seconds = campaign_timer.seconds();
+    campaign_timer.reset();
+    const campaign::CampaignResult net_bat = campaign_runner.run(net_spec, batched);
+    const double net_bat_seconds = campaign_timer.seconds();
+
+    std::printf("\nnetwork scaling: 15 lattices (1-16 cells x 3 speeds) x 4 rates, "
+                "network-fp, %d threads\n", net_bat.summary.threads);
+    std::printf("  sequential dispatch: %.3f s (%zu waves)\n", net_seq_seconds,
+                net_bat.summary.sequential_waves);
+    std::printf("  merged batch:        %.3f s (%zu waves, %zu tasks)  "
+                "speedup %.2fx\n",
+                net_bat_seconds, net_bat.summary.batch_waves,
+                net_bat.summary.batch_tasks,
+                net_bat_seconds > 0.0 ? net_seq_seconds / net_bat_seconds : 0.0);
+    json.add({.name = "network_scaling_fp",
+              .states = static_cast<long long>(net_bat.summary.points),
+              .dispatch = "sequential",
+              .threads = net_bat.summary.threads,
+              .seconds = net_seq_seconds,
+              .iterations = net_seq.summary.total_iterations});
+    json.add({.name = "network_scaling_fp",
+              .states = static_cast<long long>(net_bat.summary.points),
+              .dispatch = "batched",
+              .threads = net_bat.summary.threads,
+              .seconds = net_bat_seconds,
+              .iterations = net_bat.summary.total_iterations});
+
     json.write(args.json.empty() ? "BENCH_solver.json" : args.json);
     return 0;
 } catch (const std::exception& e) {

@@ -31,6 +31,17 @@
 //                         fixed-point backend knobs
 //   --ode-rtol=<t> --ode-atol=<t> --ode-max-steps=<n>
 //                         fluid backend knobs
+//   --net-cells=<WxH>     lattice shape for network-fp / network-des
+//                         (e.g. 2x2; default 2x2)
+//   --net-topology=<t>    grid4 | grid8 | hex | clique    (default grid4)
+//   --net-no-wrap         hard lattice edge instead of a torus
+//   --net-reuse=<k>       frequency-reuse factor           (default 1)
+//   --net-ra-block=<b>    routing-area tile edge, 0 = one RA
+//   --net-speed=<km/h>    user speed                       (default 3)
+//   --net-drift=<0..1)    eastward mobility bias           (default 0)
+//   --net-inner=<name>    network-fp per-cell backend      (default ctmc)
+//   --net-tolerance=<t> --net-damping=<0..1] --net-max-outer=<n>
+//                         network-fp outer fixed-point knobs
 // dimension:
 //   --max-plp=<p> --max-delay=<s> --max-voice-blocking=<p>
 // campaign:
@@ -202,6 +213,33 @@ int cmd_eval(int argc, char** argv) {
     query.approx.ode_abs_tol = flag(argc, argv, "ode-atol", query.approx.ode_abs_tol);
     query.approx.ode_max_steps = static_cast<long long>(flag(
         argc, argv, "ode-max-steps", static_cast<double>(query.approx.ode_max_steps)));
+    if (const std::string shape = string_flag(argc, argv, "net-cells");
+        !shape.empty()) {
+        const std::size_t x = shape.find('x');
+        if (x == std::string::npos) {
+            std::fprintf(stderr, "error: --net-cells expects WxH, e.g. 2x2\n");
+            return 1;
+        }
+        query.network.cells_x = std::atoi(shape.c_str());
+        query.network.cells_y = std::atoi(shape.c_str() + x + 1);
+    }
+    query.network.topology =
+        string_flag(argc, argv, "net-topology", query.network.topology);
+    query.network.wrap = !has_flag(argc, argv, "net-no-wrap");
+    query.network.reuse_factor = static_cast<int>(
+        flag(argc, argv, "net-reuse", query.network.reuse_factor));
+    query.network.ra_block =
+        static_cast<int>(flag(argc, argv, "net-ra-block", query.network.ra_block));
+    query.network.speed_kmh = flag(argc, argv, "net-speed", query.network.speed_kmh);
+    query.network.drift = flag(argc, argv, "net-drift", query.network.drift);
+    query.network.inner_backend =
+        string_flag(argc, argv, "net-inner", query.network.inner_backend);
+    query.network.outer_tolerance =
+        flag(argc, argv, "net-tolerance", query.network.outer_tolerance);
+    query.network.outer_damping =
+        flag(argc, argv, "net-damping", query.network.outer_damping);
+    query.network.outer_max_iterations = static_cast<int>(
+        flag(argc, argv, "net-max-outer", query.network.outer_max_iterations));
 
     const common::Result<eval::PointEvaluation> evaluated =
         backend.value()->evaluate(query);
@@ -232,6 +270,10 @@ int cmd_eval(int argc, char** argv) {
                     point.wall_seconds);
     } else {
         std::printf("provenance: closed form, %.4f s\n", point.wall_seconds);
+    }
+    if (!point.cell_measures.empty()) {
+        std::printf("network: %zu cells (aggregate above), RAU rate %.4f /s\n",
+                    point.cell_measures.size(), point.rau_rate);
     }
     return 0;
 }

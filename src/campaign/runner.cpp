@@ -61,6 +61,7 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
 
     CampaignResult result;
     result.name = effective.name;
+    result.network = effective.network.enabled;
     result.methods = effective.methods;
     result.rates = rates;
     result.points.resize(num_points);
@@ -99,6 +100,21 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         base.approx.ode_abs_tol = effective.approx.ode_abs_tol;
         base.approx.ode_max_steps = effective.approx.ode_max_steps;
         base.approx.ode_stationary_rate = effective.approx.ode_stationary_rate;
+        if (effective.network.enabled) {
+            base.network.cells_x = variants[v].cells_x;
+            base.network.cells_y = variants[v].cells_y;
+            base.network.topology = effective.network.topology;
+            base.network.wrap = effective.network.wrap;
+            base.network.reuse_factor = variants[v].reuse_factor;
+            base.network.ra_block = effective.network.ra_block;
+            base.network.speed_kmh = variants[v].speed_kmh;
+            base.network.reference_speed_kmh = effective.network.reference_speed_kmh;
+            base.network.drift = effective.network.drift;
+            base.network.inner_backend = effective.network.inner_backend;
+            base.network.outer_tolerance = effective.network.outer_tolerance;
+            base.network.outer_damping = effective.network.outer_damping;
+            base.network.outer_max_iterations = effective.network.outer_max_iterations;
+        }
     }
 
     eval::GridOptions grid;

@@ -156,6 +156,9 @@ struct CampaignSummary {
 
 struct CampaignResult {
     std::string name;
+    /// Whether the spec carried a network block; gates the network axis
+    /// columns in the sinks (single-cell campaigns keep the legacy layout).
+    bool network = false;
     /// Backend names in evaluation (and delta-reference) order.
     std::vector<std::string> methods;
     std::vector<double> rates;

@@ -66,8 +66,10 @@ const char* const kCsvColumns[] = {
 
 /// Column list of one result: the fixed legacy layout, plus — only for
 /// multi-method campaigns — four pairwise-delta columns per non-reference
-/// backend, "delta_<measure>:<method>" = methods.front() minus <method>.
-/// Single-method campaigns keep the exact 42-column legacy table.
+/// backend, "delta_<measure>:<method>" = methods.front() minus <method>,
+/// plus — only for network campaigns — the network axis columns and the
+/// aggregated routing-area-update rate. Single-cell single-method
+/// campaigns keep the exact 42-column legacy table.
 std::vector<std::string> csv_columns(const CampaignResult& result) {
     std::vector<std::string> columns(std::begin(kCsvColumns), std::end(kCsvColumns));
     if (result.methods.size() > 1) {
@@ -76,6 +78,12 @@ std::vector<std::string> csv_columns(const CampaignResult& result) {
                  {"delta_cdt:", "delta_plp:", "delta_qd:", "delta_atu:"}) {
                 columns.push_back(prefix + result.methods[b]);
             }
+        }
+    }
+    if (result.network) {
+        for (const char* name :
+             {"network_cells", "speed_kmh", "reuse_factor", "rau_rate"}) {
+            columns.push_back(name);
         }
     }
     return columns;
@@ -148,6 +156,15 @@ std::vector<std::string> point_cells(const CampaignResult& result,
             cells.insert(cells.end(), 4, std::string());
         }
     }
+    if (result.network) {
+        cells.push_back(std::to_string(variant.network_cells));
+        cells.push_back(number_cell(variant.speed_kmh));
+        cells.push_back(std::to_string(variant.reuse_factor));
+        // The reference backend's aggregated routing-area-update rate.
+        cells.push_back(point.evaluations.empty()
+                            ? std::string()
+                            : number_cell(point.evaluations.front().rau_rate));
+    }
     return cells;
 }
 
@@ -214,6 +231,29 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
             out << (first ? "" : ", ") << '"' << name << "\": "
                 << (is_string ? json_string(cells[c]) : cells[c]);
             first = false;
+        }
+        if (result.network) {
+            // Per-cell detail of the reference backend (the CSV keeps only
+            // the network aggregate): the four paper measures per cell.
+            for (const eval::PointEvaluation& evaluation :
+                 result.points[i].evaluations) {
+                if (evaluation.cell_measures.empty()) {
+                    continue;
+                }
+                out << (first ? "" : ", ") << "\"cells\": [";
+                for (std::size_t c = 0; c < evaluation.cell_measures.size(); ++c) {
+                    const core::Measures& m = evaluation.cell_measures[c];
+                    out << (c > 0 ? ", " : "") << "{\"cdt\": "
+                        << number_cell(m.carried_data_traffic)
+                        << ", \"plp\": " << number_cell(m.packet_loss_probability)
+                        << ", \"qd\": " << number_cell(m.queueing_delay)
+                        << ", \"atu\": " << number_cell(m.throughput_per_user_kbps)
+                        << "}";
+                }
+                out << "]";
+                first = false;
+                break;
+            }
         }
         out << (i + 1 < result.points.size() ? "},\n" : "}\n");
     }

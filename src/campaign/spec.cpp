@@ -217,6 +217,55 @@ SimulationSpec parse_simulation(const JsonValue& value) {
     return simulation;
 }
 
+NetworkSpec parse_network(const JsonValue& value) {
+    NetworkSpec network;
+    network.enabled = true;
+    for (const JsonValue::Member& member : value.members()) {
+        const auto& [key, v] = member;
+        if (key == "cells") {
+            network.cell_counts = int_axis(v, key);
+        } else if (key == "speeds_kmh") {
+            network.speeds_kmh = number_axis(v, key);
+        } else if (key == "reuse") {
+            network.reuse_factors = int_axis(v, key);
+        } else if (key == "topology") {
+            network.topology = v.as_string();
+        } else if (key == "wrap") {
+            network.wrap = v.as_bool();
+        } else if (key == "ra_block") {
+            network.ra_block = require_int(v, key);
+        } else if (key == "reference_speed_kmh") {
+            network.reference_speed_kmh = v.as_number();
+        } else if (key == "drift") {
+            network.drift = v.as_number();
+        } else if (key == "inner") {
+            network.inner_backend = v.as_string();
+        } else if (key == "tolerance") {
+            network.outer_tolerance = v.as_number();
+        } else if (key == "damping") {
+            network.outer_damping = v.as_number();
+        } else if (key == "max_outer_iterations") {
+            network.outer_max_iterations = require_int(v, key);
+        } else {
+            throw SpecError("unknown \"network\" key \"" + key + "\"", v.line());
+        }
+    }
+    return network;
+}
+
+/// Most-square factorization of a cell count: the largest divisor at most
+/// sqrt(n) becomes the width (so width <= height); primes fall back to the
+/// 1 x n strip. Keeps the "cells" axis a single number in specs.
+std::pair<int, int> lattice_shape(int cells) {
+    int width = 1;
+    for (int d = 1; d * d <= cells; ++d) {
+        if (cells % d == 0) {
+            width = d;
+        }
+    }
+    return {width, cells / width};
+}
+
 ApproxSpec parse_approx(const JsonValue& value) {
     ApproxSpec approx;
     for (const JsonValue::Member& member : value.members()) {
@@ -328,9 +377,19 @@ ScenarioSpec& ScenarioSpec::with_approx(ApproxSpec value) {
     return *this;
 }
 
+ScenarioSpec& ScenarioSpec::with_network(NetworkSpec value) {
+    network = std::move(value);
+    network.enabled = true;
+    return *this;
+}
+
 std::size_t ScenarioSpec::variant_count() const {
+    const std::size_t network_axes =
+        network.enabled ? network.cell_counts.size() * network.speeds_kmh.size() *
+                              network.reuse_factors.size()
+                        : 1;
     return traffic_models.size() * reserved_pdch.size() * gprs_fractions.size() *
-           coding_schemes.size() * max_gprs_sessions.size();
+           coding_schemes.size() * max_gprs_sessions.size() * network_axes;
 }
 
 bool ScenarioSpec::uses_backend(const std::string& backend) const {
@@ -399,6 +458,54 @@ void ScenarioSpec::validate() const {
     if (approx.ode_stationary_rate <= 0.0) {
         throw SpecError("approx ode_stationary_rate must be positive", 0);
     }
+    if (network.enabled) {
+        if (network.cell_counts.empty() || network.speeds_kmh.empty() ||
+            network.reuse_factors.empty()) {
+            throw SpecError("every network axis needs at least one value", 0);
+        }
+        for (const int cells : network.cell_counts) {
+            if (cells < 1) {
+                throw SpecError("network cells must be at least 1", 0);
+            }
+        }
+        for (const double speed : network.speeds_kmh) {
+            if (speed <= 0.0) {
+                throw SpecError("network speeds_kmh must be positive", 0);
+            }
+        }
+        for (const int reuse : network.reuse_factors) {
+            if (reuse < 1) {
+                throw SpecError("network reuse factors must be at least 1", 0);
+            }
+        }
+        if (network.topology != "grid4" && network.topology != "grid8" &&
+            network.topology != "hex" && network.topology != "clique") {
+            throw SpecError("unknown network topology \"" + network.topology + "\"", 0);
+        }
+        if (network.ra_block < 0) {
+            throw SpecError("network ra_block must be non-negative", 0);
+        }
+        if (network.reference_speed_kmh <= 0.0) {
+            throw SpecError("network reference_speed_kmh must be positive", 0);
+        }
+        if (network.drift < 0.0 || network.drift >= 1.0) {
+            throw SpecError("network drift must lie in [0, 1)", 0);
+        }
+        if (network.inner_backend.empty() ||
+            network.inner_backend.rfind("network", 0) == 0) {
+            throw SpecError("network inner backend must name a single-cell backend", 0);
+        }
+        check_method_names({network.inner_backend}, 0);
+        if (network.outer_tolerance <= 0.0) {
+            throw SpecError("network tolerance must be positive", 0);
+        }
+        if (network.outer_damping <= 0.0 || network.outer_damping > 1.0) {
+            throw SpecError("network damping must be in (0, 1]", 0);
+        }
+        if (network.outer_max_iterations < 1) {
+            throw SpecError("network max_outer_iterations must be at least 1", 0);
+        }
+    }
     if (uses_backend("des")) {
         if (simulation.replications < 1) {
             throw SpecError("simulation needs at least one replication", 0);
@@ -450,7 +557,30 @@ std::vector<Variant> ScenarioSpec::expand() const {
                                       100.0 * fraction, core::coding_scheme_name(scheme),
                                       p.max_gprs_sessions);
                         variant.label = label;
-                        variants.push_back(std::move(variant));
+                        if (!network.enabled) {
+                            variants.push_back(std::move(variant));
+                            continue;
+                        }
+                        // Network axes, innermost: cells > speed > reuse.
+                        for (const int cells : network.cell_counts) {
+                            for (const double speed : network.speeds_kmh) {
+                                for (const int reuse : network.reuse_factors) {
+                                    Variant cell_variant = variant;
+                                    cell_variant.network_cells = cells;
+                                    const auto [nx, ny] = lattice_shape(cells);
+                                    cell_variant.cells_x = nx;
+                                    cell_variant.cells_y = ny;
+                                    cell_variant.speed_kmh = speed;
+                                    cell_variant.reuse_factor = reuse;
+                                    char suffix[64];
+                                    std::snprintf(suffix, sizeof(suffix),
+                                                  " cells=%d v=%gkm/h reuse=%d", cells,
+                                                  speed, reuse);
+                                    cell_variant.label += suffix;
+                                    variants.push_back(std::move(cell_variant));
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -512,6 +642,8 @@ ScenarioSpec interpret_spec(const JsonValue& root) {
             spec.simulation = parse_simulation(value);
         } else if (key == "approx") {
             spec.approx = parse_approx(value);
+        } else if (key == "network") {
+            spec.network = parse_network(value);
         } else {
             throw SpecError("unknown campaign key \"" + key + "\"", value.line());
         }

@@ -76,6 +76,29 @@ struct ApproxSpec {
     double ode_stationary_rate = 1e-9;  ///< drift-norm stationarity bound [1/s]
 };
 
+/// Multi-cell network block (the "network-fp" / "network-des" evaluators).
+/// `enabled` gates everything: a spec without a "network" block expands to
+/// the classic single-cell campaign. The three vectors are variant axes
+/// crossed into the cartesian product (innermost, after max_gprs_sessions);
+/// the scalars are shared by every variant. Mirrors eval::NetworkKnobs.
+struct NetworkSpec {
+    bool enabled = false;
+    /// Cell-count axis; each count n becomes the most-square w x h lattice
+    /// with w <= h (largest divisor of n at most sqrt(n)).
+    std::vector<int> cell_counts{4};
+    std::vector<double> speeds_kmh{3.0};  ///< mobility axis [km/h]
+    std::vector<int> reuse_factors{1};    ///< frequency-reuse pattern axis
+    std::string topology = "grid4";       ///< grid4 | grid8 | hex | clique
+    bool wrap = true;                     ///< torus vs hard lattice edge
+    int ra_block = 0;                     ///< routing-area tile, 0 = one RA
+    double reference_speed_kmh = 3.0;     ///< speed at which dwell = preset
+    double drift = 0.0;                   ///< eastward bias in [0, 1)
+    std::string inner_backend = "ctmc";   ///< network-fp per-cell solver
+    double outer_tolerance = 1e-12;       ///< inflow residual target
+    double outer_damping = 1.0;           ///< inflow step fraction (0, 1]
+    int outer_max_iterations = 50;
+};
+
 /// One resolved cell configuration of the cartesian product. `parameters`
 /// is complete except for call_arrival_rate, which the runner sets per grid
 /// point.
@@ -87,6 +110,13 @@ struct Variant {
     core::CodingScheme coding_scheme = core::CodingScheme::cs2;
     int max_gprs_sessions = 0;  ///< 0 = the traffic-model preset's M
     core::Parameters parameters;
+
+    // --- network axes (meaningful only when NetworkSpec::enabled) --------
+    int network_cells = 0;  ///< 0 = single-cell campaign (no network block)
+    int cells_x = 0;        ///< lattice shape resolved from network_cells
+    int cells_y = 0;
+    double speed_kmh = 0.0;
+    int reuse_factor = 0;
 };
 
 struct ScenarioSpec {
@@ -117,6 +147,7 @@ struct ScenarioSpec {
     SolverSpec solver;
     SimulationSpec simulation;
     ApproxSpec approx;
+    NetworkSpec network;
 
     // --- chainable builders ----------------------------------------------
     ScenarioSpec& named(std::string value);
@@ -139,6 +170,8 @@ struct ScenarioSpec {
     ScenarioSpec& with_seed(std::uint64_t value);
     /// Approximation-backend knob block (fixed-point / fluid).
     ScenarioSpec& with_approx(ApproxSpec value);
+    /// Multi-cell network block; sets enabled = true.
+    ScenarioSpec& with_network(NetworkSpec value);
 
     /// Number of variants (product of the axis sizes) and grid points.
     std::size_t variant_count() const;
@@ -155,9 +188,11 @@ struct ScenarioSpec {
 
     /// Validates, then materializes the cartesian product in deterministic
     /// order: traffic_models (outermost) > reserved_pdch > gprs_fractions >
-    /// coding_schemes > max_gprs_sessions (innermost). The runner's point
-    /// order, the sinks' row order, and the benches' table indexing all rely
-    /// on this order.
+    /// coding_schemes > max_gprs_sessions > [network.cell_counts >
+    /// network.speeds_kmh > network.reuse_factors] (innermost; network axes
+    /// only when the network block is enabled). The runner's point order,
+    /// the sinks' row order, and the benches' table indexing all rely on
+    /// this order.
     std::vector<Variant> expand() const;
 };
 
@@ -181,6 +216,12 @@ struct ScenarioSpec {
 ///   "approx"             {"fp_tolerance","fp_damping","fp_max_iterations",
 ///                         "ode_rel_tol","ode_abs_tol","ode_max_steps",
 ///                         "ode_stationary_rate"}
+///   "network"            {"cells" int or array, "speeds_kmh" number or
+///                         array, "reuse" int or array, "topology","wrap",
+///                         "ra_block","reference_speed_kmh","drift",
+///                         "inner","tolerance","damping",
+///                         "max_outer_iterations"}; presence of the block
+///                         enables multi-cell expansion
 /// Unknown keys are rejected. All errors — syntax and semantic alike — are
 /// thrown as SpecError carrying the offending 1-based line.
 ScenarioSpec parse_spec(const std::string& text);

@@ -2,14 +2,41 @@
 
 namespace gprsim::core {
 
+namespace {
+
+/// A pinned external inflow is already "balanced": one evaluation of the
+/// response map fixes the offered load, and the iteration is trivial.
+queueing::HandoverBalance pin_flow(double lambda, double mu, double mu_h, int servers,
+                                   double incoming_rate) {
+    const queueing::HandoverFlow flow =
+        queueing::assess_handover_flow(lambda, mu, mu_h, servers, incoming_rate);
+    queueing::HandoverBalance balance;
+    balance.handover_arrival_rate = flow.incoming_rate;
+    balance.offered_load = flow.offered_load;
+    balance.iterations = 1;
+    balance.converged = true;
+    return balance;
+}
+
+}  // namespace
+
 BalancedTraffic balance_handover(const Parameters& p) {
     p.validate();
     BalancedTraffic result;
-    result.gsm = queueing::balance_handover_flow(p.gsm_arrival_rate(), p.gsm_completion_rate(),
-                                                 p.gsm_handover_rate(), p.gsm_channels());
-    result.gprs =
-        queueing::balance_handover_flow(p.gprs_arrival_rate(), p.gprs_completion_rate(),
-                                        p.gprs_handover_rate(), p.max_gprs_sessions);
+    if (p.pinned_handover) {
+        result.gsm = pin_flow(p.gsm_arrival_rate(), p.gsm_completion_rate(),
+                              p.gsm_handover_rate(), p.gsm_channels(), p.gsm_handover_in);
+        result.gprs = pin_flow(p.gprs_arrival_rate(), p.gprs_completion_rate(),
+                               p.gprs_handover_rate(), p.max_gprs_sessions,
+                               p.gprs_handover_in);
+    } else {
+        result.gsm =
+            queueing::balance_handover_flow(p.gsm_arrival_rate(), p.gsm_completion_rate(),
+                                            p.gsm_handover_rate(), p.gsm_channels());
+        result.gprs =
+            queueing::balance_handover_flow(p.gprs_arrival_rate(), p.gprs_completion_rate(),
+                                            p.gprs_handover_rate(), p.max_gprs_sessions);
+    }
 
     const traffic::Ipp ipp = p.traffic.ipp();
     result.rates.gsm_arrival = p.gsm_arrival_rate() + result.gsm.handover_arrival_rate;

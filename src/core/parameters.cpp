@@ -1,5 +1,6 @@
 #include "core/parameters.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -44,17 +45,29 @@ void Parameters::validate() const {
     if (flow_control_threshold <= 0.0 || flow_control_threshold > 1.0) {
         throw std::invalid_argument("Parameters: flow-control threshold must be in (0, 1]");
     }
+    if (pinned_handover &&
+        (!(gsm_handover_in >= 0.0) || !(gprs_handover_in >= 0.0) ||
+         !std::isfinite(gsm_handover_in) || !std::isfinite(gprs_handover_in))) {
+        throw std::invalid_argument(
+            "Parameters: pinned handover inflows must be finite and non-negative");
+    }
     traffic.validate();
 }
 
 std::string Parameters::describe() const {
-    char buffer[160];
+    char buffer[224];
     std::snprintf(buffer, sizeof(buffer),
                   "rate=%.6g calls/s, N=%d channels (%d PDCH reserved), M=%d, K=%d, "
                   "gprs=%.4g%%",
                   call_arrival_rate, total_channels, reserved_pdch, max_gprs_sessions,
                   buffer_capacity, 100.0 * gprs_fraction);
-    return buffer;
+    std::string text = buffer;
+    if (pinned_handover) {
+        std::snprintf(buffer, sizeof(buffer), ", pinned lh=(%.6g, %.6g)/s",
+                      gsm_handover_in, gprs_handover_in);
+        text += buffer;
+    }
+    return text;
 }
 
 Parameters Parameters::base() {

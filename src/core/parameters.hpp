@@ -33,6 +33,16 @@ struct Parameters {
     double mean_gprs_dwell_time = 120.0;    ///< 1/mu_h,GPRS
     int max_gprs_sessions = 50;             ///< M: admission cap
 
+    // --- network coupling (multi-cell extension) --------------------------
+    /// When true, the incoming handover flows are pinned to the external
+    /// rates below instead of being balanced against the cell's own outflow
+    /// (paper Eq. 4-5). This is how the single-cell backends serve as the
+    /// inner solve of the network fixed point (src/network/): the lattice
+    /// supplies each cell's incoming flow from its neighbors' populations.
+    bool pinned_handover = false;
+    double gsm_handover_in = 0.0;   ///< pinned lambda_h,GSM [calls/s]
+    double gprs_handover_in = 0.0;  ///< pinned lambda_h,GPRS [sessions/s]
+
     // --- TCP flow-control approximation ----------------------------------
     /// eta: sources are throttled once the buffer holds more than
     /// floor(eta * K) packets; 1.0 disables flow control. The paper's

@@ -714,6 +714,7 @@ void register_builtin_backends(BackendRegistry& registry) {
     add([] { return std::make_unique<DesEvaluator>(); });
     add([] { return std::make_unique<Mm1kApproxEvaluator>(); });
     register_large_population_backends(registry);
+    register_network_backends(registry);
 }
 
 }  // namespace detail

@@ -1,5 +1,5 @@
 // Built-in evaluation backends and the grid-scheduling vocabulary they
-// share. Six backends self-register in BackendRegistry::global():
+// share. Eight backends self-register in BackendRegistry::global():
 //
 //   erlang       closed-form Erlang populations and blocking (Eq. 2-7);
 //                microseconds per point, no chain state
@@ -28,8 +28,15 @@
 //                integrated with an adaptive Cash-Karp RK4(5) stepper;
 //                exact in the N -> infinity scaling
 //                (src/eval/large_population.cpp)
+//   network-fp   multi-cell lattice fixed point over handover inflows; each
+//                cell solved by the single-cell backend named in
+//                network.inner_backend under a pinned inflow, outer waves
+//                laid out on the shared pool (src/network/backends.cpp)
+//   network-des  replications of the simulator in multi-cell network mode
+//                (per-cell parameters, weighted handover targets, routing
+//                areas), pooled like des (src/network/backends.cpp)
 //
-// All six return Results; no exception crosses evaluate() /
+// All eight return Results; no exception crosses evaluate() /
 // evaluate_grid() / evaluate_grids() / a plan's tasks.
 #pragma once
 
@@ -60,7 +67,7 @@ SolveSchedule bisection_schedule(std::size_t count, bool warm_start);
 
 namespace detail {
 
-/// Registers the six built-ins into `registry`. Called exactly once from
+/// Registers the built-ins into `registry`. Called exactly once from
 /// BackendRegistry::global(); explicit (rather than static-initializer
 /// magic) because gprsim is a static library and the linker may drop
 /// translation units nobody references.
@@ -70,6 +77,11 @@ void register_builtin_backends(BackendRegistry& registry);
 /// called from register_builtin_backends, defined in
 /// src/eval/large_population.cpp.
 void register_large_population_backends(BackendRegistry& registry);
+
+/// Registers the multi-cell network backends (network-fp, network-des);
+/// called from register_builtin_backends, defined in
+/// src/network/backends.cpp.
+void register_network_backends(BackendRegistry& registry);
 
 }  // namespace detail
 

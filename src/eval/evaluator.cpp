@@ -62,6 +62,41 @@ common::Status ScenarioQuery::validated() const {
     if (!(approx.ode_stationary_rate > 0.0)) {
         return fail("approx.ode_stationary_rate must be positive");
     }
+    if (network.cells_x < 1 || network.cells_y < 1) {
+        return fail("network.cells_x/cells_y must be at least 1");
+    }
+    // Inline name list: the eval layer must not include network/ headers
+    // (src/network/ sits above it and includes this file).
+    if (network.topology != "grid4" && network.topology != "grid8" &&
+        network.topology != "hex" && network.topology != "clique") {
+        return fail("network.topology \"" + network.topology +
+                    "\" is not a known lattice topology");
+    }
+    if (network.reuse_factor < 1) {
+        return fail("network.reuse_factor must be at least 1");
+    }
+    if (network.ra_block < 0) {
+        return fail("network.ra_block must be non-negative");
+    }
+    if (!(network.speed_kmh > 0.0) || !(network.reference_speed_kmh > 0.0)) {
+        return fail("network speeds must be positive");
+    }
+    if (!(network.drift >= 0.0) || network.drift >= 1.0) {
+        return fail("network.drift must lie in [0, 1)");
+    }
+    if (network.inner_backend.empty() ||
+        network.inner_backend.rfind("network", 0) == 0) {
+        return fail("network.inner_backend must name a single-cell backend");
+    }
+    if (!(network.outer_tolerance > 0.0)) {
+        return fail("network.outer_tolerance must be positive");
+    }
+    if (!(network.outer_damping > 0.0) || network.outer_damping > 1.0) {
+        return fail("network.outer_damping must be in (0, 1]");
+    }
+    if (network.outer_max_iterations < 1) {
+        return fail("network.outer_max_iterations must be at least 1");
+    }
     try {
         resolved_parameters().validate();
     } catch (const std::exception& e) {

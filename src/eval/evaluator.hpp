@@ -6,8 +6,8 @@
 //          multi-grid batches: Evaluator::evaluate_grids / plan_grids,
 //          merged across backends by eval::evaluate_campaign (batch.hpp);
 //          string-keyed BackendRegistry; built-ins erlang / ctmc / des /
-//          mm1k-approx / fixed-point / fluid, out-of-tree backends
-//          register alongside them
+//          mm1k-approx / fixed-point / fluid / network-fp / network-des,
+//          out-of-tree backends register alongside them
 //   model/sim layer core::GprsModel, sim::ExperimentEngine, queueing::*
 //   consumers       campaign::CampaignRunner, gprsim_cli, benches, tests,
 //                   out-of-tree code via find_package(gprsim)
@@ -79,6 +79,31 @@ struct ApproxKnobs {
     double ode_stationary_rate = 1e-9;
 };
 
+/// Knobs consumed by the multi-cell network backends (network-fp,
+/// network-des): the lattice shape, the mobility model, and the outer
+/// fixed-point controls. The single-cell backends ignore the block.
+struct NetworkKnobs {
+    // Lattice (src/network/lattice.hpp).
+    int cells_x = 2;
+    int cells_y = 2;
+    /// "grid4", "grid8", "hex", or "clique".
+    std::string topology = "grid4";
+    bool wrap = true;              ///< periodic boundary (torus)
+    int reuse_factor = 1;          ///< frequency-reuse channel split
+    int ra_block = 0;              ///< routing-area tile edge; 0 = one area
+    // Mobility (src/network/mobility.hpp).
+    double speed_kmh = 3.0;
+    double reference_speed_kmh = 3.0;
+    double drift = 0.0;            ///< eastward bias in [0, 1)
+    // network-fp outer iteration.
+    /// Single-cell backend delegated to for the per-cell solves
+    /// ("ctmc", "fixed-point", "fluid", ...; never a network backend).
+    std::string inner_backend = "ctmc";
+    double outer_tolerance = 1e-12;
+    double outer_damping = 1.0;    ///< inflow step fraction in (0, 1]
+    int outer_max_iterations = 50;
+};
+
 /// One evaluable scenario point: a complete cell configuration, the load to
 /// apply, and the per-backend knobs. Backends read the knob block they
 /// understand and ignore the rest, so the same query can be handed to every
@@ -93,6 +118,7 @@ struct ScenarioQuery {
     SolverKnobs solver;
     SimulationKnobs simulation;
     ApproxKnobs approx;
+    NetworkKnobs network;
 
     /// Checks the query without throwing: rate positive, knobs in range,
     /// and Parameters::validate() clean. The error message names the
@@ -137,6 +163,17 @@ struct PointEvaluation {
     /// the 95% CI detail.
     bool has_confidence = false;
     sim::ExperimentResults sim;
+
+    // --- network provenance (network-fp / network-des only) --------------
+    /// Per-cell measures in lattice cell order; `measures` is then the
+    /// network aggregate. Empty for single-cell backends.
+    std::vector<core::Measures> cell_measures;
+    /// network-fp: per-cell inflow residual at the final outer iteration
+    /// (`iterations` counts the outer loop, `residual` its max norm).
+    std::vector<double> cell_residuals;
+    /// Routing-area updates per second, network-wide (0 without routing
+    /// areas).
+    double rau_rate = 0.0;
 
     double wall_seconds = 0.0;
 };

@@ -1,0 +1,196 @@
+#include "network/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace gprsim::network {
+
+namespace {
+
+/// Relative neighbor offset with its unit east-component.
+struct Offset {
+    int dx;
+    int dy;
+    double east;
+};
+
+const double kDiag = 1.0 / std::sqrt(2.0);
+
+/// Offsets in fixed scan order (E, W, S, N first, then diagonals) so edge
+/// lists are deterministic and the east/west pair leads for drift tests.
+std::vector<Offset> grid4_offsets() {
+    return {{1, 0, 1.0}, {-1, 0, -1.0}, {0, 1, 0.0}, {0, -1, 0.0}};
+}
+
+std::vector<Offset> grid8_offsets() {
+    return {{1, 0, 1.0},   {-1, 0, -1.0}, {0, 1, 0.0},    {0, -1, 0.0},
+            {1, 1, kDiag}, {1, -1, kDiag}, {-1, 1, -kDiag}, {-1, -1, -kDiag}};
+}
+
+/// Odd-r offset hex rows: even rows lean west, odd rows lean east.
+std::vector<Offset> hex_offsets(int y) {
+    const int lean = (y % 2 == 0) ? -1 : 0;
+    return {{1, 0, 1.0},           {-1, 0, -1.0},
+            {lean + 1, 1, 0.5},    {lean, 1, -0.5},
+            {lean + 1, -1, 0.5},   {lean, -1, -0.5}};
+}
+
+int wrap_coord(int value, int extent) {
+    const int m = value % extent;
+    return m < 0 ? m + extent : m;
+}
+
+}  // namespace
+
+Topology topology_from_string(const std::string& name) {
+    if (name == "grid4") {
+        return Topology::grid4;
+    }
+    if (name == "grid8") {
+        return Topology::grid8;
+    }
+    if (name == "hex") {
+        return Topology::hex;
+    }
+    if (name == "clique") {
+        return Topology::clique;
+    }
+    throw std::invalid_argument("unknown lattice topology '" + name +
+                                "' (expected grid4, grid8, hex, or clique)");
+}
+
+const char* to_string(Topology topology) {
+    switch (topology) {
+        case Topology::grid4:
+            return "grid4";
+        case Topology::grid8:
+            return "grid8";
+        case Topology::hex:
+            return "hex";
+        case Topology::clique:
+            return "clique";
+    }
+    return "?";
+}
+
+CellLattice CellLattice::build(const LatticeSpec& spec) {
+    if (spec.width < 1 || spec.height < 1) {
+        throw std::invalid_argument("CellLattice: lattice extents must be at least 1x1");
+    }
+    if (spec.reuse_factor < 1) {
+        throw std::invalid_argument("CellLattice: reuse factor must be at least 1");
+    }
+    if (spec.ra_block < 0) {
+        throw std::invalid_argument("CellLattice: routing-area block must be >= 0");
+    }
+
+    CellLattice lattice;
+    lattice.width_ = spec.width;
+    lattice.height_ = spec.height;
+    lattice.topology_ = spec.topology;
+    lattice.wrap_ = spec.wrap;
+    lattice.reuse_factor_ = spec.reuse_factor;
+
+    const int cells = spec.width * spec.height;
+    const int k = spec.reuse_factor;
+    // Deterministic reuse coloring: adjacent rows shift by k/2 + 1 so no
+    // two row-neighbors share a group for the supported cluster sizes.
+    const int row_shift = k == 1 ? 0 : k / 2 + 1;
+
+    lattice.parameters_.reserve(static_cast<std::size_t>(cells));
+    lattice.reuse_group_.reserve(static_cast<std::size_t>(cells));
+    lattice.routing_area_.reserve(static_cast<std::size_t>(cells));
+
+    const int ra_cols =
+        spec.ra_block > 0 ? (spec.width + spec.ra_block - 1) / spec.ra_block : 1;
+    const int pool = spec.cell.total_channels;
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            const int group = (x + y * row_shift) % k;
+            // The spectrum pool splits into k groups; remainder channels go
+            // to the lowest-numbered groups, so reuse patterns with
+            // k-indivisible pools produce genuinely heterogeneous cells.
+            const int share = pool / k + (group < pool % k ? 1 : 0);
+            core::Parameters p = spec.cell;
+            p.total_channels = share;
+            if (p.reserved_pdch > share) {
+                throw std::invalid_argument(
+                    "CellLattice: reuse split leaves fewer channels than the "
+                    "reserved PDCHs (group " +
+                    std::to_string(group) + " gets " + std::to_string(share) + ")");
+            }
+            lattice.reuse_group_.push_back(group);
+            lattice.routing_area_.push_back(
+                spec.ra_block > 0 ? (y / spec.ra_block) * ra_cols + x / spec.ra_block
+                                  : 0);
+            lattice.parameters_.push_back(p);
+        }
+    }
+    for (const auto& [cell, replacement] : spec.overrides) {
+        if (cell < 0 || cell >= cells) {
+            throw std::invalid_argument("CellLattice: override cell index out of range");
+        }
+        lattice.parameters_[static_cast<std::size_t>(cell)] = replacement;
+    }
+    for (const core::Parameters& p : lattice.parameters_) {
+        p.validate();
+    }
+
+    lattice.edges_.assign(static_cast<std::size_t>(cells), {});
+    for (int y = 0; y < spec.height; ++y) {
+        for (int x = 0; x < spec.width; ++x) {
+            auto& edges = lattice.edges_[static_cast<std::size_t>(lattice.cell_index(x, y))];
+            if (spec.topology == Topology::clique) {
+                for (int other = 0; other < cells; ++other) {
+                    if (other != lattice.cell_index(x, y)) {
+                        edges.push_back({other, 0.0});
+                    }
+                }
+            } else {
+                const std::vector<Offset> offsets =
+                    spec.topology == Topology::grid4
+                        ? grid4_offsets()
+                        : (spec.topology == Topology::grid8 ? grid8_offsets()
+                                                            : hex_offsets(y));
+                for (const Offset& o : offsets) {
+                    int nx = x + o.dx;
+                    int ny = y + o.dy;
+                    if (spec.wrap) {
+                        nx = wrap_coord(nx, spec.width);
+                        ny = wrap_coord(ny, spec.height);
+                    } else if (nx < 0 || nx >= spec.width || ny < 0 || ny >= spec.height) {
+                        continue;  // open boundary: flow leaves the network
+                    }
+                    edges.push_back({lattice.cell_index(nx, ny), o.east});
+                }
+            }
+            if (edges.empty()) {
+                // 1x1 lattice (or 1-cell clique): the cell is its own
+                // neighborhood, which is exactly the paper's symmetric
+                // single-cell balance.
+                edges.push_back({lattice.cell_index(x, y), 0.0});
+            }
+        }
+    }
+    return lattice;
+}
+
+bool CellLattice::homogeneous() const {
+    for (std::size_t c = 1; c < parameters_.size(); ++c) {
+        const core::Parameters& a = parameters_[0];
+        const core::Parameters& b = parameters_[c];
+        if (a.total_channels != b.total_channels || a.reserved_pdch != b.reserved_pdch ||
+            a.buffer_capacity != b.buffer_capacity ||
+            a.max_gprs_sessions != b.max_gprs_sessions ||
+            a.call_arrival_rate != b.call_arrival_rate ||
+            a.gprs_fraction != b.gprs_fraction ||
+            edges_[c].size() != edges_[0].size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace gprsim::network

@@ -1,0 +1,129 @@
+// Cell-lattice topology for multi-cell GPRS networks.
+//
+// The paper analyzes one cell; production GPRS is a grid of cells coupled
+// by handover and routing-area updates. CellLattice models the topology
+// side of that coupling: a W x H lattice of cells with a configurable
+// neighborhood (4/8-connected grid, hexagonal, or fully connected), an
+// optional toroidal wrap, a frequency-reuse pattern that partitions the
+// spectrum pool across reuse groups, routing areas as rectangular cell
+// blocks, and per-cell Parameters overrides for heterogeneous scenarios.
+//
+// Everything here is deterministic: neighbor lists are built in a fixed
+// scan order, so every consumer (analytic coupling, DES target selection)
+// sees the same directed edge sequence regardless of thread count.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parameters.hpp"
+
+namespace gprsim::network {
+
+/// Neighborhood shape of the lattice.
+enum class Topology {
+    grid4,   ///< von Neumann: N/S/E/W
+    grid8,   ///< Moore: N/S/E/W + diagonals
+    hex,     ///< hexagonal (odd-r offset rows), 6 neighbors
+    clique,  ///< every cell neighbors every other (mean-field check)
+};
+
+/// Parses "grid4" / "grid8" / "hex" / "clique"; throws std::invalid_argument.
+Topology topology_from_string(const std::string& name);
+const char* to_string(Topology topology);
+
+/// One directed neighbor edge. `east` is the unit east-component of the
+/// crossing direction (+1 = due east, -1 = due west, 0 = north/south or
+/// direction-free), used by the mobility model's drift weighting. Wrap
+/// duplicates are kept as separate edges (a 2x1 wrapped row reaches its
+/// neighbor both east and west), so edge weights always sum correctly.
+struct DirectedEdge {
+    int to = 0;
+    double east = 0.0;
+};
+
+/// Construction recipe for a CellLattice.
+struct LatticeSpec {
+    int width = 2;
+    int height = 2;
+    Topology topology = Topology::grid4;
+    /// Toroidal wrap. With wrap every cell of a homogeneous lattice is
+    /// equivalent (the symmetry the network tests pin); without it the
+    /// boundary is open and outward handover flow leaves the network.
+    bool wrap = true;
+    /// Cells per frequency-reuse cluster: the spectrum pool of
+    /// `cell.total_channels` physical channels is split across this many
+    /// reuse groups (remainder channels go to the lowest groups), and each
+    /// cell carries its group's share. 1 = every cell gets the full pool
+    /// (the single-cell limit).
+    int reuse_factor = 1;
+    /// Routing-area block edge, in cells: RAs tile the lattice in
+    /// ra_block x ra_block squares. 0 = the whole lattice is one RA (no
+    /// routing-area updates ever fire).
+    int ra_block = 0;
+    /// Base per-cell parameters (the spectrum pool before the reuse split).
+    core::Parameters cell;
+    /// Full per-cell replacements, applied after the reuse split; the
+    /// override's own channel counts are taken verbatim.
+    std::vector<std::pair<int, core::Parameters>> overrides;
+};
+
+class CellLattice {
+public:
+    /// Validates the spec and builds the lattice; throws
+    /// std::invalid_argument on inconsistent specs (including a reuse
+    /// split that leaves some group without a usable GSM channel).
+    static CellLattice build(const LatticeSpec& spec);
+
+    int size() const { return width_ * height_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+    Topology topology() const { return topology_; }
+    bool wrap() const { return wrap_; }
+    int reuse_factor() const { return reuse_factor_; }
+
+    int cell_index(int x, int y) const { return y * width_ + x; }
+    int cell_x(int cell) const { return cell % width_; }
+    int cell_y(int cell) const { return cell / width_; }
+
+    const core::Parameters& cell_parameters(int cell) const {
+        return parameters_[static_cast<std::size_t>(cell)];
+    }
+    /// Frequency-reuse group in [0, reuse_factor).
+    int reuse_group(int cell) const { return reuse_group_[static_cast<std::size_t>(cell)]; }
+    /// Routing-area id; handovers between cells with different ids fire a
+    /// routing-area update.
+    int routing_area(int cell) const {
+        return routing_area_[static_cast<std::size_t>(cell)];
+    }
+    /// True when a handover from `from` to `to` crosses an RA boundary.
+    bool crosses_routing_area(int from, int to) const {
+        return routing_area(from) != routing_area(to);
+    }
+
+    /// Directed outgoing edges of `cell` in deterministic order. A cell
+    /// whose neighborhood is empty (1x1 clique/no-wrap lattice) gets a
+    /// single self-loop so handover flow is conserved and the 1-cell
+    /// lattice reproduces the paper's self-balanced single cell.
+    const std::vector<DirectedEdge>& edges(int cell) const {
+        return edges_[static_cast<std::size_t>(cell)];
+    }
+
+    /// True when every cell has identical parameters and the same number
+    /// of outgoing edges (the precondition of the symmetry tests).
+    bool homogeneous() const;
+
+private:
+    int width_ = 0;
+    int height_ = 0;
+    Topology topology_ = Topology::grid4;
+    bool wrap_ = true;
+    int reuse_factor_ = 1;
+    std::vector<core::Parameters> parameters_;
+    std::vector<int> reuse_group_;
+    std::vector<int> routing_area_;
+    std::vector<std::vector<DirectedEdge>> edges_;
+};
+
+}  // namespace gprsim::network

@@ -1,0 +1,65 @@
+#include "network/mobility.hpp"
+
+#include <stdexcept>
+
+namespace gprsim::network {
+
+void MobilityModel::validate() const {
+    if (!(speed_kmh > 0.0) || !(reference_speed_kmh > 0.0)) {
+        throw std::invalid_argument("MobilityModel: speeds must be positive");
+    }
+    if (!(drift >= 0.0) || drift >= 1.0) {
+        throw std::invalid_argument("MobilityModel: drift must lie in [0, 1)");
+    }
+}
+
+MobilityMatrices build_mobility(const CellLattice& lattice, const MobilityModel& mobility) {
+    mobility.validate();
+    const std::size_t n = static_cast<std::size_t>(lattice.size());
+    MobilityMatrices matrices;
+    matrices.gsm.assign(n, std::vector<double>(n, 0.0));
+    matrices.gprs.assign(n, std::vector<double>(n, 0.0));
+    matrices.rau_gsm.assign(n, std::vector<double>(n, 0.0));
+    matrices.rau_gprs.assign(n, std::vector<double>(n, 0.0));
+
+    const double scale = mobility.speed_scale();
+    for (int from = 0; from < lattice.size(); ++from) {
+        const std::vector<DirectedEdge>& edges = lattice.edges(from);
+        double total_weight = 0.0;
+        for (const DirectedEdge& edge : edges) {
+            total_weight += 1.0 + mobility.drift * edge.east;
+        }
+        const core::Parameters& p = lattice.cell_parameters(from);
+        const double out_gsm = p.gsm_handover_rate() * scale;
+        const double out_gprs = p.gprs_handover_rate() * scale;
+        for (const DirectedEdge& edge : edges) {
+            const double share = (1.0 + mobility.drift * edge.east) / total_weight;
+            const std::size_t i = static_cast<std::size_t>(from);
+            const std::size_t j = static_cast<std::size_t>(edge.to);
+            matrices.gsm[i][j] += out_gsm * share;
+            matrices.gprs[i][j] += out_gprs * share;
+            if (lattice.crosses_routing_area(from, edge.to)) {
+                matrices.rau_gsm[i][j] += out_gsm * share;
+                matrices.rau_gprs[i][j] += out_gprs * share;
+            }
+        }
+    }
+    return matrices;
+}
+
+double routing_area_update_rate(const MobilityMatrices& matrices,
+                                const std::vector<double>& voice_population,
+                                const std::vector<double>& session_population) {
+    double rate = 0.0;
+    for (std::size_t i = 0; i < matrices.rau_gsm.size(); ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < matrices.rau_gsm[i].size(); ++j) {
+            row += matrices.rau_gsm[i][j] * voice_population[i] +
+                   matrices.rau_gprs[i][j] * session_population[i];
+        }
+        rate += row;
+    }
+    return rate;
+}
+
+}  // namespace gprsim::network

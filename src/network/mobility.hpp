@@ -1,0 +1,63 @@
+// Mobility model: per-user speed/dwell parameters -> directed inter-cell
+// handover and routing-area-update rate matrices.
+//
+// The paper's single-cell model carries per-population dwell times
+// (1/mu_h); the network layer needs to know *where* that outflow goes and
+// *how fast* users actually move. Following the fluid-flow mobility
+// tradition the per-user boundary-crossing rate scales linearly with
+// speed, so the dwell rates calibrated at `reference_speed_kmh` are scaled
+// by speed_kmh / reference_speed_kmh, and the crossing direction is split
+// over the lattice neighborhood with an optional eastward drift (a
+// directional bias modelling commuter flows — the asymmetric case the
+// generalized handover balance exists for). Routing-area updates follow
+// the distance-based location-update scheme: an update fires exactly when
+// a handover crosses a routing-area boundary, so the RAU matrices are the
+// handover matrices masked to RA-crossing edges.
+#pragma once
+
+#include <vector>
+
+#include "network/lattice.hpp"
+
+namespace gprsim::network {
+
+struct MobilityModel {
+    double speed_kmh = 3.0;            ///< mean user speed
+    double reference_speed_kmh = 3.0;  ///< speed the dwell times are calibrated at
+    /// Eastward directional bias in [0, 1): edge weights are
+    /// 1 + drift * east-component, so 0 is isotropic and 0.9 sends nearly
+    /// twice as much flow east as west.
+    double drift = 0.0;
+
+    /// Dwell-rate multiplier speed/reference (1 at the calibration speed).
+    double speed_scale() const { return speed_kmh / reference_speed_kmh; }
+
+    /// Throws std::invalid_argument on non-positive speeds or drift
+    /// outside [0, 1).
+    void validate() const;
+};
+
+/// Dense directed rate matrices over the lattice; entry [i][j] is the rate
+/// at which one user in cell i hands over to cell j [1/s]. Row i sums to
+/// cell i's scaled dwell rate (minus any flow across an open boundary).
+struct MobilityMatrices {
+    std::vector<std::vector<double>> gsm;
+    std::vector<std::vector<double>> gprs;
+    /// Handover matrices masked to routing-area-crossing edges: the
+    /// per-user signalling rate of the distance-based update scheme.
+    std::vector<std::vector<double>> rau_gsm;
+    std::vector<std::vector<double>> rau_gprs;
+};
+
+/// Builds the directed rate matrices. Deterministic: edge weights are
+/// accumulated in the lattice's fixed edge order.
+MobilityMatrices build_mobility(const CellLattice& lattice, const MobilityModel& mobility);
+
+/// Total routing-area updates per second given the per-cell mean
+/// populations (voice calls, GPRS sessions): the RAU flow is the masked
+/// per-user rate times the sending cell's population, summed over edges.
+double routing_area_update_rate(const MobilityMatrices& matrices,
+                                const std::vector<double>& voice_population,
+                                const std::vector<double>& session_population);
+
+}  // namespace gprsim::network

@@ -175,9 +175,12 @@ FixedPointResult solve_fixed_point(const core::Parameters& p,
 
     // The iterate: both handover flows (paper Eq. 4-5, initialized at the
     // fresh rates like queueing::balance_handover_flow) plus the queue
-    // throughput that closes the loop through the data plane.
-    double lh_v = lambda_v;
-    double lh_s = lambda_s;
+    // throughput that closes the loop through the data plane. Under a
+    // pinned external inflow (network inner solve) the handover components
+    // are held at the supplied rates and only the throughput iterates.
+    const bool pinned = p.pinned_handover;
+    double lh_v = pinned ? p.gsm_handover_in : lambda_v;
+    double lh_s = pinned ? p.gprs_handover_in : lambda_s;
     double throughput = 0.0;
 
     double rho_v = 0.0;
@@ -201,7 +204,7 @@ FixedPointResult solve_fixed_point(const core::Parameters& p,
         // (a) voice sub-model: Erlang update of the GSM handover flow.
         const std::vector<double> voice = mmcc_distribution(rho_v, voice_servers);
         const double carried_v = mmcc_carried_load(rho_v, voice_servers);
-        const double lh_v_next = mu_h_v * carried_v;
+        const double lh_v_next = pinned ? lh_v : mu_h_v * carried_v;
 
         // (b) session sub-model: same update over the session cap. The
         // ON-count marginal for the queue rides along: either the exact
@@ -232,7 +235,7 @@ FixedPointResult solve_fixed_point(const core::Parameters& p,
             carried_s = mmcc_carried_load(rho_s, session_cap);
             on_count = exact_on_count(sessions, p_on);
         }
-        const double lh_s_next = mu_h_s * carried_s;
+        const double lh_s_next = pinned ? lh_s : mu_h_s * carried_s;
 
         // (c) queue sub-model: level-dependent birth-death over the buffer
         // with mean-rate closure against the current marginals.

@@ -34,6 +34,10 @@ struct FluidModel {
     double buffer_cap = 0.0, onset = 0.0;
     bool flow_control = false;
     double onset_width = 0.0, loss_width = 0.0;
+    // network inner solve: constant external handover inflow instead of the
+    // mean-field self-coupling
+    bool pinned = false;
+    double ext_v = 0.0, ext_s = 0.0;
 
     explicit FluidModel(const core::Parameters& p) {
         lambda_v = p.gsm_arrival_rate();
@@ -58,13 +62,19 @@ struct FluidModel {
                           ? std::min(1.0, 0.5 * (buffer_cap - onset))
                           : 0.0;
         loss_width = std::min(1.0, 0.5 * std::max(buffer_cap, 1e-300));
+        pinned = p.pinned_handover;
+        ext_v = p.gsm_handover_in;
+        ext_s = p.gprs_handover_in;
     }
 
     /// Handover inflow mirrors the cell's own outflow (every cell is its
-    /// own neighbor in the mean-field limit), so it appears on both sides.
-    double voice_arrivals(double v) const { return lambda_v + mu_h_v * std::min(v, voice_cap); }
+    /// own neighbor in the mean-field limit) unless pinned to an external
+    /// rate, in which case the neighbors' populations set a constant term.
+    double voice_arrivals(double v) const {
+        return lambda_v + (pinned ? ext_v : mu_h_v * std::min(v, voice_cap));
+    }
     double session_arrivals(double s) const {
-        return lambda_s + mu_h_s * std::min(s, session_cap);
+        return lambda_s + (pinned ? ext_s : mu_h_s * std::min(s, session_cap));
     }
     double admitted_voice(double v) const {
         const double arr = voice_arrivals(v);
@@ -125,8 +135,13 @@ struct FluidModel {
     /// the queue's ~10^-2 s).
     Vec initial_state() const {
         Vec y;
-        y[0] = std::min(lambda_v / (dep_v - mu_h_v), voice_cap);
-        y[1] = std::min(lambda_s / (dep_s - mu_h_s), session_cap);
+        // Uncapped population equilibria: with the self-coupled inflow the
+        // handover terms cancel one mu_h from the departure rate; with a
+        // pinned inflow they add a constant to the fresh arrivals.
+        y[0] = pinned ? std::min((lambda_v + ext_v) / dep_v, voice_cap)
+                      : std::min(lambda_v / (dep_v - mu_h_v), voice_cap);
+        y[1] = pinned ? std::min((lambda_s + ext_s) / dep_s, session_cap)
+                      : std::min(lambda_s / (dep_s - mu_h_s), session_cap);
         y[2] = p_on * y[1];
         y[3] = 0.0;
         return y;

@@ -7,6 +7,20 @@
 
 namespace gprsim::queueing {
 
+HandoverFlow assess_handover_flow(double lambda, double mu, double mu_h, int servers,
+                                  double incoming_rate) {
+    if (lambda < 0.0 || mu <= 0.0 || mu_h < 0.0 || servers < 1 || incoming_rate < 0.0 ||
+        !std::isfinite(incoming_rate)) {
+        throw std::invalid_argument("assess_handover_flow: invalid parameters");
+    }
+    HandoverFlow flow;
+    flow.incoming_rate = incoming_rate;
+    flow.offered_load = (lambda + incoming_rate) / (mu + mu_h);
+    flow.carried_users = mmcc_carried_load(flow.offered_load, servers);  // = E[n]
+    flow.outgoing_rate = mu_h * flow.carried_users;
+    return flow;
+}
+
 HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int servers,
                                       double tolerance, int max_iterations) {
     if (lambda < 0.0 || mu <= 0.0 || mu_h < 0.0 || servers < 1) {
@@ -14,11 +28,9 @@ HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int
     }
     HandoverBalance result;
     double lambda_h = lambda;  // paper's initialization lambda_h^(0) = lambda
-    const double total_mu = mu + mu_h;
     for (int i = 1; i <= max_iterations; ++i) {
-        const double rho = (lambda + lambda_h) / total_mu;
-        const double carried = mmcc_carried_load(rho, servers);  // = E[n]
-        const double next = mu_h * carried;
+        const double next =
+            assess_handover_flow(lambda, mu, mu_h, servers, lambda_h).outgoing_rate;
         result.iterations = i;
         const double scale = std::max(1.0, std::fabs(lambda_h));
         if (std::fabs(next - lambda_h) <= tolerance * scale) {
@@ -29,7 +41,7 @@ HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int
         lambda_h = next;
     }
     result.handover_arrival_rate = lambda_h;
-    result.offered_load = (lambda + lambda_h) / total_mu;
+    result.offered_load = (lambda + lambda_h) / (mu + mu_h);
     return result;
 }
 

@@ -18,10 +18,32 @@ struct HandoverBalance {
     bool converged = false;
 };
 
+/// One evaluation of the handover response map at a pinned incoming flow.
+///
+/// In a multi-cell network the incoming flow of a cell is set by its
+/// neighbors, not by its own outflow, so the in/out rates are asymmetric.
+/// This is the per-cell building block of the network fixed point
+/// (src/network/): pin lambda_h,in, read off the cell's population and its
+/// outgoing flow mu_h * E[n].
+struct HandoverFlow {
+    double incoming_rate = 0.0;  ///< the pinned lambda_h,in
+    double offered_load = 0.0;   ///< rho = (lambda + lambda_h,in)/(mu + mu_h)
+    double carried_users = 0.0;  ///< E[n] on the M/M/c/c population law
+    double outgoing_rate = 0.0;  ///< mu_h * E[n]
+};
+
+/// Evaluates the population law once at an externally supplied incoming
+/// handover rate. The symmetric single-cell balance below is the fixed
+/// point of this map: balance_handover_flow iterates exactly this
+/// evaluation, so pinning the balanced rate reproduces it bitwise.
+HandoverFlow assess_handover_flow(double lambda, double mu, double mu_h, int servers,
+                                  double incoming_rate);
+
 /// Balances the incoming handover rate for a population limited to `servers`
 /// concurrent users, with fresh-arrival rate lambda, completion rate mu and
-/// out-handover rate mu_h (all per user). Initialization follows the paper:
-/// lambda_h^(0) = lambda.
+/// out-handover rate mu_h (all per user) — the symmetric special case of
+/// assess_handover_flow where incoming equals outgoing. Initialization
+/// follows the paper: lambda_h^(0) = lambda.
 HandoverBalance balance_handover_flow(double lambda, double mu, double mu_h, int servers,
                                       double tolerance = 1e-13, int max_iterations = 100000);
 

@@ -15,7 +15,9 @@ namespace gprsim::sim {
 
 void SimulationConfig::validate() const {
     cell.validate();
-    if (num_cells < 2) {
+    // An explicit target structure may make a cell its own neighbor (a 1x1
+    // wrapped lattice), so only the classic uniform cluster needs >= 2.
+    if (num_cells < 2 && network_targets.empty()) {
         throw std::invalid_argument("SimulationConfig: need at least two cells for handover");
     }
     if (warmup_time < 0.0 || batch_count < 2 || batch_duration <= 0.0) {
@@ -23,6 +25,50 @@ void SimulationConfig::validate() const {
     }
     if (wired_delay < 0.0 || frame_duration <= 0.0) {
         throw std::invalid_argument("SimulationConfig: invalid path settings");
+    }
+    const std::size_t n = static_cast<std::size_t>(num_cells);
+    if (!network_cells.empty()) {
+        if (network_cells.size() != n) {
+            throw std::invalid_argument("SimulationConfig: network_cells size != num_cells");
+        }
+        for (const core::Parameters& cp : network_cells) {
+            cp.validate();
+        }
+    }
+    if (network_targets.size() != network_weights.size()) {
+        throw std::invalid_argument(
+            "SimulationConfig: network_targets/network_weights size mismatch");
+    }
+    if (!network_targets.empty()) {
+        if (network_targets.size() != n) {
+            throw std::invalid_argument("SimulationConfig: network_targets size != num_cells");
+        }
+        for (std::size_t c = 0; c < n; ++c) {
+            if (network_targets[c].empty() ||
+                network_targets[c].size() != network_weights[c].size()) {
+                throw std::invalid_argument(
+                    "SimulationConfig: each cell needs matching targets and weights");
+            }
+            for (int t : network_targets[c]) {
+                if (t < 0 || t >= num_cells) {
+                    throw std::invalid_argument(
+                        "SimulationConfig: handover target out of range");
+                }
+            }
+            for (double w : network_weights[c]) {
+                if (!(w > 0.0)) {
+                    throw std::invalid_argument(
+                        "SimulationConfig: handover weights must be positive");
+                }
+            }
+        }
+    }
+    if (!network_routing_areas.empty() && network_routing_areas.size() != n) {
+        throw std::invalid_argument(
+            "SimulationConfig: network_routing_areas size != num_cells");
+    }
+    if (!(network_dwell_scale > 0.0)) {
+        throw std::invalid_argument("SimulationConfig: network_dwell_scale must be positive");
     }
 }
 
@@ -77,6 +123,20 @@ struct NetworkSimulator::Impl {
           radio_rng(config.seed, config.stream_base + 7) {
         config.validate();
         cells.resize(static_cast<std::size_t>(config.num_cells));
+        stats.resize(config.measure_all_cells ? cells.size() : 1u);
+        // Cumulative target weights per cell for the one-uniform-draw
+        // weighted handover target selection of network mode.
+        target_cdf.reserve(config.network_targets.size());
+        for (const std::vector<double>& weights : config.network_weights) {
+            std::vector<double> cdf;
+            cdf.reserve(weights.size());
+            double acc = 0.0;
+            for (double w : weights) {
+                acc += w;
+                cdf.push_back(acc);
+            }
+            target_cdf.push_back(std::move(cdf));
+        }
     }
 
     // --- configuration and engine ----------------------------------------
@@ -98,35 +158,74 @@ struct NetworkSimulator::Impl {
     des::RandomStream target_rng;
     des::RandomStream radio_rng;
 
-    // --- mid-cell (cell 0) measurement ------------------------------------
+    // --- measurement -------------------------------------------------------
+    // One stats block per measured cell: just the mid cell classically,
+    // every cell under measure_all_cells. The arithmetic per block is
+    // identical either way.
+    struct CellStats {
+        des::TimeWeighted tw_pdch;      // channels carrying data this frame
+        des::TimeWeighted tw_queue;     // BSC buffer occupancy
+        des::TimeWeighted tw_voice;     // busy voice channels
+        des::TimeWeighted tw_sessions;  // active GPRS sessions
+
+        // Per-batch counters (reset at each batch boundary).
+        std::int64_t batch_offered = 0;
+        std::int64_t batch_dropped = 0;
+        std::int64_t batch_delivered = 0;
+        des::Welford batch_delay;
+        std::int64_t batch_gsm_attempts = 0;
+        std::int64_t batch_gsm_blocked = 0;
+        std::int64_t batch_gprs_attempts = 0;
+        std::int64_t batch_gprs_blocked = 0;
+
+        des::BatchMeans bm_cdt, bm_plp, bm_delay, bm_atu, bm_queue, bm_voice, bm_sessions,
+            bm_gsm_blocking, bm_gprs_blocking;
+    };
+
     bool measuring = false;
-    des::TimeWeighted tw_pdch;     // channels carrying data this frame
-    des::TimeWeighted tw_queue;    // BSC buffer occupancy
-    des::TimeWeighted tw_voice;    // busy voice channels
-    des::TimeWeighted tw_sessions; // active GPRS sessions
-
-    // Per-batch counters (reset at each batch boundary).
-    std::int64_t batch_offered = 0;
-    std::int64_t batch_dropped = 0;
-    std::int64_t batch_delivered = 0;
-    des::Welford batch_delay;
-    std::int64_t batch_gsm_attempts = 0;
-    std::int64_t batch_gsm_blocked = 0;
-    std::int64_t batch_gprs_attempts = 0;
-    std::int64_t batch_gprs_blocked = 0;
-
-    des::BatchMeans bm_cdt, bm_plp, bm_delay, bm_atu, bm_queue, bm_voice, bm_sessions,
-        bm_gsm_blocking, bm_gprs_blocking;
+    std::vector<CellStats> stats;
+    /// Cumulative network_weights per cell (empty in classic mode).
+    std::vector<std::vector<double>> target_cdf;
 
     SimulationResults totals;
 
     // ======================================================================
     // Helpers
     // ======================================================================
-    const core::Parameters& p() const { return config.cell; }
-    double block_bits() const { return p().pdch_rate_kbps * 1000.0 * config.frame_duration; }
+    const core::Parameters& p(int cell) const {
+        return config.network_cells.empty()
+                   ? config.cell
+                   : config.network_cells[static_cast<std::size_t>(cell)];
+    }
+    double block_bits(int cell) const {
+        return p(cell).pdch_rate_kbps * 1000.0 * config.frame_duration;
+    }
+    /// Dwell means at the mobility speed (dividing by the default scale of
+    /// 1 is exact, so the classic configuration is untouched).
+    double gsm_dwell_mean(int cell) const {
+        return p(cell).mean_gsm_dwell_time / config.network_dwell_scale;
+    }
+    double gprs_dwell_mean(int cell) const {
+        return p(cell).mean_gprs_dwell_time / config.network_dwell_scale;
+    }
+
+    bool measured(int cell) const { return config.measure_all_cells || cell == 0; }
+    CellStats& stat(int cell) {
+        return stats[config.measure_all_cells ? static_cast<std::size_t>(cell) : 0u];
+    }
 
     int random_neighbor(int cell) {
+        if (!target_cdf.empty()) {
+            // Network mode: weighted choice over the cell's directed
+            // neighborhood, one uniform draw per handover.
+            const std::vector<double>& cdf = target_cdf[static_cast<std::size_t>(cell)];
+            const double u = target_rng.uniform() * cdf.back();
+            std::size_t k = 0;
+            while (k + 1 < cdf.size() && u >= cdf[k]) {
+                ++k;
+            }
+            return config.network_targets[static_cast<std::size_t>(cell)][k];
+        }
         // Seven-cell wrap-around cluster: all other cells are neighbors.
         int t = target_rng.uniform_int(0, config.num_cells - 2);
         if (t >= cell) {
@@ -135,9 +234,17 @@ struct NetworkSimulator::Impl {
         return t;
     }
 
+    void note_routing_area_crossing(int source, int target) {
+        if (measuring && !config.network_routing_areas.empty() &&
+            config.network_routing_areas[static_cast<std::size_t>(source)] !=
+                config.network_routing_areas[static_cast<std::size_t>(target)]) {
+            ++totals.routing_area_updates;
+        }
+    }
+
     // --- GSM voice traffic -------------------------------------------------
     void schedule_gsm_arrival(int cell) {
-        const double rate = p().gsm_arrival_rate();
+        const double rate = p(cell).gsm_arrival_rate();
         sim.schedule(gsm_arrival_rng.exponential(1.0 / rate), [this, cell] {
             gsm_arrival(cell);
             schedule_gsm_arrival(cell);
@@ -145,11 +252,12 @@ struct NetworkSimulator::Impl {
     }
 
     void note_gsm_attempt(int cell, bool blocked) {
-        if (cell == 0 && measuring) {
-            ++batch_gsm_attempts;
+        if (measuring && measured(cell)) {
+            CellStats& s = stat(cell);
+            ++s.batch_gsm_attempts;
             ++totals.gsm_attempts;
             if (blocked) {
-                ++batch_gsm_blocked;
+                ++s.batch_gsm_blocked;
                 ++totals.gsm_blocked;
             }
         }
@@ -157,21 +265,23 @@ struct NetworkSimulator::Impl {
 
     void gsm_enter(int cell) {
         ++cells[static_cast<std::size_t>(cell)].gsm_calls;
-        if (cell == 0 && measuring) {
-            tw_voice.update(sim.now(), cells[0].gsm_calls);
+        if (measuring && measured(cell)) {
+            stat(cell).tw_voice.update(sim.now(),
+                                       cells[static_cast<std::size_t>(cell)].gsm_calls);
         }
     }
 
     void gsm_leave(int cell) {
         --cells[static_cast<std::size_t>(cell)].gsm_calls;
-        if (cell == 0 && measuring) {
-            tw_voice.update(sim.now(), cells[0].gsm_calls);
+        if (measuring && measured(cell)) {
+            stat(cell).tw_voice.update(sim.now(),
+                                       cells[static_cast<std::size_t>(cell)].gsm_calls);
         }
     }
 
     void gsm_arrival(int cell) {
         const bool blocked =
-            cells[static_cast<std::size_t>(cell)].gsm_calls >= p().gsm_channels();
+            cells[static_cast<std::size_t>(cell)].gsm_calls >= p(cell).gsm_channels();
         note_gsm_attempt(cell, blocked);
         if (blocked) {
             return;
@@ -181,13 +291,13 @@ struct NetworkSimulator::Impl {
         GsmCall call;
         call.cell = cell;
         call.completion =
-            sim.schedule(duration_rng.exponential(p().mean_gsm_call_duration), [this, id] {
+            sim.schedule(duration_rng.exponential(p(cell).mean_gsm_call_duration), [this, id] {
                 const auto it = gsm_calls.find(id);
                 gsm_leave(it->second.cell);
                 sim.cancel(it->second.dwell);
                 gsm_calls.erase(it);
             });
-        call.dwell = sim.schedule(dwell_rng.exponential(p().mean_gsm_dwell_time),
+        call.dwell = sim.schedule(dwell_rng.exponential(gsm_dwell_mean(cell)),
                                   [this, id] { gsm_handover(id); });
         gsm_calls.emplace(id, std::move(call));
     }
@@ -195,13 +305,14 @@ struct NetworkSimulator::Impl {
     void gsm_handover(std::uint64_t id) {
         GsmCall& call = gsm_calls.at(id);
         const int target = random_neighbor(call.cell);
+        note_routing_area_crossing(call.cell, target);
         gsm_leave(call.cell);
         const bool blocked =
-            cells[static_cast<std::size_t>(target)].gsm_calls >= p().gsm_channels();
+            cells[static_cast<std::size_t>(target)].gsm_calls >= p(target).gsm_channels();
         note_gsm_attempt(target, blocked);
         if (blocked) {
             // Handover failure: the call is forcibly terminated.
-            if (call.cell == 0 && measuring) {
+            if (measuring && measured(call.cell)) {
                 ++totals.gsm_handover_failures;
             }
             sim.cancel(call.completion);
@@ -210,13 +321,13 @@ struct NetworkSimulator::Impl {
         }
         call.cell = target;
         gsm_enter(target);
-        call.dwell = sim.schedule(dwell_rng.exponential(p().mean_gsm_dwell_time),
+        call.dwell = sim.schedule(dwell_rng.exponential(gsm_dwell_mean(target)),
                                   [this, id] { gsm_handover(id); });
     }
 
     // --- GPRS sessions -----------------------------------------------------
     void schedule_gprs_arrival(int cell) {
-        const double rate = p().gprs_arrival_rate();
+        const double rate = p(cell).gprs_arrival_rate();
         sim.schedule(gprs_arrival_rng.exponential(1.0 / rate), [this, cell] {
             gprs_arrival(cell);
             schedule_gprs_arrival(cell);
@@ -224,11 +335,12 @@ struct NetworkSimulator::Impl {
     }
 
     void note_gprs_attempt(int cell, bool blocked) {
-        if (cell == 0 && measuring) {
-            ++batch_gprs_attempts;
+        if (measuring && measured(cell)) {
+            CellStats& s = stat(cell);
+            ++s.batch_gprs_attempts;
             ++totals.gprs_attempts;
             if (blocked) {
-                ++batch_gprs_blocked;
+                ++s.batch_gprs_blocked;
                 ++totals.gprs_blocked;
             }
         }
@@ -236,21 +348,23 @@ struct NetworkSimulator::Impl {
 
     void gprs_enter(int cell) {
         ++cells[static_cast<std::size_t>(cell)].gprs_sessions;
-        if (cell == 0 && measuring) {
-            tw_sessions.update(sim.now(), cells[0].gprs_sessions);
+        if (measuring && measured(cell)) {
+            stat(cell).tw_sessions.update(sim.now(),
+                                          cells[static_cast<std::size_t>(cell)].gprs_sessions);
         }
     }
 
     void gprs_leave(int cell) {
         --cells[static_cast<std::size_t>(cell)].gprs_sessions;
-        if (cell == 0 && measuring) {
-            tw_sessions.update(sim.now(), cells[0].gprs_sessions);
+        if (measuring && measured(cell)) {
+            stat(cell).tw_sessions.update(sim.now(),
+                                          cells[static_cast<std::size_t>(cell)].gprs_sessions);
         }
     }
 
     void gprs_arrival(int cell) {
         const bool blocked =
-            cells[static_cast<std::size_t>(cell)].gprs_sessions >= p().max_gprs_sessions;
+            cells[static_cast<std::size_t>(cell)].gprs_sessions >= p(cell).max_gprs_sessions;
         note_gprs_attempt(cell, blocked);
         if (blocked) {
             return;
@@ -260,7 +374,7 @@ struct NetworkSimulator::Impl {
         session->id = id;
         session->cell = cell;
         session->packet_calls_remaining =
-            traffic_rng.geometric_count(p().traffic.mean_packet_calls);
+            traffic_rng.geometric_count(p(cell).traffic.mean_packet_calls);
         if (config.tcp_enabled) {
             session->sender = std::make_unique<TcpSender>(
                 sim, config.tcp, [this, id](std::int64_t seq, bool) {
@@ -276,7 +390,7 @@ struct NetworkSimulator::Impl {
                 });
         }
         gprs_enter(cell);
-        session->dwell = sim.schedule(dwell_rng.exponential(p().mean_gprs_dwell_time),
+        session->dwell = sim.schedule(dwell_rng.exponential(gprs_dwell_mean(cell)),
                                       [this, id] { gprs_handover(id); });
         Session* raw = session.get();
         sessions.emplace(id, std::move(session));
@@ -285,7 +399,7 @@ struct NetworkSimulator::Impl {
 
     void begin_packet_call(Session& session) {
         session.packets_remaining_in_call =
-            traffic_rng.geometric_count(p().traffic.mean_packets_per_call);
+            traffic_rng.geometric_count(p(session.cell).traffic.mean_packets_per_call);
         schedule_next_packet(session);
     }
 
@@ -294,7 +408,7 @@ struct NetworkSimulator::Impl {
         // generator_event before the session is destroyed, so this event
         // can never fire on a dead session (map nodes are pointer-stable).
         session.generator_event =
-            sim.schedule(traffic_rng.exponential(p().traffic.mean_packet_interarrival),
+            sim.schedule(traffic_rng.exponential(p(session.cell).traffic.mean_packet_interarrival),
                          [this, s = &session] { generate_packet(*s); });
     }
 
@@ -317,7 +431,7 @@ struct NetworkSimulator::Impl {
             // Reading time, then the next packet call. Pointer capture is
             // safe for the same reason as in schedule_next_packet().
             session.generator_event =
-                sim.schedule(traffic_rng.exponential(p().traffic.mean_reading_time),
+                sim.schedule(traffic_rng.exponential(p(session.cell).traffic.mean_reading_time),
                              [this, s = &session] { begin_packet_call(*s); });
             return;
         }
@@ -359,8 +473,8 @@ struct NetworkSimulator::Impl {
         auto& buffer = cells[static_cast<std::size_t>(cell)].buffer;
         const auto removed = std::erase_if(
             buffer, [id](const Packet& pkt) { return pkt.session_id == id; });
-        if (removed > 0 && cell == 0 && measuring) {
-            tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
+        if (removed > 0 && measuring && measured(cell)) {
+            stat(cell).tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
         }
     }
 
@@ -368,13 +482,15 @@ struct NetworkSimulator::Impl {
         Session& session = *sessions.at(id);
         const int source = session.cell;
         const int target = random_neighbor(source);
-        const bool blocked =
-            cells[static_cast<std::size_t>(target)].gprs_sessions >= p().max_gprs_sessions;
+        note_routing_area_crossing(source, target);
+        const bool blocked = target != source &&
+                             cells[static_cast<std::size_t>(target)].gprs_sessions >=
+                                 p(target).max_gprs_sessions;
         note_gprs_attempt(target, blocked);
         if (blocked) {
             // Handover failure: the session is dropped; buffered packets of
             // the session are discarded.
-            if (source == 0 && measuring) {
+            if (measuring && measured(source)) {
                 ++totals.gprs_handover_failures;
             }
             remove_session_packets(source, id);
@@ -397,44 +513,44 @@ struct NetworkSimulator::Impl {
                 ++it;
             }
         }
-        if (source == 0 && measuring && !moved.empty()) {
-            tw_queue.update(sim.now(), static_cast<double>(src_buffer.size()));
+        if (measuring && measured(source) && !moved.empty()) {
+            stat(source).tw_queue.update(sim.now(), static_cast<double>(src_buffer.size()));
         }
         for (Packet& pkt : moved) {
             if (config.forward_buffer_on_handover &&
-                static_cast<int>(dst_buffer.size()) < p().buffer_capacity) {
+                static_cast<int>(dst_buffer.size()) < p(target).buffer_capacity) {
                 pkt.enqueue_time = sim.now();
                 dst_buffer.push_back(pkt);
-            } else if (source == 0 && measuring) {
+            } else if (measuring && measured(source)) {
                 ++totals.handover_packet_drops;
             }
         }
-        if (target == 0 && measuring && !moved.empty()) {
-            tw_queue.update(sim.now(), static_cast<double>(dst_buffer.size()));
+        if (measuring && measured(target) && !moved.empty()) {
+            stat(target).tw_queue.update(sim.now(), static_cast<double>(dst_buffer.size()));
         }
         ensure_tick(target);
 
-        session.dwell = sim.schedule(dwell_rng.exponential(p().mean_gprs_dwell_time),
+        session.dwell = sim.schedule(dwell_rng.exponential(gprs_dwell_mean(target)),
                                      [this, id] { gprs_handover(id); });
     }
 
     // --- BSC buffer and radio service ---------------------------------------
     void bsc_enqueue(int cell, std::uint64_t session_id, std::int64_t seq) {
         auto& buffer = cells[static_cast<std::size_t>(cell)].buffer;
-        if (cell == 0 && measuring) {
-            ++batch_offered;
+        if (measuring && measured(cell)) {
+            ++stat(cell).batch_offered;
             ++totals.packets_offered;
         }
-        if (static_cast<int>(buffer.size()) >= p().buffer_capacity) {
-            if (cell == 0 && measuring) {
-                ++batch_dropped;
+        if (static_cast<int>(buffer.size()) >= p(cell).buffer_capacity) {
+            if (measuring && measured(cell)) {
+                ++stat(cell).batch_dropped;
                 ++totals.packets_dropped;
             }
             return;  // TCP (if any) will detect the loss via dupacks/RTO
         }
-        buffer.push_back(Packet{session_id, seq, p().traffic.packet_size_bits, sim.now()});
-        if (cell == 0 && measuring) {
-            tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
+        buffer.push_back(Packet{session_id, seq, p(cell).traffic.packet_size_bits, sim.now()});
+        if (measuring && measured(cell)) {
+            stat(cell).tw_queue.update(sim.now(), static_cast<double>(buffer.size()));
         }
         ensure_tick(cell);
     }
@@ -451,14 +567,14 @@ struct NetworkSimulator::Impl {
         Cell& c = cells[static_cast<std::size_t>(cell)];
         if (c.buffer.empty()) {
             c.tick_active = false;
-            if (cell == 0 && measuring) {
-                tw_pdch.update(sim.now(), 0.0);
+            if (measuring && measured(cell)) {
+                stat(cell).tw_pdch.update(sim.now(), 0.0);
             }
             return;
         }
 
         // PDCHs usable this frame: every channel not held by a voice call.
-        const int available = p().total_channels - c.gsm_calls;
+        const int available = p(cell).total_channels - c.gsm_calls;
         int channels_used = 0;
         if (available > 0) {
             const int head_count = std::min<int>(static_cast<int>(c.buffer.size()), available);
@@ -479,15 +595,15 @@ struct NetworkSimulator::Impl {
                 // channel but delivers nothing; ARQ resends it on a later
                 // frame (extension; BLER = 0 reproduces the paper).
                 int good_blocks = share;
-                if (p().block_error_rate > 0.0) {
+                if (p(cell).block_error_rate > 0.0) {
                     good_blocks = 0;
                     for (int blk = 0; blk < share; ++blk) {
-                        if (!radio_rng.bernoulli(p().block_error_rate)) {
+                        if (!radio_rng.bernoulli(p(cell).block_error_rate)) {
                             ++good_blocks;
                         }
                     }
                 }
-                pkt.bits_remaining -= static_cast<double>(good_blocks) * block_bits();
+                pkt.bits_remaining -= static_cast<double>(good_blocks) * block_bits(cell);
                 if (pkt.bits_remaining <= 0.0) {
                     finished.push_back(static_cast<std::size_t>(i));
                 }
@@ -499,22 +615,24 @@ struct NetworkSimulator::Impl {
                 deliver_packet(cell, done);
             }
         }
-        if (cell == 0 && measuring) {
-            tw_pdch.update(sim.now(), static_cast<double>(channels_used));
+        if (measuring && measured(cell)) {
+            CellStats& s = stat(cell);
+            s.tw_pdch.update(sim.now(), static_cast<double>(channels_used));
             if (!c.buffer.empty()) {
-                tw_queue.update(sim.now(), static_cast<double>(c.buffer.size()));
+                s.tw_queue.update(sim.now(), static_cast<double>(c.buffer.size()));
             } else {
-                tw_queue.update(sim.now(), 0.0);
+                s.tw_queue.update(sim.now(), 0.0);
             }
         }
         sim.schedule(config.frame_duration, [this, cell] { frame_tick(cell); });
     }
 
     void deliver_packet(int cell, const Packet& pkt) {
-        if (cell == 0 && measuring) {
-            ++batch_delivered;
+        if (measuring && measured(cell)) {
+            CellStats& s = stat(cell);
+            ++s.batch_delivered;
             ++totals.packets_delivered;
-            batch_delay.add(sim.now() - pkt.enqueue_time);
+            s.batch_delay.add(sim.now() - pkt.enqueue_time);
         }
         const auto it = sessions.find(pkt.session_id);
         if (it == sessions.end() || !it->second->sender) {
@@ -535,54 +653,67 @@ struct NetworkSimulator::Impl {
     }
 
     // --- output analysis -----------------------------------------------------
+    /// Cell a stats block observes: its index under measure_all_cells, the
+    /// mid cell classically.
+    int stat_cell(std::size_t block) const {
+        return config.measure_all_cells ? static_cast<int>(block) : 0;
+    }
+
     void reset_measurement() {
         const double t = sim.now();
-        tw_pdch = des::TimeWeighted(t, tw_pdch.current_value());
-        tw_queue = des::TimeWeighted(t, static_cast<double>(cells[0].buffer.size()));
-        tw_voice = des::TimeWeighted(t, static_cast<double>(cells[0].gsm_calls));
-        tw_sessions = des::TimeWeighted(t, static_cast<double>(cells[0].gprs_sessions));
-        batch_offered = batch_dropped = batch_delivered = 0;
-        batch_delay = des::Welford();
-        batch_gsm_attempts = batch_gsm_blocked = 0;
-        batch_gprs_attempts = batch_gprs_blocked = 0;
+        for (std::size_t k = 0; k < stats.size(); ++k) {
+            const Cell& c = cells[static_cast<std::size_t>(stat_cell(k))];
+            CellStats& s = stats[k];
+            s.tw_pdch = des::TimeWeighted(t, s.tw_pdch.current_value());
+            s.tw_queue = des::TimeWeighted(t, static_cast<double>(c.buffer.size()));
+            s.tw_voice = des::TimeWeighted(t, static_cast<double>(c.gsm_calls));
+            s.tw_sessions = des::TimeWeighted(t, static_cast<double>(c.gprs_sessions));
+            s.batch_offered = s.batch_dropped = s.batch_delivered = 0;
+            s.batch_delay = des::Welford();
+            s.batch_gsm_attempts = s.batch_gsm_blocked = 0;
+            s.batch_gprs_attempts = s.batch_gprs_blocked = 0;
+        }
         measuring = true;
     }
 
     void close_batch() {
         const double t = sim.now();
-        const double cdt = tw_pdch.restart(t);
-        const double queue = tw_queue.restart(t);
-        const double voice = tw_voice.restart(t);
-        const double sessions_avg = tw_sessions.restart(t);
-        bm_cdt.add_batch(cdt);
-        bm_queue.add_batch(queue);
-        bm_voice.add_batch(voice);
-        bm_sessions.add_batch(sessions_avg);
-        if (batch_offered > 0) {
-            bm_plp.add_batch(static_cast<double>(batch_dropped) /
-                             static_cast<double>(batch_offered));
+        for (std::size_t k = 0; k < stats.size(); ++k) {
+            CellStats& s = stats[k];
+            const double cdt = s.tw_pdch.restart(t);
+            const double queue = s.tw_queue.restart(t);
+            const double voice = s.tw_voice.restart(t);
+            const double sessions_avg = s.tw_sessions.restart(t);
+            s.bm_cdt.add_batch(cdt);
+            s.bm_queue.add_batch(queue);
+            s.bm_voice.add_batch(voice);
+            s.bm_sessions.add_batch(sessions_avg);
+            if (s.batch_offered > 0) {
+                s.bm_plp.add_batch(static_cast<double>(s.batch_dropped) /
+                                   static_cast<double>(s.batch_offered));
+            }
+            if (s.batch_delay.count() > 0) {
+                s.bm_delay.add_batch(s.batch_delay.mean());
+            }
+            if (sessions_avg > 0.0) {
+                const double delivered_kbps = static_cast<double>(s.batch_delivered) *
+                                              p(stat_cell(k)).traffic.packet_size_bits /
+                                              config.batch_duration / 1000.0;
+                s.bm_atu.add_batch(delivered_kbps / sessions_avg);
+            }
+            if (s.batch_gsm_attempts > 0) {
+                s.bm_gsm_blocking.add_batch(static_cast<double>(s.batch_gsm_blocked) /
+                                            static_cast<double>(s.batch_gsm_attempts));
+            }
+            if (s.batch_gprs_attempts > 0) {
+                s.bm_gprs_blocking.add_batch(static_cast<double>(s.batch_gprs_blocked) /
+                                             static_cast<double>(s.batch_gprs_attempts));
+            }
+            s.batch_offered = s.batch_dropped = s.batch_delivered = 0;
+            s.batch_delay = des::Welford();
+            s.batch_gsm_attempts = s.batch_gsm_blocked = 0;
+            s.batch_gprs_attempts = s.batch_gprs_blocked = 0;
         }
-        if (batch_delay.count() > 0) {
-            bm_delay.add_batch(batch_delay.mean());
-        }
-        if (sessions_avg > 0.0) {
-            const double delivered_kbps = static_cast<double>(batch_delivered) *
-                                          p().traffic.packet_size_bits /
-                                          config.batch_duration / 1000.0;
-            bm_atu.add_batch(delivered_kbps / sessions_avg);
-        }
-        if (batch_gsm_attempts > 0) {
-            bm_gsm_blocking.add_batch(static_cast<double>(batch_gsm_blocked) /
-                                      static_cast<double>(batch_gsm_attempts));
-        }
-        if (batch_gprs_attempts > 0) {
-            bm_gprs_blocking.add_batch(static_cast<double>(batch_gprs_blocked) /
-                                       static_cast<double>(batch_gprs_attempts));
-        }
-        batch_offered = batch_dropped = batch_delivered = 0;
-        batch_delay = des::Welford();
-        batch_gsm_attempts = batch_gsm_blocked = 0;
-        batch_gprs_attempts = batch_gprs_blocked = 0;
     }
 
     static MetricEstimate estimate(const des::BatchMeans& bm) {
@@ -604,15 +735,37 @@ struct NetworkSimulator::Impl {
         }
         measuring = false;
 
-        totals.carried_data_traffic = estimate(bm_cdt);
-        totals.packet_loss_probability = estimate(bm_plp);
-        totals.queueing_delay = estimate(bm_delay);
-        totals.throughput_per_user_kbps = estimate(bm_atu);
-        totals.mean_queue_length = estimate(bm_queue);
-        totals.carried_voice_traffic = estimate(bm_voice);
-        totals.average_gprs_sessions = estimate(bm_sessions);
-        totals.gsm_blocking = estimate(bm_gsm_blocking);
-        totals.gprs_blocking = estimate(bm_gprs_blocking);
+        // The headline estimates read the mid cell in either mode; block 0
+        // observes cell 0 either way.
+        const CellStats& mid = stats[0];
+        totals.carried_data_traffic = estimate(mid.bm_cdt);
+        totals.packet_loss_probability = estimate(mid.bm_plp);
+        totals.queueing_delay = estimate(mid.bm_delay);
+        totals.throughput_per_user_kbps = estimate(mid.bm_atu);
+        totals.mean_queue_length = estimate(mid.bm_queue);
+        totals.carried_voice_traffic = estimate(mid.bm_voice);
+        totals.average_gprs_sessions = estimate(mid.bm_sessions);
+        totals.gsm_blocking = estimate(mid.bm_gsm_blocking);
+        totals.gprs_blocking = estimate(mid.bm_gprs_blocking);
+        if (config.measure_all_cells) {
+            totals.cells.reserve(stats.size());
+            for (const CellStats& s : stats) {
+                CellEstimates e;
+                e.carried_data_traffic = estimate(s.bm_cdt);
+                e.packet_loss_probability = estimate(s.bm_plp);
+                e.queueing_delay = estimate(s.bm_delay);
+                e.throughput_per_user_kbps = estimate(s.bm_atu);
+                e.mean_queue_length = estimate(s.bm_queue);
+                e.carried_voice_traffic = estimate(s.bm_voice);
+                e.average_gprs_sessions = estimate(s.bm_sessions);
+                e.gsm_blocking = estimate(s.bm_gsm_blocking);
+                e.gprs_blocking = estimate(s.bm_gprs_blocking);
+                totals.cells.push_back(e);
+            }
+        }
+        totals.routing_area_update_rate =
+            static_cast<double>(totals.routing_area_updates) /
+            (config.batch_duration * static_cast<double>(config.batch_count));
         for (const auto& [id, session] : sessions) {
             if (session->sender) {
                 totals.tcp_timeouts += session->sender->timeouts();

@@ -14,10 +14,19 @@
 //     reproduce the Markov chain's eta = 1 "no flow control" case).
 // Measurements are taken in the mid cell only and reported with 95% batch-
 // means confidence intervals, exactly as the paper does.
+//
+// Network mode (beyond the paper, src/network/): the optional network_*
+// fields replace the symmetric cluster with an explicit lattice — per-cell
+// parameters, weighted directed handover targets, a mobility dwell scale,
+// routing areas (handovers crossing one count as routing-area updates),
+// and per-cell measurement. All of them empty/default reproduces the
+// classic cluster bit for bit: the legacy paths draw the same random
+// variates in the same order and run the identical measurement arithmetic.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/parameters.hpp"
 #include "des/statistics.hpp"
@@ -61,6 +70,25 @@ struct SimulationConfig {
     /// (drop them when false, or when the target buffer is full).
     bool forward_buffer_on_handover = true;
 
+    // --- multi-cell network mode (all empty/default = classic cluster) ---
+    /// Per-cell parameter overrides, size num_cells when non-empty;
+    /// `cell` above then only seeds the defaults.
+    std::vector<core::Parameters> network_cells;
+    /// Directed handover targets per cell and their unnormalized selection
+    /// weights (parallel vectors, size num_cells when non-empty). Empty =
+    /// a handover targets a uniformly chosen other cell.
+    std::vector<std::vector<int>> network_targets;
+    std::vector<std::vector<double>> network_weights;
+    /// Mobility speed scale: divides every dwell-time mean (1 = the
+    /// calibration speed the dwell times were measured at).
+    double network_dwell_scale = 1.0;
+    /// Routing area of each cell, size num_cells when non-empty. A
+    /// handover between different areas counts as a routing-area update.
+    std::vector<int> network_routing_areas;
+    /// Measure every cell (fills SimulationResults::cells) instead of
+    /// only the mid cell.
+    bool measure_all_cells = false;
+
     void validate() const;
 };
 
@@ -75,6 +103,19 @@ struct MetricEstimate {
     bool covers(double value) const { return value >= lower() && value <= upper(); }
 };
 
+/// One cell's estimates in network mode (measure_all_cells).
+struct CellEstimates {
+    MetricEstimate carried_data_traffic;
+    MetricEstimate packet_loss_probability;
+    MetricEstimate queueing_delay;
+    MetricEstimate throughput_per_user_kbps;
+    MetricEstimate mean_queue_length;
+    MetricEstimate carried_voice_traffic;
+    MetricEstimate average_gprs_sessions;
+    MetricEstimate gsm_blocking;
+    MetricEstimate gprs_blocking;
+};
+
 struct SimulationResults {
     // Mid-cell measures, aligned with core::Measures semantics.
     MetricEstimate carried_data_traffic;      ///< E[PDCHs busy]
@@ -87,7 +128,8 @@ struct SimulationResults {
     MetricEstimate gsm_blocking;              ///< blocked / attempts (incl. handover)
     MetricEstimate gprs_blocking;             ///< blocked / attempts (incl. handover)
 
-    // Mid-cell raw counters over the measured horizon.
+    // Raw counters over the measured horizon: mid-cell in the classic
+    // cluster, summed over all cells under measure_all_cells.
     std::int64_t packets_offered = 0;
     std::int64_t packets_dropped = 0;
     std::int64_t packets_delivered = 0;
@@ -100,6 +142,13 @@ struct SimulationResults {
     std::int64_t gprs_handover_failures = 0;
     std::int64_t tcp_timeouts = 0;
     std::int64_t tcp_fast_retransmits = 0;
+
+    // Network mode only.
+    std::vector<CellEstimates> cells;  ///< per-cell estimates (measure_all_cells)
+    /// Handovers that crossed a routing-area boundary over the measured
+    /// horizon, network-wide, and the same as a rate per second.
+    std::int64_t routing_area_updates = 0;
+    double routing_area_update_rate = 0.0;
 
     std::uint64_t events_executed = 0;
     double simulated_time = 0.0;

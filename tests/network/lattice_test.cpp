@@ -1,0 +1,173 @@
+// CellLattice topology: neighborhood shapes, toroidal wrap (including the
+// wrap-duplicate edges of tiny lattices), the frequency-reuse channel
+// split, routing-area tiling, per-cell overrides, and spec validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "network/lattice.hpp"
+
+namespace gprsim::network {
+namespace {
+
+LatticeSpec tiny_spec() {
+    LatticeSpec spec;
+    spec.width = 2;
+    spec.height = 2;
+    spec.cell = core::Parameters::base();
+    return spec;
+}
+
+TEST(NetworkLattice, TopologyStringsRoundTrip) {
+    for (Topology t :
+         {Topology::grid4, Topology::grid8, Topology::hex, Topology::clique}) {
+        EXPECT_EQ(topology_from_string(to_string(t)), t);
+    }
+    EXPECT_THROW(topology_from_string("triangular"), std::invalid_argument);
+}
+
+TEST(NetworkLattice, WrappedGridKeepsWrapDuplicateEdges) {
+    // On a wrapped 2x2 grid4 lattice the east and west neighbor of a cell
+    // are the SAME cell; both directed edges must survive so edge weights
+    // always sum to the full dwell rate.
+    const CellLattice lattice = CellLattice::build(tiny_spec());
+    ASSERT_EQ(lattice.size(), 4);
+    for (int c = 0; c < lattice.size(); ++c) {
+        ASSERT_EQ(lattice.edges(c).size(), 4u) << "cell " << c;
+    }
+    // Cell 0 = (0,0): E and W both reach cell 1, S and N both reach cell 2,
+    // in the fixed E, W, S, N scan order.
+    const auto& edges = lattice.edges(0);
+    EXPECT_EQ(edges[0].to, 1);
+    EXPECT_DOUBLE_EQ(edges[0].east, 1.0);
+    EXPECT_EQ(edges[1].to, 1);
+    EXPECT_DOUBLE_EQ(edges[1].east, -1.0);
+    EXPECT_EQ(edges[2].to, 2);
+    EXPECT_EQ(edges[3].to, 2);
+    EXPECT_TRUE(lattice.homogeneous());
+}
+
+TEST(NetworkLattice, NeighborhoodSizesPerTopology) {
+    LatticeSpec spec = tiny_spec();
+    spec.width = 3;
+    spec.height = 3;
+    spec.topology = Topology::grid8;
+    EXPECT_EQ(CellLattice::build(spec).edges(4).size(), 8u);
+    spec.topology = Topology::hex;
+    EXPECT_EQ(CellLattice::build(spec).edges(4).size(), 6u);
+    spec.topology = Topology::clique;
+    const CellLattice clique = CellLattice::build(spec);
+    for (int c = 0; c < clique.size(); ++c) {
+        EXPECT_EQ(clique.edges(c).size(), 8u);
+    }
+}
+
+TEST(NetworkLattice, OpenBoundaryDropsOutwardEdges) {
+    LatticeSpec spec = tiny_spec();
+    spec.width = 3;
+    spec.height = 1;
+    spec.wrap = false;
+    const CellLattice lattice = CellLattice::build(spec);
+    // Middle cell keeps only its E/W neighbors (no N/S row to reach);
+    // corner cells keep one.
+    EXPECT_EQ(lattice.edges(0).size(), 1u);
+    EXPECT_EQ(lattice.edges(1).size(), 2u);
+    EXPECT_EQ(lattice.edges(2).size(), 1u);
+    EXPECT_FALSE(lattice.homogeneous());
+}
+
+TEST(NetworkLattice, SingleCellGetsSelfLoop) {
+    // A 1x1 open lattice has no neighbors; the fallback self-loop makes it
+    // the paper's self-balanced single cell.
+    LatticeSpec spec = tiny_spec();
+    spec.width = 1;
+    spec.height = 1;
+    spec.wrap = false;
+    const CellLattice open = CellLattice::build(spec);
+    ASSERT_EQ(open.edges(0).size(), 1u);
+    EXPECT_EQ(open.edges(0)[0].to, 0);
+    EXPECT_DOUBLE_EQ(open.edges(0)[0].east, 0.0);
+    // With wrap every grid4 offset lands back on the cell itself.
+    spec.wrap = true;
+    const CellLattice wrapped = CellLattice::build(spec);
+    ASSERT_EQ(wrapped.edges(0).size(), 4u);
+    for (const DirectedEdge& edge : wrapped.edges(0)) {
+        EXPECT_EQ(edge.to, 0);
+    }
+}
+
+TEST(NetworkLattice, ReuseFactorSplitsSpectrumPool) {
+    LatticeSpec spec = tiny_spec();
+    spec.cell.total_channels = 7;
+    spec.reuse_factor = 2;
+    const CellLattice lattice = CellLattice::build(spec);
+    // Column parity colors the 2x2 lattice; the odd channel goes to
+    // group 0, so the split is genuinely heterogeneous.
+    EXPECT_EQ(lattice.reuse_group(0), 0);
+    EXPECT_EQ(lattice.reuse_group(1), 1);
+    EXPECT_EQ(lattice.cell_parameters(0).total_channels, 4);
+    EXPECT_EQ(lattice.cell_parameters(1).total_channels, 3);
+    EXPECT_EQ(lattice.cell_parameters(2).total_channels, 4);
+    EXPECT_EQ(lattice.cell_parameters(3).total_channels, 3);
+    EXPECT_FALSE(lattice.homogeneous());
+    // reuse_factor 1 leaves every cell with the full pool.
+    spec.reuse_factor = 1;
+    EXPECT_EQ(CellLattice::build(spec).cell_parameters(3).total_channels, 7);
+}
+
+TEST(NetworkLattice, RoutingAreasTileTheLattice) {
+    LatticeSpec spec = tiny_spec();
+    spec.width = 4;
+    spec.height = 2;
+    spec.ra_block = 2;
+    const CellLattice lattice = CellLattice::build(spec);
+    // 2x2 blocks: cells 0,1,4,5 form RA 0; cells 2,3,6,7 form RA 1.
+    EXPECT_EQ(lattice.routing_area(0), lattice.routing_area(1));
+    EXPECT_EQ(lattice.routing_area(0), lattice.routing_area(4));
+    EXPECT_NE(lattice.routing_area(1), lattice.routing_area(2));
+    EXPECT_TRUE(lattice.crosses_routing_area(1, 2));
+    EXPECT_FALSE(lattice.crosses_routing_area(0, 5));
+    // ra_block 0: the whole lattice is one RA.
+    spec.ra_block = 0;
+    const CellLattice one_area = CellLattice::build(spec);
+    for (int c = 1; c < one_area.size(); ++c) {
+        EXPECT_FALSE(one_area.crosses_routing_area(0, c));
+    }
+}
+
+TEST(NetworkLattice, OverridesReplaceCellParameters) {
+    LatticeSpec spec = tiny_spec();
+    core::Parameters replacement = spec.cell;
+    replacement.buffer_capacity = 7;
+    spec.overrides.emplace_back(2, replacement);
+    const CellLattice lattice = CellLattice::build(spec);
+    EXPECT_EQ(lattice.cell_parameters(2).buffer_capacity, 7);
+    EXPECT_EQ(lattice.cell_parameters(0).buffer_capacity,
+              core::Parameters::base().buffer_capacity);
+    EXPECT_FALSE(lattice.homogeneous());
+}
+
+TEST(NetworkLattice, InvalidSpecsThrow) {
+    LatticeSpec spec = tiny_spec();
+    spec.width = 0;
+    EXPECT_THROW(CellLattice::build(spec), std::invalid_argument);
+    spec = tiny_spec();
+    spec.reuse_factor = 0;
+    EXPECT_THROW(CellLattice::build(spec), std::invalid_argument);
+    spec = tiny_spec();
+    spec.ra_block = -1;
+    EXPECT_THROW(CellLattice::build(spec), std::invalid_argument);
+    spec = tiny_spec();
+    spec.overrides.emplace_back(9, spec.cell);
+    EXPECT_THROW(CellLattice::build(spec), std::invalid_argument);
+    // A reuse split that leaves a group with fewer channels than the
+    // reserved PDCHs is rejected.
+    spec = tiny_spec();
+    spec.cell.total_channels = 6;
+    spec.cell.reserved_pdch = 4;
+    spec.reuse_factor = 2;
+    EXPECT_THROW(CellLattice::build(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gprsim::network

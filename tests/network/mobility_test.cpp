@@ -1,0 +1,125 @@
+// MobilityModel: speed scaling of the dwell rates, eastward drift
+// asymmetry, routing-area-update masking, and parameter validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "network/mobility.hpp"
+
+namespace gprsim::network {
+namespace {
+
+LatticeSpec ring_spec(int cells, bool wrap = false) {
+    LatticeSpec spec;
+    spec.width = cells;
+    spec.height = 1;
+    spec.wrap = wrap;
+    spec.cell = core::Parameters::base();
+    return spec;
+}
+
+TEST(NetworkMobility, RowSumsEqualScaledDwellRate) {
+    const CellLattice lattice = CellLattice::build([] {
+        LatticeSpec spec;
+        spec.width = 2;
+        spec.height = 2;
+        spec.cell = core::Parameters::base();
+        return spec;
+    }());
+    MobilityModel mobility;
+    mobility.speed_kmh = 6.0;
+    mobility.reference_speed_kmh = 3.0;
+    const MobilityMatrices matrices = build_mobility(lattice, mobility);
+    const core::Parameters& p = lattice.cell_parameters(0);
+    for (int i = 0; i < lattice.size(); ++i) {
+        double gsm_row = 0.0;
+        double gprs_row = 0.0;
+        for (int j = 0; j < lattice.size(); ++j) {
+            gsm_row += matrices.gsm[i][j];
+            gprs_row += matrices.gprs[i][j];
+        }
+        // Doubling the speed doubles the per-user boundary-crossing rate.
+        EXPECT_NEAR(gsm_row, 2.0 * p.gsm_handover_rate(), 1e-12);
+        EXPECT_NEAR(gprs_row, 2.0 * p.gprs_handover_rate(), 1e-12);
+    }
+}
+
+TEST(NetworkMobility, DriftBiasesEastwardFlow) {
+    // Open 3-cell row: the middle cell has exactly one east and one west
+    // neighbor, so the edge-weight ratio is (1 + drift) / (1 - drift).
+    const CellLattice lattice = CellLattice::build(ring_spec(3));
+    MobilityModel mobility;
+    mobility.drift = 0.5;
+    const MobilityMatrices matrices = build_mobility(lattice, mobility);
+    EXPECT_NEAR(matrices.gsm[1][2] / matrices.gsm[1][0], 1.5 / 0.5, 1e-12);
+    EXPECT_NEAR(matrices.gprs[1][2] / matrices.gprs[1][0], 1.5 / 0.5, 1e-12);
+    // Isotropic mobility splits the outflow evenly.
+    mobility.drift = 0.0;
+    const MobilityMatrices even = build_mobility(lattice, mobility);
+    EXPECT_DOUBLE_EQ(even.gsm[1][0], even.gsm[1][2]);
+}
+
+TEST(NetworkMobility, RauMatricesMaskRoutingAreaCrossings) {
+    // One routing area: no handover ever fires an update.
+    LatticeSpec spec = ring_spec(4, /*wrap=*/true);
+    const MobilityModel mobility;
+    const MobilityMatrices one_area =
+        build_mobility(CellLattice::build(spec), mobility);
+    for (const auto& row : one_area.rau_gsm) {
+        for (double rate : row) {
+            EXPECT_EQ(rate, 0.0);
+        }
+    }
+    // Per-cell routing areas: every inter-cell handover crosses, so the
+    // masked matrices equal the handover matrices off the diagonal.
+    spec.ra_block = 1;
+    const CellLattice lattice = CellLattice::build(spec);
+    const MobilityMatrices per_cell = build_mobility(lattice, mobility);
+    for (int i = 0; i < lattice.size(); ++i) {
+        for (int j = 0; j < lattice.size(); ++j) {
+            if (i == j) {
+                EXPECT_EQ(per_cell.rau_gsm[i][j], 0.0);
+            } else {
+                EXPECT_DOUBLE_EQ(per_cell.rau_gsm[i][j], per_cell.gsm[i][j]);
+                EXPECT_DOUBLE_EQ(per_cell.rau_gprs[i][j], per_cell.gprs[i][j]);
+            }
+        }
+    }
+}
+
+TEST(NetworkMobility, RoutingAreaUpdateRateSumsPopulationFlow) {
+    LatticeSpec spec = ring_spec(4, /*wrap=*/true);
+    spec.ra_block = 1;
+    const CellLattice lattice = CellLattice::build(spec);
+    const MobilityMatrices matrices = build_mobility(lattice, MobilityModel{});
+    const std::vector<double> voice{4.0, 3.0, 2.0, 1.0};
+    const std::vector<double> sessions{1.0, 1.5, 2.0, 2.5};
+    double expected = 0.0;
+    for (int i = 0; i < lattice.size(); ++i) {
+        for (int j = 0; j < lattice.size(); ++j) {
+            expected += matrices.rau_gsm[i][j] * voice[i] +
+                        matrices.rau_gprs[i][j] * sessions[i];
+        }
+    }
+    EXPECT_DOUBLE_EQ(routing_area_update_rate(matrices, voice, sessions), expected);
+    EXPECT_GT(expected, 0.0);
+}
+
+TEST(NetworkMobility, ValidateRejectsBadParameters) {
+    MobilityModel mobility;
+    mobility.speed_kmh = 0.0;
+    EXPECT_THROW(mobility.validate(), std::invalid_argument);
+    mobility = MobilityModel{};
+    mobility.reference_speed_kmh = -3.0;
+    EXPECT_THROW(mobility.validate(), std::invalid_argument);
+    mobility = MobilityModel{};
+    mobility.drift = 1.0;
+    EXPECT_THROW(mobility.validate(), std::invalid_argument);
+    mobility = MobilityModel{};
+    mobility.drift = -0.1;
+    EXPECT_THROW(mobility.validate(), std::invalid_argument);
+    MobilityModel{}.validate();  // defaults are fine
+}
+
+}  // namespace
+}  // namespace gprsim::network

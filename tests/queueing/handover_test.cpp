@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "queueing/erlang.hpp"
 
 namespace gprsim::queueing {
@@ -57,6 +60,71 @@ TEST(HandoverBalance, MatchesPaperMagnitude) {
     const HandoverBalance balance = balance_handover_flow(lambda, mu, mu_h, 50);
     ASSERT_TRUE(balance.converged);
     EXPECT_NEAR(balance.handover_arrival_rate, 0.3, 0.1);
+}
+
+TEST(HandoverBalance, GeneralizedBalanceMatchesLegacyLoopBitwise) {
+    // balance_handover_flow is now the symmetric special case of
+    // assess_handover_flow (the pinned-inflow map the network fixed point
+    // iterates). This regression re-implements the pre-generalization loop
+    // inline and demands exact equality: the refactor must not have moved
+    // a single bit.
+    const struct {
+        double lambda, mu, mu_h;
+        int servers;
+    } cases[] = {
+        {0.5, 1.0 / 120.0, 1.0 / 60.0, 19},
+        {0.05, 1.0 / 2122.5, 1.0 / 120.0, 50},
+        {0.001, 1.0 / 100.0, 1.0 / 50.0, 50},
+        {2.0, 1.0 / 60.0, 1.0 / 30.0, 5},
+        {0.3, 0.01, 0.0, 10},
+    };
+    const double tolerance = 1e-13;
+    const int max_iterations = 100000;
+    for (const auto& c : cases) {
+        double lambda_h = c.lambda;
+        int iterations = 0;
+        bool converged = false;
+        for (int i = 1; i <= max_iterations; ++i) {
+            const double rho = (c.lambda + lambda_h) / (c.mu + c.mu_h);
+            const double next = c.mu_h * mmcc_carried_load(rho, c.servers);
+            iterations = i;
+            const double scale = std::max(1.0, std::fabs(lambda_h));
+            if (std::fabs(next - lambda_h) <= tolerance * scale) {
+                lambda_h = next;
+                converged = true;
+                break;
+            }
+            lambda_h = next;
+        }
+        const HandoverBalance balance =
+            balance_handover_flow(c.lambda, c.mu, c.mu_h, c.servers);
+        EXPECT_EQ(balance.handover_arrival_rate, lambda_h) << c.lambda;
+        EXPECT_EQ(balance.offered_load, (c.lambda + lambda_h) / (c.mu + c.mu_h))
+            << c.lambda;
+        EXPECT_EQ(balance.iterations, iterations) << c.lambda;
+        EXPECT_EQ(balance.converged, converged) << c.lambda;
+    }
+}
+
+TEST(HandoverBalance, PinnedFlowAtTheBalancePointIsStationary) {
+    // Pinning the balanced incoming rate must reproduce it as the outgoing
+    // rate: the symmetric balance is a fixed point of the generalized map.
+    const double lambda = 0.5;
+    const double mu = 1.0 / 120.0;
+    const double mu_h = 1.0 / 60.0;
+    const int servers = 19;
+    const HandoverBalance balance = balance_handover_flow(lambda, mu, mu_h, servers);
+    ASSERT_TRUE(balance.converged);
+    const HandoverFlow flow = assess_handover_flow(lambda, mu, mu_h, servers,
+                                                   balance.handover_arrival_rate);
+    EXPECT_NEAR(flow.outgoing_rate, balance.handover_arrival_rate, 1e-12);
+    EXPECT_EQ(flow.offered_load, balance.offered_load);
+    EXPECT_EQ(flow.outgoing_rate, mu_h * flow.carried_users);
+    // More external inflow means more carried users and more outflow.
+    const HandoverFlow boosted = assess_handover_flow(
+        lambda, mu, mu_h, servers, 2.0 * balance.handover_arrival_rate + 0.1);
+    EXPECT_GT(boosted.carried_users, flow.carried_users);
+    EXPECT_GT(boosted.outgoing_rate, flow.outgoing_rate);
 }
 
 TEST(HandoverBalance, RejectsInvalidArguments) {
