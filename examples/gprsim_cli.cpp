@@ -10,6 +10,11 @@
 //                                    — run a declarative scenario campaign
 //   gprsim_cli campaign --list-backends / eval --list-backends
 //                                    — print every registered eval backend
+//   gprsim_cli fit-trace <arrivals.trace>
+//                                    — fit an IPP/3GPP traffic model to an
+//                                      arrival-timestamp trace (JSON out);
+//                                      the model a campaign's
+//                                      "traffic_model": "trace:<file>" uses
 //
 // Common options:
 //   --rate=<calls/s>      combined GSM+GPRS arrival rate   (default 0.5)
@@ -70,6 +75,7 @@
 #include "core/adaptive.hpp"
 #include "core/model.hpp"
 #include "eval/registry.hpp"
+#include "service/trace.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/threegpp.hpp"
 
@@ -388,13 +394,28 @@ int cmd_campaign(int argc, char** argv) {
     return sinks_ok ? 0 : 1;
 }
 
+int cmd_fit_trace(int argc, char** argv) {
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "usage: gprsim_cli fit-trace <arrivals.trace>\n");
+        return 1;
+    }
+    service::TraceIngest ingest;
+    const auto fitted = ingest.fit(argv[2]);
+    if (!fitted.ok()) {
+        std::fprintf(stderr, "error: %s\n", fitted.error().to_string().c_str());
+        return 1;
+    }
+    std::printf("%s\n", service::fitted_traffic_json(fitted.value()).c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: gprsim_cli <analyze|simulate|eval|dimension|campaign> "
-                     "[options]\n");
+                     "usage: gprsim_cli <analyze|simulate|eval|dimension|campaign"
+                     "|fit-trace> [options]\n");
         return 1;
     }
     const std::string command = argv[1];
@@ -413,6 +434,9 @@ int main(int argc, char** argv) {
         }
         if (command == "campaign") {
             return cmd_campaign(argc, argv);
+        }
+        if (command == "fit-trace") {
+            return cmd_fit_trace(argc, argv);
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

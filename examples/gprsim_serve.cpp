@@ -1,0 +1,102 @@
+// gprsim_serve: the campaign evaluation daemon.
+//
+//   gprsim_serve --socket=<path> [options]   serve a unix-domain socket
+//   gprsim_serve --stdio                     serve ONE session on stdin/stdout
+//
+// Options:
+//   --workers=<n>     concurrent campaign workers            (default 2)
+//   --queue=<n>       admission queue capacity               (default 8)
+//   --threads=<n>     slice width; never changes output      (default 1)
+//   --store=<n>       warm-store capacity (idle entries)     (default 64)
+//
+// Protocol, backpressure semantics, and the determinism contract are
+// documented in docs/service.md and src/service/protocol.hpp. The --stdio
+// mode is what the CI smoke test and tools/serve_client.py --stdio drive;
+// socket mode serves many clients concurrently until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+gprsim::service::Server* g_server = nullptr;
+
+void handle_signal(int) {
+    if (g_server != nullptr) {
+        g_server->stop();
+    }
+}
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return std::atof(argv[i] + prefix.size());
+        }
+    }
+    return fallback;
+}
+
+std::string string_flag(int argc, char** argv, const char* name) {
+    const std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+            return argv[i] + prefix.size();
+        }
+    }
+    return "";
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+    const std::string spelled = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (spelled == argv[i]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string socket_path = string_flag(argc, argv, "socket");
+    const bool stdio = has_flag(argc, argv, "stdio");
+    if (socket_path.empty() == !stdio) {
+        std::fprintf(stderr,
+                     "usage: gprsim_serve --socket=<path> | --stdio "
+                     "[--workers=<n>] [--queue=<n>] [--threads=<n>] [--store=<n>]\n");
+        return 1;
+    }
+
+    gprsim::service::ServiceOptions options;
+    options.workers = static_cast<int>(flag(argc, argv, "workers", options.workers));
+    options.queue_capacity = static_cast<std::size_t>(
+        flag(argc, argv, "queue", static_cast<double>(options.queue_capacity)));
+    options.num_threads = static_cast<int>(flag(argc, argv, "threads", options.num_threads));
+    options.store_capacity = static_cast<std::size_t>(
+        flag(argc, argv, "store", static_cast<double>(options.store_capacity)));
+
+    // A vanished client must surface as a write error, not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    gprsim::service::CampaignService service(options);
+    gprsim::service::Server server(service);
+
+    if (stdio) {
+        const int status = server.serve_fds(0, 1);
+        service.shutdown();
+        return status;
+    }
+
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    const int status = server.serve_unix(socket_path);
+    service.shutdown();
+    return status;
+}

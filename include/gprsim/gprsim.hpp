@@ -43,6 +43,7 @@
 #include "queueing/mm1k.hpp"
 
 #include "traffic/threegpp.hpp"
+#include "traffic/trace.hpp"
 
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
@@ -55,3 +56,10 @@
 #include "campaign/runner.hpp"
 #include "campaign/sink.hpp"
 #include "campaign/spec.hpp"
+
+// The embeddable campaign evaluation service (docs/service.md): a
+// bounded-worker CampaignService with typed admission control, the
+// shared cross-request slice store, and the GPRS/1 frame protocol the
+// gprsim_serve daemon speaks over a unix socket or stdio.
+#include "service/protocol.hpp"
+#include "service/service.hpp"

@@ -43,19 +43,66 @@ void synthesize_legacy_view(CampaignPoint& point) {
 
 }  // namespace
 
-CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptions& options) {
-    const auto t0 = std::chrono::steady_clock::now();
-    ScenarioSpec effective = spec;
+CampaignWorkload build_campaign_workload(const ScenarioSpec& spec,
+                                         const CampaignOptions& options) {
+    CampaignWorkload workload;
+    workload.effective = spec;
     if (options.force_cold) {
-        effective.solver.warm_start = false;
+        workload.effective.solver.warm_start = false;
     }
     if (!options.solver_method_override.empty()) {
-        effective.solver.method = options.solver_method_override;
+        workload.effective.solver.method = options.solver_method_override;
     }
-    std::vector<Variant> variants = effective.expand();  // validates the spec
+    workload.variants = workload.effective.expand();  // validates the spec
+
+    const ScenarioSpec& effective = workload.effective;
+    const std::size_t num_variants = workload.variants.size();
+    // One ScenarioQuery per variant; every backend reads the knob block it
+    // understands from the same query list.
+    workload.queries.resize(num_variants);
+    for (std::size_t v = 0; v < num_variants; ++v) {
+        eval::ScenarioQuery& base = workload.queries[v];
+        base.parameters = workload.variants[v].parameters;
+        base.solver.tolerance = effective.solver.tolerance;
+        base.solver.method = effective.solver.method;
+        base.simulation.replications = effective.simulation.replications;
+        base.simulation.seed = effective.simulation.seed;
+        base.simulation.warmup_time = effective.simulation.warmup_time;
+        base.simulation.batch_count = effective.simulation.batch_count;
+        base.simulation.batch_duration = effective.simulation.batch_duration;
+        base.simulation.tcp = effective.simulation.tcp;
+        base.approx.fp_tolerance = effective.approx.fp_tolerance;
+        base.approx.fp_damping = effective.approx.fp_damping;
+        base.approx.fp_max_iterations = effective.approx.fp_max_iterations;
+        base.approx.ode_rel_tol = effective.approx.ode_rel_tol;
+        base.approx.ode_abs_tol = effective.approx.ode_abs_tol;
+        base.approx.ode_max_steps = effective.approx.ode_max_steps;
+        base.approx.ode_stationary_rate = effective.approx.ode_stationary_rate;
+        if (effective.network.enabled) {
+            base.network.cells_x = workload.variants[v].cells_x;
+            base.network.cells_y = workload.variants[v].cells_y;
+            base.network.topology = effective.network.topology;
+            base.network.wrap = effective.network.wrap;
+            base.network.reuse_factor = workload.variants[v].reuse_factor;
+            base.network.ra_block = effective.network.ra_block;
+            base.network.speed_kmh = workload.variants[v].speed_kmh;
+            base.network.reference_speed_kmh = effective.network.reference_speed_kmh;
+            base.network.drift = effective.network.drift;
+            base.network.inner_backend = effective.network.inner_backend;
+            base.network.outer_tolerance = effective.network.outer_tolerance;
+            base.network.outer_damping = effective.network.outer_damping;
+            base.network.outer_max_iterations = effective.network.outer_max_iterations;
+        }
+    }
+    return workload;
+}
+
+common::Result<CampaignResult> assemble_campaign(
+    const CampaignWorkload& workload, std::vector<std::vector<eval::GridOutcome>> outcomes) {
+    const ScenarioSpec& effective = workload.effective;
     const std::vector<double>& rates = effective.rates;
     const std::size_t num_rates = rates.size();
-    const std::size_t num_variants = variants.size();
+    const std::size_t num_variants = workload.variants.size();
     const std::size_t num_points = num_variants * num_rates;
     const std::size_t num_methods = effective.methods.size();
 
@@ -76,46 +123,82 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         }
     }
 
-    const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
-    common::ThreadPool* pool = width > 1 ? &engine_.pool(width) : nullptr;
-
-    // One ScenarioQuery per variant; every backend reads the knob block it
-    // understands from the same query list.
-    std::vector<eval::ScenarioQuery> queries(num_variants);
-    for (std::size_t v = 0; v < num_variants; ++v) {
-        eval::ScenarioQuery& base = queries[v];
-        base.parameters = variants[v].parameters;
-        base.solver.tolerance = effective.solver.tolerance;
-        base.solver.method = effective.solver.method;
-        base.simulation.replications = effective.simulation.replications;
-        base.simulation.seed = effective.simulation.seed;
-        base.simulation.warmup_time = effective.simulation.warmup_time;
-        base.simulation.batch_count = effective.simulation.batch_count;
-        base.simulation.batch_duration = effective.simulation.batch_duration;
-        base.simulation.tcp = effective.simulation.tcp;
-        base.approx.fp_tolerance = effective.approx.fp_tolerance;
-        base.approx.fp_damping = effective.approx.fp_damping;
-        base.approx.fp_max_iterations = effective.approx.fp_max_iterations;
-        base.approx.ode_rel_tol = effective.approx.ode_rel_tol;
-        base.approx.ode_abs_tol = effective.approx.ode_abs_tol;
-        base.approx.ode_max_steps = effective.approx.ode_max_steps;
-        base.approx.ode_stationary_rate = effective.approx.ode_stationary_rate;
-        if (effective.network.enabled) {
-            base.network.cells_x = variants[v].cells_x;
-            base.network.cells_y = variants[v].cells_y;
-            base.network.topology = effective.network.topology;
-            base.network.wrap = effective.network.wrap;
-            base.network.reuse_factor = variants[v].reuse_factor;
-            base.network.ra_block = effective.network.ra_block;
-            base.network.speed_kmh = variants[v].speed_kmh;
-            base.network.reference_speed_kmh = effective.network.reference_speed_kmh;
-            base.network.drift = effective.network.drift;
-            base.network.inner_backend = effective.network.inner_backend;
-            base.network.outer_tolerance = effective.network.outer_tolerance;
-            base.network.outer_damping = effective.network.outer_damping;
-            base.network.outer_max_iterations = effective.network.outer_max_iterations;
+    // Store every slice, surfacing the first failure (backend-major,
+    // variant-minor scan order) as its typed error.
+    for (std::size_t b = 0; b < num_methods; ++b) {
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            eval::GridOutcome& outcome = outcomes[b][v];
+            if (!outcome.ok()) {
+                return common::EvalError{
+                    outcome.error().code,
+                    "campaign backend \"" + effective.methods[b] +
+                        "\": " + outcome.error().to_string()};
+            }
+            std::vector<eval::PointEvaluation> evaluations = outcome.take();
+            for (std::size_t r = 0; r < num_rates; ++r) {
+                result.points[v * num_rates + r].evaluations[b] =
+                    std::move(evaluations[r]);
+            }
         }
     }
+
+    // Serial, point-ordered post-processing: pairwise deltas against the
+    // first backend, the legacy model/sim view, and summary totals are all
+    // independent of execution order.
+    for (CampaignPoint& point : result.points) {
+        const core::Measures& reference = point.evaluations.front().measures;
+        for (std::size_t b = 1; b < num_methods; ++b) {
+            const core::Measures& other = point.evaluations[b].measures;
+            point.deltas[b] = {
+                reference.carried_data_traffic - other.carried_data_traffic,
+                reference.packet_loss_probability - other.packet_loss_probability,
+                reference.queueing_delay - other.queueing_delay,
+                reference.throughput_per_user_kbps - other.throughput_per_user_kbps,
+            };
+        }
+        synthesize_legacy_view(point);
+    }
+
+    CampaignSummary& summary = result.summary;
+    summary.variants = num_variants;
+    summary.points = num_points;
+    bool any_chain = false;
+    for (const CampaignPoint& point : result.points) {
+        for (const eval::PointEvaluation& evaluation : point.evaluations) {
+            if (evaluation.iterations > 0) {
+                any_chain = true;
+                ++summary.model_solves;
+                summary.total_iterations += evaluation.iterations;
+                if (evaluation.warm_parent >= 0) {
+                    ++summary.warm_offered_solves;
+                }
+                if (evaluation.warm_started) {
+                    ++summary.warm_started_solves;
+                }
+            }
+            if (evaluation.has_confidence) {
+                summary.sim_replications +=
+                    static_cast<long long>(evaluation.sim.replications.size());
+                summary.sim_events += evaluation.sim.events_executed;
+            }
+        }
+    }
+    summary.warm_start = any_chain && effective.solver.warm_start;
+    result.variants = workload.variants;
+    return result;
+}
+
+CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptions& options) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignWorkload workload = build_campaign_workload(spec, options);
+    const ScenarioSpec& effective = workload.effective;
+    const std::vector<double>& rates = effective.rates;
+    const std::size_t num_rates = rates.size();
+    const std::size_t num_variants = workload.variants.size();
+    const std::size_t num_methods = effective.methods.size();
+
+    const int width = common::ThreadPool::resolve_thread_count(options.num_threads);
+    common::ThreadPool* pool = width > 1 ? &engine_.pool(width) : nullptr;
 
     eval::GridOptions grid;
     grid.num_threads = width;
@@ -141,22 +224,16 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         };
     }
 
-    const auto store_outcome = [&](std::size_t b, std::size_t v,
-                                   eval::GridOutcome outcome) {
-        if (!outcome.ok()) {
-            throw std::runtime_error("campaign backend \"" + effective.methods[b] +
-                                     "\": " + outcome.error().to_string());
-        }
-        std::vector<eval::PointEvaluation> evaluations = outcome.take();
-        for (std::size_t r = 0; r < num_rates; ++r) {
-            result.points[v * num_rates + r].evaluations[b] =
-                std::move(evaluations[r]);
-        }
-    };
-
+    std::vector<std::vector<eval::GridOutcome>> outcomes;
+    std::size_t batch_waves = 0;
+    std::size_t sequential_waves = 0;
+    std::size_t batch_tasks = 0;
     if (options.sequential_dispatch) {
         // A/B baseline: one evaluate_grid per (backend, variant), grid
-        // after grid — no cross-variant or cross-backend overlap.
+        // after grid — no cross-variant or cross-backend overlap. The
+        // service's per-slice path (src/service/service.cpp) evaluates
+        // exactly this shape, which is why the two stay byte-identical.
+        outcomes.reserve(num_methods);
         for (std::size_t b = 0; b < num_methods; ++b) {
             auto backend = eval::BackendRegistry::global().find(effective.methods[b]);
             if (!backend.ok()) {
@@ -164,13 +241,15 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
                 // be a registry mutation between then and now.
                 throw SpecError(backend.error().message, 0);
             }
+            std::vector<eval::GridOutcome> per_backend;
+            per_backend.reserve(num_variants);
             for (std::size_t v = 0; v < num_variants; ++v) {
                 eval::GridOptions per_grid = grid;
                 // Disjoint substream blocks across variants: grid point r
                 // of variant v is experiment block (v * num_rates + r) —
                 // the flat point index, so replication streams never
                 // overlap between variants sharing the spec's seed.
-                per_grid.grid_offset = static_cast<std::uint64_t>(v * num_rates);
+                per_grid.grid_offset = workload.grid_offset(v);
                 if (grid.progress) {
                     per_grid.progress = [&grid, v, num_rates](
                                             std::size_t r,
@@ -178,10 +257,10 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
                         grid.progress(v * num_rates + r, evaluation);
                     };
                 }
-                store_outcome(b, v,
-                              backend.value()->evaluate_grid(queries[v], rates,
-                                                             per_grid));
+                per_backend.push_back(
+                    backend.value()->evaluate_grid(workload.queries[v], rates, per_grid));
             }
+            outcomes.push_back(std::move(per_backend));
         }
     } else {
         // Merged batch: every backend plans its (variant, rate[,
@@ -193,7 +272,7 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
         // function of the spec at every width and in both dispatch modes.
         eval::CampaignRequest request;
         request.backends = effective.methods;
-        request.queries = queries;
+        request.queries = workload.queries;
         request.rates = rates;
         auto evaluated =
             eval::evaluate_campaign(eval::BackendRegistry::global(), request, grid);
@@ -201,61 +280,22 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec, const CampaignOptio
             throw SpecError(evaluated.error().message, 0);
         }
         eval::CampaignEvaluation evaluation = evaluated.take();
-        result.summary.batch_waves = evaluation.stats.waves;
-        result.summary.sequential_waves = evaluation.stats.sequential_waves;
-        result.summary.batch_tasks = evaluation.stats.tasks;
-        for (std::size_t b = 0; b < num_methods; ++b) {
-            for (std::size_t v = 0; v < num_variants; ++v) {
-                store_outcome(b, v, std::move(evaluation.outcomes[b][v]));
-            }
-        }
+        batch_waves = evaluation.stats.waves;
+        sequential_waves = evaluation.stats.sequential_waves;
+        batch_tasks = evaluation.stats.tasks;
+        outcomes = std::move(evaluation.outcomes);
     }
 
-    // Serial, point-ordered post-processing: pairwise deltas against the
-    // first backend, the legacy model/sim view, and summary totals are all
-    // independent of execution order.
-    for (CampaignPoint& point : result.points) {
-        const core::Measures& reference = point.evaluations.front().measures;
-        for (std::size_t b = 1; b < num_methods; ++b) {
-            const core::Measures& other = point.evaluations[b].measures;
-            point.deltas[b] = {
-                reference.carried_data_traffic - other.carried_data_traffic,
-                reference.packet_loss_probability - other.packet_loss_probability,
-                reference.queueing_delay - other.queueing_delay,
-                reference.throughput_per_user_kbps - other.throughput_per_user_kbps,
-            };
-        }
-        synthesize_legacy_view(point);
+    auto assembled = assemble_campaign(workload, std::move(outcomes));
+    if (!assembled.ok()) {
+        throw std::runtime_error(assembled.error().message);
     }
-
-    CampaignSummary& summary = result.summary;
-    summary.variants = num_variants;
-    summary.points = num_points;
-    summary.threads = width;
-    bool any_chain = false;
-    for (const CampaignPoint& point : result.points) {
-        for (const eval::PointEvaluation& evaluation : point.evaluations) {
-            if (evaluation.iterations > 0) {
-                any_chain = true;
-                ++summary.model_solves;
-                summary.total_iterations += evaluation.iterations;
-                if (evaluation.warm_parent >= 0) {
-                    ++summary.warm_offered_solves;
-                }
-                if (evaluation.warm_started) {
-                    ++summary.warm_started_solves;
-                }
-            }
-            if (evaluation.has_confidence) {
-                summary.sim_replications +=
-                    static_cast<long long>(evaluation.sim.replications.size());
-                summary.sim_events += evaluation.sim.events_executed;
-            }
-        }
-    }
-    summary.warm_start = any_chain && effective.solver.warm_start;
-    result.variants = std::move(variants);
-    summary.wall_seconds =
+    CampaignResult result = assembled.take();
+    result.summary.batch_waves = batch_waves;
+    result.summary.sequential_waves = sequential_waves;
+    result.summary.batch_tasks = batch_tasks;
+    result.summary.threads = width;
+    result.summary.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     return result;
 }

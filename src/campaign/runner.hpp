@@ -172,6 +172,44 @@ struct CampaignResult {
     }
 };
 
+/// The expanded, execution-ready form of a spec: the effective spec (with
+/// the CampaignOptions overrides folded in), its materialized variants, and
+/// one ScenarioQuery per variant. This is the shared front half of every
+/// campaign execution path — CampaignRunner::run and the evaluation
+/// service (src/service/) both build the same workload, so a service
+/// request and a one-shot CLI run evaluate literally identical queries.
+struct CampaignWorkload {
+    ScenarioSpec effective;
+    std::vector<Variant> variants;
+    std::vector<eval::ScenarioQuery> queries;  ///< parallel to `variants`
+
+    std::size_t num_rates() const { return effective.rates.size(); }
+    /// Substream/grid offset of variant v — the flat point index of its
+    /// first grid point. EVERY dispatch path must pass this as
+    /// GridOptions::grid_offset so DES replications of variant v draw from
+    /// the same substream blocks regardless of who evaluates the slice.
+    std::uint64_t grid_offset(std::size_t v) const {
+        return static_cast<std::uint64_t>(v * num_rates());
+    }
+};
+
+/// Applies force_cold / solver_method_override and expands the spec.
+/// Throws SpecError on an invalid spec (same contract as expand()).
+CampaignWorkload build_campaign_workload(const ScenarioSpec& spec,
+                                         const CampaignOptions& options = {});
+
+/// Assembles per-(backend, variant) grid outcomes — outcomes[b][v] in
+/// workload.effective.methods x workload.variants order — into a finished
+/// CampaignResult: per-point evaluations, pairwise deltas, the legacy
+/// model/sim view, and the summary counters. The first failed outcome
+/// (scanned backend-major, variant-minor) is returned as its typed error
+/// with the message prefixed "campaign backend \"<name>\": ".
+/// Execution-shape summary fields (threads, wall_seconds, batch_waves,
+/// batch_tasks) are left zero for the caller.
+common::Result<CampaignResult> assemble_campaign(
+    const CampaignWorkload& workload,
+    std::vector<std::vector<eval::GridOutcome>> outcomes);
+
 /// Runs campaigns on a SolverEngine's pool; backends shard their grid tasks
 /// (chain solves, simulator replications) on the same workers. Like the
 /// engines, one runner should live as long as the workload.

@@ -12,6 +12,7 @@
 #include "core/sweep.hpp"
 #include "eval/registry.hpp"
 #include "traffic/threegpp.hpp"
+#include "traffic/trace.hpp"
 
 namespace gprsim::campaign {
 
@@ -145,6 +146,39 @@ std::vector<std::string> parse_methods(const JsonValue& value) {
     }
     check_method_names(methods, value.line());
     return methods;
+}
+
+/// The traffic axis accepts integers (Table 3 presets), "trace:<file>"
+/// strings (arrival traces fitted during expand()), or an array mixing
+/// both. Fills the spec's two traffic vectors; any string without the
+/// "trace:" prefix is rejected with the key's line.
+void parse_traffic_axis(const JsonValue& value, ScenarioSpec& spec) {
+    spec.traffic_models.clear();
+    spec.traffic_traces.clear();
+    const auto add_entry = [&spec](const JsonValue& item) {
+        if (item.is_string()) {
+            const std::string& text = item.as_string();
+            if (text.rfind("trace:", 0) != 0 || text.size() <= 6) {
+                throw SpecError(
+                    "\"traffic_model\" strings must be \"trace:<file>\", got \"" + text +
+                        "\"",
+                    item.line());
+            }
+            spec.traffic_traces.push_back(text.substr(6));
+        } else {
+            spec.traffic_models.push_back(require_int(item, "traffic_model"));
+        }
+    };
+    if (value.is_array()) {
+        if (value.items().empty()) {
+            throw SpecError("\"traffic_model\" must not be an empty array", value.line());
+        }
+        for (const JsonValue& item : value.items()) {
+            add_entry(item);
+        }
+    } else {
+        add_entry(value);
+    }
 }
 
 std::vector<double> parse_rates(const JsonValue& value) {
@@ -313,6 +347,11 @@ ScenarioSpec& ScenarioSpec::over_traffic_models(std::vector<int> values) {
     return *this;
 }
 
+ScenarioSpec& ScenarioSpec::over_traffic_traces(std::vector<std::string> values) {
+    traffic_traces = std::move(values);
+    return *this;
+}
+
 ScenarioSpec& ScenarioSpec::over_reserved_pdch(std::vector<int> values) {
     reserved_pdch = std::move(values);
     return *this;
@@ -388,8 +427,9 @@ std::size_t ScenarioSpec::variant_count() const {
         network.enabled ? network.cell_counts.size() * network.speeds_kmh.size() *
                               network.reuse_factors.size()
                         : 1;
-    return traffic_models.size() * reserved_pdch.size() * gprs_fractions.size() *
-           coding_schemes.size() * max_gprs_sessions.size() * network_axes;
+    return (traffic_models.size() + traffic_traces.size()) * reserved_pdch.size() *
+           gprs_fractions.size() * coding_schemes.size() * max_gprs_sessions.size() *
+           network_axes;
 }
 
 bool ScenarioSpec::uses_backend(const std::string& backend) const {
@@ -412,12 +452,23 @@ void ScenarioSpec::validate() const {
             throw SpecError("campaign name must not contain control characters", 0);
         }
     }
-    if (traffic_models.empty() || reserved_pdch.empty() || gprs_fractions.empty() ||
-        coding_schemes.empty() || max_gprs_sessions.empty()) {
+    if ((traffic_models.empty() && traffic_traces.empty()) || reserved_pdch.empty() ||
+        gprs_fractions.empty() || coding_schemes.empty() || max_gprs_sessions.empty()) {
         throw SpecError("every variant axis needs at least one value", 0);
     }
     for (const int model_id : traffic_models) {
         preset_for_model(model_id, 0);  // throws on an unknown id
+    }
+    for (std::size_t i = 0; i < traffic_traces.size(); ++i) {
+        if (traffic_traces[i].empty()) {
+            throw SpecError("traffic trace path must not be empty", 0);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+            if (traffic_traces[j] == traffic_traces[i]) {
+                throw SpecError("traffic trace \"" + traffic_traces[i] + "\" listed twice",
+                                0);
+            }
+        }
     }
     for (const double fraction : gprs_fractions) {
         if (fraction <= 0.0 || fraction >= 1.0) {
@@ -521,16 +572,39 @@ void ScenarioSpec::validate() const {
 
 std::vector<Variant> ScenarioSpec::expand() const {
     validate();
+    // Unified traffic axis: the Table 3 presets, then each trace file
+    // fitted once per expand() (traffic/trace.hpp). A fit failure —
+    // unreadable file, degenerate trace — is a SpecError naming the path.
+    struct TrafficEntry {
+        int model_id = 0;  ///< 0 for trace entries
+        std::string trace;
+        traffic::TrafficModelPreset preset;
+    };
+    std::vector<TrafficEntry> traffic_axis;
+    traffic_axis.reserve(traffic_models.size() + traffic_traces.size());
+    for (const int model_id : traffic_models) {
+        traffic_axis.push_back({model_id, {}, preset_for_model(model_id, 0)});
+    }
+    for (const std::string& path : traffic_traces) {
+        auto fitted = traffic::fit_trace_file(path);
+        if (!fitted.ok()) {
+            throw SpecError("traffic trace \"" + path + "\": " + fitted.error().message,
+                            0);
+        }
+        traffic_axis.push_back({0, path, std::move(fitted.value().preset)});
+    }
     std::vector<Variant> variants;
     variants.reserve(variant_count());
-    for (const int model_id : traffic_models) {
-        const traffic::TrafficModelPreset preset = preset_for_model(model_id, 0);
+    for (const TrafficEntry& entry : traffic_axis) {
+        const int model_id = entry.model_id;
+        const traffic::TrafficModelPreset& preset = entry.preset;
         for (const int pdch : reserved_pdch) {
             for (const double fraction : gprs_fractions) {
                 for (const core::CodingScheme scheme : coding_schemes) {
                     for (const int sessions : max_gprs_sessions) {
                         Variant variant;
                         variant.traffic_model = model_id;
+                        variant.traffic_trace = entry.trace;
                         variant.reserved_pdch = pdch;
                         variant.gprs_fraction = fraction;
                         variant.coding_scheme = scheme;
@@ -551,11 +625,22 @@ std::vector<Variant> ScenarioSpec::expand() const {
                         p.validate();  // std::invalid_argument names the field
                         variant.parameters = p;
 
-                        char label[96];
-                        std::snprintf(label, sizeof(label),
-                                      "tm%d pdch=%d gprs=%g%% %s M=%d", model_id, pdch,
-                                      100.0 * fraction, core::coding_scheme_name(scheme),
-                                      p.max_gprs_sessions);
+                        char label[160];
+                        if (entry.trace.empty()) {
+                            std::snprintf(label, sizeof(label),
+                                          "tm%d pdch=%d gprs=%g%% %s M=%d", model_id,
+                                          pdch, 100.0 * fraction,
+                                          core::coding_scheme_name(scheme),
+                                          p.max_gprs_sessions);
+                        } else {
+                            // Trace variants label by the fitted preset's name
+                            // ("trace:<basename>") in place of the tm id.
+                            std::snprintf(label, sizeof(label),
+                                          "%s pdch=%d gprs=%g%% %s M=%d",
+                                          preset.name.c_str(), pdch, 100.0 * fraction,
+                                          core::coding_scheme_name(scheme),
+                                          p.max_gprs_sessions);
+                        }
                         variant.label = label;
                         if (!network.enabled) {
                             variants.push_back(std::move(variant));
@@ -605,7 +690,7 @@ ScenarioSpec interpret_spec(const JsonValue& root) {
         } else if (key == "method" || key == "methods") {
             spec.methods = parse_methods(value);
         } else if (key == "traffic_model") {
-            spec.traffic_models = int_axis(value, key);
+            parse_traffic_axis(value, spec);
         } else if (key == "reserved_pdch") {
             spec.reserved_pdch = int_axis(value, key);
         } else if (key == "gprs_fraction") {
@@ -675,7 +760,19 @@ ScenarioSpec parse_spec_file(const std::string& path) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parse_spec(buffer.str());
+    ScenarioSpec spec = parse_spec(buffer.str());
+    // Relative trace paths resolve against the spec file's directory, so a
+    // campaign and its captures travel together.
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+        const std::string dir = path.substr(0, slash + 1);
+        for (std::string& trace : spec.traffic_traces) {
+            if (!trace.empty() && trace.front() != '/') {
+                trace = dir + trace;
+            }
+        }
+    }
+    return spec;
 }
 
 }  // namespace gprsim::campaign

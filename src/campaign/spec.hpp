@@ -104,7 +104,10 @@ struct NetworkSpec {
 /// point.
 struct Variant {
     std::string label;  ///< e.g. "tm3 pdch=1 gprs=5% CS-2"
-    int traffic_model = 1;
+    int traffic_model = 1;      ///< Table 3 preset id; 0 for trace variants
+    /// Trace file path when this variant's traffic came from a fitted
+    /// arrival trace ("traffic_model": "trace:<file>"); empty for presets.
+    std::string traffic_trace;
     int reserved_pdch = 1;
     double gprs_fraction = 0.05;
     core::CodingScheme coding_scheme = core::CodingScheme::cs2;
@@ -129,6 +132,11 @@ struct ScenarioSpec {
 
     // --- variant axes (cartesian product, outermost first) ---------------
     std::vector<int> traffic_models{1};
+    /// Trace-workload extension of the traffic axis: arrival-trace files,
+    /// each fitted to an IPP/3GPP model during expand() (traffic/trace.hpp)
+    /// and crossed into the product after the integer presets. Spec files
+    /// spell these as "traffic_model": "trace:<file>" entries.
+    std::vector<std::string> traffic_traces;
     std::vector<int> reserved_pdch{1};
     std::vector<double> gprs_fractions{0.05};
     std::vector<core::CodingScheme> coding_schemes{core::CodingScheme::cs2};
@@ -155,6 +163,8 @@ struct ScenarioSpec {
     ScenarioSpec& with_method(const std::string& value);
     ScenarioSpec& with_methods(std::vector<std::string> values);
     ScenarioSpec& over_traffic_models(std::vector<int> values);
+    /// Trace-workload axis: arrival-trace file paths (fitted in expand()).
+    ScenarioSpec& over_traffic_traces(std::vector<std::string> values);
     ScenarioSpec& over_reserved_pdch(std::vector<int> values);
     ScenarioSpec& over_gprs_fractions(std::vector<double> values);
     ScenarioSpec& over_coding_schemes(std::vector<core::CodingScheme> values);
@@ -187,7 +197,8 @@ struct ScenarioSpec {
     void validate() const;
 
     /// Validates, then materializes the cartesian product in deterministic
-    /// order: traffic_models (outermost) > reserved_pdch > gprs_fractions >
+    /// order: the traffic axis (integer presets first, then traces, each in
+    /// listed order, outermost) > reserved_pdch > gprs_fractions >
     /// coding_schemes > max_gprs_sessions > [network.cell_counts >
     /// network.speeds_kmh > network.reuse_factors] (innermost; network axes
     /// only when the network block is enabled). The runner's point order,
@@ -202,7 +213,10 @@ struct ScenarioSpec {
 ///                        ["ctmc", "des", "mm1k-approx"]
 ///   "method"             legacy single-string form: any backend name, or
 ///                        the alias "both" (= ["ctmc", "des"])
-///   "traffic_model"      1|2|3, or an array of them
+///   "traffic_model"      1|2|3 or "trace:<file>" (an arrival trace fitted
+///                        to an IPP/3GPP model), or an array mixing both;
+///                        presets expand before traces regardless of the
+///                        listed order
 ///   "reserved_pdch"      int or array
 ///   "gprs_fraction"      number in (0,1) or array
 ///   "coding_scheme"      "cs1".."cs4" (or "CS-1".."CS-4"), or an array
@@ -227,6 +241,8 @@ struct ScenarioSpec {
 ScenarioSpec parse_spec(const std::string& text);
 
 /// Reads and parses a spec file; throws SpecError when unreadable.
+/// Relative "trace:<file>" paths are resolved against the spec file's
+/// directory, so campaign specs can ship next to their captures.
 ScenarioSpec parse_spec_file(const std::string& path);
 
 }  // namespace gprsim::campaign

@@ -34,6 +34,11 @@ enum class EvalErrorCode {
     /// Anything else a backend caught at the boundary (bad_alloc, logic
     /// errors in third-party backends, ...).
     internal,
+    /// The service's bounded admission queue is full; retry later. Never
+    /// produced by backends themselves — only by the serving layer.
+    saturated,
+    /// The request was cancelled by the client before it completed.
+    cancelled,
 };
 
 inline const char* eval_error_code_name(EvalErrorCode code) {
@@ -44,6 +49,8 @@ inline const char* eval_error_code_name(EvalErrorCode code) {
         case EvalErrorCode::duplicate_backend: return "duplicate_backend";
         case EvalErrorCode::unsupported: return "unsupported";
         case EvalErrorCode::internal: return "internal";
+        case EvalErrorCode::saturated: return "saturated";
+        case EvalErrorCode::cancelled: return "cancelled";
     }
     return "unknown";
 }

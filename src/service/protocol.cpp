@@ -1,0 +1,118 @@
+#include "service/protocol.hpp"
+
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace gprsim::service {
+
+namespace {
+
+common::EvalError frame_error(std::string message) {
+    return common::EvalError{common::EvalErrorCode::invalid_query, std::move(message)};
+}
+
+/// Splits `line` into whitespace-separated tokens (single spaces only in
+/// well-formed frames, but tolerate runs).
+std::array<std::string, 4> split4(const std::string& line, std::size_t& count) {
+    std::array<std::string, 4> tokens;
+    count = 0;
+    std::size_t i = 0;
+    while (i < line.size() && count < tokens.size()) {
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i >= line.size()) break;
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ' ') ++i;
+        tokens[count++] = line.substr(start, i - start);
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size()) count = tokens.size() + 1;  // trailing garbage
+    return tokens;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+    if (token.empty()) return false;
+    for (const char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size()) return false;
+    out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+    std::string out = "GPRS/1 " + frame.type + ' ' + std::to_string(frame.id) + ' ' +
+                      std::to_string(frame.payload.size()) + '\n';
+    out += frame.payload;
+    return out;
+}
+
+common::Result<std::size_t> parse_frame_header(const std::string& line, Frame& frame) {
+    std::size_t count = 0;
+    const auto tokens = split4(line, count);
+    if (count != 4) {
+        return frame_error("malformed frame header (expected \"GPRS/1 <type> <id> "
+                           "<length>\"): \"" +
+                           line.substr(0, 80) + "\"");
+    }
+    if (tokens[0] != "GPRS/1") {
+        return frame_error("unknown protocol magic \"" + tokens[0] +
+                           "\" (expected \"GPRS/1\")");
+    }
+    if (tokens[1].empty()) {
+        return frame_error("empty frame type");
+    }
+    for (const char c : tokens[1]) {
+        if (!std::islower(static_cast<unsigned char>(c)) && c != '-') {
+            return frame_error("invalid frame type \"" + tokens[1] + "\"");
+        }
+    }
+    std::uint64_t id = 0;
+    if (!parse_u64(tokens[2], id)) {
+        return frame_error("invalid frame id \"" + tokens[2] + "\"");
+    }
+    std::uint64_t length = 0;
+    if (!parse_u64(tokens[3], length)) {
+        return frame_error("invalid frame length \"" + tokens[3] + "\"");
+    }
+    if (length > kMaxFrameBytes) {
+        return frame_error("frame length " + tokens[3] + " exceeds the " +
+                           std::to_string(kMaxFrameBytes) + "-byte protocol cap");
+    }
+    frame.type = tokens[1];
+    frame.id = id;
+    frame.payload.clear();
+    return static_cast<std::size_t>(length);
+}
+
+std::string encode_error_payload(const common::EvalError& error) {
+    return std::string(common::eval_error_code_name(error.code)) + '\n' + error.message;
+}
+
+common::EvalError decode_error_payload(const std::string& payload) {
+    common::EvalError error;
+    const auto newline = payload.find('\n');
+    const std::string code =
+        newline == std::string::npos ? payload : payload.substr(0, newline);
+    error.message = newline == std::string::npos ? "" : payload.substr(newline + 1);
+    error.code = common::EvalErrorCode::internal;
+    for (const auto candidate :
+         {common::EvalErrorCode::invalid_query, common::EvalErrorCode::non_convergence,
+          common::EvalErrorCode::unknown_backend, common::EvalErrorCode::duplicate_backend,
+          common::EvalErrorCode::unsupported, common::EvalErrorCode::internal,
+          common::EvalErrorCode::saturated, common::EvalErrorCode::cancelled}) {
+        if (code == common::eval_error_code_name(candidate)) {
+            error.code = candidate;
+            break;
+        }
+    }
+    return error;
+}
+
+}  // namespace gprsim::service

@@ -1,0 +1,64 @@
+// The gprsim_serve wire protocol: length-prefixed frames over a local
+// stream (unix socket or stdin/stdout pipe).
+//
+// Every frame is one ASCII header line followed by exactly `length` raw
+// payload bytes:
+//
+//   GPRS/1 <type> <id> <length>\n<payload bytes>
+//
+// `type` is a lowercase token, `id` the client-chosen request id the frame
+// belongs to (0 for connection-level frames), `length` the payload byte
+// count. Client -> server types: "campaign" (payload = a campaign spec,
+// spec.hpp format), "fit-trace" (payload = a trace file path), "cancel",
+// "stats", "ping". Server -> client: "hello" (version banner), "accepted"
+// (request admitted), "csv" (a chunk of the result CSV; concatenating a
+// request's csv payloads yields exactly the bytes `gprsim_cli campaign
+// --csv=` writes for the same spec), "fitted" (fit-trace result, JSON),
+// "done" (request complete; payload = summary JSON), "error" (payload =
+// "<code>\n<message>" with code an eval_error_code_name), "stats"
+// (rolling-stats JSON), "pong".
+//
+// The header grammar is deliberately trivial — resynchronization after a
+// malformed header is impossible on a byte stream, so a header parse error
+// is fatal for the connection (the server answers with one final typed
+// error frame and closes), while a well-framed but malformed PAYLOAD
+// (bad spec JSON, unknown backend) only fails that request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace gprsim::service {
+
+/// One protocol frame. `type` tokens are listed in the header comment.
+struct Frame {
+    std::string type;
+    std::uint64_t id = 0;
+    std::string payload;
+};
+
+/// Hard cap a parser accepts for `length` before reading the payload —
+/// protects the server from a "999999999999" header. Requests are
+/// additionally capped by ServiceOptions::max_request_bytes (smaller).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Serializes header + payload ("GPRS/1 <type> <id> <length>\n<payload>").
+std::string encode_frame(const Frame& frame);
+
+/// Parses a header LINE (without the trailing '\n'). On success fills
+/// type/id and returns the payload length via `payload_length`; the caller
+/// reads that many bytes next. Errors are invalid_query with a message
+/// naming the defect (bad magic, missing field, oversized length).
+common::Result<std::size_t> parse_frame_header(const std::string& line, Frame& frame);
+
+/// Builds the "<code>\n<message>" payload of an "error" frame.
+std::string encode_error_payload(const common::EvalError& error);
+
+/// Splits an "error" frame payload back into a typed error. Unknown code
+/// names map to EvalErrorCode::internal (forward compatibility).
+common::EvalError decode_error_payload(const std::string& payload);
+
+}  // namespace gprsim::service

@@ -1,0 +1,86 @@
+#include "service/ring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gprsim::service {
+
+FrameRing::FrameRing(std::size_t capacity) : slots_(std::max<std::size_t>(1, capacity)) {}
+
+bool FrameRing::push(Frame frame) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return count_ < slots_.size() || shutdown_; });
+    if (shutdown_) {
+        return false;
+    }
+    slots_[(head_ + count_) % slots_.size()] = std::move(frame);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+void FrameRing::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+std::optional<Frame> FrameRing::pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return count_ > 0 || closed_ || shutdown_; });
+    if (count_ == 0) {
+        return std::nullopt;  // closed (or shut down) and drained
+    }
+    Frame frame = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return frame;
+}
+
+bool FrameRing::try_pop(Frame& out, bool& end_of_stream) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    end_of_stream = count_ == 0 && (closed_ || shutdown_);
+    if (count_ == 0) {
+        return false;
+    }
+    out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+}
+
+void FrameRing::shutdown() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        // Drop buffered frames: nobody will read them.
+        head_ = 0;
+        count_ = 0;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+std::size_t FrameRing::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+bool FrameRing::closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+bool FrameRing::shut_down() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+}  // namespace gprsim::service

@@ -1,0 +1,73 @@
+// Bounded SPSC frame ring: the per-request result channel between ONE
+// evaluation worker (producer) and ONE connection writer (consumer).
+//
+// The ring is the service's backpressure boundary on the streaming side: a
+// slow client blocks its own worker once the ring fills (push waits), never
+// the other requests, and a vanished client (consumer shutdown) turns every
+// further push into a cheap no-op so the worker abandons the remaining work
+// instead of filling unbounded memory — the exact-capture bring/stats split
+// the ROADMAP names, with frames instead of packet blocks. Whole frames are
+// the transfer unit, so a reader never observes a half-written CSV chunk.
+//
+// Concurrency: fixed-capacity circular buffer, one mutex + two condition
+// variables. The lock is held only to move one frame in or out; both sides
+// block (with no spinning) when the ring is full/empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace gprsim::service {
+
+class FrameRing {
+public:
+    /// `capacity` frames are buffered before push blocks; at least 1.
+    explicit FrameRing(std::size_t capacity);
+
+    FrameRing(const FrameRing&) = delete;
+    FrameRing& operator=(const FrameRing&) = delete;
+
+    /// Producer: enqueues one frame, blocking while the ring is full.
+    /// Returns false — discarding the frame — once the consumer has shut
+    /// down (client disconnected); producers stop streaming on false.
+    bool push(Frame frame);
+
+    /// Producer: no more frames will follow. pop() drains the remainder,
+    /// then reports end-of-stream.
+    void close();
+
+    /// Consumer: dequeues the next frame, blocking while the ring is empty
+    /// and the producer has not closed. nullopt = stream complete (closed
+    /// and drained).
+    std::optional<Frame> pop();
+
+    /// Consumer: non-blocking pop. `false` with `end_of_stream` false means
+    /// "nothing buffered right now".
+    bool try_pop(Frame& out, bool& end_of_stream);
+
+    /// Consumer: abandon the stream (client gone). Buffered frames are
+    /// dropped and every subsequent push returns false immediately.
+    void shutdown();
+
+    /// Frames currently buffered (diagnostics; racy by nature).
+    std::size_t size() const;
+    bool closed() const;
+    bool shut_down() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::vector<Frame> slots_;
+    std::size_t head_ = 0;   ///< next pop position
+    std::size_t count_ = 0;  ///< buffered frames
+    bool closed_ = false;
+    bool shutdown_ = false;
+};
+
+}  // namespace gprsim::service

@@ -1,0 +1,279 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace gprsim::service {
+
+namespace {
+
+/// Shared write side of one connection; forwarders and the reader all
+/// funnel whole frames through write_frame.
+struct ConnectionWriter {
+    explicit ConnectionWriter(int write_fd) : fd(write_fd) {}
+
+    int fd;
+    std::mutex mutex;
+    bool failed = false;  ///< first short/failed write poisons the rest
+
+    /// Writes one whole frame under the mutex; false once the peer is gone.
+    bool write_frame(const Frame& frame) {
+        const std::string bytes = encode_frame(frame);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (failed) {
+            return false;
+        }
+        std::size_t written = 0;
+        while (written < bytes.size()) {
+            const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR) {
+                    continue;
+                }
+                failed = true;  // EPIPE et al.: client disconnected
+                return false;
+            }
+            written += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+};
+
+/// Reads exactly `count` bytes; false on EOF/error.
+bool read_exact(int fd, char* out, std::size_t count) {
+    std::size_t done = 0;
+    while (done < count) {
+        const ssize_t n = ::read(fd, out + done, count - done);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Reads up to '\n' (exclusive). False on EOF before any byte; a header
+/// line has no business being longer than `limit`, beyond it we bail out
+/// as malformed. Byte-at-a-time is fine for a ~30-byte header.
+bool read_line(int fd, std::string& line, std::size_t limit = 256) {
+    line.clear();
+    char ch = 0;
+    while (line.size() <= limit) {
+        const ssize_t n = ::read(fd, &ch, 1);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            return !line.empty();  // EOF mid-line still surfaces for parsing
+        }
+        if (ch == '\n') {
+            return true;
+        }
+        line.push_back(ch);
+    }
+    return true;  // over-long: hand the junk to the parser to reject
+}
+
+/// Discards `count` payload bytes in bounded chunks (oversized request:
+/// the frame is well-formed, so the connection survives — but the payload
+/// never touches memory as one block).
+bool drain_payload(int fd, std::size_t count) {
+    char sink[64 * 1024];
+    while (count > 0) {
+        const std::size_t chunk = count < sizeof(sink) ? count : sizeof(sink);
+        if (!read_exact(fd, sink, chunk)) {
+            return false;
+        }
+        count -= chunk;
+    }
+    return true;
+}
+
+}  // namespace
+
+int Server::serve_fds(int read_fd, int write_fd) {
+    ConnectionWriter writer(write_fd);
+    writer.write_frame(Frame{"hello", 0, "gprsim_serve GPRS/1"});
+
+    std::mutex streams_mutex;
+    std::map<std::uint64_t, RequestStreamPtr> streams;
+    std::vector<std::thread> forwarders;
+    int status = 0;
+
+    std::string line;
+    while (read_line(read_fd, line)) {
+        Frame request;
+        auto length = parse_frame_header(line, request);
+        if (!length.ok()) {
+            // Malformed header: impossible to find the next frame boundary
+            // on a byte stream — answer once, then hang up.
+            writer.write_frame(Frame{"error", 0, encode_error_payload(length.error())});
+            status = 1;
+            break;
+        }
+        const std::size_t cap = service_.options().max_request_bytes;
+        if (length.value() > cap) {
+            if (!drain_payload(read_fd, length.value())) {
+                break;
+            }
+            char message[128];
+            std::snprintf(message, sizeof(message),
+                          "%zu-byte payload exceeds the request cap of %zu bytes",
+                          length.value(), cap);
+            writer.write_frame(Frame{
+                "error", request.id,
+                encode_error_payload(common::EvalError{
+                    common::EvalErrorCode::invalid_query, message})});
+            continue;
+        }
+        request.payload.resize(length.value());
+        if (length.value() > 0 && !read_exact(read_fd, request.payload.data(), length.value())) {
+            break;  // disconnect mid-payload
+        }
+
+        if (request.type == "campaign") {
+            auto stream = service_.submit(request.id, request.payload);
+            if (!stream.ok()) {
+                writer.write_frame(
+                    Frame{"error", request.id, encode_error_payload(stream.error())});
+                continue;
+            }
+            {
+                std::lock_guard<std::mutex> lock(streams_mutex);
+                streams[request.id] = stream.value();
+            }
+            forwarders.emplace_back([&writer, &streams_mutex, &streams,
+                                     stream = stream.value()] {
+                while (auto frame = stream->pop()) {
+                    if (!writer.write_frame(*frame)) {
+                        stream->abandon();  // client gone: stop the worker too
+                        break;
+                    }
+                }
+                std::lock_guard<std::mutex> lock(streams_mutex);
+                streams.erase(stream->id());
+            });
+        } else if (request.type == "cancel") {
+            RequestStreamPtr target;
+            {
+                std::lock_guard<std::mutex> lock(streams_mutex);
+                auto it = streams.find(request.id);
+                if (it != streams.end()) {
+                    target = it->second;
+                }
+            }
+            if (target) {
+                target->cancel();
+            } else {
+                writer.write_frame(Frame{
+                    "error", request.id,
+                    encode_error_payload(common::EvalError{
+                        common::EvalErrorCode::invalid_query,
+                        "cancel: no in-flight request with this id"})});
+            }
+        } else if (request.type == "fit-trace") {
+            auto fitted = service_.fit_trace(request.payload);
+            if (fitted.ok()) {
+                writer.write_frame(
+                    Frame{"fitted", request.id, fitted_traffic_json(fitted.value())});
+            } else {
+                writer.write_frame(
+                    Frame{"error", request.id, encode_error_payload(fitted.error())});
+            }
+        } else if (request.type == "stats") {
+            writer.write_frame(Frame{"stats", request.id, service_.stats().to_json()});
+        } else if (request.type == "ping") {
+            writer.write_frame(Frame{"pong", request.id, request.payload});
+        } else {
+            writer.write_frame(Frame{
+                "error", request.id,
+                encode_error_payload(common::EvalError{
+                    common::EvalErrorCode::invalid_query,
+                    "unknown frame type \"" + request.type + "\""})});
+        }
+    }
+
+    // Reader done (EOF, disconnect, or fatal error): abandon every live
+    // stream so workers stop producing, then wait the forwarders out.
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex);
+        for (auto& [id, stream] : streams) {
+            stream->abandon();
+        }
+    }
+    for (std::thread& forwarder : forwarders) {
+        forwarder.join();
+    }
+    return status;
+}
+
+int Server::serve_unix(const std::string& socket_path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("gprsim_serve: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "gprsim_serve: socket path too long: %s\n", socket_path.c_str());
+        ::close(fd);
+        return 1;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    ::unlink(socket_path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        std::perror("gprsim_serve: bind/listen");
+        ::close(fd);
+        return 1;
+    }
+    listen_fd_.store(fd);
+
+    std::vector<std::thread> connections;
+    while (!stopping_.load()) {
+        const int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR && !stopping_.load()) {
+                continue;
+            }
+            break;  // listen socket closed by stop()
+        }
+        connections.emplace_back([this, client] {
+            serve_fds(client, client);
+            ::close(client);
+        });
+    }
+    for (std::thread& connection : connections) {
+        connection.join();
+    }
+    ::unlink(socket_path.c_str());
+    return 0;
+}
+
+void Server::stop() {
+    stopping_.store(true);
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
+        // shutdown() wakes a blocked accept portably; close releases the fd.
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+}  // namespace gprsim::service

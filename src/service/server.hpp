@@ -1,0 +1,58 @@
+// Transport layer of gprsim_serve: frames a CampaignService over a local
+// byte stream — a unix-domain socket (one thread per connection) or the
+// process's own stdin/stdout pipe (--stdio; one connection, then exit).
+//
+// Per connection: a reader loop parses incoming frames and dispatches
+// (campaign / fit-trace / cancel / stats / ping); each admitted campaign
+// gets a forwarder thread that drains its RequestStream ring into the
+// connection. Whole frames are written under one per-connection write
+// mutex, so concurrent request streams interleave at frame granularity and
+// a reader never sees a torn frame.
+//
+// Failure semantics (the fault-injection test pins these):
+//   - malformed frame HEADER: one final typed error frame, connection
+//     closed (resync on a byte stream is impossible);
+//   - malformed PAYLOAD (bad spec, unknown backend, oversized request):
+//     a typed error frame for that request id only; the connection lives;
+//   - client disconnect / write failure: every live stream is abandoned —
+//     workers stop producing at the ring, mid-campaign requests cancel at
+//     the next slice boundary. Never a crash, never a hang.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace gprsim::service {
+
+class Server {
+public:
+    explicit Server(CampaignService& service) : service_(service) {}
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Serves ONE connection on an established fd pair (stdio mode uses
+    /// fds 0/1). Blocks until the peer disconnects; returns 0 on a clean
+    /// close, 1 after a fatal protocol error.
+    int serve_fds(int read_fd, int write_fd);
+
+    /// Binds `socket_path` (unlinking a stale file first), then accepts
+    /// connections until stop() — each served on its own thread. Returns
+    /// 0 on clean shutdown, 1 when the socket cannot be set up (message on
+    /// stderr).
+    int serve_unix(const std::string& socket_path);
+
+    /// Makes serve_unix return after the current accept wakes. Safe from a
+    /// signal-triggered thread.
+    void stop();
+
+private:
+    CampaignService& service_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<int> listen_fd_{-1};
+};
+
+}  // namespace gprsim::service

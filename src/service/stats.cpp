@@ -1,0 +1,103 @@
+#include "service/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gprsim::service {
+
+namespace {
+
+/// Nearest-rank quantile of an unsorted copy (q in [0, 1]).
+double quantile(std::vector<double> values, double q) {
+    if (values.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+    auto nth = values.begin() + static_cast<std::ptrdiff_t>(std::min(rank, values.size() - 1));
+    std::nth_element(values.begin(), nth, values.end());
+    return *nth;
+}
+
+}  // namespace
+
+std::string StatsSnapshot::to_json() const {
+    char buffer[640];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"requests\": {\"received\": %llu, \"served\": %llu, \"rejected\": %llu, "
+        "\"failed\": %llu, \"cancelled\": %llu}, "
+        "\"store\": {\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.6f}, "
+        "\"points\": {\"evaluated\": %llu, \"p50_seconds\": %.9f, "
+        "\"p99_seconds\": %.9f, \"reservoir\": %zu}}",
+        static_cast<unsigned long long>(requests_received),
+        static_cast<unsigned long long>(requests_served),
+        static_cast<unsigned long long>(requests_rejected),
+        static_cast<unsigned long long>(requests_failed),
+        static_cast<unsigned long long>(requests_cancelled),
+        static_cast<unsigned long long>(store_hits),
+        static_cast<unsigned long long>(store_misses), store_hit_rate(),
+        static_cast<unsigned long long>(points_evaluated), p50_point_seconds,
+        p99_point_seconds, reservoir_points);
+    return buffer;
+}
+
+RollingStats::RollingStats(std::size_t reservoir_capacity) {
+    reservoir_.reserve(std::max<std::size_t>(1, reservoir_capacity));
+}
+
+void RollingStats::record_received() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests_received;
+}
+
+void RollingStats::record_served() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests_served;
+}
+
+void RollingStats::record_rejected() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests_rejected;
+}
+
+void RollingStats::record_failed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests_failed;
+}
+
+void RollingStats::record_cancelled() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.requests_cancelled;
+}
+
+void RollingStats::record_store(bool hit) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (hit) {
+        ++counters_.store_hits;
+    } else {
+        ++counters_.store_misses;
+    }
+}
+
+void RollingStats::record_point(double wall_seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.points_evaluated;
+    if (reservoir_.size() < reservoir_.capacity()) {
+        reservoir_.push_back(wall_seconds);
+    } else {
+        // Rolling window: overwrite the oldest sample.
+        reservoir_[next_slot_] = wall_seconds;
+        next_slot_ = (next_slot_ + 1) % reservoir_.size();
+    }
+}
+
+StatsSnapshot RollingStats::snapshot() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    StatsSnapshot snap = counters_;
+    std::vector<double> samples = reservoir_;
+    lock.unlock();
+    snap.reservoir_points = samples.size();
+    snap.p50_point_seconds = quantile(samples, 0.50);
+    snap.p99_point_seconds = quantile(std::move(samples), 0.99);
+    return snap;
+}
+
+}  // namespace gprsim::service

@@ -1,0 +1,66 @@
+// Rolling service statistics: request counters, shared-warm-store hit
+// rate, and per-point wall-time quantiles over a bounded reservoir of the
+// most recent evaluations — the numbers a "stats" protocol frame reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gprsim::service {
+
+/// Point-in-time copy of the counters plus derived quantiles.
+struct StatsSnapshot {
+    std::uint64_t requests_received = 0;
+    std::uint64_t requests_served = 0;    ///< completed with a done frame
+    std::uint64_t requests_rejected = 0;  ///< admission failures (saturated, bad spec)
+    std::uint64_t requests_failed = 0;    ///< admitted but ended in an error frame
+    std::uint64_t requests_cancelled = 0;
+    std::uint64_t store_hits = 0;    ///< slices served from / joined in the store
+    std::uint64_t store_misses = 0;  ///< slices this service computed fresh
+    std::uint64_t points_evaluated = 0;  ///< freshly computed grid points
+    /// Wall-time quantiles [s] over the rolling per-point reservoir; zero
+    /// until at least one point was recorded.
+    double p50_point_seconds = 0.0;
+    double p99_point_seconds = 0.0;
+    std::size_t reservoir_points = 0;  ///< samples behind the quantiles
+
+    /// Hit fraction in [0, 1]; 0 when the store was never consulted.
+    double store_hit_rate() const {
+        const std::uint64_t total = store_hits + store_misses;
+        return total == 0 ? 0.0 : static_cast<double>(store_hits) / total;
+    }
+
+    /// One JSON object (stable key order) — the "stats" frame payload.
+    std::string to_json() const;
+};
+
+/// Thread-safe rolling counters. Recording is O(1); snapshot() sorts a copy
+/// of the bounded reservoir to produce the quantiles.
+class RollingStats {
+public:
+    /// `reservoir_capacity`: how many recent per-point wall times back the
+    /// p50/p99 estimates (a rolling window, not the full history).
+    explicit RollingStats(std::size_t reservoir_capacity = 4096);
+
+    void record_received();
+    void record_served();
+    void record_rejected();
+    void record_failed();
+    void record_cancelled();
+    void record_store(bool hit);
+    /// One freshly evaluated grid point and its wall time.
+    void record_point(double wall_seconds);
+
+    StatsSnapshot snapshot() const;
+
+private:
+    mutable std::mutex mutex_;
+    StatsSnapshot counters_;  ///< quantile fields unused here
+    std::vector<double> reservoir_;
+    std::size_t next_slot_ = 0;  ///< circular overwrite position
+};
+
+}  // namespace gprsim::service

@@ -1,0 +1,58 @@
+#include "service/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace gprsim::service {
+
+common::Result<traffic::FittedTraffic> TraceIngest::fit(const std::string& path) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(path);
+        if (it != cache_.end()) {
+            return it->second;
+        }
+    }
+    // Fit outside the lock: traces can be large and two distinct paths
+    // should not serialize on each other. A racing duplicate fit is
+    // harmless — fitting is deterministic, last writer wins.
+    common::Result<traffic::FittedTraffic> fitted = traffic::fit_trace_file(path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(path, fitted);
+    if (!inserted) {
+        it->second = std::move(fitted);
+        return it->second;
+    }
+    return it->second;
+}
+
+std::size_t TraceIngest::cached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::string fitted_traffic_json(const traffic::FittedTraffic& fitted) {
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"trace\": {\"packets\": %zu, \"duration_seconds\": %.6f, "
+        "\"mean_rate\": %.9g, \"index_of_dispersion\": %.9g, "
+        "\"on_probability\": %.9g, \"bursts\": %zu, \"gap_threshold\": %.9g}, "
+        "\"ipp\": {\"on_to_off_rate\": %.9g, \"off_to_on_rate\": %.9g, "
+        "\"on_packet_rate\": %.9g}, "
+        "\"session\": {\"mean_packet_calls\": %.9g, \"mean_reading_time\": %.9g, "
+        "\"mean_packets_per_call\": %.9g, \"mean_packet_interarrival\": %.9g, "
+        "\"packet_size_bits\": %.9g}, "
+        "\"preset\": {\"name\": \"%s\", \"max_gprs_sessions\": %d}}",
+        fitted.summary.packet_count, fitted.summary.duration, fitted.summary.mean_rate,
+        fitted.summary.index_of_dispersion, fitted.summary.on_probability,
+        fitted.summary.burst_count, fitted.summary.gap_threshold,
+        fitted.ipp.on_to_off_rate, fitted.ipp.off_to_on_rate, fitted.ipp.on_packet_rate,
+        fitted.session.mean_packet_calls, fitted.session.mean_reading_time,
+        fitted.session.mean_packets_per_call, fitted.session.mean_packet_interarrival,
+        fitted.session.packet_size_bits, fitted.preset.name.c_str(),
+        fitted.preset.max_gprs_sessions);
+    return buffer;
+}
+
+}  // namespace gprsim::service

@@ -1,0 +1,38 @@
+// Trace ingestion for the service: a thread-safe memo over
+// traffic::fit_trace_file so concurrent campaigns referencing the same
+// arrival trace ("traffic_model": "trace:<file>") parse and fit it once.
+// Fit FAILURES are cached too — a degenerate trace rejects every request
+// that names it without re-reading the file each time.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.hpp"
+#include "traffic/trace.hpp"
+
+namespace gprsim::service {
+
+class TraceIngest {
+public:
+    /// Parses, summarizes, and fits the trace at `path` (first call), or
+    /// returns the memoized result. Typed errors pass through unchanged
+    /// from traffic::fit_trace_file.
+    common::Result<traffic::FittedTraffic> fit(const std::string& path);
+
+    /// Distinct trace paths ingested so far (hits + failures).
+    std::size_t cached() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, common::Result<traffic::FittedTraffic>> cache_;
+};
+
+/// One JSON object describing a fit (stable key order): the trace summary,
+/// the fitted IPP, and the derived session-model preset — the payload of a
+/// "fitted" frame and of `gprsim_cli fit-trace`.
+std::string fitted_traffic_json(const traffic::FittedTraffic& fitted);
+
+}  // namespace gprsim::service

@@ -1,0 +1,192 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "traffic/fitting.hpp"
+
+namespace gprsim::traffic {
+
+namespace {
+
+common::EvalError trace_error(std::string message) {
+    return common::EvalError{common::EvalErrorCode::invalid_query, std::move(message)};
+}
+
+}  // namespace
+
+common::Result<ArrivalTrace> read_trace(std::istream& in, const std::string& origin) {
+    ArrivalTrace trace;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        // Trim whitespace; skip blank/comment-only lines.
+        const auto begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos) continue;
+        const auto end = line.find_last_not_of(" \t\r");
+        const std::string token = line.substr(begin, end - begin + 1);
+        double value = 0.0;
+        std::size_t consumed = 0;
+        try {
+            value = std::stod(token, &consumed);
+        } catch (const std::exception&) {
+            return trace_error(origin + ":" + std::to_string(line_number) +
+                               ": not a timestamp: \"" + token + "\"");
+        }
+        if (consumed != token.size() || !std::isfinite(value)) {
+            return trace_error(origin + ":" + std::to_string(line_number) +
+                               ": not a finite timestamp: \"" + token + "\"");
+        }
+        if (!trace.timestamps.empty() && value <= trace.timestamps.back()) {
+            return trace_error(origin + ":" + std::to_string(line_number) +
+                               ": timestamps must be strictly increasing (" +
+                               std::to_string(value) + " after " +
+                               std::to_string(trace.timestamps.back()) + ")");
+        }
+        trace.timestamps.push_back(value);
+    }
+    return trace;
+}
+
+common::Result<ArrivalTrace> read_trace_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        return trace_error("trace file not readable: " + path);
+    }
+    return read_trace(in, path);
+}
+
+common::Result<TraceSummary> summarize_trace(const ArrivalTrace& trace,
+                                             const TraceOptions& options) {
+    const auto& ts = trace.timestamps;
+    if (ts.empty()) {
+        return trace_error("degenerate trace: empty (no arrivals)");
+    }
+    if (ts.size() < 2) {
+        return trace_error("degenerate trace: a single arrival carries no rate information");
+    }
+    TraceSummary s;
+    s.packet_count = ts.size();
+    s.duration = ts.back() - ts.front();
+    if (!(s.duration > 0.0)) {
+        return trace_error("degenerate trace: zero duration");
+    }
+    const double gaps = static_cast<double>(ts.size() - 1);
+    s.mean_rate = gaps / s.duration;
+    s.mean_gap = s.duration / gaps;
+
+    // Index of dispersion of counts over equal-width windows. Clamp the
+    // window count so each window holds >= ~2 arrivals in expectation —
+    // an over-split trace reads as Poisson noise.
+    int windows = std::max(2, options.idc_windows);
+    const int max_windows = static_cast<int>(ts.size() / 2);
+    windows = std::min(windows, std::max(2, max_windows));
+    s.window_count = windows;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(windows), 0);
+    const double width = s.duration / windows;
+    for (const double t : ts) {
+        auto idx = static_cast<std::size_t>((t - ts.front()) / width);
+        if (idx >= counts.size()) idx = counts.size() - 1;  // last arrival lands on the edge
+        ++counts[idx];
+    }
+    double mean_count = 0.0;
+    for (const auto c : counts) mean_count += static_cast<double>(c);
+    mean_count /= windows;
+    double variance = 0.0;
+    for (const auto c : counts) {
+        const double d = static_cast<double>(c) - mean_count;
+        variance += d * d;
+    }
+    variance /= windows;
+    s.index_of_dispersion = variance / mean_count;
+    if (!(s.index_of_dispersion > 1.0)) {
+        std::ostringstream msg;
+        msg << "degenerate trace: counts are not over-dispersed (IDC = "
+            << s.index_of_dispersion
+            << " <= 1, e.g. constant spacing); an IPP cannot match it";
+        return trace_error(msg.str());
+    }
+
+    // Burst detection: a gap beyond tau = factor * median_gap is OFF
+    // (reading) time; everything inside a burst is ON time. The median is
+    // robust against the bimodal gap mix — most gaps are intra-burst, so
+    // the median sits on the ON timescale while the mean is dragged toward
+    // the reading times (and a mean-based tau would swallow short OFF
+    // periods into bursts, inflating p_on severalfold).
+    std::vector<double> gap_values;
+    gap_values.reserve(ts.size() - 1);
+    for (std::size_t i = 1; i < ts.size(); ++i) gap_values.push_back(ts[i] - ts[i - 1]);
+    auto mid = gap_values.begin() + static_cast<std::ptrdiff_t>(gap_values.size() / 2);
+    std::nth_element(gap_values.begin(), mid, gap_values.end());
+    s.median_gap = *mid;
+    s.gap_threshold = options.gap_threshold_factor * s.median_gap;
+    double on_time = 0.0;
+    s.burst_count = 1;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        const double gap = ts[i] - ts[i - 1];
+        if (gap > s.gap_threshold) {
+            ++s.burst_count;
+        } else {
+            on_time += gap;
+        }
+    }
+    if (s.burst_count < 2) {
+        return trace_error(
+            "degenerate trace: no OFF gap exceeds the burst threshold (" +
+            std::to_string(s.gap_threshold) +
+            " s); the ON probability is unidentifiable (raise gap_threshold_factor "
+            "or supply a longer capture)");
+    }
+    s.on_probability = on_time / s.duration;
+    if (!(s.on_probability > 0.0) || !(s.on_probability < 1.0)) {
+        std::ostringstream msg;
+        msg << "degenerate trace: ON probability " << s.on_probability
+            << " outside (0, 1)";
+        return trace_error(msg.str());
+    }
+    return s;
+}
+
+common::Result<FittedTraffic> fit_trace(const ArrivalTrace& trace,
+                                        const TraceOptions& options) {
+    auto summary = summarize_trace(trace, options);
+    if (!summary.ok()) return summary.error();
+    FittedTraffic fitted;
+    fitted.summary = summary.take();
+    try {
+        fitted.ipp = fit_ipp(fitted.summary.mean_rate, fitted.summary.index_of_dispersion,
+                             fitted.summary.on_probability);
+        fitted.session = session_model_from_ipp(fitted.ipp, options.mean_packet_calls,
+                                                options.packet_size_bits);
+    } catch (const std::exception& e) {
+        return trace_error(std::string("trace fit infeasible: ") + e.what());
+    }
+    fitted.preset.name = options.preset_name;
+    fitted.preset.session = fitted.session;
+    fitted.preset.max_gprs_sessions = options.max_gprs_sessions;
+    return fitted;
+}
+
+common::Result<FittedTraffic> fit_trace_file(const std::string& path,
+                                             const TraceOptions& options) {
+    auto trace = read_trace_file(path);
+    if (!trace.ok()) return trace.error();
+    TraceOptions named = options;
+    if (named.preset_name == "trace") {
+        // Default name carries the file's basename for campaign labels.
+        auto slash = path.find_last_of('/');
+        named.preset_name =
+            "trace:" + (slash == std::string::npos ? path : path.substr(slash + 1));
+    }
+    return fit_trace(trace.value(), named);
+}
+
+}  // namespace gprsim::traffic

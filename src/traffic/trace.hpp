@@ -1,0 +1,113 @@
+// Trace-driven workloads: ingest measured packet-arrival timestamp traces
+// and fit them to the paper's IPP/3GPP source models.
+//
+// The paper parameterizes its sources from the 3GPP specification; the
+// UDP-over-GPRS measurement literature motivates the inverse direction:
+// start from a capture (one arrival timestamp per line), estimate the
+// long-run packet rate, the index of dispersion of counts (IDC) over
+// fixed-width windows, and the ON-state duty cycle via burst detection,
+// then invert through traffic::fit_ipp into an IPP and the matching 3GPP
+// session model. The result plugs into a campaign as a traffic axis
+// ("traffic_model": "trace:<file>") exactly like the Table 3 presets.
+//
+// Everything here returns common::Result instead of throwing: degenerate
+// traces (empty, single packet, constant spacing, no OFF gaps) are typed
+// invalid_query errors the service layer can stream back as error frames.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "traffic/ipp.hpp"
+#include "traffic/threegpp.hpp"
+
+namespace gprsim::traffic {
+
+/// A packet/arrival trace: strictly increasing timestamps in seconds,
+/// origin arbitrary (only gaps matter).
+struct ArrivalTrace {
+    std::vector<double> timestamps;
+
+    std::size_t size() const { return timestamps.size(); }
+    /// Span from first to last arrival [s]; 0 for traces shorter than 2.
+    double duration() const {
+        return timestamps.size() < 2 ? 0.0 : timestamps.back() - timestamps.front();
+    }
+};
+
+/// Parses a trace from text: one arrival timestamp per line, '#' starts a
+/// comment, blank lines ignored. Timestamps must be finite and strictly
+/// increasing; violations are invalid_query errors carrying the line number.
+common::Result<ArrivalTrace> read_trace(std::istream& in, const std::string& origin = "<trace>");
+
+/// read_trace over a file; a missing/unreadable file is an invalid_query
+/// error naming the path.
+common::Result<ArrivalTrace> read_trace_file(const std::string& path);
+
+/// Estimator and model-construction knobs.
+struct TraceOptions {
+    /// Number of equal-width counting windows for the IDC estimate. The
+    /// effective count is clamped so each window holds >= ~2 arrivals in
+    /// expectation (short traces get fewer, wider windows).
+    int idc_windows = 200;
+    /// A gap longer than `gap_threshold_factor * median_gap` separates two
+    /// packet calls (bursts); shorter gaps are intra-burst ON time. The
+    /// median is the robust pivot for a bursty trace: most gaps are
+    /// intra-burst, so the median sits on the ON timescale while the mean
+    /// is dragged toward the (much longer) reading times.
+    double gap_threshold_factor = 10.0;
+    /// N_pc for the constructed 3GPP session model (the trace constrains
+    /// only the within-session IPP, not the session length).
+    double mean_packet_calls = 5.0;
+    /// Packet size for the constructed session model [bits].
+    double packet_size_bits = 480.0 * 8.0;
+    /// Session cap M paired with the fitted preset.
+    int max_gprs_sessions = 50;
+    /// Name stamped on the fitted preset (campaign labels, CLI output).
+    std::string preset_name = "trace";
+};
+
+/// Second-order summary of a trace: the three targets of the IPP fit plus
+/// the intermediate statistics (for diagnostics and tests).
+struct TraceSummary {
+    std::size_t packet_count = 0;
+    double duration = 0.0;            ///< last - first arrival [s]
+    double mean_rate = 0.0;           ///< (n-1)/duration [pkt/s]
+    double mean_gap = 0.0;            ///< duration/(n-1) [s]
+    double median_gap = 0.0;          ///< robust burst-threshold pivot [s]
+    double index_of_dispersion = 0.0; ///< var/mean of per-window counts
+    double on_probability = 0.0;      ///< burst-time fraction of duration
+    double gap_threshold = 0.0;       ///< tau used for burst splitting [s]
+    std::size_t burst_count = 0;      ///< number of detected packet calls
+    int window_count = 0;             ///< windows actually used for the IDC
+};
+
+/// Computes the TraceSummary. Degenerate traces are typed errors:
+/// fewer than 2 packets, zero duration, under-dispersed counts (IDC <= 1,
+/// e.g. constant spacing), or a duty cycle outside (0, 1) (e.g. no OFF
+/// gaps longer than the threshold).
+common::Result<TraceSummary> summarize_trace(const ArrivalTrace& trace,
+                                             const TraceOptions& options = {});
+
+/// A fitted trace workload: the matched IPP, the 3GPP session model built
+/// around it, and the campaign-ready preset (session + M).
+struct FittedTraffic {
+    TraceSummary summary;
+    Ipp ipp;
+    ThreeGppSessionModel session;
+    TrafficModelPreset preset;
+};
+
+/// summarize_trace + fit_ipp + session_model_from_ipp, with every fitting
+/// failure surfaced as a typed error instead of an exception.
+common::Result<FittedTraffic> fit_trace(const ArrivalTrace& trace,
+                                        const TraceOptions& options = {});
+
+/// read_trace_file + fit_trace.
+common::Result<FittedTraffic> fit_trace_file(const std::string& path,
+                                             const TraceOptions& options = {});
+
+}  // namespace gprsim::traffic

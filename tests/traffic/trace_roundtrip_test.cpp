@@ -1,0 +1,214 @@
+// Trace ingestion + fitting roundtrip: synthesize an arrival trace from a
+// known IPP, ingest it, and recover mean rate / index of dispersion /
+// ON-probability within tolerance; the checked-in golden fixture
+// (tests/traffic/data/ipp_tm1.trace, generated from traffic model 1's
+// source parameters) pins the full file->fit path; degenerate traces are
+// rejected with typed errors, never exceptions.
+#include "traffic/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "traffic/fitting.hpp"
+#include "traffic/mmpp.hpp"
+
+namespace gprsim::traffic {
+namespace {
+
+std::string fixture_path() {
+    return std::string(GPRSIM_SOURCE_DIR) + "/tests/traffic/data/ipp_tm1.trace";
+}
+
+/// Portable deterministic IPP sampler: xorshift64* uniforms through the
+/// inverse-CDF exponential, so the synthetic trace is identical across
+/// compilers and standard libraries (std::exponential_distribution is
+/// implementation-defined).
+class IppSampler {
+public:
+    IppSampler(const Ipp& ipp, std::uint64_t seed) : ipp_(ipp), state_(seed | 1) {}
+
+    ArrivalTrace sample(double horizon) {
+        ArrivalTrace trace;
+        double t = 0.0;
+        bool on = false;
+        while (t < horizon) {
+            if (on) {
+                const double to_packet = exponential(ipp_.on_packet_rate);
+                const double to_off = exponential(ipp_.on_to_off_rate);
+                if (to_packet < to_off) {
+                    t += to_packet;
+                    if (t >= horizon) break;
+                    trace.timestamps.push_back(t);
+                } else {
+                    t += to_off;
+                    on = false;
+                }
+            } else {
+                t += exponential(ipp_.off_to_on_rate);
+                on = true;
+            }
+        }
+        return trace;
+    }
+
+private:
+    double uniform() {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        const std::uint64_t bits = state_ * 0x2545F4914F6CDD1DULL;
+        return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+    }
+    double exponential(double rate) { return -std::log(uniform()) / rate; }
+
+    Ipp ipp_;
+    std::uint64_t state_;
+};
+
+TEST(TraceRead, ParsesTimestampsCommentsAndBlanks) {
+    std::istringstream in(
+        "# capture header\n"
+        "0.5\n"
+        "\n"
+        "  1.25  # inline comment\n"
+        "3.0\n");
+    auto trace = read_trace(in);
+    ASSERT_TRUE(trace.ok());
+    ASSERT_EQ(trace.value().size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.value().timestamps[1], 1.25);
+    EXPECT_DOUBLE_EQ(trace.value().duration(), 2.5);
+}
+
+TEST(TraceRead, RejectsGarbageWithLineNumbers) {
+    std::istringstream in("0.5\nbogus\n");
+    auto trace = read_trace(in, "cap.txt");
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, common::EvalErrorCode::invalid_query);
+    EXPECT_NE(trace.error().message.find("cap.txt:2"), std::string::npos)
+        << trace.error().message;
+}
+
+TEST(TraceRead, RejectsNonMonotonicTimestamps) {
+    std::istringstream in("1.0\n2.0\n1.5\n");
+    auto trace = read_trace(in);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, common::EvalErrorCode::invalid_query);
+    EXPECT_NE(trace.error().message.find("strictly increasing"), std::string::npos);
+}
+
+TEST(TraceRead, MissingFileIsATypedError) {
+    auto fitted = fit_trace_file("/nonexistent/capture.trace");
+    ASSERT_FALSE(fitted.ok());
+    EXPECT_EQ(fitted.error().code, common::EvalErrorCode::invalid_query);
+}
+
+TEST(TraceSummary, RejectsDegenerateTraces) {
+    // Empty and single-packet traces carry no rate information.
+    EXPECT_FALSE(summarize_trace(ArrivalTrace{}).ok());
+    EXPECT_FALSE(summarize_trace(ArrivalTrace{{1.0}}).ok());
+
+    // Constant spacing: under-dispersed counts (IDC ~ 0), no IPP matches.
+    ArrivalTrace constant;
+    for (int i = 0; i < 400; ++i) constant.timestamps.push_back(0.25 * i);
+    auto summary = summarize_trace(constant);
+    ASSERT_FALSE(summary.ok());
+    EXPECT_EQ(summary.error().code, common::EvalErrorCode::invalid_query);
+    EXPECT_NE(summary.error().message.find("over-dispersed"), std::string::npos);
+
+    // Over-dispersed but gapless: a density change with no gap beyond the
+    // burst threshold leaves the duty cycle unidentifiable. Gaps are exact
+    // binary fractions so the sparse gap (1.0) sits strictly below the
+    // threshold 10 x median = 1.25 with no accumulation rounding.
+    ArrivalTrace gapless;
+    double t = 0.0;
+    for (int i = 0; i < 50; ++i) gapless.timestamps.push_back(t += 1.0);
+    for (int i = 0; i < 500; ++i) gapless.timestamps.push_back(t += 0.125);
+    summary = summarize_trace(gapless);
+    ASSERT_FALSE(summary.ok());
+    EXPECT_EQ(summary.error().code, common::EvalErrorCode::invalid_query);
+    EXPECT_NE(summary.error().message.find("no OFF gap"), std::string::npos);
+
+    // Every rejection is a typed error: fit_trace forwards them unchanged.
+    EXPECT_FALSE(fit_trace(constant).ok());
+}
+
+TEST(TraceRoundtrip, RecoversAKnownIppWithinTolerance) {
+    // p_on = 0.2, lambda_p = 5 -> mean rate 1.0 pkt/s; IDC_inf = 33.
+    Ipp source;
+    source.on_to_off_rate = 0.2;
+    source.off_to_on_rate = 0.05;
+    source.on_packet_rate = 5.0;
+    const double true_rate = source.mean_packet_rate();
+    const double true_p_on = source.stationary_on_probability();
+    const double true_idc = ipp_as_mmpp(source).index_of_dispersion();
+
+    IppSampler sampler(source, 0x9E3779B97F4A7C15ULL);
+    const ArrivalTrace trace = sampler.sample(5000.0);
+    ASSERT_GT(trace.size(), 1000u);
+
+    auto fitted = fit_trace(trace);
+    ASSERT_TRUE(fitted.ok()) << fitted.error().to_string();
+    const FittedTraffic& f = fitted.value();
+
+    EXPECT_NEAR(f.summary.mean_rate, true_rate, 0.05 * true_rate);
+    EXPECT_NEAR(f.summary.on_probability, true_p_on, 0.15 * true_p_on);
+    // The windowed IDC estimates the asymptotic IDC from below (finite
+    // windows truncate the covariance tail), so the tolerance is loose.
+    EXPECT_NEAR(f.summary.index_of_dispersion, true_idc, 0.35 * true_idc);
+    EXPECT_NEAR(f.ipp.on_packet_rate, source.on_packet_rate,
+                0.15 * source.on_packet_rate);
+
+    // The fitted model is exactly self-consistent: its moments reproduce
+    // the estimated targets (the fit itself is exact; only the estimates
+    // carry sampling error).
+    const Mmpp check = ipp_as_mmpp(f.ipp);
+    EXPECT_NEAR(check.mean_arrival_rate(), f.summary.mean_rate, 1e-10);
+    EXPECT_NEAR(check.index_of_dispersion(), f.summary.index_of_dispersion, 1e-8);
+    EXPECT_NEAR(f.ipp.stationary_on_probability(), f.summary.on_probability, 1e-12);
+    // And the constructed 3GPP session model wraps the same IPP.
+    const Ipp back = f.session.ipp();
+    EXPECT_NEAR(back.on_packet_rate, f.ipp.on_packet_rate, 1e-10);
+    EXPECT_NEAR(back.on_to_off_rate, f.ipp.on_to_off_rate, 1e-10);
+    EXPECT_NEAR(back.off_to_on_rate, f.ipp.off_to_on_rate, 1e-10);
+}
+
+TEST(TraceRoundtrip, GoldenFixtureRecoversTrafficModelOneSource) {
+    // The checked-in fixture was generated from traffic model 1's Section 3
+    // IPP (a = 0.08, b = 1/412, lambda_p = 2) over a 60000 s horizon.
+    const Ipp source = traffic_model_1().session.ipp();
+    const double true_rate = source.mean_packet_rate();
+    const double true_p_on = source.stationary_on_probability();
+    const double true_idc = ipp_as_mmpp(source).index_of_dispersion();
+
+    auto fitted = fit_trace_file(fixture_path());
+    ASSERT_TRUE(fitted.ok()) << fitted.error().to_string();
+    const FittedTraffic& f = fitted.value();
+
+    // Pin the deterministic ingest statistics of the fixed fixture.
+    EXPECT_EQ(f.summary.packet_count, 3699u);
+    EXPECT_EQ(f.summary.burst_count, 146u);
+    EXPECT_EQ(f.summary.window_count, 200);
+
+    // And the recovered source parameters, against the generator's truth.
+    EXPECT_NEAR(f.summary.mean_rate, true_rate, 0.10 * true_rate);
+    EXPECT_NEAR(f.summary.on_probability, true_p_on, 0.10 * true_p_on);
+    EXPECT_NEAR(f.summary.index_of_dispersion, true_idc, 0.25 * true_idc);
+    EXPECT_NEAR(f.ipp.on_packet_rate, source.on_packet_rate,
+                0.10 * source.on_packet_rate);
+    EXPECT_NEAR(f.ipp.on_to_off_rate, source.on_to_off_rate,
+                0.30 * source.on_to_off_rate);
+    EXPECT_NEAR(f.ipp.off_to_on_rate, source.off_to_on_rate,
+                0.30 * source.off_to_on_rate);
+
+    // The campaign-facing preset carries the fitted session and the file's
+    // basename in its label.
+    EXPECT_EQ(f.preset.name, "trace:ipp_tm1.trace");
+    EXPECT_EQ(f.preset.max_gprs_sessions, 50);
+    EXPECT_NO_THROW(f.preset.session.validate());
+}
+
+}  // namespace
+}  // namespace gprsim::traffic

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Minimal gprsim_serve protocol client (stdlib only) for CI smoke tests.
+
+Speaks the GPRS/1 frame protocol (docs/service.md) over a unix socket or a
+gprsim_serve --stdio child process.
+
+    serve_client.py --socket=/tmp/gprsim.sock campaign spec.json out.csv
+    serve_client.py --stdio=./build/examples/gprsim_serve campaign spec.json out.csv
+    serve_client.py --socket=... fit-trace arrivals.trace
+    serve_client.py --socket=... stats
+    serve_client.py --socket=... ping
+
+`campaign` writes the streamed CSV bytes to the output file (byte-for-byte
+what `gprsim_cli campaign --csv=` writes for the same spec) and exits 0 on
+a "done" frame, 1 on an "error" frame (printed to stderr).
+"""
+
+import argparse
+import socket
+import subprocess
+import sys
+
+
+class FrameStream:
+    """Blocking frame reader/writer over a (read_file, write_file) pair."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    def send(self, ftype, fid, payload=b""):
+        if isinstance(payload, str):
+            payload = payload.encode()
+        header = f"GPRS/1 {ftype} {fid} {len(payload)}\n".encode()
+        self.writer.write(header + payload)
+        self.writer.flush()
+
+    def receive(self):
+        """Returns (type, id, payload) or None on EOF."""
+        line = b""
+        while not line.endswith(b"\n"):
+            byte = self.reader.read(1)
+            if not byte:
+                return None
+            line += byte
+        magic, ftype, fid, length = line.decode().split()
+        if magic != "GPRS/1":
+            raise ValueError(f"bad frame header: {line!r}")
+        remaining = int(length)
+        payload = b""
+        while remaining:
+            chunk = self.reader.read(remaining)
+            if not chunk:
+                raise ValueError("EOF mid-payload")
+            payload += chunk
+            remaining -= len(chunk)
+        return ftype, int(fid), payload
+
+    def expect_hello(self):
+        frame = self.receive()
+        if frame is None or frame[0] != "hello":
+            raise ValueError(f"expected hello, got {frame}")
+
+
+def run_campaign(stream, spec_path, out_path):
+    with open(spec_path, "rb") as spec:
+        stream.send("campaign", 1, spec.read())
+    csv = b""
+    while True:
+        frame = stream.receive()
+        if frame is None:
+            print("connection closed mid-stream", file=sys.stderr)
+            return 1
+        ftype, _, payload = frame
+        if ftype == "accepted":
+            continue
+        if ftype == "csv":
+            csv += payload
+        elif ftype == "done":
+            with open(out_path, "wb") as out:
+                out.write(csv)
+            return 0
+        elif ftype == "error":
+            code, _, message = payload.decode().partition("\n")
+            print(f"server error [{code}]: {message}", file=sys.stderr)
+            return 1
+        else:
+            print(f"unexpected frame type: {ftype}", file=sys.stderr)
+            return 1
+
+
+def run_simple(stream, ftype, payload=b""):
+    stream.send(ftype, 1, payload)
+    frame = stream.receive()
+    if frame is None:
+        print("connection closed", file=sys.stderr)
+        return 1
+    rtype, _, rpayload = frame
+    print(rpayload.decode())
+    if rtype == "error":
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", help="unix socket path of a running gprsim_serve")
+    parser.add_argument("--stdio", help="gprsim_serve binary to spawn in --stdio mode")
+    parser.add_argument("command", choices=["campaign", "fit-trace", "stats", "ping"])
+    parser.add_argument("args", nargs="*")
+    options = parser.parse_args()
+    if bool(options.socket) == bool(options.stdio):
+        parser.error("exactly one of --socket / --stdio is required")
+
+    child = None
+    if options.socket:
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        connection.connect(options.socket)
+        stream = FrameStream(connection.makefile("rb"), connection.makefile("wb"))
+    else:
+        child = subprocess.Popen(
+            [options.stdio, "--stdio"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+        )
+        stream = FrameStream(child.stdout, child.stdin)
+
+    stream.expect_hello()
+    try:
+        if options.command == "campaign":
+            if len(options.args) != 2:
+                parser.error("campaign needs <spec.json> <out.csv>")
+            return run_campaign(stream, options.args[0], options.args[1])
+        if options.command == "fit-trace":
+            if len(options.args) != 1:
+                parser.error("fit-trace needs <arrivals.trace>")
+            return run_simple(stream, "fit-trace", options.args[0])
+        if options.command == "stats":
+            return run_simple(stream, "stats")
+        return run_simple(stream, "ping", "smoke")
+    finally:
+        if child is not None:
+            child.stdin.close()
+            child.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
